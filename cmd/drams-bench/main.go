@@ -1,0 +1,146 @@
+// drams-bench regenerates the full experiment suite E1–E8 of DESIGN.md §2
+// and prints each result table (text or CSV). EXPERIMENTS.md is produced
+// from this tool's output.
+//
+// Usage:
+//
+//	drams-bench [-run E1,E2,...] [-quick] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"drams/internal/experiment"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	runList := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+	quick := flag.Bool("quick", false, "reduced parameters (fast smoke run)")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *runList == "all" {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3"} {
+			selected[id] = true
+		}
+	} else {
+		for _, id := range strings.Split(*runList, ",") {
+			selected[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	type runner struct {
+		id string
+		fn func() (experiment.Table, error)
+	}
+	runners := []runner{
+		{"E1", func() (experiment.Table, error) {
+			p := experiment.DefaultE1Params()
+			if *quick {
+				p = experiment.E1Params{Requests: 8, Workers: 2}
+			}
+			return experiment.RunE1(p)
+		}},
+		{"E2", func() (experiment.Table, error) {
+			p := experiment.DefaultE2Params()
+			if *quick {
+				p = experiment.E2Params{Sizes: []int{64, 4096}, Difficulties: []uint8{8}, Samples: 3}
+			}
+			return experiment.RunE2(p)
+		}},
+		{"E3", func() (experiment.Table, error) {
+			p := experiment.DefaultE3Params()
+			if *quick {
+				p = experiment.E3Params{Difficulties: []uint8{4, 8, 12}, Blocks: 3}
+			}
+			return experiment.RunE3(p)
+		}},
+		{"E4", func() (experiment.Table, error) {
+			p := experiment.DefaultE4Params()
+			if *quick {
+				p = experiment.E4Params{Writes: 48, BatchSizes: []int{16}, ValueSize: 128}
+			}
+			return experiment.RunE4(p)
+		}},
+		{"E5", func() (experiment.Table, error) {
+			p := experiment.DefaultE5Params()
+			if *quick {
+				p = experiment.E5Params{Trials: 1}
+			}
+			return experiment.RunE5(p)
+		}},
+		{"E6", func() (experiment.Table, error) {
+			p := experiment.DefaultE6Params()
+			if *quick {
+				p = experiment.E6Params{Requests: 16, Workers: 4}
+			}
+			return experiment.RunE6(p)
+		}},
+		{"E7", func() (experiment.Table, error) {
+			p := experiment.DefaultE7Params()
+			if *quick {
+				p = experiment.E7Params{RuleCounts: []int{10, 100}, Requests: 100}
+			}
+			return experiment.RunE7(p)
+		}},
+		{"E8", func() (experiment.Table, error) {
+			p := experiment.DefaultE8Params()
+			if *quick {
+				p = experiment.E8Params{CloudCounts: []int{2}, Requests: 8}
+			}
+			return experiment.RunE8(p)
+		}},
+		{"AB1", func() (experiment.Table, error) {
+			p := experiment.DefaultAB1Params()
+			if *quick {
+				p = experiment.AB1Params{TimeoutBlocks: []uint64{5, 20}, Trials: 1}
+			}
+			return experiment.RunAB1(p)
+		}},
+		{"AB2", func() (experiment.Table, error) {
+			p := experiment.DefaultAB2Params()
+			if *quick {
+				p = experiment.AB2Params{Trials: 1}
+			}
+			return experiment.RunAB2(p)
+		}},
+		{"AB3", func() (experiment.Table, error) {
+			p := experiment.DefaultAB3Params()
+			if *quick {
+				p = experiment.AB3Params{Requests: 8}
+			}
+			return experiment.RunAB3(p)
+		}},
+	}
+
+	failures := 0
+	for _, r := range runners {
+		if !selected[r.id] {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", r.id)
+		start := time.Now()
+		tab, err := r.fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s FAILED: %v\n", r.id, err)
+			failures++
+			continue
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		} else {
+			fmt.Println(tab.Render())
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", r.id, time.Since(start).Round(time.Millisecond))
+	}
+	return failures
+}

@@ -1,0 +1,100 @@
+package drams_test
+
+import (
+	"strings"
+	"testing"
+
+	"drams"
+	"drams/internal/federation"
+	"drams/internal/xacml"
+)
+
+func TestNewRequiresPolicy(t *testing.T) {
+	if _, err := drams.New(drams.Config{}); err == nil {
+		t.Fatal("policyless config accepted")
+	}
+}
+
+func TestNewRejectsInvalidTopology(t *testing.T) {
+	bad := &federation.Topology{
+		Name:    "bad",
+		Clouds:  []federation.Cloud{{Name: "c"}},
+		Tenants: []federation.Tenant{{Name: "t", Cloud: "c"}}, // no infrastructure
+	}
+	_, err := drams.New(drams.Config{Policy: testPolicy("v1"), Topology: bad})
+	if err == nil {
+		t.Fatal("invalid topology accepted")
+	}
+}
+
+func TestRequestUnknownTenant(t *testing.T) {
+	dep := testDeployment(t, nil)
+	if _, err := dep.Request("ghost-tenant", dep.NewRequest()); err == nil {
+		t.Fatal("unknown tenant accepted")
+	}
+	if err := dep.TamperPEP("ghost-tenant", nil); err == nil {
+		t.Fatal("tampering unknown tenant accepted")
+	}
+}
+
+func TestRequestAssignsMissingID(t *testing.T) {
+	dep := testDeployment(t, nil)
+	req := xacml.NewRequest("").
+		Add(xacml.CatSubject, "role", xacml.String("doctor")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	if _, err := dep.Request("tenant-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID == "" {
+		t.Fatal("request ID not assigned")
+	}
+}
+
+func TestPublishDuplicateVersionFails(t *testing.T) {
+	dep := testDeployment(t, nil)
+	if err := dep.PublishPolicy(testPolicy("v1")); err == nil ||
+		!strings.Contains(err.Error(), "already published") {
+		t.Fatalf("duplicate version: %v", err)
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	dep, err := drams.New(drams.Config{Policy: testPolicy("v1"), Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep.Close()
+	dep.Close() // second close must be a no-op
+}
+
+func TestDeterministicIdentitiesAcrossDeployments(t *testing.T) {
+	// Same seed → same component identities → a persisted chain from one
+	// run validates in the next (restartability).
+	d1 := testDeployment(t, nil)
+	d2, err := drams.New(drams.Config{
+		Policy: testPolicy("v1"), Difficulty: 6, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d1.Key != d2.Key {
+		t.Fatal("shared key differs across same-seed deployments")
+	}
+	n1 := d1.InfraNode().Chain().Identities().Len()
+	n2 := d2.InfraNode().Chain().Identities().Len()
+	if n1 != n2 {
+		t.Fatalf("identity counts differ: %d vs %d", n1, n2)
+	}
+}
+
+func TestTopologyAccessor(t *testing.T) {
+	dep := testDeployment(t, nil)
+	top := dep.Topology()
+	if top == nil || len(top.EdgeTenants()) != 2 {
+		t.Fatalf("topology = %+v", top)
+	}
+	if dep.InfraNode() == nil {
+		t.Fatal("no infra node")
+	}
+}

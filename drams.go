@@ -1,0 +1,498 @@
+// Package drams is the public API of the DRAMS reproduction: the
+// Decentralised Runtime Access Monitoring System of "Decentralised Runtime
+// Monitoring for Access Control Systems in Cloud Federations" (Ferdous,
+// Margheri, Paci, Yang, Sassone — ICDCS 2017).
+//
+// A Deployment assembles the full Figure-1 architecture on one machine:
+//
+//   - a FaaS federation topology (clouds, edge tenants, the infrastructure
+//     tenant) over a simulated network;
+//   - the XACML access-control plane: one PDP + PRP in the infrastructure
+//     tenant and a PEP at every tenant edge;
+//   - a private proof-of-work smart-contract blockchain with one node per
+//     cloud, running the DRAMS log-match contract;
+//   - a probing agent and a Logging Interface per tenant, encrypting and
+//     signing observations;
+//   - the Analyser re-deriving expected decisions, and the off-chain
+//     Monitor aggregating security alerts.
+//
+// Quickstart:
+//
+//	dep, err := drams.New(drams.Config{Policy: policy})
+//	defer dep.Close()
+//	enf, err := dep.Request("tenant-1", req)      // normal access control
+//	dep.TamperPEP("tenant-1", &federation.Tamper{ // inject an attack
+//	    Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
+//	})
+//	alert, err := dep.WaitForAlert(ctx, reqID, core.AlertEnforcementMismatch)
+package drams
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"drams/internal/blockchain"
+	"drams/internal/clock"
+	"drams/internal/contract"
+	"drams/internal/core"
+	"drams/internal/crypto"
+	"drams/internal/federation"
+	"drams/internal/idgen"
+	"drams/internal/logger"
+	"drams/internal/netsim"
+	"drams/internal/xacml"
+)
+
+// Re-exported aliases so example applications can use the drams package as
+// the single entry point for common types.
+type (
+	// Enforcement is what a PEP returns to the application.
+	Enforcement = federation.Enforcement
+	// Alert is a DRAMS security alert.
+	Alert = core.Alert
+	// AlertType classifies alerts.
+	AlertType = core.AlertType
+	// Tamper injects attacks at a PEP's data path.
+	Tamper = federation.Tamper
+)
+
+// Config configures a Deployment. The zero value plus a Policy is usable.
+type Config struct {
+	// Topology describes the federation; defaults to two clouds with one
+	// edge tenant each plus the infrastructure tenant (Figure 1).
+	Topology *federation.Topology
+	// Policy is the initial access-control policy set (required).
+	Policy *xacml.PolicySet
+	// Difficulty is the PoW difficulty in leading-zero bits (default 8).
+	Difficulty uint8
+	// TimeoutBlocks is the log-match M3 window Δ (default 5 blocks).
+	TimeoutBlocks uint64
+	// RequireVerdict demands an analyser verdict per request (default
+	// true; set DisableVerdicts to opt out).
+	DisableVerdicts bool
+	// EmptyBlockInterval keeps blocks flowing when idle (default 25ms).
+	EmptyBlockInterval time.Duration
+	// SubmitMode is the LI submission mode (default async).
+	SubmitMode logger.SubmitMode
+	// MonitorOff disables probes, analyser and monitor entirely — the
+	// baseline for overhead experiments.
+	MonitorOff bool
+	// NetLatency/NetJitter shape the federation network.
+	NetLatency, NetJitter time.Duration
+	// Seed makes network behaviour and request IDs reproducible.
+	Seed uint64
+	// MaxTxPerBlock caps block size (default 256).
+	MaxTxPerBlock int
+	// PEPTimeout bounds a PEP's wait for the PDP (default 5s).
+	PEPTimeout time.Duration
+	// UseTPM seals the shared LI key in a per-tenant SoftTPM and unseals
+	// it at LI boot (the §III System Integrity mitigation).
+	UseTPM bool
+	// MineAll makes every cloud's node mine (more realistic, more forks).
+	// Default: only the infrastructure cloud's node mines while all nodes
+	// validate and gossip — the designated-producer configuration a
+	// private federation chain would use.
+	MineAll bool
+	// RemoteAgents separates probing agents from their Logging Interfaces:
+	// each LI exposes its §II network endpoints and agents submit raw
+	// observations over the tenant network (the LI derives digests, tags
+	// and encryption, so K never leaves the LI). Default: in-process
+	// agents.
+	RemoteAgents bool
+}
+
+// Deployment is a running DRAMS federation.
+type Deployment struct {
+	cfg      Config
+	topology *federation.Topology
+
+	Net   *netsim.Network
+	Nodes map[string]*blockchain.Node // by cloud name
+
+	PDP          *xacml.PDP
+	PDPService   *federation.PDPService
+	PRP          *xacml.PRP
+	PEPs         map[string]*federation.PEPService // by tenant
+	LIs          map[string]*logger.LI             // by tenant
+	Agents       map[string]*logger.Agent          // by tenant (in-process mode)
+	RemoteAgents map[string]*logger.RemoteAgent    // by tenant (RemoteAgents mode)
+	Analyser     *core.Analyser
+	Monitor      *core.Monitor
+	TPMs         map[string]*crypto.SoftTPM // by tenant (when UseTPM)
+
+	Key crypto.Key
+
+	papSender *blockchain.Sender
+	ids       *idgen.Generator
+	closed    bool
+}
+
+// probe is what a tenant's agent must implement for both hook points.
+type probe interface {
+	federation.PEPProbe
+	federation.PDPProbe
+}
+
+// probeFor returns the tenant's agent regardless of agent mode.
+func (d *Deployment) probeFor(tenant string) probe {
+	if a, ok := d.RemoteAgents[tenant]; ok {
+		return a
+	}
+	return d.Agents[tenant]
+}
+
+// identitySeed derives deterministic identities per component so
+// deployments are reproducible under a fixed Config.Seed.
+func identitySeed(seed uint64, name string) [32]byte {
+	d := crypto.SumAll([]byte(fmt.Sprintf("drams-id|%d|", seed)), []byte(name))
+	return [32]byte(d)
+}
+
+// New assembles and starts a deployment.
+func New(cfg Config) (*Deployment, error) {
+	if cfg.Policy == nil {
+		return nil, errors.New("drams: Config.Policy is required")
+	}
+	if cfg.Topology == nil {
+		cfg.Topology = federation.SimpleTopology("faas", 2)
+	}
+	if err := cfg.Topology.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Difficulty == 0 {
+		cfg.Difficulty = 8
+	}
+	if cfg.TimeoutBlocks == 0 {
+		cfg.TimeoutBlocks = 5
+	}
+	if cfg.EmptyBlockInterval == 0 {
+		cfg.EmptyBlockInterval = 25 * time.Millisecond
+	}
+	if cfg.SubmitMode == 0 {
+		cfg.SubmitMode = logger.SubmitAsync
+	}
+	if cfg.MaxTxPerBlock == 0 {
+		cfg.MaxTxPerBlock = 256
+	}
+
+	d := &Deployment{
+		cfg:          cfg,
+		topology:     cfg.Topology,
+		Nodes:        make(map[string]*blockchain.Node),
+		PEPs:         make(map[string]*federation.PEPService),
+		LIs:          make(map[string]*logger.LI),
+		Agents:       make(map[string]*logger.Agent),
+		RemoteAgents: make(map[string]*logger.RemoteAgent),
+		TPMs:         make(map[string]*crypto.SoftTPM),
+		ids:          idgen.NewSeeded(cfg.Seed + 1),
+	}
+	d.Net = netsim.New(netsim.Config{
+		BaseLatency: cfg.NetLatency,
+		Jitter:      cfg.NetJitter,
+		Seed:        cfg.Seed,
+	})
+	d.Key = crypto.DeriveKey(fmt.Sprintf("drams-K-%d", cfg.Seed), "shared-li-key")
+
+	// Component identities (deterministic under Seed).
+	liIdentities := make(map[string]*crypto.Identity) // by tenant
+	var allow []crypto.PublicIdentity
+	for _, ten := range d.topology.Tenants {
+		id := crypto.NewIdentityFromSeed("li@"+ten.Name, identitySeed(cfg.Seed, "li@"+ten.Name))
+		liIdentities[ten.Name] = id
+		allow = append(allow, id.Public())
+	}
+	analyserID := crypto.NewIdentityFromSeed("analyser", identitySeed(cfg.Seed, "analyser"))
+	papID := crypto.NewIdentityFromSeed("pap", identitySeed(cfg.Seed, "pap"))
+	allow = append(allow, analyserID.Public(), papID.Public())
+
+	// Shared contract registry (contracts are stateless; state is
+	// per-chain).
+	registry := contract.NewRegistry()
+	registry.MustRegister(core.NewLogMatchContract(core.MatchConfig{
+		TimeoutBlocks:  cfg.TimeoutBlocks,
+		PAP:            papID.Name(),
+		Analyser:       analyserID.Name(),
+		RequireVerdict: !cfg.DisableVerdicts && !cfg.MonitorOff,
+	}))
+	registry.MustRegister(&contract.AnchorContract{ContractName: "anchor"})
+	registry.MustRegister(&contract.KVContract{ContractName: "kv"})
+
+	chainCfg := blockchain.Config{
+		Difficulty:    cfg.Difficulty,
+		MaxTxPerBlock: cfg.MaxTxPerBlock,
+		Identities:    allow,
+		Registry:      registry,
+	}
+
+	infra, err := d.topology.InfrastructureTenant()
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+
+	// One chain node per cloud. By default only the infrastructure
+	// cloud's node mines (designated producer); every node validates.
+	var nodeNames []string
+	for _, c := range d.topology.Clouds {
+		nodeNames = append(nodeNames, "node@"+c.Name)
+	}
+	for _, c := range d.topology.Clouds {
+		node, err := blockchain.NewNode(blockchain.NodeConfig{
+			Name:               "node@" + c.Name,
+			Chain:              chainCfg,
+			Network:            d.Net,
+			Peers:              nodeNames,
+			Mine:               cfg.MineAll || c.Name == infra.Cloud,
+			EmptyBlockInterval: cfg.EmptyBlockInterval,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Nodes[c.Name] = node
+	}
+	for _, node := range d.Nodes {
+		node.Start()
+	}
+	infraNode := d.Nodes[infra.Cloud]
+
+	// Access-control plane.
+	d.PDP = xacml.NewPDP(nil)
+	d.PRP = xacml.NewPRP()
+	d.PDPService, err = federation.NewPDPService(d.Net, d.PDP)
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	for _, ten := range d.topology.EdgeTenants() {
+		pep, err := federation.NewPEPService(d.Net, ten.Name, cfg.PEPTimeout)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.PEPs[ten.Name] = pep
+	}
+
+	d.papSender = blockchain.NewSender(infraNode, papID)
+
+	// Monitoring plane (unless disabled).
+	if !cfg.MonitorOff {
+		for _, ten := range d.topology.Tenants {
+			key := d.Key
+			if cfg.UseTPM {
+				tpm, err := crypto.NewSoftTPM(ten.Name)
+				if err != nil {
+					d.Close()
+					return nil, err
+				}
+				// Measured boot of the LI component, then seal/unseal K.
+				if err := tpm.Extend(1, []byte("li-binary-v1")); err != nil {
+					d.Close()
+					return nil, err
+				}
+				handle := tpm.Seal(1<<1, key[:])
+				raw, err := tpm.Unseal(handle)
+				if err != nil {
+					d.Close()
+					return nil, fmt.Errorf("drams: TPM unseal for %s: %w", ten.Name, err)
+				}
+				copy(key[:], raw)
+				d.TPMs[ten.Name] = tpm
+			}
+			li, err := logger.NewLI(logger.LIConfig{
+				Name:     "li@" + ten.Name,
+				Tenant:   ten.Name,
+				Node:     d.Nodes[ten.Cloud],
+				Identity: liIdentities[ten.Name],
+				Key:      key,
+				Mode:     cfg.SubmitMode,
+			})
+			if err != nil {
+				d.Close()
+				return nil, err
+			}
+			li.Start()
+			d.LIs[ten.Name] = li
+			if cfg.RemoteAgents {
+				liAddr := "li-endpoint@" + ten.Name
+				if err := li.Expose(d.Net, liAddr); err != nil {
+					d.Close()
+					return nil, err
+				}
+				ra, err := logger.NewRemoteAgent(d.Net, "agent@"+ten.Name, liAddr)
+				if err != nil {
+					d.Close()
+					return nil, err
+				}
+				d.RemoteAgents[ten.Name] = ra
+			} else {
+				d.Agents[ten.Name] = logger.NewAgent("agent@"+ten.Name, ten.Name, li, clock.System{})
+			}
+		}
+		// Attach probes.
+		for tenant, pep := range d.PEPs {
+			pep.SetProbe(d.probeFor(tenant))
+		}
+		d.PDPService.SetProbe(d.probeFor(infra.Name))
+
+		// Analyser: per Figure 1 it runs in a different cloud section than
+		// the access-control components — attach it to a node of another
+		// cloud when the federation has one.
+		analyserNode := infraNode
+		for _, c := range d.topology.Clouds {
+			if c.Name != infra.Cloud {
+				analyserNode = d.Nodes[c.Name]
+				break
+			}
+		}
+		d.Analyser, err = core.NewAnalyser("analyser", analyserNode, analyserID, d.Key)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.Analyser.Start()
+
+		d.Monitor = core.NewMonitor(infraNode, clock.System{})
+		d.Monitor.Start()
+	}
+
+	// Publish the initial policy.
+	if err := d.PublishPolicy(cfg.Policy); err != nil {
+		d.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// PublishPolicy publishes a policy set: it is stored in the PRP, its digest
+// is anchored on-chain by the PAP (waiting for confirmation), the PDP loads
+// it, and the Analyser recompiles its logical form.
+func (d *Deployment) PublishPolicy(ps *xacml.PolicySet) error {
+	digest, err := d.PRP.Publish(ps)
+	if err != nil {
+		return err
+	}
+	pa := core.PolicyAnnouncement{Version: ps.Version, Digest: digest, Active: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rec, err := d.papSender.SendAndWait(ctx, contract.Call{
+		Contract: core.ContractName, Method: core.MethodPolicy, Args: pa.Encode(),
+	}, 1)
+	if err != nil {
+		return fmt.Errorf("drams: anchor policy: %w", err)
+	}
+	if !rec.OK {
+		return fmt.Errorf("drams: anchor policy rejected: %s", rec.Err)
+	}
+	d.PDP.Load(ps)
+	if d.Analyser != nil {
+		d.Analyser.LoadPolicy(ps)
+		// Give the analyser's chain view a moment to include the anchor,
+		// then verify it (non-fatal if its node is still syncing; the
+		// anchor check re-runs on chain state, so this is best-effort).
+		_ = d.Analyser.VerifyPolicyAnchor()
+	}
+	return nil
+}
+
+// NewRequestID mints a correlation ID for an access request.
+func (d *Deployment) NewRequestID() string {
+	return d.ids.Next().String()
+}
+
+// NewRequest builds an empty request with a fresh correlation ID.
+func (d *Deployment) NewRequest() *xacml.Request {
+	return xacml.NewRequest(d.NewRequestID())
+}
+
+// Request runs one access request through a tenant's PEP and returns the
+// enforced outcome — the application-facing entry point.
+func (d *Deployment) Request(tenant string, req *xacml.Request) (Enforcement, error) {
+	pep, ok := d.PEPs[tenant]
+	if !ok {
+		return Enforcement{}, fmt.Errorf("drams: tenant %q has no PEP", tenant)
+	}
+	if req.ID == "" {
+		req.ID = d.NewRequestID()
+	}
+	if d.Monitor != nil {
+		d.Monitor.TrackSubmission(req.ID)
+	}
+	return pep.Decide(context.Background(), req)
+}
+
+// TamperPEP installs attack injection at a tenant's PEP (nil clears).
+func (d *Deployment) TamperPEP(tenant string, t *Tamper) error {
+	pep, ok := d.PEPs[tenant]
+	if !ok {
+		return fmt.Errorf("drams: tenant %q has no PEP", tenant)
+	}
+	pep.SetTamper(t)
+	return nil
+}
+
+// CompromisePDP swaps the PDP's evaluator through a wrapper — the attack
+// framework uses this to model altered evaluation processes. Passing nil
+// restores the honest PDP.
+func (d *Deployment) CompromisePDP(wrap func(xacml.Evaluator) xacml.Evaluator) {
+	if wrap == nil {
+		d.PDPService.SetEvaluator(d.PDP)
+		return
+	}
+	d.PDPService.SetEvaluator(wrap(d.PDP))
+}
+
+// WaitForAlert blocks until the monitor sees the given alert for reqID.
+func (d *Deployment) WaitForAlert(ctx context.Context, reqID string, t AlertType) (Alert, error) {
+	if d.Monitor == nil {
+		return Alert{}, errors.New("drams: monitoring is disabled")
+	}
+	return d.Monitor.WaitForAlert(ctx, reqID, t)
+}
+
+// WaitForMatched blocks until the exchange for reqID completed cleanly
+// on-chain.
+func (d *Deployment) WaitForMatched(ctx context.Context, reqID string) error {
+	if d.Monitor == nil {
+		return errors.New("drams: monitoring is disabled")
+	}
+	return d.Monitor.WaitForMatched(ctx, reqID)
+}
+
+// InfraNode returns the blockchain node of the infrastructure tenant's
+// cloud (the monitor's view).
+func (d *Deployment) InfraNode() *blockchain.Node {
+	infra, err := d.topology.InfrastructureTenant()
+	if err != nil {
+		return nil
+	}
+	return d.Nodes[infra.Cloud]
+}
+
+// Topology returns the federation topology.
+func (d *Deployment) Topology() *federation.Topology { return d.topology }
+
+// Close stops every component. Safe to call more than once.
+func (d *Deployment) Close() {
+	if d.closed {
+		return
+	}
+	d.closed = true
+	if d.Monitor != nil {
+		d.Monitor.Stop()
+	}
+	if d.Analyser != nil {
+		d.Analyser.Stop()
+	}
+	for _, li := range d.LIs {
+		li.Stop()
+	}
+	for _, node := range d.Nodes {
+		node.Stop()
+	}
+	if d.Net != nil {
+		d.Net.Close()
+	}
+}

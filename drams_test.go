@@ -1,0 +1,462 @@
+package drams_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"drams"
+	"drams/internal/core"
+	"drams/internal/federation"
+	"drams/internal/xacml"
+)
+
+// testPolicy permits doctors to read records and denies everyone else.
+func testPolicy(version string) *xacml.PolicySet {
+	doctorRead := &xacml.Rule{
+		ID:     "doctor-read",
+		Effect: xacml.EffectPermit,
+		Target: xacml.Target{AnyOf: []xacml.AnyOf{{AllOf: []xacml.AllOf{{Matches: []xacml.Match{
+			{Op: xacml.CmpEq, Attr: xacml.Designator{Cat: xacml.CatSubject, ID: "role"}, Lit: xacml.String("doctor")},
+			{Op: xacml.CmpEq, Attr: xacml.Designator{Cat: xacml.CatAction, ID: "op"}, Lit: xacml.String("read")},
+		}}}}}},
+	}
+	defaultDeny := &xacml.Rule{ID: "default-deny", Effect: xacml.EffectDeny}
+	pol := &xacml.Policy{ID: "records", Version: "1", Alg: xacml.FirstApplicable,
+		Rules: []*xacml.Rule{doctorRead, defaultDeny}}
+	return &xacml.PolicySet{ID: "root", Version: version, Alg: xacml.DenyUnlessPermit,
+		Items: []xacml.PolicyItem{{Policy: pol}}}
+}
+
+func testDeployment(t *testing.T, mutate func(*drams.Config)) *drams.Deployment {
+	t.Helper()
+	cfg := drams.Config{
+		Policy:     testPolicy("v1"),
+		Difficulty: 6,
+		// The M3/verdict deadline must leave room for the whole pipeline
+		// (request → decision → four logs mined → analyser verdict mined)
+		// under concurrent load; 20 blocks × 15ms ≈ 300ms.
+		TimeoutBlocks:      20,
+		EmptyBlockInterval: 15 * time.Millisecond,
+		Seed:               42,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	dep, err := drams.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(dep.Close)
+	return dep
+}
+
+func doctorRequest(dep *drams.Deployment) *xacml.Request {
+	return dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("doctor")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+}
+
+func ctx20(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestCleanRequestPermittedAndMatched(t *testing.T) {
+	dep := testDeployment(t, nil)
+	req := doctorRequest(dep)
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatalf("doctor read = %s", enf.Decision)
+	}
+	if err := dep.WaitForMatched(ctx20(t), req.ID); err != nil {
+		t.Fatal(err)
+	}
+	if alerts := dep.Monitor.AlertsFor(req.ID); len(alerts) != 0 {
+		t.Fatalf("clean request raised alerts: %v", alerts)
+	}
+}
+
+func TestCleanDenyMatched(t *testing.T) {
+	dep := testDeployment(t, nil)
+	req := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("intern")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	enf, err := dep.Request("tenant-2", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.Permitted() {
+		t.Fatal("intern was permitted")
+	}
+	if err := dep.WaitForMatched(ctx20(t), req.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsEnforcementOverride(t *testing.T) {
+	dep := testDeployment(t, nil)
+	// Compromised PEP grants everything regardless of the decision (A3).
+	if err := dep.TamperPEP("tenant-1", &drams.Tamper{
+		Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("intern")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatal("attack precondition failed: PEP should have granted")
+	}
+	alert, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertEnforcementMismatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alert.Tenant != "tenant-1" {
+		t.Fatalf("alert tenant = %q", alert.Tenant)
+	}
+}
+
+func TestDetectsResponseTamper(t *testing.T) {
+	dep := testDeployment(t, nil)
+	// Response flipped in transit (A2).
+	if err := dep.TamperPEP("tenant-1", &drams.Tamper{
+		Response: func(res xacml.Result) xacml.Result {
+			if res.Decision == xacml.Deny {
+				res.Decision = xacml.Permit
+			}
+			return res
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("intern")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	if _, err := dep.Request("tenant-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertResponseTampered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsRequestTamper(t *testing.T) {
+	dep := testDeployment(t, nil)
+	// Privilege escalation in transit: intern request rewritten to claim
+	// the doctor role (A1).
+	if err := dep.TamperPEP("tenant-2", &drams.Tamper{
+		Request: func(req *xacml.Request) *xacml.Request {
+			out := xacml.NewRequest(req.ID)
+			out.Add(xacml.CatSubject, "role", xacml.String("doctor"))
+			out.Add(xacml.CatAction, "op", xacml.String("read"))
+			return out
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	req := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("intern")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	enf, err := dep.Request("tenant-2", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatal("attack precondition failed: escalated request should be permitted")
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertRequestTampered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// flipEvaluator models a compromised PDP evaluation process (A4).
+type flipEvaluator struct{ inner xacml.Evaluator }
+
+func (f flipEvaluator) Evaluate(r *xacml.Request) (xacml.Result, error) {
+	res, err := f.inner.Evaluate(r)
+	if err != nil {
+		return res, err
+	}
+	switch res.Decision {
+	case xacml.Permit:
+		res.Decision = xacml.Deny
+	default:
+		res.Decision = xacml.Permit
+	}
+	return res, nil
+}
+
+func TestDetectsCompromisedPDP(t *testing.T) {
+	dep := testDeployment(t, nil)
+	dep.CompromisePDP(func(inner xacml.Evaluator) xacml.Evaluator {
+		return flipEvaluator{inner: inner}
+	})
+	req := doctorRequest(dep)
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.Permitted() {
+		t.Fatal("attack precondition failed: flipped PDP should deny the doctor")
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertDecisionIncorrect); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring the honest PDP stops the alerts.
+	dep.CompromisePDP(nil)
+	req2 := doctorRequest(dep)
+	if _, err := dep.Request("tenant-1", req2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.WaitForMatched(ctx20(t), req2.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsPolicySubstitution(t *testing.T) {
+	dep := testDeployment(t, nil)
+	// The PDP is made to evaluate a permit-everything policy that was
+	// never anchored by the PAP (A5).
+	evil := &xacml.PolicySet{ID: "root", Version: "evil", Alg: xacml.PermitUnlessDeny,
+		Items: []xacml.PolicyItem{{Policy: &xacml.Policy{ID: "open", Version: "1",
+			Alg: xacml.FirstApplicable, Rules: []*xacml.Rule{{ID: "p", Effect: xacml.EffectPermit}}}}}}
+	evilPDP := xacml.NewPDP(evil)
+	dep.CompromisePDP(func(xacml.Evaluator) xacml.Evaluator { return evilPDP })
+
+	req := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("intern")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatal("attack precondition failed: evil policy should permit")
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertPolicyTampered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDetectsRequestSuppression(t *testing.T) {
+	dep := testDeployment(t, nil)
+	if err := dep.TamperPEP("tenant-1", &drams.Tamper{DropRequest: true}); err != nil {
+		t.Fatal(err)
+	}
+	req := doctorRequest(dep)
+	_, err := dep.Request("tenant-1", req)
+	if !errors.Is(err, federation.ErrRequestDropped) {
+		t.Fatalf("expected drop, got %v", err)
+	}
+	alert, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertMessageSuppressed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alert.ReqID != req.ID {
+		t.Fatalf("alert = %+v", alert)
+	}
+}
+
+func TestDetectsResponseSuppression(t *testing.T) {
+	dep := testDeployment(t, nil)
+	if err := dep.TamperPEP("tenant-2", &drams.Tamper{DropResponse: true}); err != nil {
+		t.Fatal(err)
+	}
+	req := doctorRequest(dep)
+	if _, err := dep.Request("tenant-2", req); !errors.Is(err, federation.ErrRequestDropped) {
+		t.Fatalf("expected drop, got %v", err)
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertMessageSuppressed); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorOffStillEnforces(t *testing.T) {
+	dep := testDeployment(t, func(c *drams.Config) { c.MonitorOff = true })
+	req := doctorRequest(dep)
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatalf("decision = %s", enf.Decision)
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), req.ID, core.AlertRequestTampered); err == nil {
+		t.Fatal("WaitForAlert should fail with monitoring off")
+	}
+}
+
+func TestPolicyUpdateFlow(t *testing.T) {
+	dep := testDeployment(t, nil)
+	// v2 also lets nurses read.
+	v2 := testPolicy("v2")
+	nurseRule := &xacml.Rule{
+		ID:     "nurse-read",
+		Effect: xacml.EffectPermit,
+		Target: xacml.Target{AnyOf: []xacml.AnyOf{{AllOf: []xacml.AllOf{{Matches: []xacml.Match{
+			{Op: xacml.CmpEq, Attr: xacml.Designator{Cat: xacml.CatSubject, ID: "role"}, Lit: xacml.String("nurse")},
+			{Op: xacml.CmpEq, Attr: xacml.Designator{Cat: xacml.CatAction, ID: "op"}, Lit: xacml.String("read")},
+		}}}}}},
+	}
+	pol := v2.Items[0].Policy
+	pol.Rules = append([]*xacml.Rule{nurseRule}, pol.Rules...)
+	if err := dep.PublishPolicy(v2); err != nil {
+		t.Fatal(err)
+	}
+	req := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("nurse")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatalf("nurse under v2 = %s", enf.Decision)
+	}
+	// The exchange must still match cleanly under the new version.
+	if err := dep.WaitForMatched(ctx20(t), req.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTPMDeploymentBoots(t *testing.T) {
+	dep := testDeployment(t, func(c *drams.Config) { c.UseTPM = true })
+	if len(dep.TPMs) == 0 {
+		t.Fatal("no TPMs created")
+	}
+	req := doctorRequest(dep)
+	if _, err := dep.Request("tenant-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.WaitForMatched(ctx20(t), req.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoteAgentsDeployment(t *testing.T) {
+	// Agents separated from their LIs over the tenant network (§II
+	// endpoint architecture): the pipeline must behave identically.
+	dep := testDeployment(t, func(c *drams.Config) { c.RemoteAgents = true })
+	if len(dep.RemoteAgents) == 0 || len(dep.Agents) != 0 {
+		t.Fatalf("agent modes: remote=%d local=%d", len(dep.RemoteAgents), len(dep.Agents))
+	}
+	// Clean request matches on-chain.
+	req := doctorRequest(dep)
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatalf("decision = %s", enf.Decision)
+	}
+	if err := dep.WaitForMatched(ctx20(t), req.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Attacks are still detected end to end.
+	if err := dep.TamperPEP("tenant-1", &drams.Tamper{
+		Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	bad := dep.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("intern")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	if _, err := dep.Request("tenant-1", bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dep.WaitForAlert(ctx20(t), bad.ID, core.AlertEnforcementMismatch); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMineAllConvergesWithCompetingMiners(t *testing.T) {
+	// Every cloud mines (more realistic, fork-prone): clean traffic must
+	// still match and all nodes must share one state.
+	dep := testDeployment(t, func(c *drams.Config) {
+		c.MineAll = true
+		c.TimeoutBlocks = 40
+	})
+	for i := 0; i < 4; i++ {
+		req := doctorRequest(dep)
+		tenant := "tenant-1"
+		if i%2 == 1 {
+			tenant = "tenant-2"
+		}
+		if _, err := dep.Request(tenant, req); err != nil {
+			t.Fatal(err)
+		}
+		if err := dep.WaitForMatched(ctx20(t), req.ID); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	// Replicas converge (allow gossip to settle).
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		d1 := dep.Nodes["cloud-1"].Chain().StateDigest()
+		d2 := dep.Nodes["cloud-2"].Chain().StateDigest()
+		if d1 == d2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("multi-miner replicas did not converge")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := dep.Monitor.Stats().AlertsSeen; n != 0 {
+		t.Fatalf("clean multi-miner traffic raised %d alerts", n)
+	}
+}
+
+func TestManyConcurrentRequestsAllMatch(t *testing.T) {
+	// The stress load tests pipeline completeness, not detection latency:
+	// give the verdict/M3 window enough slack to absorb the ~10× slowdown
+	// of instrumented runs (-race), where 20 concurrent analyser verdicts
+	// can overrun a 300 ms deadline.
+	dep := testDeployment(t, func(c *drams.Config) { c.TimeoutBlocks = 80 })
+	const n = 20
+	reqs := make([]*xacml.Request, n)
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		reqs[i] = doctorRequest(dep)
+	}
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			tenant := "tenant-1"
+			if i%2 == 1 {
+				tenant = "tenant-2"
+			}
+			_, err := dep.Request(tenant, reqs[i])
+			errCh <- err
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		if err := <-errCh; err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	for i := 0; i < n; i++ {
+		if err := dep.WaitForMatched(ctx, reqs[i].ID); err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	st := dep.Monitor.Stats()
+	if st.Matched < n {
+		t.Fatalf("matched %d < %d", st.Matched, n)
+	}
+	if st.AlertsSeen != 0 {
+		t.Fatalf("clean load raised %d alerts: %v", st.AlertsSeen, dep.Monitor.Alerts())
+	}
+}

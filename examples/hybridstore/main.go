@@ -1,0 +1,117 @@
+// Hybrid store: the database+blockchain design of the paper's §III (ref
+// [9]). Writes hit a local database at database speed; Merkle roots of
+// write batches are anchored on the federation chain; audits detect any
+// tampering of anchored data, and membership proofs let third parties
+// verify single entries against the chain.
+//
+//	go run ./examples/hybridstore
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"drams/internal/blockchain"
+	"drams/internal/contract"
+	"drams/internal/core"
+	"drams/internal/crypto"
+	"drams/internal/hybrid"
+	"drams/internal/merkle"
+	"drams/internal/netsim"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridstore:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// One-node federation chain with the anchor contract.
+	var seed [32]byte
+	seed[0] = 42
+	writer := crypto.NewIdentityFromSeed("li@records", seed)
+	registry := contract.NewRegistry()
+	registry.MustRegister(&contract.AnchorContract{ContractName: "anchor"})
+	registry.MustRegister(core.NewLogMatchContract(core.MatchConfig{TimeoutBlocks: 1 << 20}))
+	net := netsim.New(netsim.Config{Seed: 8})
+	defer net.Close()
+	node, err := blockchain.NewNode(blockchain.NodeConfig{
+		Name: "chain-node",
+		Chain: blockchain.Config{
+			Difficulty: 8,
+			Identities: []crypto.PublicIdentity{writer.Public()},
+			Registry:   registry,
+		},
+		Network:            net,
+		Mine:               true,
+		EmptyBlockInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	node.Start()
+	defer node.Stop()
+
+	hs, err := hybrid.Open(hybrid.Config{
+		Stream:            "access-logs",
+		BatchSize:         8,
+		Sender:            blockchain.NewSender(node, writer),
+		Node:              node,
+		WaitConfirmations: 1,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	fmt.Println("writing 24 access-log entries (batch size 8 → 3 anchors)...")
+	start := time.Now()
+	for i := 0; i < 24; i++ {
+		key := fmt.Sprintf("access/%04d", i)
+		val := fmt.Sprintf("user-%d read record-%d", i%5, i)
+		if err := hs.Put(ctx, key, []byte(val)); err != nil {
+			return err
+		}
+	}
+	st := hs.Stats()
+	fmt.Printf("done in %s — %d writes, %d anchors on-chain, %d pending\n",
+		time.Since(start).Round(time.Millisecond), st.Writes, st.AnchorsSubmitted, st.PendingEntries)
+
+	fmt.Println("\naudit #1 (clean):")
+	rep := hs.Audit()
+	fmt.Printf("  batches=%d entries=%d pending=%d clean=%v\n",
+		rep.BatchesChecked, rep.EntriesChecked, rep.PendingEntries, rep.Clean())
+
+	fmt.Println("\nthird-party verification: membership proof for batch 2, entry 5")
+	proof, root, err := hs.ProveEntry(2, 5)
+	if err != nil {
+		return err
+	}
+	raw, err := hs.EntryBytes(2, 5)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  entry: %s\n", raw)
+	fmt.Printf("  proof verifies against on-chain root %s: %v\n", root.Short(), merkle.Verify(root, raw, proof))
+
+	fmt.Println("\nattacker with database access rewrites an anchored entry...")
+	hs.TamperLogEntry(1, 3, []byte("user-0 read NOTHING, honest!"))
+
+	fmt.Println("audit #2 (after tampering):")
+	rep = hs.Audit()
+	fmt.Printf("  clean=%v\n", rep.Clean())
+	for _, c := range rep.Corruptions {
+		fmt.Printf("  corruption: batch=%d key=%q: %s\n", c.Batch, c.Key, c.Reason)
+	}
+	if rep.Clean() {
+		return fmt.Errorf("tampering went undetected")
+	}
+	fmt.Println("\nthe same write against a plain database would have been silent —")
+	fmt.Println("anchoring period bounds the unprotected window (paper §III trade-off)")
+	return nil
+}

@@ -1,0 +1,85 @@
+// Quickstart: the smallest useful DRAMS program.
+//
+// It deploys a two-cloud federation with monitoring attached, runs one
+// legitimate access request, then compromises the tenant's PEP and shows
+// the monitor raising an on-chain alert.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"time"
+
+	"drams"
+	"drams/internal/core"
+	"drams/internal/xacml"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A one-policy access-control regime: doctors may read, all else denied.
+	policy := &xacml.PolicySet{
+		ID: "root", Version: "v1", Alg: xacml.DenyUnlessPermit,
+		Items: []xacml.PolicyItem{{Policy: &xacml.Policy{
+			ID: "records", Version: "1", Alg: xacml.FirstApplicable,
+			Rules: []*xacml.Rule{
+				{
+					ID:     "doctor-read",
+					Effect: xacml.EffectPermit,
+					Target: xacml.TargetMatching(xacml.CatSubject, "role", xacml.String("doctor")),
+				},
+				{ID: "default-deny", Effect: xacml.EffectDeny},
+			},
+		}}},
+	}
+
+	dep, err := drams.New(drams.Config{Policy: policy})
+	if err != nil {
+		return err
+	}
+	defer dep.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// 1. A legitimate request: permitted, and the whole exchange is
+	//    matched on the federation blockchain.
+	req := dep.NewRequest().Add(xacml.CatSubject, "role", xacml.String("doctor"))
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		return err
+	}
+	fmt.Println("doctor request  :", enf.Decision)
+	if err := dep.WaitForMatched(ctx, req.ID); err != nil {
+		return err
+	}
+	fmt.Println("on-chain match  : ok (no alerts)")
+
+	// 2. Compromise the PEP: it now grants everything. DRAMS detects the
+	//    mismatch between the PDP's decision and the enforced effect.
+	_ = dep.TamperPEP("tenant-1", &drams.Tamper{
+		Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
+	})
+	bad := dep.NewRequest().Add(xacml.CatSubject, "role", xacml.String("intern"))
+	enf, err = dep.Request("tenant-1", bad)
+	if err != nil {
+		return err
+	}
+	fmt.Println("intern request  :", enf.Decision, "(wrongly granted by the compromised PEP)")
+
+	alert, err := dep.WaitForAlert(ctx, bad.ID, core.AlertEnforcementMismatch)
+	if err != nil {
+		return err
+	}
+	fmt.Println("DRAMS detected  :", alert.String())
+	return nil
+}

@@ -1,0 +1,110 @@
+// Trusted platform: the paper's §III "System Integrity" mitigation. The
+// shared LI key K is sealed in a (simulated) TPM bound to the measured LI
+// binary; a verifier checks attestation quotes. Tampering with the LI
+// component (1) breaks the seal — the tampered LI cannot decrypt logs — and
+// (2) fails remote attestation.
+//
+//	go run ./examples/trustedplatform
+package main
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"drams/internal/crypto"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "trustedplatform:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const liPCR = 1
+	goodBinary := []byte("logging-interface binary v1.4.2")
+
+	// --- Tenant boot: measure the LI, seal K. ---
+	tpm, err := crypto.NewSoftTPM("tenant-1")
+	if err != nil {
+		return err
+	}
+	measurements := &crypto.MeasurementLog{}
+	measure := func(component string, data []byte) error {
+		if err := tpm.Extend(liPCR, data); err != nil {
+			return err
+		}
+		measurements.Append(liPCR, component, data)
+		return nil
+	}
+	if err := measure("li-binary", goodBinary); err != nil {
+		return err
+	}
+
+	key, err := crypto.NewKey()
+	if err != nil {
+		return err
+	}
+	handle := tpm.Seal(1<<liPCR, key[:])
+	fmt.Println("boot: LI measured into PCR1, shared key K sealed to that state")
+
+	// --- Normal operation: unseal works, logs decrypt. ---
+	raw, err := tpm.Unseal(handle)
+	if err != nil {
+		return err
+	}
+	var k crypto.Key
+	copy(k[:], raw)
+	cipher, err := crypto.NewCipher(k)
+	if err != nil {
+		return err
+	}
+	ct, err := cipher.Encrypt([]byte("decision Permit for req-1"), nil)
+	if err != nil {
+		return err
+	}
+	pt, err := cipher.Decrypt(ct, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("operation: K unsealed, log entry encrypts/decrypts: %q\n", pt)
+
+	// --- Remote attestation by the federation verifier. ---
+	nonce := []byte("verifier-nonce-20260611")
+	quote := tpm.GenerateQuote(1<<liPCR, nonce)
+	expected := measurements.ExpectedComposite(1 << liPCR)
+	if err := crypto.VerifyQuote(tpm.EndorsementKey(), quote, expected, nonce); err != nil {
+		return err
+	}
+	fmt.Println("attestation: quote signature and PCR composite verified ✓")
+
+	// --- The attacker swaps the LI binary; the platform re-measures it. ---
+	fmt.Println()
+	fmt.Println("attacker replaces the LI binary; next boot measures the tampered code...")
+	evilBinary := []byte("logging-interface binary v1.4.2 (with exfiltration)")
+	if err := tpm.Extend(liPCR, evilBinary); err != nil {
+		return err
+	}
+
+	// 1. The sealed key is unrecoverable.
+	if _, err := tpm.Unseal(handle); !errors.Is(err, crypto.ErrSealBroken) {
+		return fmt.Errorf("tampered platform unsealed K: %v", err)
+	}
+	fmt.Println("  unseal(K): REFUSED (PCR state changed) — tampered LI cannot decrypt logs ✓")
+
+	// 2. Attestation fails against the known-good measurement log.
+	nonce2 := []byte("verifier-nonce-2")
+	quote2 := tpm.GenerateQuote(1<<liPCR, nonce2)
+	err = crypto.VerifyQuote(tpm.EndorsementKey(), quote2, expected, nonce2)
+	if err == nil {
+		return fmt.Errorf("tampered platform passed attestation")
+	}
+	fmt.Printf("  attestation: FAILED as expected (%v) ✓\n", err)
+
+	fmt.Println()
+	fmt.Println("the §III mitigation holds: off-chain component tampering is detectable,")
+	fmt.Println("and the shared symmetric key never leaves an untampered platform")
+	return nil
+}

@@ -1,0 +1,535 @@
+package blockchain
+
+import (
+	"bytes"
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"drams/internal/clock"
+	"drams/internal/contract"
+	"drams/internal/crypto"
+)
+
+// Config are the consensus parameters of a private DRAMS chain. Every node
+// of one federation must be constructed with identical values.
+type Config struct {
+	// Difficulty is the initial PoW difficulty in leading zero bits.
+	Difficulty uint8
+	// MinDifficulty/MaxDifficulty clamp automatic retargeting.
+	MinDifficulty, MaxDifficulty uint8
+	// TargetBlockTime is the desired block interval for retargeting.
+	TargetBlockTime time.Duration
+	// RetargetInterval is the number of blocks between difficulty
+	// adjustments; 0 disables retargeting.
+	RetargetInterval uint64
+	// MaxTxPerBlock caps block size.
+	MaxTxPerBlock int
+	// GenesisTime timestamps the genesis block; all nodes must agree.
+	GenesisTime time.Time
+	// Identities is the permissioned allowlist of transaction senders.
+	Identities []crypto.PublicIdentity
+	// Registry holds the deployed contracts.
+	Registry *contract.Registry
+	// Clock is the time source (defaults to the system clock).
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.Difficulty == 0 {
+		c.Difficulty = 10
+	}
+	if c.MinDifficulty == 0 {
+		c.MinDifficulty = 1
+	}
+	if c.MaxDifficulty == 0 {
+		c.MaxDifficulty = 30
+	}
+	if c.TargetBlockTime == 0 {
+		c.TargetBlockTime = 200 * time.Millisecond
+	}
+	if c.MaxTxPerBlock == 0 {
+		c.MaxTxPerBlock = 256
+	}
+	if c.GenesisTime.IsZero() {
+		c.GenesisTime = time.Unix(1700000000, 0).UTC()
+	}
+	if c.Registry == nil {
+		c.Registry = contract.NewRegistry()
+	}
+	if c.Clock == nil {
+		c.Clock = clock.System{}
+	}
+	return c
+}
+
+// EventSink receives contract events once their block joins the best chain.
+// Events are delivered at-least-once: a reorganisation can re-deliver.
+type EventSink func(height uint64, events []contract.Event)
+
+// Chain is one node's view of the blockchain. It is safe for concurrent use.
+type Chain struct {
+	cfg    Config
+	engine *contract.Engine
+	ids    *IdentityRegistry
+	clk    clock.Clock
+
+	mu        sync.RWMutex
+	blocks    map[crypto.Digest]*Block
+	work      map[crypto.Digest]*big.Int // cumulative work incl. block
+	genesis   crypto.Digest
+	head      crypto.Digest
+	bestChain []crypto.Digest // index = height
+	state     *contract.State
+	nonces    map[string]uint64
+	receipts  map[crypto.Digest]Receipt
+	txHeight  map[crypto.Digest]uint64
+	emitted   map[crypto.Digest]bool
+	override  uint8 // manual difficulty override, 0 = none
+
+	sink     EventSink
+	headSubs map[int]chan struct{}
+	subSeq   int
+}
+
+// NewChain constructs a chain containing only the genesis block.
+func NewChain(cfg Config) *Chain {
+	cfg = cfg.withDefaults()
+	c := &Chain{
+		cfg:      cfg,
+		engine:   contract.NewEngine(cfg.Registry),
+		ids:      NewIdentityRegistry(cfg.Identities...),
+		clk:      cfg.Clock,
+		blocks:   make(map[crypto.Digest]*Block),
+		work:     make(map[crypto.Digest]*big.Int),
+		state:    contract.NewState(),
+		nonces:   make(map[string]uint64),
+		receipts: make(map[crypto.Digest]Receipt),
+		txHeight: make(map[crypto.Digest]uint64),
+		emitted:  make(map[crypto.Digest]bool),
+		headSubs: make(map[int]chan struct{}),
+	}
+	gen := &Block{Header: BlockHeader{
+		Height:       0,
+		TimeUnixNano: cfg.GenesisTime.UnixNano(),
+		Difficulty:   cfg.Difficulty,
+		Miner:        "genesis",
+	}}
+	gh := gen.Hash()
+	c.blocks[gh] = gen
+	c.work[gh] = big.NewInt(0)
+	c.genesis = gh
+	c.head = gh
+	c.bestChain = []crypto.Digest{gh}
+	c.emitted[gh] = true
+	return c
+}
+
+// Identities exposes the permissioned membership registry.
+func (c *Chain) Identities() *IdentityRegistry { return c.ids }
+
+// Config returns the consensus parameters.
+func (c *Chain) Config() Config { return c.cfg }
+
+// SetEventSink installs the at-least-once event delivery callback.
+func (c *Chain) SetEventSink(sink EventSink) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sink = sink
+}
+
+// SetDifficultyOverride forces the difficulty of all future blocks. In a
+// real deployment this is a coordinated governance action; experiments use
+// it to sweep PoW parameters (§III). Zero restores the schedule.
+func (c *Chain) SetDifficultyOverride(d uint8) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.override = d
+}
+
+// Genesis returns the genesis block hash.
+func (c *Chain) Genesis() crypto.Digest {
+	return c.genesis
+}
+
+// Head returns the best-chain tip hash and height.
+func (c *Chain) Head() (crypto.Digest, uint64) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.head, c.blocks[c.head].Header.Height
+}
+
+// Height returns the best-chain height.
+func (c *Chain) Height() uint64 {
+	_, h := c.Head()
+	return h
+}
+
+// BlockByHash returns a block by hash.
+func (c *Chain) BlockByHash(h crypto.Digest) (*Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	b, ok := c.blocks[h]
+	return b, ok
+}
+
+// BlockByHeight returns the best-chain block at the given height.
+func (c *Chain) BlockByHeight(height uint64) (*Block, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if height >= uint64(len(c.bestChain)) {
+		return nil, false
+	}
+	return c.blocks[c.bestChain[height]], true
+}
+
+// TotalWork returns the cumulative work of the best chain.
+func (c *Chain) TotalWork() *big.Int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return new(big.Int).Set(c.work[c.head])
+}
+
+// NextDifficulty returns the difficulty required for a child of the current
+// head.
+func (c *Chain) NextDifficulty() uint8 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.expectedDifficultyLocked(c.blocks[c.head])
+}
+
+// expectedDifficultyLocked computes the difficulty a child of parent must
+// carry, following the retargeting schedule. Caller holds at least RLock.
+func (c *Chain) expectedDifficultyLocked(parent *Block) uint8 {
+	if c.override != 0 {
+		return c.override
+	}
+	cur := parent.Header.Difficulty
+	interval := c.cfg.RetargetInterval
+	nextHeight := parent.Header.Height + 1
+	if interval == 0 || nextHeight < interval || nextHeight%interval != 0 {
+		return cur
+	}
+	// Walk back `interval` blocks along this branch to find the window start.
+	ancestor := parent
+	for i := uint64(0); i < interval-1; i++ {
+		p, ok := c.blocks[ancestor.Header.PrevHash]
+		if !ok {
+			return cur
+		}
+		ancestor = p
+	}
+	actual := time.Duration(parent.Header.TimeUnixNano - ancestor.Header.TimeUnixNano)
+	target := c.cfg.TargetBlockTime * time.Duration(interval)
+	next := cur
+	switch {
+	case actual < target/2 && cur < c.cfg.MaxDifficulty:
+		next = cur + 1
+	case actual > target*2 && cur > c.cfg.MinDifficulty:
+		next = cur - 1
+	}
+	return next
+}
+
+// AccountNonce returns the last applied nonce for a sender on the best
+// chain (0 if none).
+func (c *Chain) AccountNonce(sender string) uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nonces[sender]
+}
+
+// AccountNonces returns a copy of all best-chain sender nonces.
+func (c *Chain) AccountNonces() map[string]uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make(map[string]uint64, len(c.nonces))
+	for k, v := range c.nonces {
+		out[k] = v
+	}
+	return out
+}
+
+// Receipt returns the execution receipt of a best-chain transaction along
+// with its confirmation count (1 = in the head block).
+func (c *Chain) Receipt(txID crypto.Digest) (Receipt, uint64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	r, ok := c.receipts[txID]
+	if !ok {
+		return Receipt{}, 0, fmt.Errorf("blockchain: receipt %s: %w", txID.Short(), ErrTxNotFound)
+	}
+	headHeight := c.blocks[c.head].Header.Height
+	return r, headHeight - r.Height + 1, nil
+}
+
+// ReadState runs fn with read access to the named contract's best-chain
+// state. fn must not retain the StateDB.
+func (c *Chain) ReadState(contractName string, fn func(st contract.StateDB)) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	fn(contract.Namespace(c.state, contractName))
+}
+
+// StateDigest returns a digest of the full contract state at head; replicas
+// on the same best chain must agree.
+func (c *Chain) StateDigest() crypto.Digest {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state.Digest()
+}
+
+// SubscribeHead returns a channel signalled (coalesced) on every head
+// change, plus a cancel function.
+func (c *Chain) SubscribeHead() (<-chan struct{}, func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subSeq++
+	id := c.subSeq
+	ch := make(chan struct{}, 1)
+	c.headSubs[id] = ch
+	return ch, func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.headSubs, id)
+	}
+}
+
+// AddBlock validates and inserts a block, switching the best chain if the
+// new branch carries more work. It returns ErrOrphanBlock when the parent is
+// unknown (callers should sync ancestors) and ErrKnownBlock for duplicates.
+func (c *Chain) AddBlock(b *Block) error {
+	hash := b.Hash()
+
+	c.mu.Lock()
+	emits, err := c.addBlockLocked(b, hash)
+	var sink EventSink
+	if err == nil {
+		sink = c.sink
+		if len(emits) > 0 {
+			c.notifyHeadLocked()
+		}
+	}
+	c.mu.Unlock()
+
+	if err != nil {
+		return err
+	}
+	if sink != nil {
+		for _, e := range emits {
+			if len(e.events) > 0 {
+				sink(e.height, e.events)
+			}
+		}
+	}
+	return nil
+}
+
+type blockEvents struct {
+	height uint64
+	events []contract.Event
+}
+
+func (c *Chain) addBlockLocked(b *Block, hash crypto.Digest) ([]blockEvents, error) {
+	if _, ok := c.blocks[hash]; ok {
+		return nil, ErrKnownBlock
+	}
+	parent, ok := c.blocks[b.Header.PrevHash]
+	if !ok {
+		return nil, fmt.Errorf("%w: parent %s of block %s", ErrOrphanBlock, b.Header.PrevHash.Short(), hash.Short())
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return nil, fmt.Errorf("%w: height %d after parent %d", ErrBadHeight, b.Header.Height, parent.Header.Height)
+	}
+	if want := c.expectedDifficultyLocked(parent); b.Header.Difficulty != want {
+		return nil, fmt.Errorf("%w: have %d, want %d at height %d", ErrBadDifficulty, b.Header.Difficulty, want, b.Header.Height)
+	}
+	if !b.Header.MeetsDifficulty() {
+		return nil, fmt.Errorf("%w: block %s at difficulty %d", ErrBadPoW, hash.Short(), b.Header.Difficulty)
+	}
+	if ComputeMerkleRoot(b.Txs) != b.Header.MerkleRoot {
+		return nil, fmt.Errorf("%w: block %s", ErrBadMerkleRoot, hash.Short())
+	}
+	if len(b.Txs) > c.cfg.MaxTxPerBlock {
+		return nil, fmt.Errorf("blockchain: block %s has %d txs, max %d", hash.Short(), len(b.Txs), c.cfg.MaxTxPerBlock)
+	}
+	for i := range b.Txs {
+		if err := c.ids.VerifyTx(&b.Txs[i]); err != nil {
+			return nil, fmt.Errorf("blockchain: block %s tx %d: %w", hash.Short(), i, err)
+		}
+	}
+	// Validate per-sender nonce ordering against the branch state.
+	branchNonces, err := c.branchNoncesLocked(parent)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkNonces(branchNonces, b.Txs); err != nil {
+		return nil, fmt.Errorf("blockchain: block %s: %w", hash.Short(), err)
+	}
+
+	c.blocks[hash] = b
+	c.work[hash] = new(big.Int).Add(c.work[b.Header.PrevHash], workOf(b.Header.Difficulty))
+
+	if !c.betterThanHeadLocked(hash) {
+		return nil, nil // valid side-branch block; kept for future fork choice
+	}
+	return c.reorgToLocked(hash)
+}
+
+// betterThanHeadLocked implements fork choice: more cumulative work wins;
+// ties break toward the lexicographically smaller hash for determinism.
+func (c *Chain) betterThanHeadLocked(hash crypto.Digest) bool {
+	cmp := c.work[hash].Cmp(c.work[c.head])
+	if cmp != 0 {
+		return cmp > 0
+	}
+	return bytes.Compare(hash[:], c.head[:]) < 0
+}
+
+// branchNoncesLocked returns the per-sender nonces at the given branch tip.
+// For the best-chain head this is O(1); for a fork it replays the branch's
+// transactions (signature checks already done at insertion).
+func (c *Chain) branchNoncesLocked(tip *Block) (map[string]uint64, error) {
+	tipHash := tip.Hash()
+	if tipHash == c.head {
+		out := make(map[string]uint64, len(c.nonces))
+		for k, v := range c.nonces {
+			out[k] = v
+		}
+		return out, nil
+	}
+	path, err := c.pathFromGenesisLocked(tipHash)
+	if err != nil {
+		return nil, err
+	}
+	nonces := make(map[string]uint64)
+	for _, bh := range path {
+		for i := range c.blocks[bh].Txs {
+			tx := &c.blocks[bh].Txs[i]
+			nonces[tx.From] = tx.Nonce
+		}
+	}
+	return nonces, nil
+}
+
+func checkNonces(nonces map[string]uint64, txs []Transaction) error {
+	for i := range txs {
+		tx := &txs[i]
+		if tx.Nonce != nonces[tx.From]+1 {
+			return fmt.Errorf("%w: sender %q nonce %d, expected %d", ErrBadNonce, tx.From, tx.Nonce, nonces[tx.From]+1)
+		}
+		nonces[tx.From] = tx.Nonce
+	}
+	return nil
+}
+
+// pathFromGenesisLocked returns block hashes from the first post-genesis
+// block to tip, inclusive.
+func (c *Chain) pathFromGenesisLocked(tip crypto.Digest) ([]crypto.Digest, error) {
+	var rev []crypto.Digest
+	cur := tip
+	for cur != c.genesis {
+		b, ok := c.blocks[cur]
+		if !ok {
+			return nil, fmt.Errorf("%w: broken branch at %s", ErrOrphanBlock, cur.Short())
+		}
+		rev = append(rev, cur)
+		cur = b.Header.PrevHash
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// reorgToLocked switches the best chain to newHead. Fast path: newHead
+// extends the current head, so state is updated incrementally. Slow path:
+// full deterministic replay from genesis.
+func (c *Chain) reorgToLocked(newHead crypto.Digest) ([]blockEvents, error) {
+	nb := c.blocks[newHead]
+	if nb.Header.PrevHash == c.head {
+		evs := c.applyBlockLocked(nb, c.state, c.nonces)
+		c.head = newHead
+		c.bestChain = append(c.bestChain, newHead)
+		if c.emitted[newHead] {
+			return []blockEvents{{height: nb.Header.Height}}, nil
+		}
+		c.emitted[newHead] = true
+		return []blockEvents{{height: nb.Header.Height, events: evs}}, nil
+	}
+
+	path, err := c.pathFromGenesisLocked(newHead)
+	if err != nil {
+		return nil, err
+	}
+	state := contract.NewState()
+	nonces := make(map[string]uint64)
+	c.receipts = make(map[crypto.Digest]Receipt)
+	c.txHeight = make(map[crypto.Digest]uint64)
+	best := make([]crypto.Digest, 0, len(path)+1)
+	best = append(best, c.genesis)
+	var emits []blockEvents
+	// Swap in the fresh state so applyBlockLocked records receipts there.
+	c.state, c.nonces = state, nonces
+	for _, bh := range path {
+		b := c.blocks[bh]
+		evs := c.applyBlockLocked(b, state, nonces)
+		best = append(best, bh)
+		if !c.emitted[bh] {
+			c.emitted[bh] = true
+			emits = append(emits, blockEvents{height: b.Header.Height, events: evs})
+		}
+	}
+	c.head = newHead
+	c.bestChain = best
+	return emits, nil
+}
+
+// applyBlockLocked executes a block's transactions and block hooks against
+// state, recording receipts. Nonce validity was checked beforehand.
+func (c *Chain) applyBlockLocked(b *Block, state *contract.State, nonces map[string]uint64) []contract.Event {
+	var events []contract.Event
+	for i := range b.Txs {
+		tx := &b.Txs[i]
+		nonces[tx.From] = tx.Nonce
+		ctx := contract.CallCtx{
+			Height:    b.Header.Height,
+			BlockTime: b.Header.Time(),
+			TxID:      tx.ID(),
+			Caller:    tx.From,
+		}
+		evs, err := c.engine.Execute(ctx, state, tx.Call)
+		rec := Receipt{TxID: tx.ID(), Height: b.Header.Height, OK: err == nil, Events: evs}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		c.receipts[tx.ID()] = rec
+		c.txHeight[tx.ID()] = b.Header.Height
+		events = append(events, evs...)
+	}
+	events = append(events, c.engine.OnBlock(b.Header.Height, b.Header.Time(), state)...)
+	return events
+}
+
+func (c *Chain) notifyHeadLocked() {
+	for _, ch := range c.headSubs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+func workOf(difficulty uint8) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(difficulty))
+}
+
+// BestChainHashes returns the hashes of the best chain from genesis to head.
+func (c *Chain) BestChainHashes() []crypto.Digest {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]crypto.Digest, len(c.bestChain))
+	copy(out, c.bestChain)
+	return out
+}

@@ -1,0 +1,151 @@
+package blockchain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"drams/internal/crypto"
+)
+
+// Mempool holds pending transactions ordered by (sender, nonce) so block
+// assembly can pick executable sequences — a transaction is only included
+// once all lower nonces of its sender are confirmed or included first.
+type Mempool struct {
+	mu       sync.Mutex
+	bySender map[string]map[uint64]Transaction
+	byID     map[crypto.Digest]struct{}
+	size     int
+	maxSize  int
+}
+
+// NewMempool returns a mempool bounded to maxSize transactions (10 000 when
+// maxSize <= 0).
+func NewMempool(maxSize int) *Mempool {
+	if maxSize <= 0 {
+		maxSize = 10000
+	}
+	return &Mempool{
+		bySender: make(map[string]map[uint64]Transaction),
+		byID:     make(map[crypto.Digest]struct{}),
+		maxSize:  maxSize,
+	}
+}
+
+// Add inserts a transaction. Duplicates (by ID, or same sender+nonce) return
+// ErrKnownTx; a full pool returns an error.
+func (m *Mempool) Add(tx Transaction) error {
+	id := tx.ID()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.byID[id]; ok {
+		return ErrKnownTx
+	}
+	if m.size >= m.maxSize {
+		return fmt.Errorf("blockchain: mempool full (%d)", m.maxSize)
+	}
+	slot, ok := m.bySender[tx.From]
+	if !ok {
+		slot = make(map[uint64]Transaction)
+		m.bySender[tx.From] = slot
+	}
+	if _, ok := slot[tx.Nonce]; ok {
+		return fmt.Errorf("%w: sender %q nonce %d", ErrKnownTx, tx.From, tx.Nonce)
+	}
+	slot[tx.Nonce] = tx
+	m.byID[id] = struct{}{}
+	m.size++
+	return nil
+}
+
+// Has reports whether the transaction ID is pending.
+func (m *Mempool) Has(id crypto.Digest) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.byID[id]
+	return ok
+}
+
+// Len returns the number of pending transactions.
+func (m *Mempool) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.size
+}
+
+// Collect returns up to max transactions executable on top of the given
+// confirmed per-sender nonces, in a deterministic (sender, nonce) order. The
+// transactions stay in the pool until PruneConfirmed removes them.
+func (m *Mempool) Collect(max int, confirmed map[string]uint64) []Transaction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	senders := make([]string, 0, len(m.bySender))
+	for s := range m.bySender {
+		senders = append(senders, s)
+	}
+	sort.Strings(senders)
+	var out []Transaction
+	for _, s := range senders {
+		next := confirmed[s] + 1
+		for {
+			tx, ok := m.bySender[s][next]
+			if !ok || len(out) >= max {
+				break
+			}
+			out = append(out, tx)
+			next++
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// All returns up to max pending transactions in deterministic (sender,
+// nonce) order; used for periodic rebroadcast after partitions.
+func (m *Mempool) All(max int) []Transaction {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	senders := make([]string, 0, len(m.bySender))
+	for s := range m.bySender {
+		senders = append(senders, s)
+	}
+	sort.Strings(senders)
+	var out []Transaction
+	for _, s := range senders {
+		nonces := make([]uint64, 0, len(m.bySender[s]))
+		for n := range m.bySender[s] {
+			nonces = append(nonces, n)
+		}
+		sort.Slice(nonces, func(i, j int) bool { return nonces[i] < nonces[j] })
+		for _, n := range nonces {
+			if len(out) >= max {
+				return out
+			}
+			out = append(out, m.bySender[s][n])
+		}
+	}
+	return out
+}
+
+// PruneConfirmed drops every pending transaction whose nonce is already
+// covered by the confirmed nonces (i.e. it executed on the best chain, or a
+// competing transaction with the same nonce did).
+func (m *Mempool) PruneConfirmed(confirmed map[string]uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for sender, txs := range m.bySender {
+		limit := confirmed[sender]
+		for nonce, tx := range txs {
+			if nonce <= limit {
+				delete(txs, nonce)
+				delete(m.byID, tx.ID())
+				m.size--
+			}
+		}
+		if len(txs) == 0 {
+			delete(m.bySender, sender)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"drams/internal/crypto"
+)
+
+func poolTx(t *testing.T, id *crypto.Identity, nonce uint64) Transaction {
+	t.Helper()
+	tx, err := NewTransaction(id, nonce, putCall(fmt.Sprintf("%s-k%d", id.Name(), nonce), "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func TestMempoolAddAndDuplicate(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	p := NewMempool(0)
+	tx := poolTx(t, alice, 1)
+	if err := p.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx); !errors.Is(err, ErrKnownTx) {
+		t.Fatalf("duplicate: %v", err)
+	}
+	if !p.Has(tx.ID()) || p.Len() != 1 {
+		t.Fatal("pool state wrong")
+	}
+}
+
+func TestMempoolSameSenderNonceConflict(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	p := NewMempool(0)
+	tx1, _ := NewTransaction(alice, 1, putCall("a", "1"))
+	tx1b, _ := NewTransaction(alice, 1, putCall("b", "2")) // same nonce, different call
+	if err := p.Add(tx1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx1b); !errors.Is(err, ErrKnownTx) {
+		t.Fatalf("nonce conflict: %v", err)
+	}
+}
+
+func TestMempoolCollectExecutableOrder(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	bob := testIdentity(t, "bob", 2)
+	p := NewMempool(0)
+	// Insert out of order and with a gap for bob.
+	for _, tx := range []Transaction{
+		poolTx(t, alice, 2), poolTx(t, alice, 1),
+		poolTx(t, bob, 1), poolTx(t, bob, 3), // bob nonce 2 missing
+	} {
+		if err := p.Add(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := p.Collect(10, map[string]uint64{})
+	if len(got) != 3 {
+		t.Fatalf("collected %d txs, want 3 (alice 1,2 + bob 1)", len(got))
+	}
+	if got[0].From != "alice" || got[0].Nonce != 1 || got[1].Nonce != 2 {
+		t.Fatalf("alice order wrong: %+v", got[:2])
+	}
+	if got[2].From != "bob" || got[2].Nonce != 1 {
+		t.Fatalf("bob tx wrong: %+v", got[2])
+	}
+}
+
+func TestMempoolCollectRespectsConfirmedNonces(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	p := NewMempool(0)
+	_ = p.Add(poolTx(t, alice, 1))
+	_ = p.Add(poolTx(t, alice, 2))
+	got := p.Collect(10, map[string]uint64{"alice": 1}) // nonce 1 confirmed
+	if len(got) != 1 || got[0].Nonce != 2 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestMempoolCollectMax(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	p := NewMempool(0)
+	for n := uint64(1); n <= 5; n++ {
+		_ = p.Add(poolTx(t, alice, n))
+	}
+	if got := p.Collect(3, nil); len(got) != 3 {
+		t.Fatalf("collected %d, want 3", len(got))
+	}
+}
+
+func TestMempoolPruneConfirmed(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	bob := testIdentity(t, "bob", 2)
+	p := NewMempool(0)
+	a1, a2 := poolTx(t, alice, 1), poolTx(t, alice, 2)
+	b1 := poolTx(t, bob, 1)
+	for _, tx := range []Transaction{a1, a2, b1} {
+		_ = p.Add(tx)
+	}
+	p.PruneConfirmed(map[string]uint64{"alice": 1})
+	if p.Has(a1.ID()) {
+		t.Fatal("confirmed tx not pruned")
+	}
+	if !p.Has(a2.ID()) || !p.Has(b1.ID()) {
+		t.Fatal("unconfirmed txs pruned")
+	}
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+}
+
+func TestMempoolAllOrderedAndBounded(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	bob := testIdentity(t, "bob", 2)
+	p := NewMempool(0)
+	_ = p.Add(poolTx(t, bob, 2))
+	_ = p.Add(poolTx(t, alice, 1))
+	_ = p.Add(poolTx(t, bob, 1))
+	all := p.All(10)
+	if len(all) != 3 {
+		t.Fatalf("all = %d", len(all))
+	}
+	if all[0].From != "alice" || all[1].From != "bob" || all[1].Nonce != 1 || all[2].Nonce != 2 {
+		t.Fatalf("order = %v", all)
+	}
+	if got := p.All(2); len(got) != 2 {
+		t.Fatalf("bounded = %d", len(got))
+	}
+}
+
+func TestMempoolFull(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	p := NewMempool(2)
+	_ = p.Add(poolTx(t, alice, 1))
+	_ = p.Add(poolTx(t, alice, 2))
+	if err := p.Add(poolTx(t, alice, 3)); err == nil {
+		t.Fatal("overfull pool accepted tx")
+	}
+}

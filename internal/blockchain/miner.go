@@ -1,0 +1,52 @@
+package blockchain
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+)
+
+// Mine searches for a nonce making the block header meet its declared
+// difficulty. It mutates b.Header.Nonce and returns true on success, or
+// false if ctx was cancelled first (e.g. a competing block arrived). The
+// nonce search starts from seed so concurrent miners explore different
+// regions.
+func Mine(ctx context.Context, b *Block, seed uint64) bool {
+	const checkEvery = 1 << 12
+	nonce := seed
+	for i := 0; ; i++ {
+		if i%checkEvery == 0 {
+			select {
+			case <-ctx.Done():
+				return false
+			default:
+			}
+		}
+		b.Header.Nonce = nonce
+		if b.Header.MeetsDifficulty() {
+			return true
+		}
+		nonce++
+	}
+}
+
+// minerSeed derives a distinct nonce-space starting point per miner name so
+// that simultaneous miners on one machine don't duplicate work.
+func minerSeed(name string, height uint64) uint64 {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], height)
+	sum := uint64(0x9e3779b97f4a7c15)
+	for _, c := range []byte(name) {
+		sum = (sum ^ uint64(c)) * 0x100000001b3
+	}
+	for _, c := range buf {
+		sum = (sum ^ uint64(c)) * 0x100000001b3
+	}
+	return sum
+}
+
+// ExpectedAttemptsForDifficulty returns the mean number of hash attempts to
+// find a block at the given difficulty (2^d); used by the E3 analysis.
+func ExpectedAttemptsForDifficulty(d uint8) float64 {
+	return math.Ldexp(1, int(d))
+}

@@ -1,0 +1,564 @@
+package blockchain
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"drams/internal/clock"
+	"drams/internal/contract"
+	"drams/internal/crypto"
+	"drams/internal/metrics"
+	"drams/internal/netsim"
+)
+
+// Message kinds used on the wire.
+const (
+	kindTx       = "bc.tx"
+	kindBlock    = "bc.block"
+	kindGetBlock = "bc.getblock"
+	kindHead     = "bc.head"
+	kindSubmit   = "bc.submit"
+)
+
+// ErrStopped is returned by node operations after Stop.
+var ErrStopped = errors.New("blockchain: node stopped")
+
+// NodeConfig configures one chain node.
+type NodeConfig struct {
+	// Name is the node's network address and miner label.
+	Name string
+	// Chain holds the consensus parameters (must match across the
+	// federation).
+	Chain Config
+	// Network connects the node to its peers.
+	Network *netsim.Network
+	// Peers are the addresses gossip goes to. Empty means "broadcast to
+	// every address on the network", which is convenient in small
+	// simulations.
+	Peers []string
+	// Mine enables the mining loop.
+	Mine bool
+	// EmptyBlockInterval makes the miner produce empty blocks at this
+	// cadence when the mempool is idle, so block hooks (e.g. the log-match
+	// timeout check M3) keep advancing. Zero disables empty blocks.
+	EmptyBlockInterval time.Duration
+	// MempoolSize bounds pending transactions.
+	MempoolSize int
+	// SyncDepth bounds how many ancestors are fetched when resolving an
+	// orphan block (default 10 000).
+	SyncDepth int
+	// RebroadcastInterval re-gossips pending transactions periodically so
+	// that txs stranded by a partition reach the block producers after
+	// healing (also closes per-sender nonce gaps). Default 250ms; negative
+	// disables.
+	RebroadcastInterval time.Duration
+}
+
+// EventNotification delivers the events of one applied block to a
+// subscriber.
+type EventNotification struct {
+	Height uint64
+	Events []contract.Event
+}
+
+// NodeStats are observability counters for experiments.
+type NodeStats struct {
+	BlocksMined     int64
+	BlocksAccepted  int64
+	BlocksRejected  int64
+	TxsSubmitted    int64
+	EventsDropped   int64
+	MiningCancelled int64
+	OrphansResolved int64
+}
+
+// Node is one participant of the private chain: chain storage, mempool,
+// gossip, and optionally a miner.
+type Node struct {
+	cfg   NodeConfig
+	chain *Chain
+	pool  *Mempool
+	ep    *netsim.Endpoint
+	clk   clock.Clock
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	wg       sync.WaitGroup
+	newTx    chan struct{}
+
+	subMu  sync.Mutex
+	subs   map[int]chan EventNotification
+	subSeq int
+
+	mined     metrics.Counter
+	accepted  metrics.Counter
+	rejected  metrics.Counter
+	submitted metrics.Counter
+	evDropped metrics.Counter
+	cancelled metrics.Counter
+	orphans   metrics.Counter
+}
+
+// NewNode constructs (but does not start) a node.
+func NewNode(cfg NodeConfig) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("blockchain: node needs a name")
+	}
+	if cfg.Network == nil {
+		return nil, errors.New("blockchain: node needs a network")
+	}
+	if cfg.SyncDepth <= 0 {
+		cfg.SyncDepth = 10000
+	}
+	ep, err := cfg.Network.Register(cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("blockchain: register node %q: %w", cfg.Name, err)
+	}
+	n := &Node{
+		cfg:   cfg,
+		chain: NewChain(cfg.Chain),
+		pool:  NewMempool(cfg.MempoolSize),
+		ep:    ep,
+		clk:   cfg.Chain.withDefaults().Clock,
+		stop:  make(chan struct{}),
+		newTx: make(chan struct{}, 1),
+		subs:  make(map[int]chan EventNotification),
+	}
+	n.chain.SetEventSink(n.fanout)
+	ep.OnMessage(kindTx, n.handleTxGossip)
+	ep.OnMessage(kindBlock, n.handleBlockGossip)
+	ep.OnCall(kindGetBlock, n.handleGetBlock)
+	ep.OnCall(kindHead, n.handleHead)
+	ep.OnCall(kindSubmit, n.handleSubmit)
+	return n, nil
+}
+
+// Chain exposes the node's chain view.
+func (n *Node) Chain() *Chain { return n.chain }
+
+// Name returns the node's network name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Mempool exposes the pending-transaction pool.
+func (n *Node) Mempool() *Mempool { return n.pool }
+
+// Stats snapshots the node counters.
+func (n *Node) Stats() NodeStats {
+	return NodeStats{
+		BlocksMined:     n.mined.Value(),
+		BlocksAccepted:  n.accepted.Value(),
+		BlocksRejected:  n.rejected.Value(),
+		TxsSubmitted:    n.submitted.Value(),
+		EventsDropped:   n.evDropped.Value(),
+		MiningCancelled: n.cancelled.Value(),
+		OrphansResolved: n.orphans.Value(),
+	}
+}
+
+// Start launches the mining loop (if configured) and the periodic
+// transaction rebroadcast. Handlers are active from construction.
+func (n *Node) Start() {
+	if n.cfg.Mine {
+		n.wg.Add(1)
+		go n.mineLoop()
+	}
+	interval := n.cfg.RebroadcastInterval
+	if interval == 0 {
+		interval = 250 * time.Millisecond
+	}
+	if interval > 0 {
+		n.wg.Add(1)
+		go n.rebroadcastLoop(interval)
+	}
+}
+
+// rebroadcastLoop periodically re-gossips pending transactions; duplicate
+// floods are suppressed by receivers' mempools (ErrKnownTx).
+func (n *Node) rebroadcastLoop(interval time.Duration) {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-n.clk.After(interval):
+		}
+		for _, tx := range n.pool.All(256) {
+			n.gossip(kindTx, EncodeTx(tx), "")
+		}
+	}
+}
+
+// Stop halts mining and closes subscriber channels.
+func (n *Node) Stop() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+	})
+	n.wg.Wait()
+	n.subMu.Lock()
+	for id, ch := range n.subs {
+		close(ch)
+		delete(n.subs, id)
+	}
+	n.subMu.Unlock()
+}
+
+// SubmitTx validates a transaction, adds it to the mempool and gossips it.
+// This is the in-process client entry point used by the Logging Interfaces.
+func (n *Node) SubmitTx(tx Transaction) error {
+	select {
+	case <-n.stop:
+		return ErrStopped
+	default:
+	}
+	if err := n.chain.Identities().VerifyTx(&tx); err != nil {
+		return err
+	}
+	if err := n.pool.Add(tx); err != nil {
+		return err
+	}
+	n.submitted.Inc()
+	select {
+	case n.newTx <- struct{}{}:
+	default:
+	}
+	n.gossip(kindTx, EncodeTx(tx), "")
+	return nil
+}
+
+// WaitForReceipt blocks until txID has at least `confirmations` best-chain
+// confirmations, returning its receipt.
+func (n *Node) WaitForReceipt(ctx context.Context, txID crypto.Digest, confirmations uint64) (Receipt, error) {
+	headCh, cancel := n.chain.SubscribeHead()
+	defer cancel()
+	for {
+		rec, conf, err := n.chain.Receipt(txID)
+		if err == nil && conf >= confirmations {
+			return rec, nil
+		}
+		select {
+		case <-headCh:
+		case <-ctx.Done():
+			return Receipt{}, fmt.Errorf("blockchain: wait for tx %s: %w", txID.Short(), ctx.Err())
+		case <-n.stop:
+			return Receipt{}, ErrStopped
+		}
+	}
+}
+
+// SubscribeEvents returns a channel of per-block contract events (delivered
+// at-least-once) and a cancel function. The channel is closed on Stop or
+// cancel.
+func (n *Node) SubscribeEvents(buffer int) (<-chan EventNotification, func()) {
+	if buffer <= 0 {
+		buffer = 4096
+	}
+	ch := make(chan EventNotification, buffer)
+	n.subMu.Lock()
+	n.subSeq++
+	id := n.subSeq
+	n.subs[id] = ch
+	n.subMu.Unlock()
+	var once sync.Once
+	return ch, func() {
+		once.Do(func() {
+			n.subMu.Lock()
+			if c, ok := n.subs[id]; ok {
+				delete(n.subs, id)
+				close(c)
+			}
+			n.subMu.Unlock()
+		})
+	}
+}
+
+func (n *Node) fanout(height uint64, events []contract.Event) {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	for _, ch := range n.subs {
+		select {
+		case ch <- EventNotification{Height: height, Events: events}:
+		default:
+			// Subscriber too slow: drop (consumers must treat on-chain
+			// state as ground truth; notifications are a fast path).
+			n.evDropped.Inc()
+		}
+	}
+}
+
+func (n *Node) gossip(kind string, payload []byte, except string) {
+	if len(n.cfg.Peers) == 0 {
+		n.ep.Broadcast(kind, payload, except)
+		return
+	}
+	for _, p := range n.cfg.Peers {
+		if p == except || p == n.cfg.Name {
+			continue
+		}
+		_ = n.ep.Send(p, kind, payload)
+	}
+}
+
+// handleTxGossip processes a gossiped transaction.
+func (n *Node) handleTxGossip(from string, payload []byte) {
+	tx, err := DecodeTx(payload)
+	if err != nil {
+		return
+	}
+	if err := n.chain.Identities().VerifyTx(&tx); err != nil {
+		return
+	}
+	if err := n.pool.Add(tx); err != nil {
+		return // duplicate or full: stop the flood here
+	}
+	select {
+	case n.newTx <- struct{}{}:
+	default:
+	}
+	n.gossip(kindTx, payload, from)
+}
+
+// handleBlockGossip processes a gossiped block, resolving orphans by
+// fetching ancestors from the sender.
+func (n *Node) handleBlockGossip(from string, payload []byte) {
+	b, err := DecodeBlock(payload)
+	if err != nil {
+		return
+	}
+	n.importBlock(b, from)
+}
+
+// importBlock adds a block, pulling missing ancestors from `from` when
+// needed, and re-gossips on success.
+func (n *Node) importBlock(b *Block, from string) {
+	err := n.chain.AddBlock(b)
+	switch {
+	case err == nil:
+		n.afterAccept(b, from)
+	case errors.Is(err, ErrKnownBlock):
+		// Flood already saw it; stop.
+	case errors.Is(err, ErrOrphanBlock) && from != "":
+		if n.resolveOrphans(b, from) {
+			n.afterAccept(b, from)
+		}
+	default:
+		n.rejected.Inc()
+	}
+}
+
+func (n *Node) afterAccept(b *Block, from string) {
+	n.accepted.Inc()
+	n.pool.PruneConfirmed(n.chain.AccountNonces())
+	n.gossip(kindBlock, b.Encode(), from)
+}
+
+// resolveOrphans walks the parent chain back from b, fetching blocks from
+// the peer until one attaches, then applies the fetched suffix in order.
+// Returns true if b was eventually accepted.
+func (n *Node) resolveOrphans(b *Block, peer string) bool {
+	pending := []*Block{b}
+	cursor := b.Header.PrevHash
+	for depth := 0; depth < n.cfg.SyncDepth; depth++ {
+		if _, ok := n.chain.BlockByHash(cursor); ok {
+			break
+		}
+		ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := n.ep.Call(ctx, peer, kindGetBlock, cursor.Bytes())
+		cancelCtx()
+		if err != nil {
+			return false
+		}
+		parent, err := DecodeBlock(resp)
+		if err != nil || parent.Hash() != cursor {
+			return false
+		}
+		pending = append(pending, parent)
+		cursor = parent.Header.PrevHash
+	}
+	// Apply oldest-first.
+	for i := len(pending) - 1; i >= 0; i-- {
+		err := n.chain.AddBlock(pending[i])
+		if err != nil && !errors.Is(err, ErrKnownBlock) {
+			n.rejected.Inc()
+			return false
+		}
+	}
+	n.orphans.Inc()
+	return true
+}
+
+// handleGetBlock serves a block by hash.
+func (n *Node) handleGetBlock(from string, payload []byte) ([]byte, error) {
+	if len(payload) != crypto.DigestSize {
+		return nil, errors.New("blockchain: getblock: bad hash size")
+	}
+	var h crypto.Digest
+	copy(h[:], payload)
+	b, ok := n.chain.BlockByHash(h)
+	if !ok {
+		return nil, fmt.Errorf("blockchain: getblock %s: not found", h.Short())
+	}
+	return b.Encode(), nil
+}
+
+type headInfo struct {
+	Hash   crypto.Digest `json:"hash"`
+	Height uint64        `json:"height"`
+}
+
+// handleHead serves the node's best-chain tip.
+func (n *Node) handleHead(from string, payload []byte) ([]byte, error) {
+	hash, height := n.chain.Head()
+	return json.Marshal(headInfo{Hash: hash, Height: height})
+}
+
+// handleSubmit accepts a client-submitted transaction over the network.
+func (n *Node) handleSubmit(from string, payload []byte) ([]byte, error) {
+	tx, err := DecodeTx(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.SubmitTx(tx); err != nil {
+		return nil, err
+	}
+	id := tx.ID()
+	return id.Bytes(), nil
+}
+
+// SyncFrom pulls the peer's best chain and imports it (used by nodes that
+// join or restart).
+func (n *Node) SyncFrom(peer string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	resp, err := n.ep.Call(ctx, peer, kindHead, nil)
+	if err != nil {
+		return fmt.Errorf("blockchain: sync from %q: %w", peer, err)
+	}
+	var hi headInfo
+	if err := json.Unmarshal(resp, &hi); err != nil {
+		return fmt.Errorf("blockchain: sync from %q: %w", peer, err)
+	}
+	if _, ok := n.chain.BlockByHash(hi.Hash); ok {
+		return nil // already have their head
+	}
+	blkCtx, cancelBlk := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancelBlk()
+	raw, err := n.ep.Call(blkCtx, peer, kindGetBlock, hi.Hash.Bytes())
+	if err != nil {
+		return fmt.Errorf("blockchain: sync head block: %w", err)
+	}
+	b, err := DecodeBlock(raw)
+	if err != nil {
+		return err
+	}
+	n.importBlock(b, peer)
+	if _, ok := n.chain.BlockByHash(hi.Hash); !ok {
+		return fmt.Errorf("blockchain: sync from %q did not converge", peer)
+	}
+	return nil
+}
+
+// headAge reports how long ago the current head block was produced. A
+// fresh chain (only genesis, whose timestamp is a fixed past instant)
+// reports a large age, which correctly kick-starts empty-block production.
+func (n *Node) headAge() time.Duration {
+	hash, _ := n.chain.Head()
+	b, ok := n.chain.BlockByHash(hash)
+	if !ok {
+		return 0
+	}
+	return n.clk.Now().Sub(b.Header.Time())
+}
+
+// mineLoop is the node's proof-of-work production loop.
+func (n *Node) mineLoop() {
+	defer n.wg.Done()
+	headCh, cancelSub := n.chain.SubscribeHead()
+	defer cancelSub()
+
+	for {
+		select {
+		case <-n.stop:
+			return
+		default:
+		}
+		// Drain a stale head signal from our own last accept.
+		select {
+		case <-headCh:
+		default:
+		}
+
+		txs := n.pool.Collect(n.chain.Config().MaxTxPerBlock, n.chain.AccountNonces())
+		if len(txs) == 0 {
+			if n.cfg.EmptyBlockInterval == 0 {
+				// Wait for work.
+				select {
+				case <-n.stop:
+					return
+				case <-n.newTx:
+				case <-headCh:
+				}
+				continue
+			}
+			// Pace empty blocks against the age of the chain tip (not
+			// our own last block) so multiple miners do not race to
+			// produce redundant empty siblings.
+			if age := n.headAge(); age < n.cfg.EmptyBlockInterval {
+				select {
+				case <-n.stop:
+					return
+				case <-n.newTx:
+					continue
+				case <-headCh:
+					continue
+				case <-n.clk.After(n.cfg.EmptyBlockInterval - age):
+				}
+				continue
+			}
+			// Fall through: mine an empty liveness block.
+		}
+
+		parentHash, parentHeight := n.chain.Head()
+		b := &Block{
+			Header: BlockHeader{
+				Height:       parentHeight + 1,
+				PrevHash:     parentHash,
+				MerkleRoot:   ComputeMerkleRoot(txs),
+				TimeUnixNano: n.clk.Now().UnixNano(),
+				Difficulty:   n.chain.NextDifficulty(),
+				Miner:        n.cfg.Name,
+			},
+			Txs: txs,
+		}
+
+		attemptCtx, cancelAttempt := context.WithCancel(context.Background())
+		watcherDone := make(chan struct{})
+		go func() {
+			select {
+			case <-n.stop:
+				cancelAttempt()
+			case <-headCh:
+				cancelAttempt()
+			case <-watcherDone:
+			}
+		}()
+		mined := Mine(attemptCtx, b, minerSeed(n.cfg.Name, b.Header.Height))
+		close(watcherDone)
+		cancelAttempt()
+
+		if !mined {
+			n.cancelled.Inc()
+			continue
+		}
+		if err := n.chain.AddBlock(b); err != nil {
+			// Lost a race with a concurrent import; retry from fresh head.
+			n.cancelled.Inc()
+			continue
+		}
+		n.mined.Inc()
+		n.afterAccept(b, "")
+	}
+}

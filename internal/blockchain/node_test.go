@@ -1,0 +1,321 @@
+package blockchain
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"drams/internal/contract"
+	"drams/internal/crypto"
+	"drams/internal/netsim"
+)
+
+// testCluster spins up n mining nodes sharing a network and identity set.
+func testCluster(t *testing.T, n int, ids ...*crypto.Identity) ([]*Node, *netsim.Network) {
+	t.Helper()
+	net := netsim.New(netsim.Config{BaseLatency: time.Millisecond, Jitter: time.Millisecond, Seed: 42})
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		node, err := NewNode(NodeConfig{
+			Name:    fmt.Sprintf("node-%d", i),
+			Chain:   testChainConfig(t, ids...),
+			Network: net,
+			Mine:    true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = node
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+		net.Close()
+	})
+	for _, nd := range nodes {
+		nd.Start()
+	}
+	return nodes, net
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+func TestSingleNodeMinesSubmittedTx(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	nodes, _ := testCluster(t, 1, alice)
+	n := nodes[0]
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	if err := n.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	rec, err := n.WaitForReceipt(ctx, tx.ID(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rec.OK {
+		t.Fatalf("receipt = %+v", rec)
+	}
+	if n.Stats().BlocksMined == 0 {
+		t.Fatal("no blocks mined")
+	}
+}
+
+func TestClusterConvergence(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	nodes, _ := testCluster(t, 3, alice)
+
+	// Submit transactions to different nodes.
+	for i := 1; i <= 6; i++ {
+		tx, _ := NewTransaction(alice, uint64(i), putCall(fmt.Sprintf("k%d", i), "v"))
+		if err := nodes[i%3].SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		// Wait for each tx so nonces stay in order even if a node's pool
+		// briefly lacks a predecessor.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := nodes[i%3].WaitForReceipt(ctx, tx.ID(), 1); err != nil {
+			cancel()
+			t.Fatalf("tx %d: %v", i, err)
+		}
+		cancel()
+	}
+
+	waitFor(t, 10*time.Second, func() bool {
+		d0 := nodes[0].Chain().StateDigest()
+		return d0 == nodes[1].Chain().StateDigest() && d0 == nodes[2].Chain().StateDigest() &&
+			nodes[0].Chain().AccountNonce("alice") == 6 &&
+			nodes[1].Chain().AccountNonce("alice") == 6 &&
+			nodes[2].Chain().AccountNonce("alice") == 6
+	}, "cluster state digests converge")
+}
+
+func TestGossipReachesNonMiningNode(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 7})
+	defer net.Close()
+	miner, err := NewNode(NodeConfig{Name: "miner", Chain: testChainConfig(t, alice), Network: net, Mine: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observer, err := NewNode(NodeConfig{Name: "observer", Chain: testChainConfig(t, alice), Network: net, Mine: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miner.Stop()
+	defer observer.Stop()
+	miner.Start()
+	observer.Start()
+
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	if err := observer.SubmitTx(tx); err != nil { // submitted at the non-miner
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := observer.WaitForReceipt(ctx, tx.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	observer.Chain().ReadState("kv", func(st contract.StateDB) { got, _ = contract.ReadKV(st, "k") })
+	if string(got) != "v" {
+		t.Fatalf("observer state = %q", got)
+	}
+}
+
+func TestPartitionHealReconvergence(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	bob := testIdentity(t, "bob", 2)
+	nodes, net := testCluster(t, 2, alice, bob)
+	n0, n1 := nodes[0], nodes[1]
+
+	// Partition, let each side mine its own tx.
+	net.Partition([]string{"node-0"}, []string{"node-1"})
+	txA, _ := NewTransaction(alice, 1, putCall("a", "1"))
+	txB, _ := NewTransaction(bob, 1, putCall("b", "1"))
+	if err := n0.SubmitTx(txA); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.SubmitTx(txB); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := n0.WaitForReceipt(ctx, txA.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.WaitForReceipt(ctx, txB.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Heal; nodes must converge. Gossip of new blocks triggers orphan
+	// resolution; resubmitting the minority tx is the clients' job (the LI
+	// retries), here we push both txs to both pools.
+	net.Heal()
+	_ = n0.SubmitTx(txB)
+	_ = n1.SubmitTx(txA)
+	if err := n0.SyncFrom("node-1"); err != nil {
+		t.Logf("sync n0<-n1: %v", err)
+	}
+	if err := n1.SyncFrom("node-0"); err != nil {
+		t.Logf("sync n1<-n0: %v", err)
+	}
+
+	waitFor(t, 15*time.Second, func() bool {
+		if n0.Chain().StateDigest() != n1.Chain().StateDigest() {
+			return false
+		}
+		var a, b []byte
+		n0.Chain().ReadState("kv", func(st contract.StateDB) {
+			a, _ = contract.ReadKV(st, "a")
+			b, _ = contract.ReadKV(st, "b")
+		})
+		return string(a) == "1" && string(b) == "1"
+	}, "partition heal convergence with both txs applied")
+}
+
+func TestEventSubscription(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	nodes, _ := testCluster(t, 1, alice)
+	n := nodes[0]
+	events, cancel := n.SubscribeEvents(64)
+	defer cancel()
+
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	if err := n.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case note := <-events:
+			for _, e := range note.Events {
+				if e.Type == "Put" && e.Contract == "kv" {
+					return // success
+				}
+			}
+		case <-deadline:
+			t.Fatal("Put event never delivered")
+		}
+	}
+}
+
+func TestEmptyBlocksAdvanceChain(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 3})
+	defer net.Close()
+	n, err := NewNode(NodeConfig{
+		Name:               "n",
+		Chain:              testChainConfig(t, alice),
+		Network:            net,
+		Mine:               true,
+		EmptyBlockInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	n.Start()
+	waitFor(t, 10*time.Second, func() bool { return n.Chain().Height() >= 3 }, "empty blocks mined")
+}
+
+func TestSubmitAfterStop(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 5})
+	defer net.Close()
+	n, err := NewNode(NodeConfig{Name: "n", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Start()
+	n.Stop()
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	if err := n.SubmitTx(tx); !errors.Is(err, ErrStopped) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSubmitRejectsUnknownIdentity(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	mallory := testIdentity(t, "mallory", 9)
+	net := netsim.New(netsim.Config{Seed: 5})
+	defer net.Close()
+	n, err := NewNode(NodeConfig{Name: "n", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+	tx, _ := NewTransaction(mallory, 1, putCall("k", "v"))
+	if err := n.SubmitTx(tx); !errors.Is(err, ErrUnknownIdentity) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNetworkSubmitEndpoint(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	nodes, net := testCluster(t, 1, alice)
+	client, err := net.Register("client")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, err := client.Call(ctx, "node-0", "bc.submit", EncodeTx(tx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := tx.ID()
+	if string(resp) != string(id.Bytes()) {
+		t.Fatal("submit response is not the tx id")
+	}
+	wctx, wcancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer wcancel()
+	if _, err := nodes[0].WaitForReceipt(wctx, tx.ID(), 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLateJoinerSyncs(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	nodes, net := testCluster(t, 1, alice)
+	n0 := nodes[0]
+	for i := 1; i <= 3; i++ {
+		tx, _ := NewTransaction(alice, uint64(i), putCall(fmt.Sprintf("k%d", i), "v"))
+		if err := n0.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := n0.WaitForReceipt(ctx, tx.ID(), 1); err != nil {
+			cancel()
+			t.Fatal(err)
+		}
+		cancel()
+	}
+	late, err := NewNode(NodeConfig{Name: "late", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer late.Stop()
+	late.Start()
+	if err := late.SyncFrom("node-0"); err != nil {
+		t.Fatal(err)
+	}
+	if late.Chain().StateDigest() != n0.Chain().StateDigest() {
+		t.Fatal("late joiner did not reach the same state")
+	}
+}

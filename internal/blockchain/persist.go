@@ -1,0 +1,87 @@
+package blockchain
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"drams/internal/store"
+)
+
+// Persistence lets a node survive restarts: the best chain is written to a
+// WAL-backed KV store and replayed (with full validation) on reload. Side
+// branches are not persisted — after a restart the node re-learns any
+// competing branch from its peers, which is safe because fork choice is
+// deterministic.
+
+const (
+	persistBlockPrefix = "block/"
+	persistHeadKey     = "head"
+)
+
+func persistBlockKey(height uint64) string {
+	return fmt.Sprintf("%s%016x", persistBlockPrefix, height)
+}
+
+// SaveToStore writes the best chain (excluding genesis, which is derived
+// from Config) to kv, replacing any previous snapshot.
+func (c *Chain) SaveToStore(kv *store.KV) error {
+	hashes := c.BestChainHashes()
+	puts := make(map[string][]byte, len(hashes))
+	for _, h := range hashes {
+		b, ok := c.BlockByHash(h)
+		if !ok {
+			return fmt.Errorf("blockchain: save: missing block %s", h.Short())
+		}
+		if b.Header.Height == 0 {
+			continue
+		}
+		puts[persistBlockKey(b.Header.Height)] = b.Encode()
+	}
+	var head [8]byte
+	binary.BigEndian.PutUint64(head[:], uint64(len(hashes)-1))
+	puts[persistHeadKey] = head[:]
+	// Remove stale blocks above the new head (shorter chain after resave).
+	for _, key := range kv.Keys(persistBlockPrefix) {
+		if _, ok := puts[key]; !ok {
+			if err := kv.Delete(key); err != nil {
+				return err
+			}
+		}
+	}
+	return kv.Batch(puts)
+}
+
+// LoadFromStore replays a snapshot into the chain with full validation and
+// returns how many blocks were applied. The chain should be freshly
+// constructed with the same Config that produced the snapshot; a snapshot
+// from a different genesis fails validation on its first block.
+func (c *Chain) LoadFromStore(kv *store.KV) (int, error) {
+	raw, err := kv.Get(persistHeadKey)
+	if errors.Is(err, store.ErrNotFound) {
+		return 0, nil // empty store: nothing to load
+	}
+	if err != nil {
+		return 0, err
+	}
+	if len(raw) != 8 {
+		return 0, fmt.Errorf("blockchain: load: corrupt head record")
+	}
+	head := binary.BigEndian.Uint64(raw)
+	applied := 0
+	for h := uint64(1); h <= head; h++ {
+		data, err := kv.Get(persistBlockKey(h))
+		if err != nil {
+			return applied, fmt.Errorf("blockchain: load: missing block at height %d: %w", h, err)
+		}
+		b, err := DecodeBlock(data)
+		if err != nil {
+			return applied, fmt.Errorf("blockchain: load height %d: %w", h, err)
+		}
+		if err := c.AddBlock(b); err != nil && !errors.Is(err, ErrKnownBlock) {
+			return applied, fmt.Errorf("blockchain: load height %d: %w", h, err)
+		}
+		applied++
+	}
+	return applied, nil
+}

@@ -1,0 +1,80 @@
+package blockchain
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"drams/internal/contract"
+	"drams/internal/crypto"
+)
+
+// Sender serialises transaction submission for one component identity: it
+// assigns strictly increasing nonces, signs, and submits to a node. Every
+// DRAMS component that writes to the chain (LIs, the Analyser, the PAP)
+// owns one Sender.
+type Sender struct {
+	node *Node
+	id   *crypto.Identity
+
+	mu   sync.Mutex
+	next uint64
+}
+
+// NewSender builds a Sender whose nonce counter continues from the
+// identity's confirmed on-chain nonce.
+func NewSender(node *Node, id *crypto.Identity) *Sender {
+	return &Sender{node: node, id: id, next: node.Chain().AccountNonce(id.Name()) + 1}
+}
+
+// Identity returns the sending identity's name.
+func (s *Sender) Identity() string { return s.id.Name() }
+
+// Send signs and submits one contract call, returning the transaction ID.
+func (s *Sender) Send(call contract.Call) (crypto.Digest, error) {
+	s.mu.Lock()
+	nonce := s.next
+	s.next++
+	tx, err := NewTransaction(s.id, nonce, call)
+	if err != nil {
+		s.next = nonce // roll the counter back; nothing was submitted
+		s.mu.Unlock()
+		return crypto.Digest{}, err
+	}
+	// Submit while still holding the lock so concurrent Sends cannot
+	// reorder nonces in the mempool gossip.
+	err = s.node.SubmitTx(tx)
+	if err != nil {
+		s.next = nonce
+		s.mu.Unlock()
+		return crypto.Digest{}, fmt.Errorf("blockchain: sender %q submit: %w", s.id.Name(), err)
+	}
+	s.mu.Unlock()
+	return tx.ID(), nil
+}
+
+// SendAndWait submits a call and blocks until it has the requested number
+// of confirmations, returning the execution receipt.
+func (s *Sender) SendAndWait(ctx context.Context, call contract.Call, confirmations uint64) (Receipt, error) {
+	txID, err := s.Send(call)
+	if err != nil {
+		return Receipt{}, err
+	}
+	if confirmations == 0 {
+		confirmations = 1
+	}
+	return s.node.WaitForReceipt(ctx, txID, confirmations)
+}
+
+// Resync re-reads the confirmed on-chain nonce; call after a partition or
+// local crash left the counter ahead of the chain.
+func (s *Sender) Resync() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	confirmed := s.node.Chain().AccountNonce(s.id.Name())
+	if confirmed+1 > s.next {
+		s.next = confirmed + 1
+	}
+	// If we are ahead because txs are still pending, keep the local
+	// counter: the pending txs will confirm or the caller retries later.
+}

@@ -1,0 +1,163 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSystemNow(t *testing.T) {
+	c := System{}
+	before := time.Now()
+	got := c.Now()
+	after := time.Now()
+	if got.Before(before) || got.After(after) {
+		t.Fatalf("System.Now %v outside [%v, %v]", got, before, after)
+	}
+}
+
+func TestSystemSince(t *testing.T) {
+	c := System{}
+	start := c.Now()
+	if d := c.Since(start); d < 0 {
+		t.Fatalf("Since returned negative duration %v", d)
+	}
+}
+
+func TestMockNowAndAdvance(t *testing.T) {
+	start := time.Date(2026, 6, 11, 0, 0, 0, 0, time.UTC)
+	m := NewMock(start)
+	if !m.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", m.Now(), start)
+	}
+	m.Advance(5 * time.Second)
+	want := start.Add(5 * time.Second)
+	if !m.Now().Equal(want) {
+		t.Fatalf("after Advance Now = %v, want %v", m.Now(), want)
+	}
+}
+
+func TestMockSince(t *testing.T) {
+	start := time.Unix(1000, 0)
+	m := NewMock(start)
+	m.Advance(30 * time.Second)
+	if d := m.Since(start); d != 30*time.Second {
+		t.Fatalf("Since = %v, want 30s", d)
+	}
+}
+
+func TestMockAfterFiresOnAdvance(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	ch := m.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	m.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired too early")
+	default:
+	}
+	m.Advance(2 * time.Second)
+	select {
+	case tm := <-ch:
+		if !tm.Equal(time.Unix(11, 0)) {
+			t.Fatalf("fired at %v, want %v", tm, time.Unix(11, 0))
+		}
+	case <-time.After(time.Second):
+		t.Fatal("timer did not fire after Advance past deadline")
+	}
+}
+
+func TestMockAfterNonPositive(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	select {
+	case <-m.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestMockSleepUnblocksOnAdvance(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m.Sleep(5 * time.Second)
+		close(done)
+	}()
+	// Give the sleeper a moment to register its waiter.
+	for i := 0; i < 100; i++ {
+		m.mu.Lock()
+		n := len(m.waiters)
+		m.mu.Unlock()
+		if n > 0 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.Advance(5 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+	wg.Wait()
+}
+
+func TestMockSleepZeroReturnsImmediately(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	done := make(chan struct{})
+	go func() {
+		m.Sleep(0)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestMockSet(t *testing.T) {
+	m := NewMock(time.Unix(100, 0))
+	ch := m.After(50 * time.Second)
+	m.Set(time.Unix(200, 0))
+	if !m.Now().Equal(time.Unix(200, 0)) {
+		t.Fatalf("Set: Now = %v", m.Now())
+	}
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("Set did not fire elapsed timer")
+	}
+	// Setting to the past is a no-op.
+	m.Set(time.Unix(150, 0))
+	if !m.Now().Equal(time.Unix(200, 0)) {
+		t.Fatalf("Set backwards moved clock: %v", m.Now())
+	}
+}
+
+func TestMockMultipleWaiters(t *testing.T) {
+	m := NewMock(time.Unix(0, 0))
+	a := m.After(1 * time.Second)
+	b := m.After(2 * time.Second)
+	c := m.After(3 * time.Second)
+	m.Advance(2 * time.Second)
+	for name, ch := range map[string]<-chan time.Time{"a": a, "b": b} {
+		select {
+		case <-ch:
+		case <-time.After(time.Second):
+			t.Fatalf("waiter %s did not fire", name)
+		}
+	}
+	select {
+	case <-c:
+		t.Fatal("waiter c fired early")
+	default:
+	}
+}

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"drams/internal/analysis"
+	"drams/internal/blockchain"
+	"drams/internal/contract"
+	"drams/internal/crypto"
+	"drams/internal/metrics"
+	"drams/internal/xacml"
+)
+
+// Analyser is the standalone checking component of DRAMS (paper §II): it
+// consumes pdp.response logs from the chain, decrypts the exchange context
+// with the shared LI key, re-derives the expected decision from its own
+// compiled representation of the authoritative policy, and publishes a
+// keyed verdict the log-match contract compares against the PDP's decision
+// (check M5).
+//
+// Per Figure 1 it is "logically placed within the Infrastructural Tenant,
+// but deployed within a different cloud section" — here: it runs against
+// its own blockchain node and shares no code path with the PDP.
+type Analyser struct {
+	name   string
+	node   *blockchain.Node
+	sender *blockchain.Sender
+	cipher *crypto.Cipher
+	key    crypto.Key
+
+	compiled atomic.Pointer[analysedPolicy]
+
+	verdicts   metrics.Counter
+	mismatches metrics.Counter
+	failures   metrics.Counter
+
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	cancelSub func()
+}
+
+type analysedPolicy struct {
+	compiled *analysis.Compiled
+	digest   crypto.Digest
+}
+
+// AnalyserStats snapshots the analyser counters.
+type AnalyserStats struct {
+	VerdictsSubmitted int64
+	MismatchesFound   int64
+	Failures          int64
+}
+
+// NewAnalyser builds an analyser. identity must be the identity configured
+// as MatchConfig.Analyser on the contract.
+func NewAnalyser(name string, node *blockchain.Node, identity *crypto.Identity, key crypto.Key) (*Analyser, error) {
+	cipher, err := crypto.NewCipher(key)
+	if err != nil {
+		return nil, fmt.Errorf("core: analyser cipher: %w", err)
+	}
+	return &Analyser{
+		name:   name,
+		node:   node,
+		sender: blockchain.NewSender(node, identity),
+		cipher: cipher,
+		key:    key,
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+// LoadPolicy compiles the authoritative policy set the analyser will check
+// decisions against.
+func (an *Analyser) LoadPolicy(ps *xacml.PolicySet) {
+	cl := ps.Clone()
+	an.compiled.Store(&analysedPolicy{compiled: analysis.Compile(cl), digest: cl.Digest()})
+}
+
+// VerifyPolicyAnchor checks that the loaded policy matches the on-chain
+// anchored digest for the active version — the analyser's own supply-chain
+// check before trusting a policy from the PRP.
+func (an *Analyser) VerifyPolicyAnchor() error {
+	ap := an.compiled.Load()
+	if ap == nil {
+		return fmt.Errorf("core: analyser has no policy loaded")
+	}
+	var (
+		anchored   crypto.Digest
+		haveAnchor bool
+	)
+	an.node.Chain().ReadState(ContractName, func(st contract.StateDB) {
+		if ver, ok := ReadActivePolicyVersion(st); ok {
+			anchored, haveAnchor = ReadPolicyAnchor(st, ver)
+		}
+	})
+	if !haveAnchor {
+		return fmt.Errorf("core: no active policy anchored on-chain")
+	}
+	if anchored != ap.digest {
+		return fmt.Errorf("core: loaded policy digest %s differs from anchored %s",
+			ap.digest.Short(), anchored.Short())
+	}
+	return nil
+}
+
+// Start begins consuming pdp.response logs and publishing verdicts.
+func (an *Analyser) Start() {
+	events, cancel := an.node.SubscribeEvents(0)
+	an.cancelSub = cancel
+	an.wg.Add(1)
+	go func() {
+		defer an.wg.Done()
+		for {
+			select {
+			case <-an.stop:
+				return
+			case note, ok := <-events:
+				if !ok {
+					return
+				}
+				for _, e := range note.Events {
+					if e.Contract == ContractName && e.Type == EventLogStored {
+						an.handleLog(e.Payload)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the analyser.
+func (an *Analyser) Stop() {
+	an.stopOnce.Do(func() { close(an.stop) })
+	if an.cancelSub != nil {
+		an.cancelSub()
+	}
+	an.wg.Wait()
+}
+
+// Stats snapshots the counters.
+func (an *Analyser) Stats() AnalyserStats {
+	return AnalyserStats{
+		VerdictsSubmitted: an.verdicts.Value(),
+		MismatchesFound:   an.mismatches.Value(),
+		Failures:          an.failures.Value(),
+	}
+}
+
+func (an *Analyser) handleLog(payload []byte) {
+	rec, err := DecodeLogRecord(payload)
+	if err != nil || rec.Kind != KindPDPResponse {
+		return
+	}
+	ap := an.compiled.Load()
+	if ap == nil {
+		an.failures.Inc()
+		return
+	}
+	ec, err := OpenContext(an.cipher, rec.ReqID, rec.Payload)
+	if err != nil || ec.Request == nil {
+		// Cannot decrypt (wrong key / tampered payload) or missing
+		// context: a verdict cannot be produced; the RequireVerdict
+		// timeout will surface this as AlertVerdictMissing.
+		an.failures.Inc()
+		return
+	}
+	expected := ap.compiled.ExpectedSimple(ec.Request)
+	if ec.Result != nil && ec.Result.Decision.Simple() != expected {
+		an.mismatches.Inc()
+	}
+	v := Verdict{
+		ReqID:        rec.ReqID,
+		ExpectedTag:  DecisionTag(an.key, rec.ReqID, expected),
+		PolicyDigest: ap.digest,
+		Analyser:     an.name,
+	}
+	call := contract.Call{Contract: ContractName, Method: MethodVerdict, Args: v.Encode()}
+	if _, err := an.sender.Send(call); err != nil {
+		an.failures.Inc()
+		return
+	}
+	an.verdicts.Inc()
+}
+
+// ExpectedDecision exposes the analyser's re-derivation for direct use
+// (experiments, examples).
+func (an *Analyser) ExpectedDecision(r *xacml.Request) (xacml.Decision, error) {
+	ap := an.compiled.Load()
+	if ap == nil {
+		return 0, fmt.Errorf("core: analyser has no policy loaded")
+	}
+	return ap.compiled.ExpectedSimple(r), nil
+}

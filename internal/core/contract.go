@@ -1,0 +1,387 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"drams/internal/contract"
+	"drams/internal/crypto"
+)
+
+// ContractName is the on-chain address of the DRAMS log-match contract.
+const ContractName = "drams.logmatch"
+
+// Contract event types.
+const (
+	EventAlert     = "Alert"
+	EventMatched   = "Matched"
+	EventLogStored = "LogStored"
+	EventPolicy    = "PolicyAnnounced"
+	EventVerdict   = "VerdictStored"
+)
+
+// Contract method names.
+const (
+	MethodLog     = "log"
+	MethodVerdict = "verdict"
+	MethodPolicy  = "policy"
+)
+
+// MatchConfig parameterises the log-match contract. All federation nodes
+// must deploy it with identical values (it is consensus logic).
+type MatchConfig struct {
+	// TimeoutBlocks is Δ: how many blocks after the first record of a
+	// request the full record set must be present (check M3).
+	TimeoutBlocks uint64
+	// PAP is the only identity allowed to announce policy digests.
+	PAP string
+	// Analyser is the only identity allowed to submit verdicts.
+	Analyser string
+	// RequireVerdict makes a missing analyser verdict at timeout an
+	// AlertVerdictMissing.
+	RequireVerdict bool
+}
+
+// LogMatchContract is the smart contract storing and comparing logs
+// (paper §II). It is deterministic: all inputs come from transactions and
+// block context.
+type LogMatchContract struct {
+	cfg MatchConfig
+}
+
+var (
+	_ contract.Contract  = (*LogMatchContract)(nil)
+	_ contract.BlockHook = (*LogMatchContract)(nil)
+)
+
+// NewLogMatchContract builds the contract with the given parameters.
+func NewLogMatchContract(cfg MatchConfig) *LogMatchContract {
+	if cfg.TimeoutBlocks == 0 {
+		cfg.TimeoutBlocks = 5
+	}
+	return &LogMatchContract{cfg: cfg}
+}
+
+// Name implements contract.Contract.
+func (lm *LogMatchContract) Name() string { return ContractName }
+
+// State keys.
+func recKey(reqID string, kind LogKind) string { return fmt.Sprintf("rec/%s/%s", reqID, kind) }
+func verdictKey(reqID string) string           { return "verdict/" + reqID }
+func doneKey(reqID string) string              { return "done/" + reqID }
+func alertedKey(reqID string, t AlertType) string {
+	return fmt.Sprintf("alerted/%s/%s", reqID, t)
+}
+func deadlineKey(due uint64, reqID string) string {
+	return fmt.Sprintf("deadline/%016x/%s", due, reqID)
+}
+func deadlineSetKey(reqID string) string { return "deadline-set/" + reqID }
+func policyKey(version string) string    { return "policy/v/" + version }
+
+const policyActiveKey = "policy/active"
+
+// Execute implements contract.Contract.
+func (lm *LogMatchContract) Execute(ctx contract.CallCtx, st contract.StateDB, call contract.Call) ([]contract.Event, error) {
+	switch call.Method {
+	case MethodLog:
+		return lm.execLog(ctx, st, call.Args)
+	case MethodVerdict:
+		return lm.execVerdict(ctx, st, call.Args)
+	case MethodPolicy:
+		return lm.execPolicy(ctx, st, call.Args)
+	default:
+		return nil, fmt.Errorf("%w: %q", contract.ErrUnknownMethod, call.Method)
+	}
+}
+
+func (lm *LogMatchContract) execLog(ctx contract.CallCtx, st contract.StateDB, args []byte) ([]contract.Event, error) {
+	rec, err := DecodeLogRecord(args)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
+	}
+	if err := rec.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
+	}
+	var events []contract.Event
+
+	key := recKey(rec.ReqID, rec.Kind)
+	enc := rec.Encode()
+	if existing, ok := st.Get(key); ok {
+		if string(existing) == string(enc) {
+			return nil, nil // idempotent duplicate (client retry)
+		}
+		// Conflicting second record for the same interception point.
+		events = append(events, lm.alert(st, Alert{
+			Type: AlertEquivocation, ReqID: rec.ReqID, Tenant: rec.Tenant, Height: ctx.Height,
+			Detail: fmt.Sprintf("conflicting %s records from %s", rec.Kind, ctx.Caller),
+		})...)
+		return events, nil // keep the original record
+	}
+	st.Set(key, enc)
+	events = append(events, contract.Event{Type: EventLogStored, Payload: enc})
+
+	// Arm the M3 deadline on the first record of the request.
+	if _, ok := st.Get(deadlineSetKey(rec.ReqID)); !ok {
+		st.Set(deadlineSetKey(rec.ReqID), []byte("1"))
+		st.Set(deadlineKey(ctx.Height+lm.cfg.TimeoutBlocks, rec.ReqID), []byte("1"))
+	}
+
+	events = append(events, lm.runChecks(st, rec.ReqID, ctx.Height)...)
+	return events, nil
+}
+
+func (lm *LogMatchContract) execVerdict(ctx contract.CallCtx, st contract.StateDB, args []byte) ([]contract.Event, error) {
+	if lm.cfg.Analyser != "" && ctx.Caller != lm.cfg.Analyser {
+		return nil, fmt.Errorf("core: verdict from %q, only %q may submit verdicts", ctx.Caller, lm.cfg.Analyser)
+	}
+	v, err := DecodeVerdict(args)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
+	}
+	if v.ReqID == "" || v.ExpectedTag.IsZero() {
+		return nil, fmt.Errorf("%w: incomplete verdict", contract.ErrBadArgs)
+	}
+	enc := v.Encode()
+	if existing, ok := st.Get(verdictKey(v.ReqID)); ok && string(existing) != string(enc) {
+		return lm.alert(st, Alert{
+			Type: AlertEquivocation, ReqID: v.ReqID, Height: ctx.Height,
+			Detail: "conflicting analyser verdicts",
+		}), nil
+	}
+	st.Set(verdictKey(v.ReqID), enc)
+	events := []contract.Event{{Type: EventVerdict, Payload: enc}}
+	events = append(events, lm.runChecks(st, v.ReqID, ctx.Height)...)
+	return events, nil
+}
+
+func (lm *LogMatchContract) execPolicy(ctx contract.CallCtx, st contract.StateDB, args []byte) ([]contract.Event, error) {
+	if lm.cfg.PAP != "" && ctx.Caller != lm.cfg.PAP {
+		return nil, fmt.Errorf("core: policy announcement from %q, only %q may announce", ctx.Caller, lm.cfg.PAP)
+	}
+	var pa PolicyAnnouncement
+	if err := json.Unmarshal(args, &pa); err != nil {
+		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
+	}
+	if pa.Version == "" || pa.Digest.IsZero() {
+		return nil, fmt.Errorf("%w: incomplete policy announcement", contract.ErrBadArgs)
+	}
+	if existing, ok := st.Get(policyKey(pa.Version)); ok && string(existing) != pa.Digest.String() {
+		return nil, fmt.Errorf("core: policy version %q already anchored with different digest", pa.Version)
+	}
+	st.Set(policyKey(pa.Version), []byte(pa.Digest.String()))
+	if pa.Active {
+		st.Set(policyActiveKey, []byte(pa.Version))
+	}
+	return []contract.Event{{Type: EventPolicy, Payload: args}}, nil
+}
+
+// alert records and emits an alert once per (request, type).
+func (lm *LogMatchContract) alert(st contract.StateDB, a Alert) []contract.Event {
+	k := alertedKey(a.ReqID, a.Type)
+	if _, ok := st.Get(k); ok {
+		return nil
+	}
+	st.Set(k, []byte("1"))
+	return []contract.Event{{Type: EventAlert, Payload: a.Encode()}}
+}
+
+// loadRecord fetches a stored record.
+func loadRecord(st contract.StateDB, reqID string, kind LogKind) (LogRecord, bool) {
+	b, ok := st.Get(recKey(reqID, kind))
+	if !ok {
+		return LogRecord{}, false
+	}
+	rec, err := DecodeLogRecord(b)
+	if err != nil {
+		return LogRecord{}, false
+	}
+	return rec, true
+}
+
+// runChecks executes M1, M2, M4, M5, M6 for a request with the currently
+// available records, and emits Matched when the exchange is complete and
+// clean.
+func (lm *LogMatchContract) runChecks(st contract.StateDB, reqID string, height uint64) []contract.Event {
+	var events []contract.Event
+
+	pepReq, havePepReq := loadRecord(st, reqID, KindPEPRequest)
+	pdpReq, havePdpReq := loadRecord(st, reqID, KindPDPRequest)
+	pdpResp, havePdpResp := loadRecord(st, reqID, KindPDPResponse)
+	pepResp, havePepResp := loadRecord(st, reqID, KindPEPResponse)
+
+	// M1: request integrity in transit.
+	if havePepReq && havePdpReq && pepReq.ReqDigest != pdpReq.ReqDigest {
+		events = append(events, lm.alert(st, Alert{
+			Type: AlertRequestTampered, ReqID: reqID, Tenant: pepReq.Tenant, Height: height,
+			Detail: fmt.Sprintf("request digest at PEP egress %s != at PDP ingress %s",
+				pepReq.ReqDigest.Short(), pdpReq.ReqDigest.Short()),
+		})...)
+	}
+
+	// M2: response integrity in transit (content and decision).
+	if havePdpResp && havePepResp {
+		if pdpResp.RespDigest != pepResp.RespDigest || pdpResp.DecisionTag != pepResp.DecisionTag {
+			events = append(events, lm.alert(st, Alert{
+				Type: AlertResponseTampered, ReqID: reqID, Tenant: pepResp.Tenant, Height: height,
+				Detail: fmt.Sprintf("response at PDP egress %s/%s != at PEP ingress %s/%s",
+					pdpResp.RespDigest.Short(), pdpResp.DecisionTag.Short(),
+					pepResp.RespDigest.Short(), pepResp.DecisionTag.Short()),
+			})...)
+		}
+	}
+
+	// M4: enforcement correctness (what the PEP did vs. what it received).
+	if havePepResp && pepResp.EnforcedTag != pepResp.DecisionTag {
+		events = append(events, lm.alert(st, Alert{
+			Type: AlertEnforcementMismatch, ReqID: reqID, Tenant: pepResp.Tenant, Height: height,
+			Detail: fmt.Sprintf("PEP enforced %s but received decision %s",
+				pepResp.EnforcedTag.Short(), pepResp.DecisionTag.Short()),
+		})...)
+	}
+
+	// M5: decision correctness against the analyser's expectation.
+	var verdict Verdict
+	haveVerdict := false
+	if b, ok := st.Get(verdictKey(reqID)); ok {
+		if v, err := DecodeVerdict(b); err == nil {
+			verdict = v
+			haveVerdict = true
+		}
+	}
+	if haveVerdict && havePdpResp && verdict.ExpectedTag != pdpResp.DecisionTag {
+		events = append(events, lm.alert(st, Alert{
+			Type: AlertDecisionIncorrect, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+			Detail: fmt.Sprintf("PDP decision tag %s differs from expected %s (policy %s)",
+				pdpResp.DecisionTag.Short(), verdict.ExpectedTag.Short(), verdict.PolicyDigest.Short()),
+		})...)
+	}
+
+	// M6: policy integrity — the PDP must have evaluated the anchored
+	// digest of the active version.
+	if havePdpResp {
+		activeVer, haveActive := st.Get(policyActiveKey)
+		anchored, haveAnchor := st.Get(policyKey(pdpResp.PolicyVersion))
+		switch {
+		case !haveActive || !haveAnchor:
+			events = append(events, lm.alert(st, Alert{
+				Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+				Detail: fmt.Sprintf("PDP claims policy version %q which is not anchored", pdpResp.PolicyVersion),
+			})...)
+		case string(activeVer) != pdpResp.PolicyVersion:
+			events = append(events, lm.alert(st, Alert{
+				Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+				Detail: fmt.Sprintf("PDP evaluated version %q but active version is %q",
+					pdpResp.PolicyVersion, activeVer),
+			})...)
+		case string(anchored) != pdpResp.PolicyDigest.String():
+			events = append(events, lm.alert(st, Alert{
+				Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+				Detail: fmt.Sprintf("PDP policy digest %s differs from anchored digest for version %q",
+					pdpResp.PolicyDigest.Short(), pdpResp.PolicyVersion),
+			})...)
+		}
+	}
+
+	// Completion: all four legs present, verdict present if required, and
+	// no alert raised for this request.
+	complete := havePepReq && havePdpReq && havePdpResp && havePepResp &&
+		(haveVerdict || !lm.cfg.RequireVerdict)
+	if complete {
+		if _, done := st.Get(doneKey(reqID)); !done && len(st.Keys("alerted/"+reqID+"/")) == 0 {
+			st.Set(doneKey(reqID), []byte("1"))
+			payload, _ := json.Marshal(map[string]any{"reqId": reqID, "height": height})
+			events = append(events, contract.Event{Type: EventMatched, Payload: payload})
+		}
+	}
+	return events
+}
+
+// OnBlock implements contract.BlockHook: it fires M3 timeout alerts for
+// requests whose record set is still incomplete when their deadline passes.
+func (lm *LogMatchContract) OnBlock(height uint64, blockTime time.Time, st contract.StateDB) []contract.Event {
+	var events []contract.Event
+	for _, key := range st.Keys("deadline/") {
+		rest := strings.TrimPrefix(key, "deadline/")
+		slash := strings.IndexByte(rest, '/')
+		if slash < 0 {
+			st.Delete(key)
+			continue
+		}
+		var due uint64
+		if _, err := fmt.Sscanf(rest[:slash], "%x", &due); err != nil {
+			st.Delete(key)
+			continue
+		}
+		if due > height {
+			break // keys are sorted by due height
+		}
+		reqID := rest[slash+1:]
+		st.Delete(key)
+
+		if _, done := st.Get(doneKey(reqID)); done {
+			continue
+		}
+		var missing []string
+		tenant := ""
+		for _, kind := range LogKinds() {
+			rec, ok := loadRecord(st, reqID, kind)
+			if !ok {
+				missing = append(missing, string(kind))
+			} else if tenant == "" {
+				tenant = rec.Tenant
+			}
+		}
+		if len(missing) > 0 {
+			events = append(events, lm.alert(st, Alert{
+				Type: AlertMessageSuppressed, ReqID: reqID, Tenant: tenant, Height: height,
+				Detail: fmt.Sprintf("missing after %d blocks: %s", lm.cfg.TimeoutBlocks, strings.Join(missing, ", ")),
+			})...)
+			continue
+		}
+		if lm.cfg.RequireVerdict {
+			if _, ok := st.Get(verdictKey(reqID)); !ok {
+				events = append(events, lm.alert(st, Alert{
+					Type: AlertVerdictMissing, ReqID: reqID, Tenant: tenant, Height: height,
+					Detail: fmt.Sprintf("no analyser verdict after %d blocks", lm.cfg.TimeoutBlocks),
+				})...)
+			}
+		}
+	}
+	return events
+}
+
+// ReadPolicyAnchor reads an anchored policy digest from a namespaced state
+// view (off-chain readers go through Chain.ReadState).
+func ReadPolicyAnchor(st contract.StateDB, version string) (crypto.Digest, bool) {
+	b, ok := st.Get(policyKey(version))
+	if !ok {
+		return crypto.Digest{}, false
+	}
+	d, err := crypto.ParseDigest(string(b))
+	if err != nil {
+		return crypto.Digest{}, false
+	}
+	return d, true
+}
+
+// ReadActivePolicyVersion reads the active policy version from state.
+func ReadActivePolicyVersion(st contract.StateDB) (string, bool) {
+	b, ok := st.Get(policyActiveKey)
+	if !ok {
+		return "", false
+	}
+	return string(b), true
+}
+
+// ReadStoredRecord reads a log record from state.
+func ReadStoredRecord(st contract.StateDB, reqID string, kind LogKind) (LogRecord, bool) {
+	return loadRecord(st, reqID, kind)
+}
+
+// ReadDone reports whether a request completed cleanly.
+func ReadDone(st contract.StateDB, reqID string) bool {
+	_, ok := st.Get(doneKey(reqID))
+	return ok
+}

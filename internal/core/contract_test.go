@@ -1,0 +1,546 @@
+package core
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"drams/internal/contract"
+	"drams/internal/crypto"
+	"drams/internal/xacml"
+)
+
+var testKey = crypto.DeriveKey("test", "li-key")
+
+// matchEnv drives the log-match contract directly through the engine.
+type matchEnv struct {
+	t      *testing.T
+	engine *contract.Engine
+	st     *contract.State
+	height uint64
+}
+
+func newMatchEnv(t *testing.T, cfg MatchConfig) *matchEnv {
+	t.Helper()
+	reg := contract.NewRegistry()
+	reg.MustRegister(NewLogMatchContract(cfg))
+	return &matchEnv{t: t, engine: contract.NewEngine(reg), st: contract.NewState(), height: 1}
+}
+
+func (e *matchEnv) call(caller, method string, args []byte) ([]contract.Event, error) {
+	e.t.Helper()
+	ctx := contract.CallCtx{Height: e.height, Caller: caller, TxID: crypto.Sum(args)}
+	return e.engine.Execute(ctx, e.st, contract.Call{Contract: ContractName, Method: method, Args: args})
+}
+
+func (e *matchEnv) mustCall(caller, method string, args []byte) []contract.Event {
+	e.t.Helper()
+	evs, err := e.call(caller, method, args)
+	if err != nil {
+		e.t.Fatalf("%s/%s: %v", caller, method, err)
+	}
+	return evs
+}
+
+func (e *matchEnv) onBlock() []contract.Event {
+	evs := e.engine.OnBlock(e.height, time.Unix(int64(e.height), 0), e.st)
+	e.height++
+	return evs
+}
+
+func (e *matchEnv) anchorPolicy(version string, digest crypto.Digest) {
+	e.t.Helper()
+	pa := PolicyAnnouncement{Version: version, Digest: digest, Active: true}
+	e.mustCall("pap", MethodPolicy, pa.Encode())
+}
+
+// exchange builds the four consistent records of one clean exchange.
+type exchange struct {
+	reqID    string
+	reqDig   crypto.Digest
+	respDig  crypto.Digest
+	decision xacml.Decision
+	polVer   string
+	polDig   crypto.Digest
+}
+
+func cleanExchange(reqID string) exchange {
+	return exchange{
+		reqID:    reqID,
+		reqDig:   crypto.Sum([]byte("request-" + reqID)),
+		respDig:  crypto.Sum([]byte("response-" + reqID)),
+		decision: xacml.Permit,
+		polVer:   "v1",
+		polDig:   crypto.Sum([]byte("policy-v1")),
+	}
+}
+
+func (x exchange) pepRequest() LogRecord {
+	return LogRecord{Kind: KindPEPRequest, ReqID: x.reqID, Tenant: "t1", Agent: "agent-t1", ReqDigest: x.reqDig}
+}
+func (x exchange) pdpRequest() LogRecord {
+	return LogRecord{Kind: KindPDPRequest, ReqID: x.reqID, Tenant: "infra", Agent: "agent-infra", ReqDigest: x.reqDig}
+}
+func (x exchange) pdpResponse() LogRecord {
+	return LogRecord{Kind: KindPDPResponse, ReqID: x.reqID, Tenant: "infra", Agent: "agent-infra",
+		ReqDigest: x.reqDig, RespDigest: x.respDig,
+		DecisionTag:   DecisionTag(testKey, x.reqID, x.decision),
+		PolicyVersion: x.polVer, PolicyDigest: x.polDig}
+}
+func (x exchange) pepResponse(enforced xacml.Decision) LogRecord {
+	return LogRecord{Kind: KindPEPResponse, ReqID: x.reqID, Tenant: "t1", Agent: "agent-t1",
+		ReqDigest: x.reqDig, RespDigest: x.respDig,
+		DecisionTag: DecisionTag(testKey, x.reqID, x.decision),
+		EnforcedTag: DecisionTag(testKey, x.reqID, enforced)}
+}
+func (x exchange) verdict(expected xacml.Decision) Verdict {
+	return Verdict{ReqID: x.reqID, ExpectedTag: DecisionTag(testKey, x.reqID, expected),
+		PolicyDigest: x.polDig, Analyser: "analyser"}
+}
+
+func alertsOf(evs []contract.Event) []Alert {
+	var out []Alert
+	for _, e := range evs {
+		if e.Type == EventAlert {
+			a, err := DecodeAlert(e.Payload)
+			if err == nil {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func hasEvent(evs []contract.Event, typ string) bool {
+	for _, e := range evs {
+		if e.Type == typ {
+			return true
+		}
+	}
+	return false
+}
+
+func defaultCfg() MatchConfig {
+	return MatchConfig{TimeoutBlocks: 3, PAP: "pap", Analyser: "analyser", RequireVerdict: true}
+}
+
+func TestCleanExchangeMatches(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-1")
+	env.anchorPolicy(x.polVer, x.polDig)
+
+	var all []contract.Event
+	all = append(all, env.mustCall("li-t1", MethodLog, x.pepRequest().Encode())...)
+	all = append(all, env.mustCall("li-infra", MethodLog, x.pdpRequest().Encode())...)
+	all = append(all, env.mustCall("li-infra", MethodLog, x.pdpResponse().Encode())...)
+	all = append(all, env.mustCall("li-t1", MethodLog, x.pepResponse(x.decision).Encode())...)
+	all = append(all, env.mustCall("analyser", MethodVerdict, x.verdict(x.decision).Encode())...)
+
+	if got := alertsOf(all); len(got) != 0 {
+		t.Fatalf("clean exchange raised alerts: %v", got)
+	}
+	if !hasEvent(all, EventMatched) {
+		t.Fatal("no Matched event")
+	}
+	ns := contract.Namespace(env.st, ContractName)
+	if !ReadDone(ns, "req-1") {
+		t.Fatal("request not marked done")
+	}
+	// Timeouts later must not fire for a done request.
+	env.height += 10
+	if alerts := alertsOf(env.onBlock()); len(alerts) != 0 {
+		t.Fatalf("done request raised timeout alerts: %v", alerts)
+	}
+}
+
+func TestM1RequestTampered(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-m1")
+	env.anchorPolicy(x.polVer, x.polDig)
+	env.mustCall("li-t1", MethodLog, x.pepRequest().Encode())
+	tampered := x.pdpRequest()
+	tampered.ReqDigest = crypto.Sum([]byte("evil"))
+	evs := env.mustCall("li-infra", MethodLog, tampered.Encode())
+	alerts := alertsOf(evs)
+	if len(alerts) != 1 || alerts[0].Type != AlertRequestTampered {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	if !strings.Contains(alerts[0].Detail, "PEP egress") {
+		t.Fatalf("detail = %q", alerts[0].Detail)
+	}
+}
+
+func TestM2ResponseTampered(t *testing.T) {
+	for _, mode := range []string{"digest", "decision"} {
+		env := newMatchEnv(t, defaultCfg())
+		x := cleanExchange("req-m2-" + mode)
+		env.anchorPolicy(x.polVer, x.polDig)
+		env.mustCall("li-infra", MethodLog, x.pdpResponse().Encode())
+		rec := x.pepResponse(x.decision)
+		switch mode {
+		case "digest":
+			rec.RespDigest = crypto.Sum([]byte("evil"))
+		case "decision":
+			// PEP received a flipped decision (and enforced it).
+			rec.DecisionTag = DecisionTag(testKey, x.reqID, xacml.Deny)
+			rec.EnforcedTag = rec.DecisionTag
+		}
+		evs := env.mustCall("li-t1", MethodLog, rec.Encode())
+		alerts := alertsOf(evs)
+		found := false
+		for _, a := range alerts {
+			if a.Type == AlertResponseTampered {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("mode %s: alerts = %v", mode, alerts)
+		}
+	}
+}
+
+func TestM3Timeout(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-m3")
+	env.anchorPolicy(x.polVer, x.polDig)
+	env.mustCall("li-t1", MethodLog, x.pepRequest().Encode())
+	// Nothing else arrives. Advance past the deadline.
+	var alerts []Alert
+	for i := 0; i < 6; i++ {
+		alerts = append(alerts, alertsOf(env.onBlock())...)
+	}
+	if len(alerts) != 1 || alerts[0].Type != AlertMessageSuppressed {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	for _, missing := range []string{string(KindPDPRequest), string(KindPDPResponse), string(KindPEPResponse)} {
+		if !strings.Contains(alerts[0].Detail, missing) {
+			t.Fatalf("detail %q missing %q", alerts[0].Detail, missing)
+		}
+	}
+	if strings.Contains(alerts[0].Detail, string(KindPEPRequest)) {
+		t.Fatalf("detail %q lists the present record", alerts[0].Detail)
+	}
+}
+
+func TestM3DeadlineNotRearmed(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-m3b")
+	env.anchorPolicy(x.polVer, x.polDig)
+	env.mustCall("li-t1", MethodLog, x.pepRequest().Encode())
+	env.height += 2
+	env.mustCall("li-infra", MethodLog, x.pdpRequest().Encode()) // second record must not extend the deadline
+	var alerts []Alert
+	for i := 0; i < 8; i++ {
+		alerts = append(alerts, alertsOf(env.onBlock())...)
+	}
+	if len(alerts) != 1 || alerts[0].Type != AlertMessageSuppressed {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestM4EnforcementMismatch(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-m4")
+	env.anchorPolicy(x.polVer, x.polDig)
+	env.mustCall("li-infra", MethodLog, x.pdpResponse().Encode())
+	// PEP received Permit but enforced Deny.
+	evs := env.mustCall("li-t1", MethodLog, x.pepResponse(xacml.Deny).Encode())
+	alerts := alertsOf(evs)
+	if len(alerts) != 1 || alerts[0].Type != AlertEnforcementMismatch {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestM5DecisionIncorrect(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-m5")
+	env.anchorPolicy(x.polVer, x.polDig)
+	env.mustCall("li-infra", MethodLog, x.pdpResponse().Encode()) // PDP says Permit
+	evs := env.mustCall("analyser", MethodVerdict, x.verdict(xacml.Deny).Encode())
+	alerts := alertsOf(evs)
+	if len(alerts) != 1 || alerts[0].Type != AlertDecisionIncorrect {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	// Order independence: verdict first, then pdp.response.
+	env2 := newMatchEnv(t, defaultCfg())
+	env2.anchorPolicy(x.polVer, x.polDig)
+	env2.mustCall("analyser", MethodVerdict, x.verdict(xacml.Deny).Encode())
+	evs2 := env2.mustCall("li-infra", MethodLog, x.pdpResponse().Encode())
+	alerts2 := alertsOf(evs2)
+	if len(alerts2) != 1 || alerts2[0].Type != AlertDecisionIncorrect {
+		t.Fatalf("reversed order alerts = %v", alerts2)
+	}
+}
+
+func TestM6PolicyTampered(t *testing.T) {
+	x := cleanExchange("req-m6")
+	cases := []struct {
+		name   string
+		setup  func(env *matchEnv)
+		mutate func(rec *LogRecord)
+		detail string
+	}{
+		{
+			name:   "unanchored version",
+			setup:  func(env *matchEnv) {}, // no policy announced
+			mutate: func(rec *LogRecord) {},
+			detail: "not anchored",
+		},
+		{
+			name: "stale version",
+			setup: func(env *matchEnv) {
+				env.anchorPolicy("v1", x.polDig)
+				env.anchorPolicy("v2", crypto.Sum([]byte("policy-v2")))
+			},
+			mutate: func(rec *LogRecord) {}, // claims v1 while v2 active
+			detail: "active version",
+		},
+		{
+			name:  "digest mismatch",
+			setup: func(env *matchEnv) { env.anchorPolicy("v1", x.polDig) },
+			mutate: func(rec *LogRecord) {
+				rec.PolicyDigest = crypto.Sum([]byte("forged-policy"))
+			},
+			detail: "differs from anchored",
+		},
+	}
+	for _, c := range cases {
+		env := newMatchEnv(t, defaultCfg())
+		c.setup(env)
+		rec := x.pdpResponse()
+		c.mutate(&rec)
+		evs := env.mustCall("li-infra", MethodLog, rec.Encode())
+		alerts := alertsOf(evs)
+		if len(alerts) != 1 || alerts[0].Type != AlertPolicyTampered {
+			t.Fatalf("%s: alerts = %v", c.name, alerts)
+		}
+		if !strings.Contains(alerts[0].Detail, c.detail) {
+			t.Fatalf("%s: detail = %q", c.name, alerts[0].Detail)
+		}
+	}
+}
+
+func TestVerdictMissingTimeout(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-vm")
+	env.anchorPolicy(x.polVer, x.polDig)
+	for _, rec := range []LogRecord{x.pepRequest(), x.pdpRequest(), x.pdpResponse(), x.pepResponse(x.decision)} {
+		env.mustCall("li", MethodLog, rec.Encode())
+	}
+	var alerts []Alert
+	for i := 0; i < 6; i++ {
+		alerts = append(alerts, alertsOf(env.onBlock())...)
+	}
+	if len(alerts) != 1 || alerts[0].Type != AlertVerdictMissing {
+		t.Fatalf("alerts = %v", alerts)
+	}
+}
+
+func TestVerdictOptional(t *testing.T) {
+	cfg := defaultCfg()
+	cfg.RequireVerdict = false
+	env := newMatchEnv(t, cfg)
+	x := cleanExchange("req-opt")
+	env.anchorPolicy(x.polVer, x.polDig)
+	var all []contract.Event
+	for _, rec := range []LogRecord{x.pepRequest(), x.pdpRequest(), x.pdpResponse(), x.pepResponse(x.decision)} {
+		all = append(all, env.mustCall("li", MethodLog, rec.Encode())...)
+	}
+	if !hasEvent(all, EventMatched) {
+		t.Fatal("exchange without verdict should match when verdicts optional")
+	}
+	for i := 0; i < 6; i++ {
+		if alerts := alertsOf(env.onBlock()); len(alerts) != 0 {
+			t.Fatalf("alerts = %v", alerts)
+		}
+	}
+}
+
+func TestEquivocationAndIdempotence(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-eq")
+	env.anchorPolicy(x.polVer, x.polDig)
+	rec := x.pepRequest()
+	env.mustCall("li-t1", MethodLog, rec.Encode())
+	// Identical retry: no alert, no event.
+	evs := env.mustCall("li-t1", MethodLog, rec.Encode())
+	if len(evs) != 0 {
+		t.Fatalf("idempotent retry produced events: %v", evs)
+	}
+	// Conflicting record for the same point: equivocation.
+	conflict := rec
+	conflict.ReqDigest = crypto.Sum([]byte("other"))
+	evs = env.mustCall("li-t1", MethodLog, conflict.Encode())
+	alerts := alertsOf(evs)
+	if len(alerts) != 1 || alerts[0].Type != AlertEquivocation {
+		t.Fatalf("alerts = %v", alerts)
+	}
+	// Original record is preserved.
+	ns := contract.Namespace(env.st, ContractName)
+	stored, ok := ReadStoredRecord(ns, x.reqID, KindPEPRequest)
+	if !ok || stored.ReqDigest != rec.ReqDigest {
+		t.Fatal("original record not preserved")
+	}
+}
+
+func TestAlertDeduplication(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-dd")
+	env.anchorPolicy(x.polVer, x.polDig)
+	env.mustCall("li-t1", MethodLog, x.pepRequest().Encode())
+	tampered := x.pdpRequest()
+	tampered.ReqDigest = crypto.Sum([]byte("evil"))
+	first := alertsOf(env.mustCall("li-infra", MethodLog, tampered.Encode()))
+	if len(first) != 1 {
+		t.Fatalf("first = %v", first)
+	}
+	// Subsequent records re-run checks but must not duplicate the alert.
+	resp := x.pdpResponse()
+	later := alertsOf(env.mustCall("li-infra", MethodLog, resp.Encode()))
+	for _, a := range later {
+		if a.Type == AlertRequestTampered {
+			t.Fatal("M1 alert duplicated")
+		}
+	}
+}
+
+func TestAccessControlOnMethods(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	x := cleanExchange("req-ac")
+	if _, err := env.call("mallory", MethodVerdict, x.verdict(xacml.Permit).Encode()); err == nil {
+		t.Fatal("foreign verdict accepted")
+	}
+	pa := PolicyAnnouncement{Version: "v1", Digest: x.polDig, Active: true}
+	if _, err := env.call("mallory", MethodPolicy, pa.Encode()); err == nil {
+		t.Fatal("foreign policy announcement accepted")
+	}
+	if _, err := env.call("li", "unknown-method", nil); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+}
+
+func TestPolicyReAnchorConflict(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	env.anchorPolicy("v1", crypto.Sum([]byte("a")))
+	pa := PolicyAnnouncement{Version: "v1", Digest: crypto.Sum([]byte("b")), Active: true}
+	if _, err := env.call("pap", MethodPolicy, pa.Encode()); err == nil {
+		t.Fatal("conflicting re-anchor accepted")
+	}
+	// Idempotent same-digest re-anchor is fine.
+	pa2 := PolicyAnnouncement{Version: "v1", Digest: crypto.Sum([]byte("a")), Active: true}
+	if _, err := env.call("pap", MethodPolicy, pa2.Encode()); err != nil {
+		t.Fatalf("idempotent re-anchor rejected: %v", err)
+	}
+}
+
+func TestRecordValidation(t *testing.T) {
+	env := newMatchEnv(t, defaultCfg())
+	bad := []LogRecord{
+		{},                                 // no id
+		{Kind: KindPEPRequest, ReqID: "x"}, // no digest
+		{Kind: "weird", ReqID: "x", ReqDigest: crypto.Sum([]byte("r"))},          // unknown kind
+		{Kind: KindPDPResponse, ReqID: "x", RespDigest: crypto.Sum([]byte("r"))}, // missing tag
+	}
+	for i, rec := range bad {
+		if _, err := env.call("li", MethodLog, rec.Encode()); err == nil {
+			t.Errorf("bad record %d accepted", i)
+		}
+	}
+	if _, err := env.call("li", MethodLog, []byte("{")); err == nil {
+		t.Error("garbage args accepted")
+	}
+	if _, err := env.call("analyser", MethodVerdict, []byte("{")); err == nil {
+		t.Error("garbage verdict accepted")
+	}
+	if _, err := env.call("pap", MethodPolicy, []byte("{")); err == nil {
+		t.Error("garbage policy accepted")
+	}
+	empty := Verdict{ReqID: "", ExpectedTag: crypto.Digest{}}
+	if _, err := env.call("analyser", MethodVerdict, empty.Encode()); err == nil {
+		t.Error("empty verdict accepted")
+	}
+}
+
+func TestDecisionTagProperties(t *testing.T) {
+	// Equal decision+request → equal tags; anything else differs.
+	a := DecisionTag(testKey, "r1", xacml.Permit)
+	if a != DecisionTag(testKey, "r1", xacml.Permit) {
+		t.Fatal("tag not deterministic")
+	}
+	if a == DecisionTag(testKey, "r1", xacml.Deny) {
+		t.Fatal("different decisions share a tag")
+	}
+	if a == DecisionTag(testKey, "r2", xacml.Permit) {
+		t.Fatal("different requests share a tag (replay risk)")
+	}
+	other := crypto.DeriveKey("other", "key")
+	if a == DecisionTag(other, "r1", xacml.Permit) {
+		t.Fatal("different keys share a tag")
+	}
+	// Extended indeterminates collapse: tag is over the simple lattice.
+	if DecisionTag(testKey, "r1", xacml.IndeterminateD) != DecisionTag(testKey, "r1", xacml.IndeterminateDP) {
+		t.Fatal("indeterminate flavours should share a tag")
+	}
+}
+
+func TestEncryptedContextRoundTrip(t *testing.T) {
+	cipher, err := crypto.NewCipher(testKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := xacml.NewRequest("rq").Add(xacml.CatSubject, "role", xacml.String("doctor"))
+	res := xacml.Result{RequestID: "rq", Decision: xacml.Permit}
+	ec := EncryptedContext{Request: req, Result: &res, Enforced: xacml.Permit}
+	sealed, err := ec.Seal(cipher, "rq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := OpenContext(cipher, "rq", sealed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Request.Digest() != req.Digest() || back.Result.Decision != xacml.Permit {
+		t.Fatal("context round trip mismatch")
+	}
+	// Binding to reqID: opening under another request id fails.
+	if _, err := OpenContext(cipher, "other", sealed); err == nil {
+		t.Fatal("context not bound to request id")
+	}
+	// Wrong key fails.
+	otherCipher, _ := crypto.NewCipher(crypto.DeriveKey("x", "y"))
+	if _, err := OpenContext(otherCipher, "rq", sealed); err == nil {
+		t.Fatal("context opened with wrong key")
+	}
+}
+
+func TestAlertEncodeDecodeAndString(t *testing.T) {
+	a := Alert{Type: AlertRequestTampered, ReqID: "r", Tenant: "t", Detail: "d", Height: 4}
+	back, err := DecodeAlert(a.Encode())
+	if err != nil || back != a {
+		t.Fatalf("round trip: %+v %v", back, err)
+	}
+	if !strings.Contains(a.String(), "request-tampered") {
+		t.Fatalf("String() = %q", a.String())
+	}
+	if _, err := DecodeAlert([]byte("{")); err == nil {
+		t.Fatal("garbage alert decoded")
+	}
+	if len(AllAlertTypes()) != 8 {
+		t.Fatalf("alert taxonomy size = %d", len(AllAlertTypes()))
+	}
+}
+
+func TestLogRecordJSONStable(t *testing.T) {
+	x := cleanExchange("req-js")
+	rec := x.pdpResponse()
+	var m map[string]any
+	if err := json.Unmarshal(rec.Encode(), &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{"kind", "reqId", "reqDigest", "respDigest", "decisionTag", "policyVersion", "policyDigest"} {
+		if _, ok := m[field]; !ok {
+			t.Errorf("encoded record missing %q", field)
+		}
+	}
+}

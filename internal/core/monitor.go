@@ -1,0 +1,281 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"drams/internal/blockchain"
+	"drams/internal/clock"
+	"drams/internal/metrics"
+)
+
+// MonitorStats is a snapshot of what the monitor has observed.
+type MonitorStats struct {
+	LogsSeen     int64
+	AlertsSeen   int64
+	Matched      int64
+	AlertsByType map[AlertType]int64
+	// DetectionLatencyMs summarises wall-clock time from TrackSubmission
+	// to the corresponding alert arriving off-chain.
+	DetectionLatencyMs metrics.Summary
+}
+
+// Monitor is the off-chain DRAMS observer: it consumes contract events from
+// a blockchain node, aggregates security alerts, exposes wait primitives
+// for tests/experiments, and measures detection latency. The on-chain state
+// remains the ground truth; the monitor is a (restartable) view.
+type Monitor struct {
+	node *blockchain.Node
+	clk  clock.Clock
+
+	mu        sync.Mutex
+	alerts    []Alert
+	alertKeys map[string]bool // dedupe re-delivered events
+	byType    map[AlertType]int64
+	matched   map[string]uint64 // reqID → height
+	tracked   map[string]time.Time
+	waiters   []*waiter
+	handlers  []func(Alert)
+
+	logsSeen   metrics.Counter
+	alertsSeen metrics.Counter
+	matchedCnt metrics.Counter
+	latency    *metrics.Histogram
+
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	cancelSub func()
+}
+
+type waiter struct {
+	reqID string
+	// alertType empty means "wait for Matched".
+	alertType AlertType
+	ch        chan Alert
+}
+
+// NewMonitor builds a monitor attached to a node.
+func NewMonitor(node *blockchain.Node, clk clock.Clock) *Monitor {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Monitor{
+		node:      node,
+		clk:       clk,
+		alertKeys: make(map[string]bool),
+		byType:    make(map[AlertType]int64),
+		matched:   make(map[string]uint64),
+		tracked:   make(map[string]time.Time),
+		latency:   metrics.NewHistogram(0),
+		stop:      make(chan struct{}),
+	}
+}
+
+// Start begins consuming events.
+func (m *Monitor) Start() {
+	events, cancel := m.node.SubscribeEvents(0)
+	m.cancelSub = cancel
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case note, ok := <-events:
+				if !ok {
+					return
+				}
+				for _, e := range note.Events {
+					m.handleEvent(e.Contract, e.Type, e.Payload, note.Height)
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the monitor.
+func (m *Monitor) Stop() {
+	m.stopOnce.Do(func() { close(m.stop) })
+	if m.cancelSub != nil {
+		m.cancelSub()
+	}
+	m.wg.Wait()
+}
+
+// OnAlert registers a handler invoked (on the monitor goroutine) for every
+// new alert.
+func (m *Monitor) OnAlert(fn func(Alert)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.handlers = append(m.handlers, fn)
+}
+
+// TrackSubmission records the wall-clock submission time of a request's
+// first log so detection latency can be measured end-to-end.
+func (m *Monitor) TrackSubmission(reqID string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.tracked[reqID]; !ok {
+		m.tracked[reqID] = m.clk.Now()
+	}
+}
+
+func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, height uint64) {
+	if contractName != ContractName {
+		return
+	}
+	switch eventType {
+	case EventLogStored:
+		m.logsSeen.Inc()
+	case EventMatched:
+		var body struct {
+			ReqID  string `json:"reqId"`
+			Height uint64 `json:"height"`
+		}
+		if err := json.Unmarshal(payload, &body); err != nil {
+			return
+		}
+		m.matchedCnt.Inc()
+		m.mu.Lock()
+		m.matched[body.ReqID] = height
+		m.notifyLocked(Alert{ReqID: body.ReqID, Height: height}, true)
+		m.mu.Unlock()
+	case EventAlert:
+		a, err := DecodeAlert(payload)
+		if err != nil {
+			return
+		}
+		key := a.ReqID + "|" + string(a.Type)
+		m.mu.Lock()
+		if m.alertKeys[key] {
+			m.mu.Unlock()
+			return
+		}
+		m.alertKeys[key] = true
+		m.alerts = append(m.alerts, a)
+		m.byType[a.Type]++
+		if t0, ok := m.tracked[a.ReqID]; ok {
+			m.latency.ObserveDuration(m.clk.Since(t0))
+		}
+		handlers := make([]func(Alert), len(m.handlers))
+		copy(handlers, m.handlers)
+		m.notifyLocked(a, false)
+		m.mu.Unlock()
+		m.alertsSeen.Inc()
+		for _, fn := range handlers {
+			fn(a)
+		}
+	}
+}
+
+// notifyLocked wakes waiters matching the event. matchedEvent selects
+// waiters for Matched (alertType empty).
+func (m *Monitor) notifyLocked(a Alert, matchedEvent bool) {
+	remaining := m.waiters[:0]
+	for _, w := range m.waiters {
+		hit := w.reqID == a.ReqID &&
+			((matchedEvent && w.alertType == "") || (!matchedEvent && w.alertType == a.Type))
+		if hit {
+			w.ch <- a
+			continue
+		}
+		remaining = append(remaining, w)
+	}
+	m.waiters = remaining
+}
+
+// WaitForAlert blocks until an alert of the given type is seen for reqID.
+func (m *Monitor) WaitForAlert(ctx context.Context, reqID string, t AlertType) (Alert, error) {
+	m.mu.Lock()
+	if m.alertKeys[reqID+"|"+string(t)] {
+		for _, a := range m.alerts {
+			if a.ReqID == reqID && a.Type == t {
+				m.mu.Unlock()
+				return a, nil
+			}
+		}
+	}
+	w := &waiter{reqID: reqID, alertType: t, ch: make(chan Alert, 1)}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	select {
+	case a := <-w.ch:
+		return a, nil
+	case <-ctx.Done():
+		return Alert{}, fmt.Errorf("core: wait for %s on %s: %w", t, reqID, ctx.Err())
+	case <-m.stop:
+		return Alert{}, fmt.Errorf("core: wait for %s on %s: monitor stopped", t, reqID)
+	}
+}
+
+// WaitForMatched blocks until reqID completes cleanly.
+func (m *Monitor) WaitForMatched(ctx context.Context, reqID string) error {
+	m.mu.Lock()
+	if _, ok := m.matched[reqID]; ok {
+		m.mu.Unlock()
+		return nil
+	}
+	w := &waiter{reqID: reqID, ch: make(chan Alert, 1)}
+	m.waiters = append(m.waiters, w)
+	m.mu.Unlock()
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("core: wait for matched %s: %w", reqID, ctx.Err())
+	case <-m.stop:
+		return fmt.Errorf("core: wait for matched %s: monitor stopped", reqID)
+	}
+}
+
+// Alerts returns a copy of all alerts seen so far.
+func (m *Monitor) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// AlertsFor returns the alerts recorded for one request.
+func (m *Monitor) AlertsFor(reqID string) []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Alert
+	for _, a := range m.alerts {
+		if a.ReqID == reqID {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// Matched reports whether a request completed cleanly, and at what height.
+func (m *Monitor) Matched(reqID string) (uint64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.matched[reqID]
+	return h, ok
+}
+
+// Stats snapshots the monitor counters.
+func (m *Monitor) Stats() MonitorStats {
+	m.mu.Lock()
+	byType := make(map[AlertType]int64, len(m.byType))
+	for k, v := range m.byType {
+		byType[k] = v
+	}
+	m.mu.Unlock()
+	return MonitorStats{
+		LogsSeen:           m.logsSeen.Value(),
+		AlertsSeen:         m.alertsSeen.Value(),
+		Matched:            m.matchedCnt.Value(),
+		AlertsByType:       byType,
+		DetectionLatencyMs: m.latency.Snapshot(),
+	}
+}

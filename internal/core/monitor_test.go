@@ -1,0 +1,348 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"drams/internal/blockchain"
+	"drams/internal/clock"
+	"drams/internal/contract"
+	"drams/internal/crypto"
+	"drams/internal/netsim"
+	"drams/internal/xacml"
+)
+
+// nodeEnv is a single mining node with the log-match contract and three
+// allowlisted identities: li, pap, analyser.
+type nodeEnv struct {
+	node     *blockchain.Node
+	li       *crypto.Identity
+	pap      *crypto.Identity
+	analyser *crypto.Identity
+	key      crypto.Key
+}
+
+func newNodeEnv(t *testing.T, cfg MatchConfig) *nodeEnv {
+	t.Helper()
+	mk := func(name string, b byte) *crypto.Identity {
+		var seed [32]byte
+		seed[0] = b
+		copy(seed[1:], name)
+		return crypto.NewIdentityFromSeed(name, seed)
+	}
+	env := &nodeEnv{
+		li:       mk("li", 1),
+		pap:      mk("pap", 2),
+		analyser: mk("analyser", 3),
+		key:      crypto.DeriveKey("monitor-test", "K"),
+	}
+	cfg.PAP = "pap"
+	cfg.Analyser = "analyser"
+	reg := contract.NewRegistry()
+	reg.MustRegister(NewLogMatchContract(cfg))
+	net := netsim.New(netsim.Config{Seed: 21})
+	node, err := blockchain.NewNode(blockchain.NodeConfig{
+		Name: "mon-node",
+		Chain: blockchain.Config{
+			Difficulty: 4,
+			Identities: []crypto.PublicIdentity{env.li.Public(), env.pap.Public(), env.analyser.Public()},
+			Registry:   reg,
+		},
+		Network:            net,
+		Mine:               true,
+		EmptyBlockInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Start()
+	t.Cleanup(func() {
+		node.Stop()
+		net.Close()
+	})
+	env.node = node
+	return env
+}
+
+func (env *nodeEnv) submit(t *testing.T, id *crypto.Identity, method string, args []byte) {
+	t.Helper()
+	sender := blockchain.NewSender(env.node, id)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	rec, err := sender.SendAndWait(ctx, contract.Call{Contract: ContractName, Method: method, Args: args}, 1)
+	if err != nil {
+		t.Fatalf("submit %s: %v", method, err)
+	}
+	if !rec.OK {
+		t.Fatalf("submit %s failed on-chain: %s", method, rec.Err)
+	}
+}
+
+// sealedExchange builds four consistent records with real encrypted
+// contexts so the analyser can process them.
+func sealedExchange(t *testing.T, key crypto.Key, reqID string, role string, decision xacml.Decision, polDig crypto.Digest) []LogRecord {
+	t.Helper()
+	cipher, err := crypto.NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := xacml.NewRequest(reqID).Add(xacml.CatSubject, "role", xacml.String(role))
+	res := xacml.Result{RequestID: reqID, Decision: decision,
+		PolicyID: "root", PolicyVersion: "v1", PolicyDigest: polDig}
+	seal := func(ec EncryptedContext) []byte {
+		b, err := ec.Seal(cipher, reqID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	dt := DecisionTag(key, reqID, decision)
+	return []LogRecord{
+		{Kind: KindPEPRequest, ReqID: reqID, Tenant: "t1", Agent: "a1",
+			ReqDigest: req.Digest(), Payload: seal(EncryptedContext{Request: req})},
+		{Kind: KindPDPRequest, ReqID: reqID, Tenant: "infra", Agent: "a2",
+			ReqDigest: req.Digest(), Payload: seal(EncryptedContext{Request: req})},
+		{Kind: KindPDPResponse, ReqID: reqID, Tenant: "infra", Agent: "a2",
+			ReqDigest: req.Digest(), RespDigest: res.Digest(), DecisionTag: dt,
+			PolicyVersion: "v1", PolicyDigest: polDig,
+			Payload: seal(EncryptedContext{Request: req, Result: &res})},
+		{Kind: KindPEPResponse, ReqID: reqID, Tenant: "t1", Agent: "a1",
+			ReqDigest: req.Digest(), RespDigest: res.Digest(), DecisionTag: dt, EnforcedTag: dt,
+			Payload: seal(EncryptedContext{Request: req, Result: &res, Enforced: decision})},
+	}
+}
+
+func monitorPolicy() *xacml.PolicySet {
+	permit := &xacml.Rule{ID: "permit-doctor", Effect: xacml.EffectPermit,
+		Target: xacml.TargetMatching(xacml.CatSubject, "role", xacml.String("doctor"))}
+	deny := &xacml.Rule{ID: "deny", Effect: xacml.EffectDeny}
+	return &xacml.PolicySet{ID: "root", Version: "v1", Alg: xacml.DenyUnlessPermit,
+		Items: []xacml.PolicyItem{{Policy: &xacml.Policy{ID: "p", Version: "1",
+			Alg: xacml.FirstApplicable, Rules: []*xacml.Rule{permit, deny}}}}}
+}
+
+func TestMonitorSeesMatchedExchange(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 100, RequireVerdict: false})
+	mon := NewMonitor(env.node, clock.System{})
+	mon.Start()
+	defer mon.Stop()
+
+	polDig := crypto.Sum([]byte("policy"))
+	pa := PolicyAnnouncement{Version: "v1", Digest: polDig, Active: true}
+	env.submit(t, env.pap, MethodPolicy, pa.Encode())
+
+	mon.TrackSubmission("m-1")
+	for _, rec := range sealedExchange(t, env.key, "m-1", "doctor", xacml.Permit, polDig) {
+		env.submit(t, env.li, MethodLog, rec.Encode())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := mon.WaitForMatched(ctx, "m-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mon.Matched("m-1"); !ok {
+		t.Fatal("Matched() lost the request")
+	}
+	st := mon.Stats()
+	if st.LogsSeen < 4 || st.Matched != 1 || st.AlertsSeen != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// WaitForMatched returns immediately for an already-matched request.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if err := mon.WaitForMatched(ctx2, "m-1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorAlertFlow(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 100, RequireVerdict: false})
+	mon := NewMonitor(env.node, clock.System{})
+	mon.Start()
+	defer mon.Stop()
+
+	var handled []Alert
+	done := make(chan struct{}, 4)
+	mon.OnAlert(func(a Alert) {
+		handled = append(handled, a)
+		done <- struct{}{}
+	})
+
+	polDig := crypto.Sum([]byte("policy"))
+	env.submit(t, env.pap, MethodPolicy, PolicyAnnouncement{Version: "v1", Digest: polDig, Active: true}.Encode())
+
+	mon.TrackSubmission("bad-1")
+	recs := sealedExchange(t, env.key, "bad-1", "doctor", xacml.Permit, polDig)
+	// Tamper the pdp.request digest → M1.
+	recs[1].ReqDigest = crypto.Sum([]byte("evil"))
+	env.submit(t, env.li, MethodLog, recs[0].Encode())
+	env.submit(t, env.li, MethodLog, recs[1].Encode())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	alert, err := mon.WaitForAlert(ctx, "bad-1", AlertRequestTampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alert.ReqID != "bad-1" {
+		t.Fatalf("alert = %+v", alert)
+	}
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("OnAlert handler not invoked")
+	}
+	// Alerts are recorded and queryable.
+	if got := mon.AlertsFor("bad-1"); len(got) != 1 || got[0].Type != AlertRequestTampered {
+		t.Fatalf("AlertsFor = %v", got)
+	}
+	if got := mon.Alerts(); len(got) != 1 {
+		t.Fatalf("Alerts = %v", got)
+	}
+	// Detection latency was measured for the tracked request.
+	if mon.Stats().DetectionLatencyMs.Count != 1 {
+		t.Fatalf("latency count = %d", mon.Stats().DetectionLatencyMs.Count)
+	}
+	// WaitForAlert on an already-seen alert returns immediately.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	if _, err := mon.WaitForAlert(ctx2, "bad-1", AlertRequestTampered); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonitorWaitCancellation(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 100})
+	mon := NewMonitor(env.node, clock.System{})
+	mon.Start()
+	defer mon.Stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := mon.WaitForAlert(ctx, "never", AlertRequestTampered); err == nil {
+		t.Fatal("expected context error")
+	}
+	if err := mon.WaitForMatched(ctx, "never"); err == nil {
+		t.Fatal("expected context error")
+	}
+}
+
+func TestAnalyserProducesVerdictsAndM5(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 100, RequireVerdict: true})
+	mon := NewMonitor(env.node, clock.System{})
+	mon.Start()
+	defer mon.Stop()
+
+	ps := monitorPolicy()
+	an, err := NewAnalyser("analyser", env.node, env.analyser, env.key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.LoadPolicy(ps)
+	an.Start()
+	defer an.Stop()
+
+	env.submit(t, env.pap, MethodPolicy, PolicyAnnouncement{Version: "v1", Digest: ps.Digest(), Active: true}.Encode())
+	if err := an.VerifyPolicyAnchor(); err != nil {
+		t.Fatalf("anchor verification: %v", err)
+	}
+
+	// Honest exchange: doctor → Permit. Analyser agrees; Matched fires.
+	for _, rec := range sealedExchange(t, env.key, "ok-1", "doctor", xacml.Permit, ps.Digest()) {
+		env.submit(t, env.li, MethodLog, rec.Encode())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := mon.WaitForMatched(ctx, "ok-1"); err != nil {
+		t.Fatal(err)
+	}
+	if an.Stats().VerdictsSubmitted == 0 {
+		t.Fatal("analyser produced no verdicts")
+	}
+	if an.Stats().MismatchesFound != 0 {
+		t.Fatal("honest exchange flagged")
+	}
+
+	// Compromised PDP: doctor → Deny (wrong). Analyser disagrees → M5.
+	for _, rec := range sealedExchange(t, env.key, "bad-1", "doctor", xacml.Deny, ps.Digest()) {
+		env.submit(t, env.li, MethodLog, rec.Encode())
+	}
+	if _, err := mon.WaitForAlert(ctx, "bad-1", AlertDecisionIncorrect); err != nil {
+		t.Fatal(err)
+	}
+	if an.Stats().MismatchesFound == 0 {
+		t.Fatal("analyser did not count the mismatch")
+	}
+	// Direct expected-decision API.
+	req := xacml.NewRequest("x").Add(xacml.CatSubject, "role", xacml.String("doctor"))
+	d, err := an.ExpectedDecision(req)
+	if err != nil || d != xacml.Permit {
+		t.Fatalf("ExpectedDecision = %s, %v", d, err)
+	}
+}
+
+func TestAnalyserWrongKeyCannotVerdict(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 8, RequireVerdict: true})
+	mon := NewMonitor(env.node, clock.System{})
+	mon.Start()
+	defer mon.Stop()
+
+	ps := monitorPolicy()
+	wrongKey := crypto.DeriveKey("wrong", "K")
+	an, err := NewAnalyser("analyser", env.node, env.analyser, wrongKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.LoadPolicy(ps)
+	an.Start()
+	defer an.Stop()
+
+	env.submit(t, env.pap, MethodPolicy, PolicyAnnouncement{Version: "v1", Digest: ps.Digest(), Active: true}.Encode())
+	for _, rec := range sealedExchange(t, env.key, "nk-1", "doctor", xacml.Permit, ps.Digest()) {
+		env.submit(t, env.li, MethodLog, rec.Encode())
+	}
+	// The analyser cannot decrypt the context → no verdict → M5 liveness
+	// alert after the timeout window.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := mon.WaitForAlert(ctx, "nk-1", AlertVerdictMissing); err != nil {
+		t.Fatal(err)
+	}
+	if an.Stats().Failures == 0 {
+		t.Fatal("decrypt failures not counted")
+	}
+}
+
+func TestAnalyserNoPolicy(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 100})
+	an, err := NewAnalyser("analyser", env.node, env.analyser, env.key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := an.ExpectedDecision(xacml.NewRequest("x")); err == nil {
+		t.Fatal("expected error without a policy")
+	}
+	if err := an.VerifyPolicyAnchor(); err == nil {
+		t.Fatal("expected anchor error without a policy")
+	}
+	// With a policy but no anchor on-chain the verification still fails.
+	an.LoadPolicy(monitorPolicy())
+	if err := an.VerifyPolicyAnchor(); err == nil {
+		t.Fatal("expected error with no anchor")
+	}
+}
+
+func TestAnalyserDetectsWrongAnchoredPolicy(t *testing.T) {
+	env := newNodeEnv(t, MatchConfig{TimeoutBlocks: 100})
+	an, err := NewAnalyser("analyser", env.node, env.analyser, env.key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an.LoadPolicy(monitorPolicy())
+	// PAP anchors a different digest: the analyser must refuse its policy.
+	env.submit(t, env.pap, MethodPolicy,
+		PolicyAnnouncement{Version: "v1", Digest: crypto.Sum([]byte("other")), Active: true}.Encode())
+	if err := an.VerifyPolicyAnchor(); err == nil {
+		t.Fatal("analyser accepted a policy that differs from the anchor")
+	}
+}

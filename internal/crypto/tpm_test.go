@@ -1,0 +1,178 @@
+package crypto
+
+import (
+	"errors"
+	"testing"
+)
+
+func newTPM(t *testing.T) *SoftTPM {
+	t.Helper()
+	tpm, err := NewSoftTPM("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tpm
+}
+
+func TestTPMExtendChangesPCR(t *testing.T) {
+	tpm := newTPM(t)
+	before, err := tpm.PCR(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tpm.Extend(0, []byte("li-binary-v1")); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := tpm.PCR(0)
+	if before == after {
+		t.Fatal("Extend did not change PCR")
+	}
+}
+
+func TestTPMExtendOrderMatters(t *testing.T) {
+	a, b := newTPM(t), newTPM(t)
+	_ = a.Extend(0, []byte("x"))
+	_ = a.Extend(0, []byte("y"))
+	_ = b.Extend(0, []byte("y"))
+	_ = b.Extend(0, []byte("x"))
+	pa, _ := a.PCR(0)
+	pb, _ := b.PCR(0)
+	if pa == pb {
+		t.Fatal("measurement order should matter")
+	}
+}
+
+func TestTPMExtendBadIndex(t *testing.T) {
+	tpm := newTPM(t)
+	if err := tpm.Extend(-1, nil); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if err := tpm.Extend(NumPCRs, nil); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := tpm.PCR(NumPCRs); err == nil {
+		t.Fatal("PCR out-of-range accepted")
+	}
+}
+
+func TestTPMSealUnsealHappyPath(t *testing.T) {
+	tpm := newTPM(t)
+	_ = tpm.Extend(1, []byte("li-binary"))
+	handle := tpm.Seal(1<<1, []byte("shared-key-K"))
+	got, err := tpm.Unseal(handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "shared-key-K" {
+		t.Fatalf("unsealed %q", got)
+	}
+}
+
+func TestTPMUnsealFailsAfterTamper(t *testing.T) {
+	tpm := newTPM(t)
+	_ = tpm.Extend(1, []byte("li-binary-v1"))
+	handle := tpm.Seal(1<<1, []byte("K"))
+	// Tampered component gets re-measured at "boot": PCR changes.
+	_ = tpm.Extend(1, []byte("li-binary-TAMPERED"))
+	if _, err := tpm.Unseal(handle); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("unseal after tamper: %v, want ErrSealBroken", err)
+	}
+}
+
+func TestTPMUnsealIgnoresUnboundPCRs(t *testing.T) {
+	tpm := newTPM(t)
+	_ = tpm.Extend(1, []byte("li"))
+	handle := tpm.Seal(1<<1, []byte("K"))
+	// PCR 2 is not in the mask; extending it must not break the seal.
+	_ = tpm.Extend(2, []byte("unrelated"))
+	if _, err := tpm.Unseal(handle); err != nil {
+		t.Fatalf("seal broken by unrelated PCR: %v", err)
+	}
+}
+
+func TestTPMUnsealUnknownHandle(t *testing.T) {
+	tpm := newTPM(t)
+	if _, err := tpm.Unseal("nope"); !errors.Is(err, ErrUnknownHandle) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestTPMQuoteVerifies(t *testing.T) {
+	tpm := newTPM(t)
+	log := &MeasurementLog{}
+	measure := func(idx int, name string, data []byte) {
+		_ = tpm.Extend(idx, data)
+		log.Append(idx, name, data)
+	}
+	measure(0, "li", []byte("li-v1"))
+	measure(1, "agent", []byte("agent-v1"))
+
+	nonce := []byte("verifier-nonce")
+	mask := uint8(1<<0 | 1<<1)
+	q := tpm.GenerateQuote(mask, nonce)
+	expected := log.ExpectedComposite(mask)
+	if err := VerifyQuote(tpm.EndorsementKey(), q, expected, nonce); err != nil {
+		t.Fatalf("quote verification failed: %v", err)
+	}
+}
+
+func TestTPMQuoteDetectsTamper(t *testing.T) {
+	tpm := newTPM(t)
+	log := &MeasurementLog{}
+	_ = tpm.Extend(0, []byte("li-TAMPERED"))
+	log.Append(0, "li", []byte("li-v1")) // verifier expects the good binary
+
+	nonce := []byte("n")
+	q := tpm.GenerateQuote(1<<0, nonce)
+	err := VerifyQuote(tpm.EndorsementKey(), q, log.ExpectedComposite(1<<0), nonce)
+	if err == nil {
+		t.Fatal("tampered component passed attestation")
+	}
+}
+
+func TestTPMQuoteRejectsReplay(t *testing.T) {
+	tpm := newTPM(t)
+	q := tpm.GenerateQuote(1, []byte("nonce-A"))
+	if err := VerifyQuote(tpm.EndorsementKey(), q, q.Composite, []byte("nonce-B")); err == nil {
+		t.Fatal("replayed quote accepted under different nonce")
+	}
+}
+
+func TestTPMQuoteRejectsForgedSignature(t *testing.T) {
+	tpm := newTPM(t)
+	other := newTPM(t)
+	q := tpm.GenerateQuote(1, []byte("n"))
+	if err := VerifyQuote(other.EndorsementKey(), q, q.Composite, []byte("n")); err == nil {
+		t.Fatal("quote accepted under wrong endorsement key")
+	}
+}
+
+func TestMeasurementLogExpectedPCRsMatchTPM(t *testing.T) {
+	tpm := newTPM(t)
+	log := &MeasurementLog{}
+	entries := []struct {
+		idx  int
+		name string
+		data string
+	}{
+		{0, "li", "li-v1"}, {0, "agent", "agent-v1"}, {3, "analyser", "an-v2"},
+	}
+	for _, e := range entries {
+		_ = tpm.Extend(e.idx, []byte(e.data))
+		log.Append(e.idx, e.name, []byte(e.data))
+	}
+	exp := log.ExpectedPCRs()
+	for i := 0; i < NumPCRs; i++ {
+		got, _ := tpm.PCR(i)
+		if got != exp[i] {
+			t.Fatalf("PCR %d: tpm %s vs expected %s", i, got.Short(), exp[i].Short())
+		}
+	}
+	byPCR := log.ComponentsByPCR()
+	if len(byPCR[0]) != 2 || byPCR[0][0] != "agent" {
+		t.Fatalf("ComponentsByPCR = %v", byPCR)
+	}
+	if len(log.Entries()) != 3 {
+		t.Fatalf("entries = %d", len(log.Entries()))
+	}
+}

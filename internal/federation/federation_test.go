@@ -1,0 +1,309 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"drams/internal/netsim"
+	"drams/internal/xacml"
+)
+
+func TestSimpleTopologyShape(t *testing.T) {
+	top := SimpleTopology("f", 3)
+	if err := top.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Clouds) != 3 {
+		t.Fatalf("clouds = %d", len(top.Clouds))
+	}
+	infra, err := top.InfrastructureTenant()
+	if err != nil || infra.Name != "infrastructure" || infra.Cloud != "cloud-1" {
+		t.Fatalf("infra = %+v, %v", infra, err)
+	}
+	edges := top.EdgeTenants()
+	if len(edges) != 3 {
+		t.Fatalf("edges = %v", edges)
+	}
+	onCloud1 := top.TenantsOnCloud("cloud-1")
+	if len(onCloud1) != 2 { // tenant-1 + infrastructure
+		t.Fatalf("cloud-1 tenants = %v", onCloud1)
+	}
+}
+
+func TestTopologyValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		top  Topology
+		want error
+	}{
+		{"no infra", Topology{
+			Clouds:  []Cloud{{Name: "c"}},
+			Tenants: []Tenant{{Name: "t", Cloud: "c"}},
+		}, ErrNoInfrastructure},
+		{"two infra", Topology{
+			Clouds: []Cloud{{Name: "c"}},
+			Tenants: []Tenant{
+				{Name: "t", Cloud: "c"},
+				{Name: "i1", Cloud: "c", Infrastructure: true},
+				{Name: "i2", Cloud: "c", Infrastructure: true},
+			},
+		}, ErrNoInfrastructure},
+		{"unknown cloud", Topology{
+			Clouds:  []Cloud{{Name: "c"}},
+			Tenants: []Tenant{{Name: "t", Cloud: "ghost"}, {Name: "i", Cloud: "c", Infrastructure: true}},
+		}, ErrUnknownCloud},
+		{"dup tenant", Topology{
+			Clouds: []Cloud{{Name: "c"}},
+			Tenants: []Tenant{
+				{Name: "t", Cloud: "c"}, {Name: "t", Cloud: "c"},
+				{Name: "i", Cloud: "c", Infrastructure: true},
+			},
+		}, ErrDuplicateName},
+		{"dup cloud", Topology{
+			Clouds: []Cloud{{Name: "c"}, {Name: "c"}},
+		}, ErrDuplicateName},
+		{"no edges", Topology{
+			Clouds:  []Cloud{{Name: "c"}},
+			Tenants: []Tenant{{Name: "i", Cloud: "c", Infrastructure: true}},
+		}, ErrNoEdgeTenants},
+	}
+	for _, c := range cases {
+		if err := c.top.Validate(); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+// probeRecorder records hook invocations.
+type probeRecorder struct {
+	mu          sync.Mutex
+	pepSent     []*xacml.Request
+	pepReceived []xacml.Decision
+	pepEnforced []xacml.Decision
+	pdpReceived []*xacml.Request
+	pdpSent     []xacml.Decision
+}
+
+func (p *probeRecorder) PEPRequestSent(req *xacml.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pepSent = append(p.pepSent, req)
+}
+func (p *probeRecorder) PEPResponseReceived(req *xacml.Request, res xacml.Result, enforced xacml.Decision) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pepReceived = append(p.pepReceived, res.Decision)
+	p.pepEnforced = append(p.pepEnforced, enforced)
+}
+func (p *probeRecorder) PDPRequestReceived(req *xacml.Request) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pdpReceived = append(p.pdpReceived, req)
+}
+func (p *probeRecorder) PDPResponseSent(req *xacml.Request, res xacml.Result) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pdpSent = append(p.pdpSent, res.Decision)
+}
+
+func acPolicy() *xacml.PolicySet {
+	permit := &xacml.Rule{ID: "permit-doctor", Effect: xacml.EffectPermit,
+		Target: xacml.TargetMatching(xacml.CatSubject, "role", xacml.String("doctor"))}
+	deny := &xacml.Rule{ID: "deny", Effect: xacml.EffectDeny}
+	return &xacml.PolicySet{ID: "root", Version: "v1", Alg: xacml.DenyUnlessPermit,
+		Items: []xacml.PolicyItem{{Policy: &xacml.Policy{ID: "p", Version: "1",
+			Alg: xacml.FirstApplicable, Rules: []*xacml.Rule{permit, deny}}}}}
+}
+
+type acEnv struct {
+	net *netsim.Network
+	pdp *PDPService
+	pep *PEPService
+}
+
+func newACEnv(t *testing.T) (*acEnv, *probeRecorder) {
+	t.Helper()
+	net := netsim.New(netsim.Config{Seed: 4})
+	t.Cleanup(net.Close)
+	pdpSvc, err := NewPDPService(net, xacml.NewPDP(acPolicy()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pep, err := NewPEPService(net, "tenant-1", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &probeRecorder{}
+	pdpSvc.SetProbe(rec)
+	pep.SetProbe(rec)
+	return &acEnv{net: net, pdp: pdpSvc, pep: pep}, rec
+}
+
+func docReq(id, role string) *xacml.Request {
+	return xacml.NewRequest(id).Add(xacml.CatSubject, "role", xacml.String(role))
+}
+
+func TestPEPPDPFlow(t *testing.T) {
+	env, rec := newACEnv(t)
+	enf, err := env.pep.Decide(context.Background(), docReq("r1", "doctor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatalf("decision = %s", enf.Decision)
+	}
+	enf2, err := env.pep.Decide(context.Background(), docReq("r2", "intern"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf2.Permitted() {
+		t.Fatal("intern permitted")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.pepSent) != 2 || len(rec.pdpReceived) != 2 || len(rec.pdpSent) != 2 || len(rec.pepEnforced) != 2 {
+		t.Fatalf("probe counts: %d %d %d %d", len(rec.pepSent), len(rec.pdpReceived), len(rec.pdpSent), len(rec.pepEnforced))
+	}
+	if rec.pepEnforced[0] != xacml.Permit || rec.pepEnforced[1] != xacml.Deny {
+		t.Fatalf("enforced = %v", rec.pepEnforced)
+	}
+	if env.pdp.Evaluations() != 2 {
+		t.Fatalf("pdp evaluations = %d", env.pdp.Evaluations())
+	}
+	st := env.pep.Stats()
+	if st.Requests != 2 || st.Permits != 1 || st.Denies != 1 {
+		t.Fatalf("pep stats = %+v", st)
+	}
+}
+
+func TestTamperHooksObservableOrder(t *testing.T) {
+	env, rec := newACEnv(t)
+	env.pep.SetTamper(&Tamper{
+		Request: func(req *xacml.Request) *xacml.Request {
+			out := xacml.NewRequest(req.ID)
+			out.Add(xacml.CatSubject, "role", xacml.String("doctor"))
+			return out
+		},
+	})
+	enf, err := env.pep.Decide(context.Background(), docReq("r1", "intern"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() {
+		t.Fatal("escalated request should be permitted")
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	// The PEP-side probe saw the original; the PDP-side probe the forged.
+	if !rec.pepSent[0].Get(xacml.CatSubject, "role").Contains(xacml.String("intern")) {
+		t.Fatal("pep probe saw the tampered request")
+	}
+	if !rec.pdpReceived[0].Get(xacml.CatSubject, "role").Contains(xacml.String("doctor")) {
+		t.Fatal("pdp probe did not see the tampered request")
+	}
+}
+
+func TestTamperEnforceAndResponse(t *testing.T) {
+	env, rec := newACEnv(t)
+	env.pep.SetTamper(&Tamper{
+		Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
+	})
+	enf, err := env.pep.Decide(context.Background(), docReq("r1", "intern"))
+	if err != nil || !enf.Permitted() {
+		t.Fatalf("override failed: %v %v", enf, err)
+	}
+	rec.mu.Lock()
+	if rec.pepReceived[0] != xacml.Deny || rec.pepEnforced[0] != xacml.Permit {
+		t.Fatalf("probe saw received=%s enforced=%s", rec.pepReceived[0], rec.pepEnforced[0])
+	}
+	rec.mu.Unlock()
+
+	env.pep.SetTamper(&Tamper{
+		Response: func(res xacml.Result) xacml.Result {
+			res.Decision = xacml.Permit
+			return res
+		},
+	})
+	enf, err = env.pep.Decide(context.Background(), docReq("r2", "intern"))
+	if err != nil || !enf.Permitted() {
+		t.Fatalf("response tamper failed: %v %v", enf, err)
+	}
+	// Clearing restores honesty.
+	env.pep.SetTamper(nil)
+	enf, err = env.pep.Decide(context.Background(), docReq("r3", "intern"))
+	if err != nil || enf.Permitted() {
+		t.Fatalf("tamper not cleared: %v %v", enf, err)
+	}
+}
+
+func TestTamperDrops(t *testing.T) {
+	env, rec := newACEnv(t)
+	env.pep.SetTamper(&Tamper{DropRequest: true})
+	if _, err := env.pep.Decide(context.Background(), docReq("r1", "doctor")); !errors.Is(err, ErrRequestDropped) {
+		t.Fatalf("got %v", err)
+	}
+	rec.mu.Lock()
+	if len(rec.pepSent) != 1 || len(rec.pdpReceived) != 0 {
+		t.Fatalf("drop-request probes: sent=%d pdp=%d", len(rec.pepSent), len(rec.pdpReceived))
+	}
+	rec.mu.Unlock()
+
+	env.pep.SetTamper(&Tamper{DropResponse: true})
+	if _, err := env.pep.Decide(context.Background(), docReq("r2", "doctor")); !errors.Is(err, ErrRequestDropped) {
+		t.Fatalf("got %v", err)
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	if len(rec.pdpSent) != 1 || len(rec.pepEnforced) != 0 {
+		t.Fatalf("drop-response probes: pdpSent=%d enforced=%d", len(rec.pdpSent), len(rec.pepEnforced))
+	}
+}
+
+func TestPEPTimeoutOnPartition(t *testing.T) {
+	env, _ := newACEnv(t)
+	env.net.Partition([]string{PEPAddr("tenant-1")}, []string{PDPAddr})
+	_, err := env.pep.Decide(context.Background(), docReq("r1", "doctor"))
+	if err == nil {
+		t.Fatal("partitioned PEP succeeded")
+	}
+	if st := env.pep.Stats(); st.Failures != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPDPServiceEvaluatorSwap(t *testing.T) {
+	env, _ := newACEnv(t)
+	// Swap in a PDP with a permit-everything policy.
+	open := &xacml.PolicySet{ID: "open", Version: "e", Alg: xacml.PermitUnlessDeny,
+		Items: []xacml.PolicyItem{{Policy: &xacml.Policy{ID: "p", Version: "1",
+			Alg: xacml.FirstApplicable, Rules: []*xacml.Rule{{ID: "p", Effect: xacml.EffectPermit}}}}}}
+	env.pdp.SetEvaluator(xacml.NewPDP(open))
+	enf, err := env.pep.Decide(context.Background(), docReq("r1", "intern"))
+	if err != nil || !enf.Permitted() {
+		t.Fatalf("swap ineffective: %v %v", enf, err)
+	}
+}
+
+func TestDuplicatePEPRegistration(t *testing.T) {
+	net := netsim.New(netsim.Config{Seed: 1})
+	defer net.Close()
+	if _, err := NewPEPService(net, "t", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPEPService(net, "t", 0); err == nil {
+		t.Fatal("duplicate PEP accepted")
+	}
+}
+
+func TestEnforcementPermitted(t *testing.T) {
+	for d, want := range map[xacml.Decision]bool{
+		xacml.Permit: true, xacml.Deny: false, xacml.NotApplicable: false, xacml.IndeterminateDP: false,
+	} {
+		if (Enforcement{Decision: d}).Permitted() != want {
+			t.Errorf("Permitted(%s) != %v", d, want)
+		}
+	}
+}

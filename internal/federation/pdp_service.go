@@ -1,0 +1,88 @@
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+
+	"drams/internal/metrics"
+	"drams/internal/netsim"
+	"drams/internal/xacml"
+)
+
+// Message kind for access-control evaluation calls.
+const kindEvaluate = "ac.eval"
+
+// PDPProbe is the hook interface a DRAMS agent implements at the PDP side
+// (infrastructure tenant).
+type PDPProbe interface {
+	PDPRequestReceived(req *xacml.Request)
+	PDPResponseSent(req *xacml.Request, res xacml.Result)
+}
+
+// PDPService exposes the federation PDP on the network. It wraps an
+// xacml.Evaluator; the attack framework substitutes a compromised evaluator
+// to model altered evaluation processes (threats of paper §I).
+type PDPService struct {
+	ep        *netsim.Endpoint
+	evaluator atomic.Pointer[evalBox]
+	probe     atomic.Pointer[probeBoxPDP]
+
+	evaluations metrics.Counter
+	failures    metrics.Counter
+}
+
+type evalBox struct{ ev xacml.Evaluator }
+type probeBoxPDP struct{ p PDPProbe }
+
+// NewPDPService registers the PDP service on the network at PDPAddr.
+func NewPDPService(net *netsim.Network, evaluator xacml.Evaluator) (*PDPService, error) {
+	ep, err := net.Register(PDPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("federation: register PDP: %w", err)
+	}
+	s := &PDPService{ep: ep}
+	s.evaluator.Store(&evalBox{ev: evaluator})
+	ep.OnCall(kindEvaluate, s.handleEvaluate)
+	return s, nil
+}
+
+// SetEvaluator swaps the decision engine (policy reload or attack
+// injection).
+func (s *PDPService) SetEvaluator(ev xacml.Evaluator) {
+	s.evaluator.Store(&evalBox{ev: ev})
+}
+
+// SetProbe attaches the DRAMS agent hook.
+func (s *PDPService) SetProbe(p PDPProbe) {
+	s.probe.Store(&probeBoxPDP{p: p})
+}
+
+// Evaluations returns how many requests the service has processed.
+func (s *PDPService) Evaluations() int64 { return s.evaluations.Value() }
+
+func (s *PDPService) handleEvaluate(from string, payload []byte) ([]byte, error) {
+	req, err := xacml.DecodeRequest(payload)
+	if err != nil {
+		s.failures.Inc()
+		return nil, fmt.Errorf("federation: PDP decode request: %w", err)
+	}
+	if pb := s.probe.Load(); pb != nil && pb.p != nil {
+		pb.p.PDPRequestReceived(req)
+	}
+	box := s.evaluator.Load()
+	if box == nil || box.ev == nil {
+		s.failures.Inc()
+		return nil, errors.New("federation: PDP has no evaluator")
+	}
+	res, err := box.ev.Evaluate(req)
+	if err != nil {
+		s.failures.Inc()
+		return nil, fmt.Errorf("federation: PDP evaluate: %w", err)
+	}
+	s.evaluations.Inc()
+	if pb := s.probe.Load(); pb != nil && pb.p != nil {
+		pb.p.PDPResponseSent(req, res)
+	}
+	return res.Encode(), nil
+}

@@ -1,0 +1,176 @@
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"drams/internal/metrics"
+	"drams/internal/netsim"
+	"drams/internal/xacml"
+)
+
+// ErrRequestDropped is returned to the application when the exchange was
+// lost (either injected suppression or network failure).
+var ErrRequestDropped = errors.New("federation: access request dropped")
+
+// PEPProbe is the hook interface a DRAMS agent implements at a tenant edge.
+type PEPProbe interface {
+	PEPRequestSent(req *xacml.Request)
+	PEPResponseReceived(req *xacml.Request, res xacml.Result, enforced xacml.Decision)
+}
+
+// Tamper models a compromised data path around one PEP (paper §I threat
+// model: "access requests or responses are modified ... by a malicious user
+// or software"). All fields are optional.
+type Tamper struct {
+	// Request rewrites the request after the probe observed it — i.e. on
+	// the wire between PEP egress and PDP ingress (attack A1).
+	Request func(req *xacml.Request) *xacml.Request
+	// Response rewrites the PDP result before the PEP-side probe observes
+	// arrival — i.e. on the wire between PDP egress and PEP ingress (A2).
+	Response func(res xacml.Result) xacml.Result
+	// Enforce overrides the effect the PEP actually enforces (A3).
+	Enforce func(received xacml.Decision) xacml.Decision
+	// DropRequest suppresses the request after the probe logged it (A6).
+	DropRequest bool
+	// DropResponse suppresses the response before the PEP-side probe
+	// could log it (A7): the exchange never completes at the edge.
+	DropResponse bool
+}
+
+// Enforcement is what the PEP hands back to the application.
+type Enforcement struct {
+	Decision    xacml.Decision     `json:"decision"`
+	Obligations []xacml.Obligation `json:"obligations,omitempty"`
+}
+
+// Permitted reports whether access is granted (XACML: only an explicit
+// Permit grants; everything else is treated as not granted by a
+// deny-biased PEP).
+func (e Enforcement) Permitted() bool { return e.Decision == xacml.Permit }
+
+// PEPService is the tenant-edge Policy Enforcement Point.
+type PEPService struct {
+	tenant  string
+	ep      *netsim.Endpoint
+	timeout time.Duration
+
+	probe  atomic.Pointer[probeBoxPEP]
+	tamper atomic.Pointer[Tamper]
+
+	requests metrics.Counter
+	permits  metrics.Counter
+	denies   metrics.Counter
+	failures metrics.Counter
+}
+
+type probeBoxPEP struct{ p PEPProbe }
+
+// NewPEPService registers a PEP for a tenant on the network.
+func NewPEPService(net *netsim.Network, tenant string, timeout time.Duration) (*PEPService, error) {
+	ep, err := net.Register(PEPAddr(tenant))
+	if err != nil {
+		return nil, fmt.Errorf("federation: register PEP %q: %w", tenant, err)
+	}
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return &PEPService{tenant: tenant, ep: ep, timeout: timeout}, nil
+}
+
+// Tenant returns the tenant this PEP serves.
+func (s *PEPService) Tenant() string { return s.tenant }
+
+// SetProbe attaches the DRAMS agent hook.
+func (s *PEPService) SetProbe(p PEPProbe) { s.probe.Store(&probeBoxPEP{p: p}) }
+
+// SetTamper installs (or clears, with nil) attack injection.
+func (s *PEPService) SetTamper(t *Tamper) {
+	if t == nil {
+		t = &Tamper{}
+	}
+	s.tamper.Store(t)
+}
+
+// PEPStats snapshot.
+type PEPStats struct {
+	Requests, Permits, Denies, Failures int64
+}
+
+// Stats snapshots the counters.
+func (s *PEPService) Stats() PEPStats {
+	return PEPStats{
+		Requests: s.requests.Value(),
+		Permits:  s.permits.Value(),
+		Denies:   s.denies.Value(),
+		Failures: s.failures.Value(),
+	}
+}
+
+// Decide runs the full PEP flow for an application request: probe, forward
+// to the PDP, receive, probe, enforce. It returns what was enforced.
+func (s *PEPService) Decide(ctx context.Context, req *xacml.Request) (Enforcement, error) {
+	s.requests.Inc()
+	tam := s.tamper.Load()
+
+	// Probe sees the request as the application/PEP formed it.
+	if pb := s.probe.Load(); pb != nil && pb.p != nil {
+		pb.p.PEPRequestSent(req)
+	}
+
+	// In-transit tampering / suppression happens after the probe.
+	wire := req
+	if tam != nil {
+		if tam.DropRequest {
+			s.failures.Inc()
+			return Enforcement{Decision: xacml.IndeterminateDP}, ErrRequestDropped
+		}
+		if tam.Request != nil {
+			wire = tam.Request(req.Clone())
+		}
+	}
+
+	callCtx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
+	raw, err := s.ep.Call(callCtx, PDPAddr, kindEvaluate, wire.Encode())
+	if err != nil {
+		s.failures.Inc()
+		return Enforcement{Decision: xacml.IndeterminateDP}, fmt.Errorf("federation: PEP %s → PDP: %w", s.tenant, err)
+	}
+	res, err := xacml.DecodeResult(raw)
+	if err != nil {
+		s.failures.Inc()
+		return Enforcement{Decision: xacml.IndeterminateDP}, err
+	}
+
+	// Response-side tampering/suppression happens before the probe sees
+	// the arrival (the probe observes the tenant edge).
+	if tam != nil {
+		if tam.DropResponse {
+			s.failures.Inc()
+			return Enforcement{Decision: xacml.IndeterminateDP}, ErrRequestDropped
+		}
+		if tam.Response != nil {
+			res = tam.Response(res)
+		}
+	}
+
+	enforced := res.Decision
+	if tam != nil && tam.Enforce != nil {
+		enforced = tam.Enforce(res.Decision)
+	}
+
+	if pb := s.probe.Load(); pb != nil && pb.p != nil {
+		pb.p.PEPResponseReceived(req, res, enforced)
+	}
+
+	if enforced == xacml.Permit {
+		s.permits.Inc()
+	} else {
+		s.denies.Inc()
+	}
+	return Enforcement{Decision: enforced, Obligations: res.Obligations}, nil
+}

@@ -1,0 +1,119 @@
+package logger
+
+import (
+	"context"
+	"time"
+
+	"drams/internal/clock"
+	"drams/internal/core"
+	"drams/internal/metrics"
+	"drams/internal/xacml"
+)
+
+// Agent is a probing agent: it senses access-control activity at the
+// interception points of its tenant and forwards observations to the local
+// Logging Interface (paper §II: "Probing agents for intercepting and
+// forwarding data to create access logs").
+//
+// Agents are passive sensors: an observation failure never blocks or alters
+// the access-control flow; it is counted and the M3 timeout check surfaces
+// the gap.
+type Agent struct {
+	name   string
+	tenant string
+	li     *LI
+	clk    clock.Clock
+
+	observed metrics.Counter
+	errors   metrics.Counter
+
+	// timeout bounds confirmed-mode submissions so a stalled chain cannot
+	// block the access path indefinitely.
+	timeout time.Duration
+}
+
+// AgentStats snapshot.
+type AgentStats struct {
+	Observed int64
+	Errors   int64
+}
+
+// NewAgent builds an agent forwarding to li.
+func NewAgent(name, tenant string, li *LI, clk clock.Clock) *Agent {
+	if clk == nil {
+		clk = clock.System{}
+	}
+	return &Agent{name: name, tenant: tenant, li: li, clk: clk, timeout: 30 * time.Second}
+}
+
+// Name returns the agent name.
+func (a *Agent) Name() string { return a.name }
+
+// Stats snapshots the agent counters.
+func (a *Agent) Stats() AgentStats {
+	return AgentStats{Observed: a.observed.Value(), Errors: a.errors.Value()}
+}
+
+func (a *Agent) submit(rec core.LogRecord, ec core.EncryptedContext) {
+	a.observed.Inc()
+	payload, err := a.li.Seal(ec, rec.ReqID)
+	if err != nil {
+		a.errors.Inc()
+		return
+	}
+	rec.Payload = payload
+	rec.Agent = a.name
+	rec.Tenant = a.tenant
+	rec.TimestampUnixNano = a.clk.Now().UnixNano()
+	ctx, cancel := context.WithTimeout(context.Background(), a.timeout)
+	defer cancel()
+	if err := a.li.Log(ctx, rec); err != nil {
+		a.errors.Inc()
+	}
+}
+
+// PEPRequestSent records that the tenant's PEP sent req towards the PDP.
+func (a *Agent) PEPRequestSent(req *xacml.Request) {
+	a.submit(core.LogRecord{
+		Kind:      core.KindPEPRequest,
+		ReqID:     req.ID,
+		ReqDigest: req.Digest(),
+	}, core.EncryptedContext{Request: req})
+}
+
+// PDPRequestReceived records that the PDP received req.
+func (a *Agent) PDPRequestReceived(req *xacml.Request) {
+	a.submit(core.LogRecord{
+		Kind:      core.KindPDPRequest,
+		ReqID:     req.ID,
+		ReqDigest: req.Digest(),
+	}, core.EncryptedContext{Request: req})
+}
+
+// PDPResponseSent records the decision the PDP sent for req. The sealed
+// context includes the request so the Analyser can re-derive the expected
+// decision.
+func (a *Agent) PDPResponseSent(req *xacml.Request, res xacml.Result) {
+	a.submit(core.LogRecord{
+		Kind:          core.KindPDPResponse,
+		ReqID:         req.ID,
+		ReqDigest:     req.Digest(),
+		RespDigest:    res.Digest(),
+		DecisionTag:   a.li.DecisionTag(req.ID, res.Decision),
+		PolicyVersion: res.PolicyVersion,
+		PolicyDigest:  res.PolicyDigest,
+	}, core.EncryptedContext{Request: req, Result: &res})
+}
+
+// PEPResponseReceived records the response as it arrived at the PEP and
+// the effect the PEP actually enforced.
+func (a *Agent) PEPResponseReceived(req *xacml.Request, res xacml.Result, enforced xacml.Decision) {
+	a.submit(core.LogRecord{
+		Kind:        core.KindPEPResponse,
+		ReqID:       req.ID,
+		ReqDigest:   req.Digest(),
+		RespDigest:  res.Digest(),
+		DecisionTag: a.li.DecisionTag(req.ID, res.Decision),
+		EnforcedTag: a.li.DecisionTag(req.ID, enforced),
+	}, core.EncryptedContext{Request: req, Result: &res, Enforced: enforced})
+}

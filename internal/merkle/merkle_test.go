@@ -1,0 +1,217 @@
+package merkle
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"drams/internal/crypto"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("leaf-%d", i))
+	}
+	return out
+}
+
+func TestBuildEmptyFails(t *testing.T) {
+	if _, err := Build(nil); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := BuildFromHashes(nil); !errors.Is(err, ErrEmptyTree) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr, err := Build(leaves(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root() != LeafHash([]byte("leaf-0")) {
+		t.Fatal("single-leaf root should be the leaf hash")
+	}
+	p, err := tr.Prove(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Steps) != 0 {
+		t.Fatalf("single leaf proof has %d steps", len(p.Steps))
+	}
+	if !Verify(tr.Root(), []byte("leaf-0"), p) {
+		t.Fatal("single leaf proof failed")
+	}
+}
+
+func TestProofsVerifyAllSizes(t *testing.T) {
+	for n := 1; n <= 33; n++ {
+		ls := leaves(n)
+		tr, err := Build(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.Len() != n {
+			t.Fatalf("Len = %d, want %d", tr.Len(), n)
+		}
+		for i := 0; i < n; i++ {
+			p, err := tr.Prove(i)
+			if err != nil {
+				t.Fatalf("n=%d Prove(%d): %v", n, i, err)
+			}
+			if !Verify(tr.Root(), ls[i], p) {
+				t.Fatalf("n=%d leaf %d proof failed", n, i)
+			}
+		}
+	}
+}
+
+func TestProofRejectsWrongLeaf(t *testing.T) {
+	ls := leaves(10)
+	tr, _ := Build(ls)
+	p, _ := tr.Prove(3)
+	if Verify(tr.Root(), []byte("not-the-leaf"), p) {
+		t.Fatal("proof verified for wrong payload")
+	}
+	if Verify(tr.Root(), ls[4], p) {
+		t.Fatal("proof for index 3 verified leaf 4")
+	}
+}
+
+func TestProofRejectsWrongRoot(t *testing.T) {
+	ls := leaves(8)
+	tr, _ := Build(ls)
+	p, _ := tr.Prove(0)
+	other, _ := Build(leaves(9))
+	if Verify(other.Root(), ls[0], p) {
+		t.Fatal("proof verified under wrong root")
+	}
+}
+
+func TestProofIndexRange(t *testing.T) {
+	tr, _ := Build(leaves(4))
+	if _, err := tr.Prove(-1); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := tr.Prove(4); !errors.Is(err, ErrIndexRange) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestRootChangesWithAnyLeafChange(t *testing.T) {
+	base := leaves(16)
+	tr, _ := Build(base)
+	root := tr.Root()
+	for i := range base {
+		mutated := leaves(16)
+		mutated[i] = append(mutated[i], 'X')
+		tr2, _ := Build(mutated)
+		if tr2.Root() == root {
+			t.Fatalf("mutating leaf %d did not change root", i)
+		}
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	// An interior node value must never equal a leaf hash of the
+	// concatenated children (second-preimage defence).
+	l, r := LeafHash([]byte("a")), LeafHash([]byte("b"))
+	node := NodeHash(l, r)
+	concat := append(l.Bytes(), r.Bytes()...)
+	if node == LeafHash(concat) {
+		t.Fatal("interior node collides with leaf hash")
+	}
+}
+
+func TestOddPromotionNoDuplicateAmbiguity(t *testing.T) {
+	// With duplicate-last-leaf trees, [a,b,c] and [a,b,c,c] share a root;
+	// promotion must distinguish them.
+	t3, _ := Build(leaves(3))
+	ls4 := leaves(3)
+	ls4 = append(ls4, ls4[2])
+	t4, _ := Build(ls4)
+	if t3.Root() == t4.Root() {
+		t.Fatal("odd-promotion tree has duplicate-leaf ambiguity")
+	}
+}
+
+func TestBuildFromHashesMatchesBuild(t *testing.T) {
+	ls := leaves(7)
+	hashes := make([]crypto.Digest, len(ls))
+	for i, l := range ls {
+		hashes[i] = LeafHash(l)
+	}
+	a, _ := Build(ls)
+	b, _ := BuildFromHashes(hashes)
+	if a.Root() != b.Root() {
+		t.Fatal("Build and BuildFromHashes disagree")
+	}
+	p, _ := b.Prove(2)
+	if !VerifyHash(b.Root(), hashes[2], p) {
+		t.Fatal("VerifyHash failed")
+	}
+}
+
+func TestRootOfConveniences(t *testing.T) {
+	if !RootOf(nil).IsZero() {
+		t.Fatal("RootOf(nil) should be zero digest")
+	}
+	if !RootOfHashes(nil).IsZero() {
+		t.Fatal("RootOfHashes(nil) should be zero digest")
+	}
+	ls := leaves(5)
+	tr, _ := Build(ls)
+	if RootOf(ls) != tr.Root() {
+		t.Fatal("RootOf mismatch")
+	}
+}
+
+// Property: every proof of every leaf verifies, and no proof verifies a
+// mutated payload.
+func TestProofsPropertyBased(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 60}
+	err := quick.Check(func(payloads [][]byte, flip uint8) bool {
+		if len(payloads) == 0 {
+			return true
+		}
+		if len(payloads) > 64 {
+			payloads = payloads[:64]
+		}
+		tr, err := Build(payloads)
+		if err != nil {
+			return false
+		}
+		idx := int(flip) % len(payloads)
+		p, err := tr.Prove(idx)
+		if err != nil {
+			return false
+		}
+		if !Verify(tr.Root(), payloads[idx], p) {
+			return false
+		}
+		mutated := append(append([]byte(nil), payloads[idx]...), 0xAB)
+		return !Verify(tr.Root(), mutated, p)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: proofs are non-transferable across indices unless payloads equal.
+func TestProofNonTransferable(t *testing.T) {
+	ls := leaves(32)
+	tr, _ := Build(ls)
+	for i := 0; i < 32; i++ {
+		p, _ := tr.Prove(i)
+		for j := 0; j < 32; j++ {
+			if i == j {
+				continue
+			}
+			if Verify(tr.Root(), ls[j], p) {
+				t.Fatalf("proof for %d verified leaf %d", i, j)
+			}
+		}
+	}
+}

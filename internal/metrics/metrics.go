@@ -1,0 +1,294 @@
+// Package metrics implements the lightweight instrumentation used by the
+// DRAMS experiment harness: counters, gauges and latency histograms with
+// percentile summaries. All types are safe for concurrent use and the zero
+// values of Counter and Gauge are ready to use.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready to
+// use.
+type Counter struct{ n atomic.Int64 }
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (which must be >= 0) to the counter.
+func (c *Counter) Add(delta int64) {
+	if delta < 0 {
+		return
+	}
+	c.n.Add(delta)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to use.
+type Gauge struct{ n atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) { g.n.Store(v) }
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.n.Load() }
+
+// Histogram records observations and reports percentile summaries. It stores
+// raw samples (bounded by maxSamples with reservoir-style replacement) so
+// percentiles are exact for experiments of moderate size.
+type Histogram struct {
+	mu         sync.Mutex
+	samples    []float64
+	count      int64
+	sum        float64
+	min, max   float64
+	maxSamples int
+	rngState   uint64
+}
+
+// NewHistogram returns a Histogram retaining at most maxSamples raw samples
+// (64k if maxSamples <= 0).
+func NewHistogram(maxSamples int) *Histogram {
+	if maxSamples <= 0 {
+		maxSamples = 1 << 16
+	}
+	return &Histogram{
+		maxSamples: maxSamples,
+		min:        math.Inf(1),
+		max:        math.Inf(-1),
+		rngState:   0x853c49e6748fea9b,
+	}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	if len(h.samples) < h.maxSamples {
+		h.samples = append(h.samples, v)
+		return
+	}
+	// Reservoir sampling keeps percentiles unbiased once full.
+	h.rngState = h.rngState*6364136223846793005 + 1442695040888963407
+	idx := h.rngState % uint64(h.count)
+	if idx < uint64(h.maxSamples) {
+		h.samples[idx] = v
+	}
+}
+
+// ObserveDuration records a duration sample in milliseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Millisecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the arithmetic mean of all observations (0 if none).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min returns the smallest observation (0 if none).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation (0 if none).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) over retained samples, using
+// linear interpolation. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(h.samples))
+	copy(sorted, h.samples)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary is a point-in-time percentile snapshot of a Histogram.
+type Summary struct {
+	Count            int64
+	Mean             float64
+	Min, Max         float64
+	P50, P90, P99    float64
+	StdDev           float64
+	TotalObservation float64
+}
+
+// Snapshot computes a Summary.
+func (h *Histogram) Snapshot() Summary {
+	h.mu.Lock()
+	count := h.count
+	sum := h.sum
+	samples := make([]float64, len(h.samples))
+	copy(samples, h.samples)
+	mn, mx := h.min, h.max
+	h.mu.Unlock()
+
+	s := Summary{Count: count, TotalObservation: sum}
+	if count == 0 {
+		return s
+	}
+	s.Mean = sum / float64(count)
+	s.Min, s.Max = mn, mx
+	sort.Float64s(samples)
+	q := func(p float64) float64 {
+		if len(samples) == 0 {
+			return 0
+		}
+		pos := p * float64(len(samples)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		if lo == hi {
+			return samples[lo]
+		}
+		frac := pos - float64(lo)
+		return samples[lo]*(1-frac) + samples[hi]*frac
+	}
+	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
+	var ss float64
+	for _, v := range samples {
+		d := v - s.Mean
+		ss += d * d
+	}
+	if len(samples) > 1 {
+		s.StdDev = math.Sqrt(ss / float64(len(samples)-1))
+	}
+	return s
+}
+
+// String renders the summary as a compact single line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f p50=%.3f p90=%.3f p99=%.3f min=%.3f max=%.3f",
+		s.Count, s.Mean, s.P50, s.P90, s.P99, s.Min, s.Max)
+}
+
+// Registry groups named metrics for an experiment run.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty Registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = NewHistogram(0)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Dump renders all metrics sorted by name, one per line.
+func (r *Registry) Dump() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("hist %s: %s", name, h.Snapshot()))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // negative deltas ignored
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 16000 {
+		t.Fatalf("concurrent counter = %d, want 16000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Fatalf("gauge = %d, want 6", got)
+	}
+}
+
+func TestHistogramBasicStats(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v, want 50.5", got)
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram(0)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i))
+	}
+	cases := []struct {
+		q    float64
+		want float64
+		tol  float64
+	}{
+		{0, 1, 0}, {1, 1000, 0}, {0.5, 500.5, 1}, {0.9, 900, 2}, {0.99, 990, 2},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); math.Abs(got-c.want) > c.tol {
+			t.Errorf("q%.2f = %v, want ~%v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0)
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 {
+		t.Fatalf("empty snapshot: %+v", s)
+	}
+}
+
+func TestHistogramReservoirBounded(t *testing.T) {
+	h := NewHistogram(128)
+	for i := 0; i < 10000; i++ {
+		h.Observe(float64(i))
+	}
+	if len(h.samples) > 128 {
+		t.Fatalf("reservoir grew to %d", len(h.samples))
+	}
+	if h.Count() != 10000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	// Percentiles over the reservoir should still be roughly right.
+	if p50 := h.Quantile(0.5); p50 < 2000 || p50 > 8000 {
+		t.Fatalf("reservoir p50 = %v grossly off", p50)
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	h := NewHistogram(0)
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Mean(); math.Abs(got-1.5) > 1e-9 {
+		t.Fatalf("duration ms = %v, want 1.5", got)
+	}
+}
+
+func TestSnapshotStdDev(t *testing.T) {
+	h := NewHistogram(0)
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	// Sample stddev of this classic set is ~2.138.
+	if math.Abs(s.StdDev-2.138) > 0.01 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if !strings.Contains(s.String(), "n=8") {
+		t.Fatalf("summary string: %s", s)
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("registry did not return same counter")
+	}
+	r.Gauge("g").Set(5)
+	r.Histogram("h").Observe(1)
+	dump := r.Dump()
+	for _, want := range []string{"counter x = 1", "gauge g = 5", "hist h"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("dump missing %q:\n%s", want, dump)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(1024)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				h.Observe(float64(j))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 8000 {
+		t.Fatalf("count = %d, want 8000", h.Count())
+	}
+}

@@ -1,0 +1,462 @@
+// Package netsim simulates the federation network connecting tenants, clouds
+// and monitoring components. All DRAMS traffic — PEP→PDP access requests,
+// agent→LI log submissions, LI→blockchain transactions and block gossip —
+// flows through a Network, which can inject latency, jitter, message loss,
+// link faults, crashes and partitions. This is the substitution for a real
+// multi-datacenter deployment: goroutine-per-node on one box with explicit,
+// controllable asynchrony (DESIGN.md §4).
+//
+// Two delivery modes are supported:
+//
+//   - Asynchronous (default): each message is delivered on its own goroutine
+//     after the sampled latency, exercising real concurrency.
+//   - Synchronous: messages are delivered inline on the sender's goroutine
+//     with zero latency, giving deterministic unit tests.
+package netsim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drams/internal/clock"
+	"drams/internal/idgen"
+	"drams/internal/metrics"
+)
+
+var (
+	// ErrUnknownAddress is returned when sending to an unregistered address.
+	ErrUnknownAddress = errors.New("netsim: unknown address")
+	// ErrAddressInUse is returned when registering a duplicate address.
+	ErrAddressInUse = errors.New("netsim: address already registered")
+	// ErrDropped is returned to callers when the network dropped the request
+	// or the reply (Call only; one-way sends are dropped silently, as on a
+	// real network).
+	ErrDropped = errors.New("netsim: message dropped")
+	// ErrNoHandler is returned when the peer has no handler for a call kind.
+	ErrNoHandler = errors.New("netsim: no handler for message kind")
+	// ErrCrashed is returned when the destination endpoint is crashed.
+	ErrCrashed = errors.New("netsim: endpoint crashed")
+	// ErrNetworkClosed is returned after Network.Close.
+	ErrNetworkClosed = errors.New("netsim: network closed")
+)
+
+// Message is the unit of delivery.
+type Message struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+	corrID  uint64
+	isReply bool
+	callErr string
+}
+
+// Config controls network behaviour.
+type Config struct {
+	// BaseLatency is the minimum one-way delivery delay.
+	BaseLatency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// DropRate is the probability in [0,1] that any one-way delivery is lost.
+	DropRate float64
+	// Seed makes latency and drop sampling reproducible.
+	Seed uint64
+	// Clock is the time source; defaults to the system clock.
+	Clock clock.Clock
+	// Synchronous delivers messages inline with zero latency.
+	Synchronous bool
+}
+
+// Stats aggregates network-level counters.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	Bytes     int64
+}
+
+// Network routes messages between registered endpoints.
+type Network struct {
+	cfg   Config
+	clk   clock.Clock
+	rng   *idgen.Rand
+	corr  atomic.Uint64
+	wg    sync.WaitGroup
+	state struct {
+		sync.Mutex
+		endpoints map[string]*Endpoint
+		groups    map[string]int // partition group per address; absent = 0
+		links     map[string]linkFault
+		closed    bool
+	}
+	sent      metrics.Counter
+	delivered metrics.Counter
+	dropped   metrics.Counter
+	bytes     metrics.Counter
+}
+
+type linkFault struct {
+	dropRate     float64
+	extraLatency time.Duration
+}
+
+// New constructs a Network.
+func New(cfg Config) *Network {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.System{}
+	}
+	n := &Network{cfg: cfg, clk: cfg.Clock, rng: idgen.NewRand(cfg.Seed)}
+	n.state.endpoints = make(map[string]*Endpoint)
+	n.state.groups = make(map[string]int)
+	n.state.links = make(map[string]linkFault)
+	return n
+}
+
+// Stats returns a snapshot of the traffic counters.
+func (n *Network) Stats() Stats {
+	return Stats{
+		Sent:      n.sent.Value(),
+		Delivered: n.delivered.Value(),
+		Dropped:   n.dropped.Value(),
+		Bytes:     n.bytes.Value(),
+	}
+}
+
+// Register creates an endpoint bound to addr.
+func (n *Network) Register(addr string) (*Endpoint, error) {
+	n.state.Lock()
+	defer n.state.Unlock()
+	if n.state.closed {
+		return nil, ErrNetworkClosed
+	}
+	if _, ok := n.state.endpoints[addr]; ok {
+		return nil, fmt.Errorf("netsim: register %q: %w", addr, ErrAddressInUse)
+	}
+	ep := &Endpoint{
+		net:      n,
+		addr:     addr,
+		msgH:     make(map[string]func(from string, payload []byte)),
+		callH:    make(map[string]func(from string, payload []byte) ([]byte, error)),
+		pending:  make(map[uint64]chan Message),
+		defaultH: nil,
+	}
+	n.state.endpoints[addr] = ep
+	return ep, nil
+}
+
+// Unregister removes addr from the network.
+func (n *Network) Unregister(addr string) {
+	n.state.Lock()
+	defer n.state.Unlock()
+	delete(n.state.endpoints, addr)
+	delete(n.state.groups, addr)
+}
+
+// Addresses lists registered endpoint addresses.
+func (n *Network) Addresses() []string {
+	n.state.Lock()
+	defer n.state.Unlock()
+	out := make([]string, 0, len(n.state.endpoints))
+	for a := range n.state.endpoints {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Partition splits the network: each group's addresses can talk to each
+// other but not across groups. Addresses not mentioned stay in group 0.
+func (n *Network) Partition(groups ...[]string) {
+	n.state.Lock()
+	defer n.state.Unlock()
+	n.state.groups = make(map[string]int)
+	for gi, group := range groups {
+		for _, a := range group {
+			n.state.groups[a] = gi + 1
+		}
+	}
+}
+
+// Heal removes all partitions.
+func (n *Network) Heal() {
+	n.state.Lock()
+	defer n.state.Unlock()
+	n.state.groups = make(map[string]int)
+}
+
+// SetLinkFault configures per-link loss and extra latency for traffic in
+// either direction between a and b.
+func (n *Network) SetLinkFault(a, b string, dropRate float64, extraLatency time.Duration) {
+	n.state.Lock()
+	defer n.state.Unlock()
+	n.state.links[linkKey(a, b)] = linkFault{dropRate: dropRate, extraLatency: extraLatency}
+}
+
+// ClearLinkFault removes any fault on the a–b link.
+func (n *Network) ClearLinkFault(a, b string) {
+	n.state.Lock()
+	defer n.state.Unlock()
+	delete(n.state.links, linkKey(a, b))
+}
+
+func linkKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "|" + b
+}
+
+// Close shuts the network down and waits for in-flight deliveries.
+func (n *Network) Close() {
+	n.state.Lock()
+	n.state.closed = true
+	n.state.Unlock()
+	n.wg.Wait()
+}
+
+// route decides whether a message may travel from src to dst and with what
+// latency; it does not deliver.
+func (n *Network) route(src, dst string, size int) (latency time.Duration, drop bool, err error) {
+	n.state.Lock()
+	if n.state.closed {
+		n.state.Unlock()
+		return 0, false, ErrNetworkClosed
+	}
+	_, ok := n.state.endpoints[dst]
+	gs, gd := n.state.groups[src], n.state.groups[dst]
+	fault, hasFault := n.state.links[linkKey(src, dst)]
+	n.state.Unlock()
+
+	if !ok {
+		return 0, false, fmt.Errorf("netsim: route to %q: %w", dst, ErrUnknownAddress)
+	}
+	if gs != gd {
+		// Partitioned: behaves as silent loss, like a real partition.
+		return 0, true, nil
+	}
+	dropRate := n.cfg.DropRate
+	extra := time.Duration(0)
+	if hasFault {
+		dropRate = 1 - (1-dropRate)*(1-fault.dropRate)
+		extra = fault.extraLatency
+	}
+	if dropRate > 0 && n.rng.Float64() < dropRate {
+		return 0, true, nil
+	}
+	latency = n.cfg.BaseLatency + extra
+	if n.cfg.Jitter > 0 {
+		latency += time.Duration(n.rng.Uint64() % uint64(n.cfg.Jitter))
+	}
+	_ = size
+	return latency, false, nil
+}
+
+// deliver performs the actual handoff to the destination endpoint.
+func (n *Network) deliver(msg Message) {
+	n.state.Lock()
+	ep, ok := n.state.endpoints[msg.To]
+	n.state.Unlock()
+	if !ok {
+		n.dropped.Inc()
+		return
+	}
+	if ep.isCrashed() {
+		n.dropped.Inc()
+		return
+	}
+	n.delivered.Inc()
+	ep.dispatch(msg)
+}
+
+// send schedules a message for delivery, respecting faults and latency.
+func (n *Network) send(msg Message) error {
+	n.sent.Inc()
+	n.bytes.Add(int64(len(msg.Payload)))
+	latency, drop, err := n.route(msg.From, msg.To, len(msg.Payload))
+	if err != nil {
+		return err
+	}
+	if drop {
+		n.dropped.Inc()
+		return nil
+	}
+	if n.cfg.Synchronous {
+		n.deliver(msg)
+		return nil
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		if latency > 0 {
+			n.clk.Sleep(latency)
+		}
+		n.deliver(msg)
+	}()
+	return nil
+}
+
+// Endpoint is one addressable participant.
+type Endpoint struct {
+	net     *Network
+	addr    string
+	crashed atomic.Bool
+
+	mu       sync.RWMutex
+	msgH     map[string]func(from string, payload []byte)
+	callH    map[string]func(from string, payload []byte) ([]byte, error)
+	defaultH func(msg Message)
+	pending  map[uint64]chan Message
+}
+
+// Addr returns the endpoint's address.
+func (e *Endpoint) Addr() string { return e.addr }
+
+// OnMessage registers a handler for one-way messages of the given kind.
+func (e *Endpoint) OnMessage(kind string, fn func(from string, payload []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.msgH[kind] = fn
+}
+
+// OnCall registers a request handler for the given kind.
+func (e *Endpoint) OnCall(kind string, fn func(from string, payload []byte) ([]byte, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.callH[kind] = fn
+}
+
+// OnDefault registers a catch-all handler invoked for one-way messages with
+// no kind-specific handler.
+func (e *Endpoint) OnDefault(fn func(msg Message)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.defaultH = fn
+}
+
+// Crash makes the endpoint drop all traffic until Restart.
+func (e *Endpoint) Crash() { e.crashed.Store(true) }
+
+// Restart brings a crashed endpoint back.
+func (e *Endpoint) Restart() { e.crashed.Store(false) }
+
+func (e *Endpoint) isCrashed() bool { return e.crashed.Load() }
+
+// Send transmits a one-way message. Loss is silent by design.
+func (e *Endpoint) Send(to, kind string, payload []byte) error {
+	if e.isCrashed() {
+		return ErrCrashed
+	}
+	return e.net.send(Message{From: e.addr, To: to, Kind: kind, Payload: payload})
+}
+
+// Broadcast sends the message to every registered address except the sender
+// and any listed exclusions.
+func (e *Endpoint) Broadcast(kind string, payload []byte, except ...string) {
+	skip := make(map[string]bool, len(except)+1)
+	skip[e.addr] = true
+	for _, a := range except {
+		skip[a] = true
+	}
+	for _, a := range e.net.Addresses() {
+		if skip[a] {
+			continue
+		}
+		// Best effort: unregistered races and closed network are non-fatal
+		// for gossip.
+		_ = e.Send(a, kind, payload)
+	}
+}
+
+// Call sends a request and waits for the reply or ctx cancellation.
+func (e *Endpoint) Call(ctx context.Context, to, kind string, payload []byte) ([]byte, error) {
+	if e.isCrashed() {
+		return nil, ErrCrashed
+	}
+	corr := e.net.corr.Add(1)
+	ch := make(chan Message, 1)
+	e.mu.Lock()
+	e.pending[corr] = ch
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.pending, corr)
+		e.mu.Unlock()
+	}()
+
+	msg := Message{From: e.addr, To: to, Kind: kind, Payload: payload, corrID: corr}
+	if err := e.net.send(msg); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.callErr != "" {
+			return nil, remoteError(reply.callErr)
+		}
+		return reply.Payload, nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("netsim: call %s/%s: %w", to, kind, ctx.Err())
+	}
+}
+
+// remoteError maps a wire error string back onto sentinel errors where
+// possible so callers can use errors.Is across the network boundary.
+func remoteError(s string) error {
+	switch s {
+	case ErrNoHandler.Error():
+		return ErrNoHandler
+	case ErrDropped.Error():
+		return ErrDropped
+	default:
+		return errors.New(s)
+	}
+}
+
+// dispatch runs on the delivery goroutine.
+func (e *Endpoint) dispatch(msg Message) {
+	if msg.isReply {
+		e.mu.RLock()
+		ch, ok := e.pending[msg.corrID]
+		e.mu.RUnlock()
+		if ok {
+			select {
+			case ch <- msg:
+			default:
+			}
+		}
+		return
+	}
+	if msg.corrID != 0 {
+		// Request/response call.
+		e.mu.RLock()
+		fn, ok := e.callH[msg.Kind]
+		e.mu.RUnlock()
+		reply := Message{From: e.addr, To: msg.From, Kind: msg.Kind, corrID: msg.corrID, isReply: true}
+		if !ok {
+			reply.callErr = ErrNoHandler.Error()
+		} else {
+			out, err := fn(msg.From, msg.Payload)
+			if err != nil {
+				reply.callErr = err.Error()
+			} else {
+				reply.Payload = out
+			}
+		}
+		// Replies travel the same faulty network.
+		_ = e.net.send(reply)
+		return
+	}
+	e.mu.RLock()
+	fn, ok := e.msgH[msg.Kind]
+	def := e.defaultH
+	e.mu.RUnlock()
+	if ok {
+		fn(msg.From, msg.Payload)
+		return
+	}
+	if def != nil {
+		def(msg)
+	}
+}

@@ -1,0 +1,299 @@
+// Package store implements a small embedded key-value store with an optional
+// write-ahead log for durability. It backs the classical-database half of the
+// hybrid database+blockchain design (paper §III, reference [9]) and the
+// persistence layer of blockchain nodes.
+//
+// The store is deliberately simple — an in-memory sorted map with an
+// append-only JSON-lines WAL — because the experiments only require ordered
+// iteration, atomic batches and crash-recovery replay, not a full LSM tree.
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is returned by Get for missing keys.
+var ErrNotFound = errors.New("store: key not found")
+
+// ErrClosed is returned for operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// Op is a WAL operation type.
+type Op string
+
+// WAL operation kinds.
+const (
+	OpPut    Op = "put"
+	OpDelete Op = "del"
+)
+
+// walRecord is one serialized WAL entry.
+type walRecord struct {
+	Op    Op     `json:"op"`
+	Key   string `json:"key"`
+	Value []byte `json:"value,omitempty"`
+	Batch int    `json:"batch,omitempty"` // records in this atomic batch (set on first record)
+}
+
+// KV is the embedded store. Create with Open (durable) or NewMemory.
+type KV struct {
+	mu     sync.RWMutex
+	data   map[string][]byte
+	wal    *os.File
+	walBuf *bufio.Writer
+	path   string
+	closed bool
+	writes int64
+}
+
+// NewMemory returns a volatile in-memory store.
+func NewMemory() *KV {
+	return &KV{data: make(map[string][]byte)}
+}
+
+// Open opens (creating if necessary) a durable store whose WAL lives at path.
+// Existing WAL records are replayed into memory.
+func Open(path string) (*KV, error) {
+	kv := &KV{data: make(map[string][]byte), path: path}
+	if err := kv.replay(path); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open WAL %s: %w", path, err)
+	}
+	kv.wal = f
+	kv.walBuf = bufio.NewWriter(f)
+	return kv, nil
+}
+
+func (kv *KV) replay(path string) error {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: replay WAL %s: %w", path, err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn final record after a crash is expected; stop replay there.
+			break
+		}
+		kv.applyLocked(rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("store: replay WAL %s: %w", path, err)
+	}
+	return nil
+}
+
+func (kv *KV) applyLocked(rec walRecord) {
+	switch rec.Op {
+	case OpPut:
+		kv.data[rec.Key] = rec.Value
+	case OpDelete:
+		delete(kv.data, rec.Key)
+	}
+}
+
+func (kv *KV) appendWAL(recs ...walRecord) error {
+	if kv.walBuf == nil {
+		return nil
+	}
+	for _, rec := range recs {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return fmt.Errorf("store: encode WAL record: %w", err)
+		}
+		if _, err := kv.walBuf.Write(append(b, '\n')); err != nil {
+			return fmt.Errorf("store: append WAL: %w", err)
+		}
+	}
+	return kv.walBuf.Flush()
+}
+
+// Put stores value under key.
+func (kv *KV) Put(key string, value []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	if err := kv.appendWAL(walRecord{Op: OpPut, Key: key, Value: cp}); err != nil {
+		return err
+	}
+	kv.data[key] = cp
+	kv.writes++
+	return nil
+}
+
+// Get retrieves the value stored under key. The returned slice is a copy.
+func (kv *KV) Get(key string) ([]byte, error) {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	if kv.closed {
+		return nil, ErrClosed
+	}
+	v, ok := kv.data[key]
+	if !ok {
+		return nil, fmt.Errorf("store: get %q: %w", key, ErrNotFound)
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, nil
+}
+
+// Has reports whether key exists.
+func (kv *KV) Has(key string) bool {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	_, ok := kv.data[key]
+	return ok
+}
+
+// Delete removes key; deleting a missing key is not an error.
+func (kv *KV) Delete(key string) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	if err := kv.appendWAL(walRecord{Op: OpDelete, Key: key}); err != nil {
+		return err
+	}
+	delete(kv.data, key)
+	kv.writes++
+	return nil
+}
+
+// Batch applies a set of puts atomically: either all land in the WAL or none
+// are applied to memory.
+func (kv *KV) Batch(puts map[string][]byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	keys := make([]string, 0, len(puts))
+	for k := range puts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	recs := make([]walRecord, 0, len(keys))
+	for i, k := range keys {
+		cp := make([]byte, len(puts[k]))
+		copy(cp, puts[k])
+		rec := walRecord{Op: OpPut, Key: k, Value: cp}
+		if i == 0 {
+			rec.Batch = len(keys)
+		}
+		recs = append(recs, rec)
+	}
+	if err := kv.appendWAL(recs...); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		kv.data[rec.Key] = rec.Value
+	}
+	kv.writes += int64(len(recs))
+	return nil
+}
+
+// Keys returns all keys with the given prefix in sorted order.
+func (kv *KV) Keys(prefix string) []string {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	var keys []string
+	for k := range kv.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Range calls fn for each key/value with the given prefix in sorted key
+// order; iteration stops early if fn returns false. The value slice passed to
+// fn must not be retained or mutated.
+func (kv *KV) Range(prefix string, fn func(key string, value []byte) bool) {
+	for _, k := range kv.Keys(prefix) {
+		kv.mu.RLock()
+		v, ok := kv.data[k]
+		kv.mu.RUnlock()
+		if !ok {
+			continue
+		}
+		if !fn(k, v) {
+			return
+		}
+	}
+}
+
+// Len returns the number of live keys.
+func (kv *KV) Len() int {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return len(kv.data)
+}
+
+// Writes returns the count of mutating operations applied, which the
+// experiment harness uses as a cheap write-amplification probe.
+func (kv *KV) Writes() int64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.writes
+}
+
+// TamperUnderlying mutates a stored value *without* going through the WAL or
+// the public API. It exists solely for experiments that simulate an attacker
+// with direct database access (hybrid-store audit, E4/E5); production code
+// must never call it. It returns false if the key does not exist.
+func (kv *KV) TamperUnderlying(key string, newValue []byte) bool {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if _, ok := kv.data[key]; !ok {
+		return false
+	}
+	kv.data[key] = append([]byte(nil), newValue...)
+	return true
+}
+
+// Close flushes and closes the WAL. Further operations return ErrClosed.
+func (kv *KV) Close() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return nil
+	}
+	kv.closed = true
+	if kv.walBuf != nil {
+		if err := kv.walBuf.Flush(); err != nil {
+			return fmt.Errorf("store: close flush: %w", err)
+		}
+	}
+	if kv.wal != nil {
+		if err := kv.wal.Close(); err != nil {
+			return fmt.Errorf("store: close WAL: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryPutGet(t *testing.T) {
+	kv := NewMemory()
+	if err := kv.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := kv.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "1" {
+		t.Fatalf("got %q", v)
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	kv := NewMemory()
+	if _, err := kv.Get("missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	kv := NewMemory()
+	_ = kv.Put("a", []byte("1"))
+	if err := kv.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if kv.Has("a") {
+		t.Fatal("key survives delete")
+	}
+	if err := kv.Delete("never-existed"); err != nil {
+		t.Fatalf("deleting missing key errored: %v", err)
+	}
+}
+
+func TestValueIsolation(t *testing.T) {
+	kv := NewMemory()
+	orig := []byte("abc")
+	_ = kv.Put("k", orig)
+	orig[0] = 'X' // caller mutates after Put
+	v, _ := kv.Get("k")
+	if string(v) != "abc" {
+		t.Fatalf("Put did not copy: %q", v)
+	}
+	v[0] = 'Y' // caller mutates returned value
+	v2, _ := kv.Get("k")
+	if string(v2) != "abc" {
+		t.Fatalf("Get did not copy: %q", v2)
+	}
+}
+
+func TestKeysPrefixSorted(t *testing.T) {
+	kv := NewMemory()
+	for _, k := range []string{"b/2", "a/1", "b/1", "c", "b/10"} {
+		_ = kv.Put(k, []byte(k))
+	}
+	got := kv.Keys("b/")
+	want := []string{"b/1", "b/10", "b/2"}
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRangeEarlyStop(t *testing.T) {
+	kv := NewMemory()
+	for i := 0; i < 10; i++ {
+		_ = kv.Put(fmt.Sprintf("k/%02d", i), []byte{byte(i)})
+	}
+	var visited int
+	kv.Range("k/", func(key string, value []byte) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d, want 3", visited)
+	}
+}
+
+func TestBatchAtomicVisible(t *testing.T) {
+	kv := NewMemory()
+	err := kv.Batch(map[string][]byte{"x": []byte("1"), "y": []byte("2"), "z": []byte("3")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kv.Len() != 3 {
+		t.Fatalf("len = %d", kv.Len())
+	}
+}
+
+func TestWALPersistence(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+
+	kv, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = kv.Put("a", []byte("1"))
+	_ = kv.Put("b", []byte("2"))
+	_ = kv.Delete("a")
+	_ = kv.Batch(map[string][]byte{"c": []byte("3"), "d": []byte("4")})
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	kv2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if kv2.Has("a") {
+		t.Fatal("deleted key resurrected")
+	}
+	for k, want := range map[string]string{"b": "2", "c": "3", "d": "4"} {
+		v, err := kv2.Get(k)
+		if err != nil || string(v) != want {
+			t.Fatalf("after replay %s = %q (%v), want %q", k, v, err, want)
+		}
+	}
+}
+
+func TestWALTornTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	kv, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = kv.Put("good", []byte("1"))
+	_ = kv.Close()
+	// Simulate a crash mid-write: append a torn (invalid JSON) record.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _ = f.WriteString(`{"op":"put","key":"torn","val`)
+	_ = f.Close()
+
+	kv2, err := Open(path)
+	if err != nil {
+		t.Fatalf("replay with torn tail: %v", err)
+	}
+	defer kv2.Close()
+	if !kv2.Has("good") {
+		t.Fatal("good record lost")
+	}
+	if kv2.Has("torn") {
+		t.Fatal("torn record applied")
+	}
+}
+
+func TestClosedStoreRejectsOps(t *testing.T) {
+	dir := t.TempDir()
+	kv, err := Open(filepath.Join(dir, "w"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = kv.Close()
+	if err := kv.Put("a", nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Put after close: %v", err)
+	}
+	if _, err := kv.Get("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Get after close: %v", err)
+	}
+	if err := kv.Delete("a"); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Delete after close: %v", err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestTamperUnderlyingBypassesWAL(t *testing.T) {
+	kv := NewMemory()
+	_ = kv.Put("k", []byte("honest"))
+	if !kv.TamperUnderlying("k", []byte("evil")) {
+		t.Fatal("tamper failed")
+	}
+	v, _ := kv.Get("k")
+	if string(v) != "evil" {
+		t.Fatalf("got %q", v)
+	}
+	if kv.TamperUnderlying("missing", nil) {
+		t.Fatal("tampering a missing key reported success")
+	}
+}
+
+func TestWritesCounter(t *testing.T) {
+	kv := NewMemory()
+	_ = kv.Put("a", nil)
+	_ = kv.Delete("a")
+	_ = kv.Batch(map[string][]byte{"b": nil, "c": nil})
+	if got := kv.Writes(); got != 4 {
+		t.Fatalf("writes = %d, want 4", got)
+	}
+}
+
+func TestPropertyPutGetRoundTrip(t *testing.T) {
+	kv := NewMemory()
+	if err := quick.Check(func(key string, value []byte) bool {
+		if err := kv.Put(key, value); err != nil {
+			return false
+		}
+		got, err := kv.Get(key)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, value)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALBinaryValues(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	kv, _ := Open(path)
+	binary := []byte{0, 1, 2, 255, 254, '\n', '"', '\\'}
+	_ = kv.Put("bin", binary)
+	_ = kv.Close()
+	kv2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	got, err := kv2.Get("bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, binary) {
+		t.Fatalf("binary round trip: % x", got)
+	}
+}

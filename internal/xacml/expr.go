@@ -1,0 +1,396 @@
+package xacml
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// CmpOp is a comparison operator for condition expressions and target
+// matches.
+type CmpOp string
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = "=="
+	CmpNe CmpOp = "!="
+	CmpLt CmpOp = "<"
+	CmpLe CmpOp = "<="
+	CmpGt CmpOp = ">"
+	CmpGe CmpOp = ">="
+	// CmpPrefix matches string values with the literal as prefix.
+	CmpPrefix CmpOp = "prefix"
+)
+
+// applyCmp evaluates one scalar comparison.
+func applyCmp(op CmpOp, attr, lit Value) (bool, error) {
+	switch op {
+	case CmpEq:
+		if attr.T != lit.T {
+			return false, fmt.Errorf("%w: %s vs %s", ErrTypeMismatch, attr.T, lit.T)
+		}
+		return attr.Equal(lit), nil
+	case CmpNe:
+		if attr.T != lit.T {
+			return false, fmt.Errorf("%w: %s vs %s", ErrTypeMismatch, attr.T, lit.T)
+		}
+		return !attr.Equal(lit), nil
+	case CmpLt, CmpLe, CmpGt, CmpGe:
+		c, err := attr.Compare(lit)
+		if err != nil {
+			return false, err
+		}
+		switch op {
+		case CmpLt:
+			return c < 0, nil
+		case CmpLe:
+			return c <= 0, nil
+		case CmpGt:
+			return c > 0, nil
+		default:
+			return c >= 0, nil
+		}
+	case CmpPrefix:
+		if attr.T != TypeString || lit.T != TypeString {
+			return false, fmt.Errorf("%w: prefix needs strings", ErrTypeMismatch)
+		}
+		return strings.HasPrefix(attr.S, lit.S), nil
+	default:
+		return false, fmt.Errorf("xacml: unknown comparison %q", op)
+	}
+}
+
+// Expr is a boolean condition expression over a request. Implementations
+// are pure; Eval never mutates the request.
+type Expr interface {
+	// Eval computes the truth value; errors make the enclosing rule
+	// Indeterminate.
+	Eval(r *Request) (bool, error)
+	// Walk visits this node then its children.
+	Walk(fn func(Expr))
+	// String renders a debug form.
+	String() string
+
+	exprJSON() exprEnvelope
+}
+
+// Compile-time interface checks.
+var (
+	_ Expr = (*AndExpr)(nil)
+	_ Expr = (*OrExpr)(nil)
+	_ Expr = (*NotExpr)(nil)
+	_ Expr = (*CmpExpr)(nil)
+	_ Expr = (*InExpr)(nil)
+	_ Expr = (*PresentExpr)(nil)
+	_ Expr = (*ConstExpr)(nil)
+)
+
+// AndExpr is boolean conjunction. XACML logical functions are strict with
+// respect to errors except where short-circuiting yields a determined
+// result: a False operand makes the whole conjunction False regardless of
+// errors elsewhere.
+type AndExpr struct{ Args []Expr }
+
+// Eval implements Expr.
+func (e *AndExpr) Eval(r *Request) (bool, error) {
+	var firstErr error
+	for _, a := range e.Args {
+		v, err := a.Eval(r)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !v {
+			return false, nil
+		}
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return true, nil
+}
+
+// Walk implements Expr.
+func (e *AndExpr) Walk(fn func(Expr)) {
+	fn(e)
+	for _, a := range e.Args {
+		a.Walk(fn)
+	}
+}
+
+// String implements Expr.
+func (e *AndExpr) String() string { return nary("and", e.Args) }
+
+// OrExpr is boolean disjunction (True dominates errors).
+type OrExpr struct{ Args []Expr }
+
+// Eval implements Expr.
+func (e *OrExpr) Eval(r *Request) (bool, error) {
+	var firstErr error
+	for _, a := range e.Args {
+		v, err := a.Eval(r)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if v {
+			return true, nil
+		}
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return false, nil
+}
+
+// Walk implements Expr.
+func (e *OrExpr) Walk(fn func(Expr)) {
+	fn(e)
+	for _, a := range e.Args {
+		a.Walk(fn)
+	}
+}
+
+// String implements Expr.
+func (e *OrExpr) String() string { return nary("or", e.Args) }
+
+// NotExpr is boolean negation.
+type NotExpr struct{ Arg Expr }
+
+// Eval implements Expr.
+func (e *NotExpr) Eval(r *Request) (bool, error) {
+	v, err := e.Arg.Eval(r)
+	if err != nil {
+		return false, err
+	}
+	return !v, nil
+}
+
+// Walk implements Expr.
+func (e *NotExpr) Walk(fn func(Expr)) {
+	fn(e)
+	e.Arg.Walk(fn)
+}
+
+// String implements Expr.
+func (e *NotExpr) String() string { return "(not " + e.Arg.String() + ")" }
+
+// CmpExpr compares an attribute bag against a literal: true iff at least
+// one bag value satisfies the comparison ("any-of" semantics).
+type CmpExpr struct {
+	Op   CmpOp
+	Attr Designator
+	Lit  Value
+}
+
+// Eval implements Expr.
+func (e *CmpExpr) Eval(r *Request) (bool, error) {
+	bag, err := e.Attr.Resolve(r)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range bag {
+		ok, err := applyCmp(e.Op, v, e.Lit)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Walk implements Expr.
+func (e *CmpExpr) Walk(fn func(Expr)) { fn(e) }
+
+// String implements Expr.
+func (e *CmpExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Attr.Key(), e.Op, e.Lit)
+}
+
+// InExpr is set membership: true iff at least one bag value equals one of
+// the literals.
+type InExpr struct {
+	Attr Designator
+	Set  []Value
+}
+
+// Eval implements Expr.
+func (e *InExpr) Eval(r *Request) (bool, error) {
+	bag, err := e.Attr.Resolve(r)
+	if err != nil {
+		return false, err
+	}
+	for _, v := range bag {
+		for _, lit := range e.Set {
+			if v.Equal(lit) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+// Walk implements Expr.
+func (e *InExpr) Walk(fn func(Expr)) { fn(e) }
+
+// String implements Expr.
+func (e *InExpr) String() string {
+	parts := make([]string, len(e.Set))
+	for i, v := range e.Set {
+		parts[i] = v.String()
+	}
+	return fmt.Sprintf("(%s in {%s})", e.Attr.Key(), strings.Join(parts, ","))
+}
+
+// PresentExpr is true iff the designated bag is non-empty.
+type PresentExpr struct{ Attr Designator }
+
+// Eval implements Expr.
+func (e *PresentExpr) Eval(r *Request) (bool, error) {
+	// Presence testing ignores MustBePresent by definition.
+	return !r.Get(e.Attr.Cat, e.Attr.ID).IsEmpty(), nil
+}
+
+// Walk implements Expr.
+func (e *PresentExpr) Walk(fn func(Expr)) { fn(e) }
+
+// String implements Expr.
+func (e *PresentExpr) String() string { return "(present " + e.Attr.Key() + ")" }
+
+// ConstExpr is a boolean literal.
+type ConstExpr struct{ Val bool }
+
+// Eval implements Expr.
+func (e *ConstExpr) Eval(r *Request) (bool, error) { return e.Val, nil }
+
+// Walk implements Expr.
+func (e *ConstExpr) Walk(fn func(Expr)) { fn(e) }
+
+// String implements Expr.
+func (e *ConstExpr) String() string { return fmt.Sprintf("%t", e.Val) }
+
+func nary(op string, args []Expr) string {
+	parts := make([]string, len(args))
+	for i, a := range args {
+		parts[i] = a.String()
+	}
+	return "(" + op + " " + strings.Join(parts, " ") + ")"
+}
+
+// exprEnvelope is the tagged-union JSON form of an Expr.
+type exprEnvelope struct {
+	Op   string          `json:"op"`
+	Args []exprEnvelope  `json:"args,omitempty"`
+	Cmp  CmpOp           `json:"cmp,omitempty"`
+	Attr *Designator     `json:"attr,omitempty"`
+	Lit  *Value          `json:"lit,omitempty"`
+	Set  []Value         `json:"set,omitempty"`
+	Val  bool            `json:"val,omitempty"`
+	Raw  json.RawMessage `json:"-"`
+}
+
+func (e *AndExpr) exprJSON() exprEnvelope {
+	return exprEnvelope{Op: "and", Args: envelopes(e.Args)}
+}
+func (e *OrExpr) exprJSON() exprEnvelope {
+	return exprEnvelope{Op: "or", Args: envelopes(e.Args)}
+}
+func (e *NotExpr) exprJSON() exprEnvelope {
+	return exprEnvelope{Op: "not", Args: []exprEnvelope{e.Arg.exprJSON()}}
+}
+func (e *CmpExpr) exprJSON() exprEnvelope {
+	attr := e.Attr
+	lit := e.Lit
+	return exprEnvelope{Op: "cmp", Cmp: e.Op, Attr: &attr, Lit: &lit}
+}
+func (e *InExpr) exprJSON() exprEnvelope {
+	attr := e.Attr
+	return exprEnvelope{Op: "in", Attr: &attr, Set: e.Set}
+}
+func (e *PresentExpr) exprJSON() exprEnvelope {
+	attr := e.Attr
+	return exprEnvelope{Op: "present", Attr: &attr}
+}
+func (e *ConstExpr) exprJSON() exprEnvelope {
+	return exprEnvelope{Op: "const", Val: e.Val}
+}
+
+func envelopes(args []Expr) []exprEnvelope {
+	out := make([]exprEnvelope, len(args))
+	for i, a := range args {
+		out[i] = a.exprJSON()
+	}
+	return out
+}
+
+// MarshalExpr serialises an expression tree to JSON.
+func MarshalExpr(e Expr) ([]byte, error) {
+	if e == nil {
+		return []byte("null"), nil
+	}
+	return json.Marshal(e.exprJSON())
+}
+
+// UnmarshalExpr parses an expression tree from JSON ("null" yields nil).
+func UnmarshalExpr(data []byte) (Expr, error) {
+	if len(data) == 0 || string(data) == "null" {
+		return nil, nil
+	}
+	var env exprEnvelope
+	if err := json.Unmarshal(data, &env); err != nil {
+		return nil, fmt.Errorf("xacml: unmarshal expr: %w", err)
+	}
+	return exprFromEnvelope(env)
+}
+
+func exprFromEnvelope(env exprEnvelope) (Expr, error) {
+	switch env.Op {
+	case "and", "or":
+		args := make([]Expr, len(env.Args))
+		for i, a := range env.Args {
+			e, err := exprFromEnvelope(a)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = e
+		}
+		if env.Op == "and" {
+			return &AndExpr{Args: args}, nil
+		}
+		return &OrExpr{Args: args}, nil
+	case "not":
+		if len(env.Args) != 1 {
+			return nil, fmt.Errorf("xacml: not expects 1 arg, got %d", len(env.Args))
+		}
+		arg, err := exprFromEnvelope(env.Args[0])
+		if err != nil {
+			return nil, err
+		}
+		return &NotExpr{Arg: arg}, nil
+	case "cmp":
+		if env.Attr == nil || env.Lit == nil {
+			return nil, fmt.Errorf("xacml: cmp expr missing attr/lit")
+		}
+		return &CmpExpr{Op: env.Cmp, Attr: *env.Attr, Lit: *env.Lit}, nil
+	case "in":
+		if env.Attr == nil {
+			return nil, fmt.Errorf("xacml: in expr missing attr")
+		}
+		return &InExpr{Attr: *env.Attr, Set: env.Set}, nil
+	case "present":
+		if env.Attr == nil {
+			return nil, fmt.Errorf("xacml: present expr missing attr")
+		}
+		return &PresentExpr{Attr: *env.Attr}, nil
+	case "const":
+		return &ConstExpr{Val: env.Val}, nil
+	default:
+		return nil, fmt.Errorf("xacml: unknown expr op %q", env.Op)
+	}
+}

@@ -1,0 +1,225 @@
+package xacml
+
+import (
+	"strings"
+	"testing"
+)
+
+func reqWith(kv map[AttributeID]Value) *Request {
+	r := NewRequest("t")
+	for id, v := range kv {
+		r.Add(CatSubject, id, v)
+	}
+	return r
+}
+
+func TestCmpExprAllOps(t *testing.T) {
+	r := reqWith(map[AttributeID]Value{"n": Int(5), "s": String("abcdef")})
+	des := func(id AttributeID) Designator { return Designator{Cat: CatSubject, ID: id} }
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{&CmpExpr{Op: CmpEq, Attr: des("n"), Lit: Int(5)}, true},
+		{&CmpExpr{Op: CmpEq, Attr: des("n"), Lit: Int(6)}, false},
+		{&CmpExpr{Op: CmpNe, Attr: des("n"), Lit: Int(6)}, true},
+		{&CmpExpr{Op: CmpLt, Attr: des("n"), Lit: Int(6)}, true},
+		{&CmpExpr{Op: CmpLe, Attr: des("n"), Lit: Int(5)}, true},
+		{&CmpExpr{Op: CmpGt, Attr: des("n"), Lit: Int(4)}, true},
+		{&CmpExpr{Op: CmpGe, Attr: des("n"), Lit: Int(6)}, false},
+		{&CmpExpr{Op: CmpPrefix, Attr: des("s"), Lit: String("abc")}, true},
+		{&CmpExpr{Op: CmpPrefix, Attr: des("s"), Lit: String("xyz")}, false},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestCmpExprAnyOfBagSemantics(t *testing.T) {
+	r := NewRequest("t").
+		Add(CatSubject, "role", String("nurse")).
+		Add(CatSubject, "role", String("doctor"))
+	e := &CmpExpr{Op: CmpEq, Attr: Designator{Cat: CatSubject, ID: "role"}, Lit: String("doctor")}
+	got, err := e.Eval(r)
+	if err != nil || !got {
+		t.Fatalf("any-of bag semantics failed: %v %v", got, err)
+	}
+}
+
+func TestCmpExprErrors(t *testing.T) {
+	r := reqWith(map[AttributeID]Value{"n": Int(5)})
+	// Type mismatch.
+	e := &CmpExpr{Op: CmpEq, Attr: Designator{Cat: CatSubject, ID: "n"}, Lit: String("5")}
+	if _, err := e.Eval(r); err == nil {
+		t.Fatal("type mismatch not reported")
+	}
+	// MustBePresent missing.
+	e2 := &CmpExpr{Op: CmpEq, Attr: Designator{Cat: CatSubject, ID: "ghost", MustBePresent: true}, Lit: Int(1)}
+	if _, err := e2.Eval(r); err == nil {
+		t.Fatal("missing attr not reported")
+	}
+	// Optional missing → false, no error.
+	e3 := &CmpExpr{Op: CmpEq, Attr: Designator{Cat: CatSubject, ID: "ghost"}, Lit: Int(1)}
+	got, err := e3.Eval(r)
+	if err != nil || got {
+		t.Fatalf("optional missing: %v %v", got, err)
+	}
+}
+
+func TestInExpr(t *testing.T) {
+	r := reqWith(map[AttributeID]Value{"role": String("b")})
+	e := &InExpr{Attr: Designator{Cat: CatSubject, ID: "role"}, Set: []Value{String("a"), String("b")}}
+	if got, _ := e.Eval(r); !got {
+		t.Fatal("in-set value not found")
+	}
+	e2 := &InExpr{Attr: Designator{Cat: CatSubject, ID: "role"}, Set: []Value{String("x")}}
+	if got, _ := e2.Eval(r); got {
+		t.Fatal("out-of-set value matched")
+	}
+}
+
+func TestPresentExpr(t *testing.T) {
+	r := reqWith(map[AttributeID]Value{"role": String("x")})
+	if got, _ := (&PresentExpr{Attr: Designator{Cat: CatSubject, ID: "role"}}).Eval(r); !got {
+		t.Fatal("present attr reported absent")
+	}
+	// Present ignores MustBePresent (no error for absent).
+	e := &PresentExpr{Attr: Designator{Cat: CatSubject, ID: "ghost", MustBePresent: true}}
+	got, err := e.Eval(r)
+	if err != nil || got {
+		t.Fatalf("absent attr: %v %v", got, err)
+	}
+}
+
+func TestLogicalExprs(t *testing.T) {
+	r := NewRequest("t")
+	tr := &ConstExpr{Val: true}
+	fa := &ConstExpr{Val: false}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{&AndExpr{Args: []Expr{tr, tr}}, true},
+		{&AndExpr{Args: []Expr{tr, fa}}, false},
+		{&AndExpr{Args: nil}, true}, // empty conjunction
+		{&OrExpr{Args: []Expr{fa, tr}}, true},
+		{&OrExpr{Args: []Expr{fa, fa}}, false},
+		{&OrExpr{Args: nil}, false}, // empty disjunction
+		{&NotExpr{Arg: fa}, true},
+		{&NotExpr{Arg: tr}, false},
+	}
+	for _, c := range cases {
+		got, err := c.e.Eval(r)
+		if err != nil {
+			t.Fatalf("%s: %v", c.e, err)
+		}
+		if got != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLogicalShortCircuitDominatesErrors(t *testing.T) {
+	r := NewRequest("t")
+	errExpr := &CmpExpr{Op: CmpEq, Attr: Designator{Cat: CatSubject, ID: "x", MustBePresent: true}, Lit: Int(1)}
+	// False AND error → False (determined regardless of the error).
+	and := &AndExpr{Args: []Expr{errExpr, &ConstExpr{Val: false}}}
+	got, err := and.Eval(r)
+	if err != nil || got {
+		t.Fatalf("and: %v %v", got, err)
+	}
+	// True OR error → True.
+	or := &OrExpr{Args: []Expr{errExpr, &ConstExpr{Val: true}}}
+	got, err = or.Eval(r)
+	if err != nil || !got {
+		t.Fatalf("or: %v %v", got, err)
+	}
+	// True AND error → error.
+	and2 := &AndExpr{Args: []Expr{errExpr, &ConstExpr{Val: true}}}
+	if _, err := and2.Eval(r); err == nil {
+		t.Fatal("undetermined and should propagate error")
+	}
+	// Not(error) → error.
+	if _, err := (&NotExpr{Arg: errExpr}).Eval(r); err == nil {
+		t.Fatal("not should propagate error")
+	}
+}
+
+func TestExprJSONRoundTrip(t *testing.T) {
+	d := Designator{Cat: CatSubject, ID: "role", MustBePresent: true}
+	exprs := []Expr{
+		&ConstExpr{Val: true},
+		&CmpExpr{Op: CmpGe, Attr: d, Lit: Int(5)},
+		&InExpr{Attr: d, Set: []Value{String("a"), String("b")}},
+		&PresentExpr{Attr: d},
+		&NotExpr{Arg: &ConstExpr{Val: false}},
+		&AndExpr{Args: []Expr{
+			&OrExpr{Args: []Expr{&ConstExpr{Val: true}, &CmpExpr{Op: CmpEq, Attr: d, Lit: String("x")}}},
+			&NotExpr{Arg: &PresentExpr{Attr: d}},
+		}},
+	}
+	for _, e := range exprs {
+		data, err := MarshalExpr(e)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		back, err := UnmarshalExpr(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e, err)
+		}
+		if back.String() != e.String() {
+			t.Errorf("round trip: %s -> %s", e, back)
+		}
+	}
+}
+
+func TestExprJSONNil(t *testing.T) {
+	data, err := MarshalExpr(nil)
+	if err != nil || string(data) != "null" {
+		t.Fatalf("nil marshal: %s %v", data, err)
+	}
+	e, err := UnmarshalExpr(data)
+	if err != nil || e != nil {
+		t.Fatalf("nil unmarshal: %v %v", e, err)
+	}
+}
+
+func TestExprJSONErrors(t *testing.T) {
+	bad := []string{`{"op":"wat"}`, `{"op":"cmp"}`, `{"op":"not","args":[]}`, `{"op":"in"}`, `{"op":"present"}`, `{`}
+	for _, s := range bad {
+		if _, err := UnmarshalExpr([]byte(s)); err == nil {
+			t.Errorf("bad expr %q accepted", s)
+		}
+	}
+}
+
+func TestExprWalkVisitsAll(t *testing.T) {
+	e := &AndExpr{Args: []Expr{
+		&NotExpr{Arg: &ConstExpr{Val: true}},
+		&OrExpr{Args: []Expr{&ConstExpr{Val: false}}},
+	}}
+	var n int
+	e.Walk(func(Expr) { n++ })
+	if n != 5 {
+		t.Fatalf("walked %d nodes, want 5", n)
+	}
+}
+
+func TestExprStringIsReadable(t *testing.T) {
+	e := &AndExpr{Args: []Expr{
+		&CmpExpr{Op: CmpEq, Attr: Designator{Cat: CatSubject, ID: "role"}, Lit: String("dr")},
+		&ConstExpr{Val: true},
+	}}
+	s := e.String()
+	for _, want := range []string{"and", "subject/role", "==", `"dr"`} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package xacml
+
+import (
+	"fmt"
+
+	"drams/internal/idgen"
+)
+
+// GenParams tune the random policy generator used by differential tests
+// (analyser vs. PDP), property tests and the E7 benchmark sweep.
+type GenParams struct {
+	// Rules is the number of rules per policy.
+	Rules int
+	// Policies is the number of policies in the set.
+	Policies int
+	// Attrs is the number of distinct attribute IDs per category.
+	Attrs int
+	// ValuesPerAttr is the size of each attribute's value universe.
+	ValuesPerAttr int
+	// MaxCondDepth bounds condition expression nesting.
+	MaxCondDepth int
+	// MustBePresentRate is the probability a designator demands presence
+	// (introduces Indeterminate behaviour).
+	MustBePresentRate float64
+}
+
+// DefaultGenParams returns a moderate policy shape.
+func DefaultGenParams() GenParams {
+	return GenParams{Rules: 5, Policies: 3, Attrs: 3, ValuesPerAttr: 4, MaxCondDepth: 2, MustBePresentRate: 0.1}
+}
+
+// Generator produces random policies and matching random requests from a
+// shared attribute vocabulary, deterministically from a seed.
+type Generator struct {
+	rng    *idgen.Rand
+	params GenParams
+	vocab  []Designator // flattened attribute vocabulary
+}
+
+// NewGenerator builds a seeded generator.
+func NewGenerator(seed uint64, params GenParams) *Generator {
+	if params.Rules <= 0 {
+		params.Rules = 1
+	}
+	if params.Policies <= 0 {
+		params.Policies = 1
+	}
+	if params.Attrs <= 0 {
+		params.Attrs = 1
+	}
+	if params.ValuesPerAttr <= 0 {
+		params.ValuesPerAttr = 2
+	}
+	g := &Generator{rng: idgen.NewRand(seed), params: params}
+	for _, cat := range Categories() {
+		for i := 0; i < params.Attrs; i++ {
+			g.vocab = append(g.vocab, Designator{Cat: cat, ID: AttributeID(fmt.Sprintf("attr%d", i))})
+		}
+	}
+	return g
+}
+
+// value returns the k-th value of an attribute's universe; attributes are
+// string- or int-typed depending on their index parity.
+func (g *Generator) value(d Designator, k int) Value {
+	if len(d.ID)%2 == 0 {
+		return Int(int64(k))
+	}
+	return String(fmt.Sprintf("v%d", k))
+}
+
+func (g *Generator) randDesignator() Designator {
+	d := g.vocab[g.rng.Intn(len(g.vocab))]
+	if g.rng.Float64() < g.params.MustBePresentRate {
+		d.MustBePresent = true
+	}
+	return d
+}
+
+func (g *Generator) randValueFor(d Designator) Value {
+	return g.value(d, g.rng.Intn(g.params.ValuesPerAttr))
+}
+
+func (g *Generator) randMatch() Match {
+	d := g.randDesignator()
+	ops := []CmpOp{CmpEq, CmpEq, CmpEq, CmpNe, CmpLt, CmpGe} // biased to equality
+	op := ops[g.rng.Intn(len(ops))]
+	return Match{Op: op, Attr: d, Lit: g.randValueFor(d)}
+}
+
+func (g *Generator) randTarget(emptyRate float64) Target {
+	if g.rng.Float64() < emptyRate {
+		return Target{}
+	}
+	nAny := 1 + g.rng.Intn(2)
+	t := Target{}
+	for i := 0; i < nAny; i++ {
+		nAll := 1 + g.rng.Intn(2)
+		any := AnyOf{}
+		for j := 0; j < nAll; j++ {
+			nM := 1 + g.rng.Intn(2)
+			all := AllOf{}
+			for k := 0; k < nM; k++ {
+				all.Matches = append(all.Matches, g.randMatch())
+			}
+			any.AllOf = append(any.AllOf, all)
+		}
+		t.AnyOf = append(t.AnyOf, any)
+	}
+	return t
+}
+
+func (g *Generator) randExpr(depth int) Expr {
+	if depth <= 0 || g.rng.Float64() < 0.4 {
+		// Leaf.
+		switch g.rng.Intn(4) {
+		case 0:
+			d := g.randDesignator()
+			return &CmpExpr{Op: CmpEq, Attr: d, Lit: g.randValueFor(d)}
+		case 1:
+			d := g.randDesignator()
+			set := []Value{g.randValueFor(d), g.randValueFor(d)}
+			return &InExpr{Attr: d, Set: set}
+		case 2:
+			d := g.randDesignator()
+			ops := []CmpOp{CmpLt, CmpLe, CmpGt, CmpGe}
+			return &CmpExpr{Op: ops[g.rng.Intn(len(ops))], Attr: d, Lit: g.randValueFor(d)}
+		default:
+			return &PresentExpr{Attr: g.randDesignator()}
+		}
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return &AndExpr{Args: []Expr{g.randExpr(depth - 1), g.randExpr(depth - 1)}}
+	case 1:
+		return &OrExpr{Args: []Expr{g.randExpr(depth - 1), g.randExpr(depth - 1)}}
+	default:
+		return &NotExpr{Arg: g.randExpr(depth - 1)}
+	}
+}
+
+func (g *Generator) randAlg() CombiningAlg {
+	algs := []CombiningAlg{DenyOverrides, PermitOverrides, FirstApplicable, DenyUnlessPermit, PermitUnlessDeny}
+	return algs[g.rng.Intn(len(algs))]
+}
+
+// Policy generates one random policy.
+func (g *Generator) Policy(id string) *Policy {
+	p := &Policy{ID: id, Version: "1", Target: g.randTarget(0.3), Alg: g.randAlg()}
+	for i := 0; i < g.params.Rules; i++ {
+		eff := EffectPermit
+		if g.rng.Intn(2) == 0 {
+			eff = EffectDeny
+		}
+		ru := &Rule{
+			ID:     fmt.Sprintf("%s-r%d", id, i),
+			Effect: eff,
+			Target: g.randTarget(0.4),
+		}
+		if g.rng.Float64() < 0.7 {
+			ru.Condition = g.randExpr(g.params.MaxCondDepth)
+		}
+		p.Rules = append(p.Rules, ru)
+	}
+	return p
+}
+
+// PolicySet generates a random policy set of params.Policies policies.
+func (g *Generator) PolicySet(id, version string) *PolicySet {
+	ps := &PolicySet{ID: id, Version: version, Target: g.randTarget(0.6), Alg: g.randAlg()}
+	for i := 0; i < g.params.Policies; i++ {
+		ps.Items = append(ps.Items, PolicyItem{Policy: g.Policy(fmt.Sprintf("%s-p%d", id, i))})
+	}
+	return ps
+}
+
+// Request generates a random request over the generator's vocabulary. Some
+// attributes are omitted (probability ~1/3) to exercise missing-attribute
+// paths, and some carry multiple values to exercise bag semantics.
+func (g *Generator) Request(id string) *Request {
+	r := NewRequest(id)
+	for _, d := range g.vocab {
+		switch g.rng.Intn(3) {
+		case 0:
+			// absent
+		case 1:
+			r.Add(d.Cat, d.ID, g.value(d, g.rng.Intn(g.params.ValuesPerAttr)))
+		default:
+			r.Add(d.Cat, d.ID, g.value(d, g.rng.Intn(g.params.ValuesPerAttr)))
+			r.Add(d.Cat, d.ID, g.value(d, g.rng.Intn(g.params.ValuesPerAttr)))
+		}
+	}
+	return r
+}

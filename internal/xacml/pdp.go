@@ -1,0 +1,217 @@
+package xacml
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"drams/internal/crypto"
+)
+
+// ErrNoPolicy is returned when the PDP has no policy loaded.
+var ErrNoPolicy = errors.New("xacml: no policy loaded")
+
+// Result is the full PDP response for one request.
+type Result struct {
+	// RequestID echoes the request correlation ID.
+	RequestID string `json:"requestId"`
+	// Decision is the simplified four-valued decision a PEP acts upon.
+	Decision Decision `json:"decision"`
+	// Extended preserves the six-valued decision for diagnostics.
+	Extended Decision `json:"extended"`
+	// Obligations must be fulfilled by the PEP alongside enforcement.
+	Obligations []Obligation `json:"obligations,omitempty"`
+	// PolicyID and PolicyVersion identify the evaluated policy set.
+	PolicyID      string `json:"policyId"`
+	PolicyVersion string `json:"policyVersion"`
+	// PolicyDigest is the canonical digest of the evaluated policy set;
+	// the monitor's M6 check compares it with the PAP-anchored digest.
+	PolicyDigest crypto.Digest `json:"policyDigest"`
+}
+
+// Digest returns the content digest of the result (decision + obligations +
+// policy identity), used for the response-integrity check M2.
+func (res Result) Digest() crypto.Digest {
+	chunks := [][]byte{
+		[]byte(res.RequestID),
+		{byte(res.Decision)},
+		[]byte(res.PolicyID),
+		[]byte(res.PolicyVersion),
+		res.PolicyDigest.Bytes(),
+	}
+	for _, o := range res.Obligations {
+		b, err := json.Marshal(o)
+		if err != nil {
+			continue
+		}
+		chunks = append(chunks, b)
+	}
+	return crypto.SumAll(chunks...)
+}
+
+// Encode serialises the result as JSON.
+func (res Result) Encode() []byte {
+	b, err := json.Marshal(res)
+	if err != nil {
+		panic(fmt.Sprintf("xacml: encode result: %v", err))
+	}
+	return b
+}
+
+// DecodeResult parses a JSON result.
+func DecodeResult(data []byte) (Result, error) {
+	var res Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		return Result{}, fmt.Errorf("xacml: decode result: %w", err)
+	}
+	return res, nil
+}
+
+// PDP is the Policy Decision Point: it evaluates requests against the
+// currently active policy set. Policy swaps are atomic; evaluation is
+// lock-free on the hot path.
+type PDP struct {
+	current atomic.Pointer[loadedPolicy]
+	evals   atomic.Int64
+}
+
+type loadedPolicy struct {
+	set    *PolicySet
+	digest crypto.Digest
+}
+
+// NewPDP returns a PDP, optionally pre-loaded.
+func NewPDP(ps *PolicySet) *PDP {
+	p := &PDP{}
+	if ps != nil {
+		p.Load(ps)
+	}
+	return p
+}
+
+// Load activates a policy set (clone-on-load so later caller mutations
+// cannot affect evaluation).
+func (p *PDP) Load(ps *PolicySet) {
+	cl := ps.Clone()
+	p.current.Store(&loadedPolicy{set: cl, digest: cl.Digest()})
+}
+
+// Policy returns the active policy set and its digest.
+func (p *PDP) Policy() (*PolicySet, crypto.Digest, error) {
+	lp := p.current.Load()
+	if lp == nil {
+		return nil, crypto.Digest{}, ErrNoPolicy
+	}
+	return lp.set, lp.digest, nil
+}
+
+// Evaluations returns how many requests this PDP has evaluated.
+func (p *PDP) Evaluations() int64 { return p.evals.Load() }
+
+// Evaluate computes the decision for a request.
+func (p *PDP) Evaluate(r *Request) (Result, error) {
+	lp := p.current.Load()
+	if lp == nil {
+		return Result{}, ErrNoPolicy
+	}
+	p.evals.Add(1)
+	ext := lp.set.Evaluate(r)
+	res := Result{
+		RequestID:     r.ID,
+		Decision:      ext.Simple(),
+		Extended:      ext,
+		PolicyID:      lp.set.ID,
+		PolicyVersion: lp.set.Version,
+		PolicyDigest:  lp.digest,
+	}
+	res.Obligations = lp.set.CollectObligations(r, ext.Simple())
+	return res, nil
+}
+
+// Evaluator is the minimal decision interface consumed by PEPs and by the
+// attack-injection layer (a compromised PDP wraps a PDP with this).
+type Evaluator interface {
+	Evaluate(r *Request) (Result, error)
+}
+
+var _ Evaluator = (*PDP)(nil)
+
+// PRP is the Policy Retrieval/Administration Point: versioned policy
+// storage with an activation pointer and digest history. In FaaS the PRP
+// lives in the infrastructure tenant next to the PDP (paper Figure 1).
+type PRP struct {
+	mu       sync.RWMutex
+	versions map[string]*PolicySet // version → policy set
+	order    []string              // activation history, oldest first
+	active   string
+}
+
+// NewPRP returns an empty PRP.
+func NewPRP() *PRP {
+	return &PRP{versions: make(map[string]*PolicySet)}
+}
+
+// ErrUnknownVersion is returned for missing policy versions.
+var ErrUnknownVersion = errors.New("xacml: unknown policy version")
+
+// Publish stores a policy set under its version and makes it active. The
+// version string must be fresh.
+func (p *PRP) Publish(ps *PolicySet) (crypto.Digest, error) {
+	if ps.Version == "" {
+		return crypto.Digest{}, errors.New("xacml: policy set needs a version")
+	}
+	cl := ps.Clone()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.versions[cl.Version]; ok {
+		return crypto.Digest{}, fmt.Errorf("xacml: version %q already published", cl.Version)
+	}
+	p.versions[cl.Version] = cl
+	p.order = append(p.order, cl.Version)
+	p.active = cl.Version
+	return cl.Digest(), nil
+}
+
+// Active returns the active policy set and its version.
+func (p *PRP) Active() (*PolicySet, string, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.active == "" {
+		return nil, "", ErrNoPolicy
+	}
+	return p.versions[p.active], p.active, nil
+}
+
+// Version retrieves a specific published version.
+func (p *PRP) Version(v string) (*PolicySet, error) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	ps, ok := p.versions[v]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownVersion, v)
+	}
+	return ps, nil
+}
+
+// Activate switches the active pointer to an already-published version
+// (used for rollback).
+func (p *PRP) Activate(v string) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.versions[v]; !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownVersion, v)
+	}
+	p.active = v
+	return nil
+}
+
+// History returns the publication order of versions.
+func (p *PRP) History() []string {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]string, len(p.order))
+	copy(out, p.order)
+	return out
+}

@@ -1,0 +1,222 @@
+package xacml
+
+import (
+	"errors"
+	"testing"
+)
+
+func samplePolicySet() *PolicySet {
+	// Doctors may read records; everyone else is denied.
+	read := TargetMatching(CatAction, "op", String("read"))
+	doctor := &Rule{ID: "doctor-read", Effect: EffectPermit,
+		Target: roleTarget("doctor"),
+		Condition: &CmpExpr{Op: CmpEq,
+			Attr: Designator{Cat: CatAction, ID: "op"}, Lit: String("read")},
+	}
+	fallback := &Rule{ID: "default-deny", Effect: EffectDeny}
+	pol := &Policy{ID: "records", Version: "1", Target: read, Alg: FirstApplicable,
+		Rules: []*Rule{doctor, fallback}}
+	return &PolicySet{ID: "root", Version: "v1", Alg: DenyUnlessPermit,
+		Items: []PolicyItem{{Policy: pol}}}
+}
+
+func readReq(role string) *Request {
+	return NewRequest("q").
+		Add(CatSubject, "role", String(role)).
+		Add(CatAction, "op", String("read"))
+}
+
+func TestPDPEvaluate(t *testing.T) {
+	pdp := NewPDP(samplePolicySet())
+	res, err := pdp.Evaluate(readReq("doctor"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != Permit {
+		t.Fatalf("doctor read = %s", res.Decision)
+	}
+	if res.PolicyID != "root" || res.PolicyVersion != "v1" || res.PolicyDigest.IsZero() {
+		t.Fatalf("result metadata: %+v", res)
+	}
+	res2, _ := pdp.Evaluate(readReq("intern"))
+	if res2.Decision != Deny {
+		t.Fatalf("intern read = %s", res2.Decision)
+	}
+	if pdp.Evaluations() != 2 {
+		t.Fatalf("evaluations = %d", pdp.Evaluations())
+	}
+}
+
+func TestPDPNoPolicy(t *testing.T) {
+	pdp := NewPDP(nil)
+	if _, err := pdp.Evaluate(readReq("doctor")); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("got %v", err)
+	}
+	if _, _, err := pdp.Policy(); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPDPLoadIsolatesCallerMutation(t *testing.T) {
+	ps := samplePolicySet()
+	pdp := NewPDP(ps)
+	before, _ := pdp.Evaluate(readReq("doctor"))
+	// Caller mutates their copy after loading; PDP must be unaffected.
+	ps.Items[0].Policy.Rules[0].Effect = EffectDeny
+	after, _ := pdp.Evaluate(readReq("doctor"))
+	if before.Decision != after.Decision {
+		t.Fatal("PDP affected by caller mutation after Load")
+	}
+}
+
+func TestPDPHotSwap(t *testing.T) {
+	pdp := NewPDP(samplePolicySet())
+	res, _ := pdp.Evaluate(readReq("doctor"))
+	if res.Decision != Permit {
+		t.Fatal("precondition failed")
+	}
+	// New policy version denies everything.
+	v2 := &PolicySet{ID: "root", Version: "v2", Alg: PermitUnlessDeny,
+		Items: []PolicyItem{{Policy: &Policy{ID: "deny-all", Version: "1", Alg: FirstApplicable,
+			Rules: []*Rule{{ID: "d", Effect: EffectDeny}}}}}}
+	pdp.Load(v2)
+	res2, _ := pdp.Evaluate(readReq("doctor"))
+	if res2.Decision != Deny || res2.PolicyVersion != "v2" {
+		t.Fatalf("after swap: %+v", res2)
+	}
+	if res.PolicyDigest == res2.PolicyDigest {
+		t.Fatal("digest did not change with policy version")
+	}
+}
+
+func TestResultDigestCoversDecision(t *testing.T) {
+	pdp := NewPDP(samplePolicySet())
+	res, _ := pdp.Evaluate(readReq("doctor"))
+	tampered := res
+	tampered.Decision = Deny
+	if res.Digest() == tampered.Digest() {
+		t.Fatal("digest does not cover decision")
+	}
+	t2 := res
+	t2.PolicyVersion = "vX"
+	if res.Digest() == t2.Digest() {
+		t.Fatal("digest does not cover policy version")
+	}
+}
+
+func TestResultEncodeDecodeRoundTrip(t *testing.T) {
+	pdp := NewPDP(samplePolicySet())
+	res, _ := pdp.Evaluate(readReq("doctor"))
+	back, err := DecodeResult(res.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Digest() != res.Digest() {
+		t.Fatal("round trip changed digest")
+	}
+	if _, err := DecodeResult([]byte("{")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}
+
+func TestPRPPublishActivateHistory(t *testing.T) {
+	prp := NewPRP()
+	if _, _, err := prp.Active(); !errors.Is(err, ErrNoPolicy) {
+		t.Fatalf("empty PRP: %v", err)
+	}
+	v1 := samplePolicySet()
+	d1, err := prp.Publish(v1)
+	if err != nil || d1.IsZero() {
+		t.Fatalf("publish: %v", err)
+	}
+	v2 := samplePolicySet()
+	v2.Version = "v2"
+	if _, err := prp.Publish(v2); err != nil {
+		t.Fatal(err)
+	}
+	// Latest publication is active.
+	_, ver, err := prp.Active()
+	if err != nil || ver != "v2" {
+		t.Fatalf("active = %q, %v", ver, err)
+	}
+	// Duplicate version rejected.
+	if _, err := prp.Publish(v1); err == nil {
+		t.Fatal("duplicate version accepted")
+	}
+	// Rollback.
+	if err := prp.Activate("v1"); err != nil {
+		t.Fatal(err)
+	}
+	_, ver, _ = prp.Active()
+	if ver != "v1" {
+		t.Fatalf("after rollback active = %q", ver)
+	}
+	if err := prp.Activate("ghost"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := prp.Version("ghost"); !errors.Is(err, ErrUnknownVersion) {
+		t.Fatalf("got %v", err)
+	}
+	hist := prp.History()
+	if len(hist) != 2 || hist[0] != "v1" || hist[1] != "v2" {
+		t.Fatalf("history = %v", hist)
+	}
+}
+
+func TestPRPPublishNeedsVersion(t *testing.T) {
+	prp := NewPRP()
+	ps := samplePolicySet()
+	ps.Version = ""
+	if _, err := prp.Publish(ps); err == nil {
+		t.Fatal("versionless publish accepted")
+	}
+}
+
+func TestPRPStorageIsolation(t *testing.T) {
+	prp := NewPRP()
+	ps := samplePolicySet()
+	if _, err := prp.Publish(ps); err != nil {
+		t.Fatal(err)
+	}
+	ps.Items[0].Policy.Rules[0].Effect = EffectDeny // caller mutates after publish
+	stored, _, err := prp.Active()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stored.Items[0].Policy.Rules[0].Effect == EffectDeny {
+		t.Fatal("PRP stored aliased policy")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := NewGenerator(5, DefaultGenParams())
+	b := NewGenerator(5, DefaultGenParams())
+	psA := a.PolicySet("x", "1")
+	psB := b.PolicySet("x", "1")
+	if psA.Digest() != psB.Digest() {
+		t.Fatal("generator not deterministic")
+	}
+	rA := a.Request("r")
+	rB := b.Request("r")
+	if rA.Digest() != rB.Digest() {
+		t.Fatal("request generator not deterministic")
+	}
+}
+
+func TestGeneratedPoliciesEvaluateWithoutPanic(t *testing.T) {
+	gen := NewGenerator(99, GenParams{Rules: 8, Policies: 4, Attrs: 4, ValuesPerAttr: 5, MaxCondDepth: 3, MustBePresentRate: 0.2})
+	ps := gen.PolicySet("root", "1")
+	pdp := NewPDP(ps)
+	counts := map[Decision]int{}
+	for i := 0; i < 500; i++ {
+		res, err := pdp.Evaluate(gen.Request("r"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[res.Decision]++
+	}
+	// A healthy random policy shape yields a mix of outcomes.
+	if len(counts) < 2 {
+		t.Fatalf("decision distribution suspiciously uniform: %v", counts)
+	}
+}

@@ -1,0 +1,554 @@
+package xacml
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drams/internal/crypto"
+)
+
+// Effect is the outcome a rule prescribes.
+type Effect uint8
+
+// Rule effects.
+const (
+	EffectPermit Effect = iota + 1
+	EffectDeny
+)
+
+// String implements fmt.Stringer.
+func (e Effect) String() string {
+	switch e {
+	case EffectPermit:
+		return "Permit"
+	case EffectDeny:
+		return "Deny"
+	default:
+		return fmt.Sprintf("Effect(%d)", uint8(e))
+	}
+}
+
+// Decision is the six-valued XACML 3.0 decision lattice: the three
+// Indeterminate flavours record which effects the failed evaluation could
+// have produced, which the standard combining algorithms depend on (§7.19).
+type Decision uint8
+
+// Decisions.
+const (
+	NotApplicable Decision = iota + 1
+	Permit
+	Deny
+	IndeterminateP  // could only have been Permit
+	IndeterminateD  // could only have been Deny
+	IndeterminateDP // could have been either
+)
+
+// String implements fmt.Stringer.
+func (d Decision) String() string {
+	switch d {
+	case NotApplicable:
+		return "NotApplicable"
+	case Permit:
+		return "Permit"
+	case Deny:
+		return "Deny"
+	case IndeterminateP:
+		return "Indeterminate{P}"
+	case IndeterminateD:
+		return "Indeterminate{D}"
+	case IndeterminateDP:
+		return "Indeterminate{DP}"
+	default:
+		return fmt.Sprintf("Decision(%d)", uint8(d))
+	}
+}
+
+// IsIndeterminate reports whether d is any Indeterminate flavour.
+func (d Decision) IsIndeterminate() bool {
+	return d == IndeterminateP || d == IndeterminateD || d == IndeterminateDP
+}
+
+// Simple collapses the extended lattice to the four externally visible
+// decisions (what a PEP acts upon).
+func (d Decision) Simple() Decision {
+	if d.IsIndeterminate() {
+		return IndeterminateDP
+	}
+	return d
+}
+
+// indeterminateFor maps an effect to its Indeterminate flavour.
+func indeterminateFor(e Effect) Decision {
+	if e == EffectPermit {
+		return IndeterminateP
+	}
+	return IndeterminateD
+}
+
+// CombiningAlg names a combining algorithm.
+type CombiningAlg string
+
+// The six standard combining algorithms.
+const (
+	DenyOverrides     CombiningAlg = "deny-overrides"
+	PermitOverrides   CombiningAlg = "permit-overrides"
+	FirstApplicable   CombiningAlg = "first-applicable"
+	OnlyOneApplicable CombiningAlg = "only-one-applicable"
+	DenyUnlessPermit  CombiningAlg = "deny-unless-permit"
+	PermitUnlessDeny  CombiningAlg = "permit-unless-deny"
+)
+
+// CombiningAlgs lists all supported algorithms.
+func CombiningAlgs() []CombiningAlg {
+	return []CombiningAlg{DenyOverrides, PermitOverrides, FirstApplicable,
+		OnlyOneApplicable, DenyUnlessPermit, PermitUnlessDeny}
+}
+
+// Obligation is an action the PEP must fulfil alongside enforcing the
+// decision.
+type Obligation struct {
+	ID        string            `json:"id"`
+	FulfillOn Effect            `json:"fulfillOn"`
+	Params    map[string]string `json:"params,omitempty"`
+}
+
+// Rule is the atomic policy element.
+type Rule struct {
+	ID        string
+	Effect    Effect
+	Target    Target
+	Condition Expr // nil means "true"
+	Obligs    []Obligation
+}
+
+// Evaluate computes the rule's decision per XACML 3.0 §7.11 (table 4).
+func (ru *Rule) Evaluate(r *Request) Decision {
+	switch ru.Target.Evaluate(r) {
+	case MatchNo:
+		return NotApplicable
+	case MatchIndeterminate:
+		return indeterminateFor(ru.Effect)
+	}
+	if ru.Condition == nil {
+		if ru.Effect == EffectPermit {
+			return Permit
+		}
+		return Deny
+	}
+	ok, err := ru.Condition.Eval(r)
+	if err != nil {
+		return indeterminateFor(ru.Effect)
+	}
+	if !ok {
+		return NotApplicable
+	}
+	if ru.Effect == EffectPermit {
+		return Permit
+	}
+	return Deny
+}
+
+// ruleJSON is the serialisable form of Rule (Condition is polymorphic).
+type ruleJSON struct {
+	ID        string          `json:"id"`
+	Effect    Effect          `json:"effect"`
+	Target    Target          `json:"target"`
+	Condition json.RawMessage `json:"condition,omitempty"`
+	Obligs    []Obligation    `json:"obligations,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (ru *Rule) MarshalJSON() ([]byte, error) {
+	cond, err := MarshalExpr(ru.Condition)
+	if err != nil {
+		return nil, err
+	}
+	rj := ruleJSON{ID: ru.ID, Effect: ru.Effect, Target: ru.Target, Obligs: ru.Obligs}
+	if string(cond) != "null" {
+		rj.Condition = cond
+	}
+	return json.Marshal(rj)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (ru *Rule) UnmarshalJSON(data []byte) error {
+	var rj ruleJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return fmt.Errorf("xacml: unmarshal rule: %w", err)
+	}
+	cond, err := UnmarshalExpr(rj.Condition)
+	if err != nil {
+		return err
+	}
+	*ru = Rule{ID: rj.ID, Effect: rj.Effect, Target: rj.Target, Condition: cond, Obligs: rj.Obligs}
+	return nil
+}
+
+// Policy groups rules under a target and a rule-combining algorithm.
+type Policy struct {
+	ID      string       `json:"id"`
+	Version string       `json:"version"`
+	Target  Target       `json:"target"`
+	Alg     CombiningAlg `json:"alg"`
+	Rules   []*Rule      `json:"rules"`
+	Obligs  []Obligation `json:"obligations,omitempty"`
+}
+
+// Evaluate computes the policy decision per XACML 3.0 §7.12/§7.13.
+func (p *Policy) Evaluate(r *Request) Decision {
+	switch p.Target.Evaluate(r) {
+	case MatchNo:
+		return NotApplicable
+	case MatchIndeterminate:
+		return targetIndeterminate(p.combineRules(r))
+	}
+	return p.combineRules(r)
+}
+
+func (p *Policy) combineRules(r *Request) Decision {
+	decisions := make([]Decision, len(p.Rules))
+	evaluated := false
+	lazy := func(i int) Decision {
+		if !evaluated {
+			for j, ru := range p.Rules {
+				decisions[j] = ru.Evaluate(r)
+			}
+			evaluated = true
+		}
+		return decisions[i]
+	}
+	return combine(p.Alg, len(p.Rules), lazy)
+}
+
+// PolicyItem is one child of a PolicySet: exactly one of Policy / Set is
+// non-nil.
+type PolicyItem struct {
+	Policy *Policy    `json:"policy,omitempty"`
+	Set    *PolicySet `json:"set,omitempty"`
+}
+
+// Evaluate dispatches to the non-nil child.
+func (pi PolicyItem) Evaluate(r *Request) Decision {
+	if pi.Policy != nil {
+		return pi.Policy.Evaluate(r)
+	}
+	if pi.Set != nil {
+		return pi.Set.Evaluate(r)
+	}
+	return NotApplicable
+}
+
+// matchTarget exposes the child's target match, used by only-one-applicable.
+func (pi PolicyItem) matchTarget(r *Request) MatchResult {
+	if pi.Policy != nil {
+		return pi.Policy.Target.Evaluate(r)
+	}
+	if pi.Set != nil {
+		return pi.Set.Target.Evaluate(r)
+	}
+	return MatchNo
+}
+
+// ID returns the child's identifier.
+func (pi PolicyItem) ID() string {
+	if pi.Policy != nil {
+		return pi.Policy.ID
+	}
+	if pi.Set != nil {
+		return pi.Set.ID
+	}
+	return ""
+}
+
+// PolicySet groups policies/policy sets under a policy-combining algorithm.
+type PolicySet struct {
+	ID      string       `json:"id"`
+	Version string       `json:"version"`
+	Target  Target       `json:"target"`
+	Alg     CombiningAlg `json:"alg"`
+	Items   []PolicyItem `json:"items"`
+	Obligs  []Obligation `json:"obligations,omitempty"`
+}
+
+// Evaluate computes the policy-set decision.
+func (ps *PolicySet) Evaluate(r *Request) Decision {
+	switch ps.Target.Evaluate(r) {
+	case MatchNo:
+		return NotApplicable
+	case MatchIndeterminate:
+		return targetIndeterminate(ps.combineItems(r))
+	}
+	return ps.combineItems(r)
+}
+
+func (ps *PolicySet) combineItems(r *Request) Decision {
+	if ps.Alg == OnlyOneApplicable {
+		return ps.onlyOneApplicable(r)
+	}
+	decisions := make([]Decision, len(ps.Items))
+	evaluated := false
+	lazy := func(i int) Decision {
+		if !evaluated {
+			for j := range ps.Items {
+				decisions[j] = ps.Items[j].Evaluate(r)
+			}
+			evaluated = true
+		}
+		return decisions[i]
+	}
+	return combine(ps.Alg, len(ps.Items), lazy)
+}
+
+// onlyOneApplicable implements XACML 3.0 §C.9 on child targets.
+func (ps *PolicySet) onlyOneApplicable(r *Request) Decision {
+	selected := -1
+	for i := range ps.Items {
+		switch ps.Items[i].matchTarget(r) {
+		case MatchIndeterminate:
+			return IndeterminateDP
+		case MatchYes:
+			if selected >= 0 {
+				return IndeterminateDP // more than one applicable
+			}
+			selected = i
+		}
+	}
+	if selected < 0 {
+		return NotApplicable
+	}
+	return ps.Items[selected].Evaluate(r)
+}
+
+// targetIndeterminate converts a combined decision into the policy value
+// when the policy target itself was Indeterminate (XACML 3.0 table 7).
+func targetIndeterminate(combined Decision) Decision {
+	switch combined {
+	case Permit:
+		return IndeterminateP
+	case Deny:
+		return IndeterminateD
+	case NotApplicable:
+		return NotApplicable
+	default:
+		return combined // already an Indeterminate flavour
+	}
+}
+
+// combine dispatches the shared (rule/policy) combining algorithms over n
+// children accessed through get.
+func combine(alg CombiningAlg, n int, get func(int) Decision) Decision {
+	switch alg {
+	case DenyOverrides:
+		return denyOverrides(n, get)
+	case PermitOverrides:
+		return permitOverrides(n, get)
+	case FirstApplicable:
+		return firstApplicable(n, get)
+	case DenyUnlessPermit:
+		for i := 0; i < n; i++ {
+			if get(i) == Permit {
+				return Permit
+			}
+		}
+		return Deny
+	case PermitUnlessDeny:
+		for i := 0; i < n; i++ {
+			if get(i) == Deny {
+				return Deny
+			}
+		}
+		return Permit
+	case OnlyOneApplicable:
+		// Only valid at policy-set level; handled there. Rule-level use is
+		// a policy-authoring error surfaced as Indeterminate.
+		return IndeterminateDP
+	default:
+		return IndeterminateDP
+	}
+}
+
+// denyOverrides implements XACML 3.0 §C.2/§C.6.
+func denyOverrides(n int, get func(int) Decision) Decision {
+	var anyIndetD, anyIndetP, anyIndetDP, anyPermit bool
+	for i := 0; i < n; i++ {
+		switch get(i) {
+		case Deny:
+			return Deny
+		case Permit:
+			anyPermit = true
+		case IndeterminateD:
+			anyIndetD = true
+		case IndeterminateP:
+			anyIndetP = true
+		case IndeterminateDP:
+			anyIndetDP = true
+		}
+	}
+	switch {
+	case anyIndetDP:
+		return IndeterminateDP
+	case anyIndetD && (anyIndetP || anyPermit):
+		return IndeterminateDP
+	case anyIndetD:
+		return IndeterminateD
+	case anyPermit:
+		return Permit
+	case anyIndetP:
+		return IndeterminateP
+	default:
+		return NotApplicable
+	}
+}
+
+// permitOverrides implements XACML 3.0 §C.3/§C.7.
+func permitOverrides(n int, get func(int) Decision) Decision {
+	var anyIndetD, anyIndetP, anyIndetDP, anyDeny bool
+	for i := 0; i < n; i++ {
+		switch get(i) {
+		case Permit:
+			return Permit
+		case Deny:
+			anyDeny = true
+		case IndeterminateD:
+			anyIndetD = true
+		case IndeterminateP:
+			anyIndetP = true
+		case IndeterminateDP:
+			anyIndetDP = true
+		}
+	}
+	switch {
+	case anyIndetDP:
+		return IndeterminateDP
+	case anyIndetP && (anyIndetD || anyDeny):
+		return IndeterminateDP
+	case anyIndetP:
+		return IndeterminateP
+	case anyDeny:
+		return Deny
+	case anyIndetD:
+		return IndeterminateD
+	default:
+		return NotApplicable
+	}
+}
+
+// firstApplicable implements XACML 3.0 §C.8.
+func firstApplicable(n int, get func(int) Decision) Decision {
+	for i := 0; i < n; i++ {
+		switch d := get(i); d {
+		case NotApplicable:
+			continue
+		case Permit, Deny:
+			return d
+		default:
+			return IndeterminateDP
+		}
+	}
+	return NotApplicable
+}
+
+// Encode serialises the policy set as canonical JSON.
+func (ps *PolicySet) Encode() []byte {
+	b, err := json.Marshal(ps)
+	if err != nil {
+		panic(fmt.Sprintf("xacml: encode policy set: %v", err))
+	}
+	return b
+}
+
+// DecodePolicySet parses a JSON policy set.
+func DecodePolicySet(data []byte) (*PolicySet, error) {
+	var ps PolicySet
+	if err := json.Unmarshal(data, &ps); err != nil {
+		return nil, fmt.Errorf("xacml: decode policy set: %w", err)
+	}
+	return &ps, nil
+}
+
+// Digest returns the canonical content digest of the policy set; the PAP
+// anchors this on-chain and the monitor compares it against the digest the
+// PDP reports having evaluated (check M6).
+func (ps *PolicySet) Digest() crypto.Digest {
+	return crypto.Sum(ps.Encode())
+}
+
+// Clone deep-copies the policy set via serialisation.
+func (ps *PolicySet) Clone() *PolicySet {
+	out, err := DecodePolicySet(ps.Encode())
+	if err != nil {
+		panic(fmt.Sprintf("xacml: clone policy set: %v", err))
+	}
+	return out
+}
+
+// CollectObligations walks the evaluation path for a final decision and
+// returns the obligations to fulfil: every obligation (at set, policy and
+// rule level) whose FulfillOn matches the decision effect, from elements
+// that produced that effect. This is the XACML §7.18 behaviour restricted
+// to our subset.
+func (ps *PolicySet) CollectObligations(r *Request, final Decision) []Obligation {
+	var eff Effect
+	switch final {
+	case Permit:
+		eff = EffectPermit
+	case Deny:
+		eff = EffectDeny
+	default:
+		return nil
+	}
+	var out []Obligation
+	ps.collectObl(r, eff, &out)
+	return out
+}
+
+func (ps *PolicySet) collectObl(r *Request, eff Effect, out *[]Obligation) {
+	if decisionEffect(ps.Evaluate(r)) != eff {
+		return
+	}
+	for _, o := range ps.Obligs {
+		if o.FulfillOn == eff {
+			*out = append(*out, o)
+		}
+	}
+	for _, item := range ps.Items {
+		if item.Policy != nil {
+			item.Policy.collectObl(r, eff, out)
+		}
+		if item.Set != nil {
+			item.Set.collectObl(r, eff, out)
+		}
+	}
+}
+
+func (p *Policy) collectObl(r *Request, eff Effect, out *[]Obligation) {
+	if decisionEffect(p.Evaluate(r)) != eff {
+		return
+	}
+	for _, o := range p.Obligs {
+		if o.FulfillOn == eff {
+			*out = append(*out, o)
+		}
+	}
+	for _, ru := range p.Rules {
+		if decisionEffect(ru.Evaluate(r)) != eff {
+			continue
+		}
+		for _, o := range ru.Obligs {
+			if o.FulfillOn == eff {
+				*out = append(*out, o)
+			}
+		}
+	}
+}
+
+func decisionEffect(d Decision) Effect {
+	switch d {
+	case Permit:
+		return EffectPermit
+	case Deny:
+		return EffectDeny
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,155 @@
+package xacml
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"drams/internal/crypto"
+)
+
+// Category is an XACML attribute category.
+type Category string
+
+// The four standard categories.
+const (
+	CatSubject     Category = "subject"
+	CatResource    Category = "resource"
+	CatAction      Category = "action"
+	CatEnvironment Category = "environment"
+)
+
+// Categories lists the standard categories in canonical order.
+func Categories() []Category {
+	return []Category{CatSubject, CatResource, CatAction, CatEnvironment}
+}
+
+// AttributeID names an attribute within a category (e.g. "role", "owner").
+type AttributeID string
+
+// Request is an access request: attribute bags grouped by category.
+type Request struct {
+	// ID correlates the request across PEP, PDP, logs and monitor checks.
+	ID string `json:"id"`
+	// Attrs holds the attribute bags.
+	Attrs map[Category]map[AttributeID]Bag `json:"attrs"`
+}
+
+// NewRequest returns an empty request with the given correlation ID.
+func NewRequest(id string) *Request {
+	return &Request{ID: id, Attrs: make(map[Category]map[AttributeID]Bag)}
+}
+
+// Add appends a value to the (category, attribute) bag and returns the
+// request for chaining.
+func (r *Request) Add(cat Category, id AttributeID, v Value) *Request {
+	m, ok := r.Attrs[cat]
+	if !ok {
+		m = make(map[AttributeID]Bag)
+		r.Attrs[cat] = m
+	}
+	m[id] = append(m[id], v)
+	return r
+}
+
+// Get returns the bag for (category, attribute); empty if absent.
+func (r *Request) Get(cat Category, id AttributeID) Bag {
+	if m, ok := r.Attrs[cat]; ok {
+		return m[id]
+	}
+	return nil
+}
+
+// Clone deep-copies the request.
+func (r *Request) Clone() *Request {
+	out := NewRequest(r.ID)
+	for cat, m := range r.Attrs {
+		for id, bag := range m {
+			for _, v := range bag {
+				out.Add(cat, id, v)
+			}
+		}
+	}
+	return out
+}
+
+// CanonicalBytes returns a deterministic encoding of the request content
+// (excluding the correlation ID) used for integrity digests: the monitor
+// compares the digest logged at the PEP with the digest logged at the PDP
+// (check M1).
+func (r *Request) CanonicalBytes() []byte {
+	var sb strings.Builder
+	cats := make([]string, 0, len(r.Attrs))
+	for c := range r.Attrs {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	for _, c := range cats {
+		m := r.Attrs[Category(c)]
+		ids := make([]string, 0, len(m))
+		for id := range m {
+			ids = append(ids, string(id))
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			bag := m[AttributeID(id)]
+			vals := make([]string, 0, len(bag))
+			for _, v := range bag {
+				vals = append(vals, v.Key())
+			}
+			sort.Strings(vals)
+			fmt.Fprintf(&sb, "%s/%s=[%s];", c, id, strings.Join(vals, ","))
+		}
+	}
+	return []byte(sb.String())
+}
+
+// Digest returns the content digest of the request.
+func (r *Request) Digest() crypto.Digest {
+	return crypto.Sum(r.CanonicalBytes())
+}
+
+// Encode serialises the request as JSON.
+func (r *Request) Encode() []byte {
+	b, err := json.Marshal(r)
+	if err != nil {
+		panic(fmt.Sprintf("xacml: encode request: %v", err))
+	}
+	return b
+}
+
+// DecodeRequest parses a JSON request.
+func DecodeRequest(data []byte) (*Request, error) {
+	var r Request
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("xacml: decode request: %w", err)
+	}
+	return &r, nil
+}
+
+// Designator references an attribute in a request.
+type Designator struct {
+	Cat Category    `json:"cat"`
+	ID  AttributeID `json:"id"`
+	// MustBePresent makes a missing attribute an evaluation error
+	// (Indeterminate) rather than a non-match.
+	MustBePresent bool `json:"mustBePresent,omitempty"`
+}
+
+// ErrMissingAttribute signals a MustBePresent designator with no values.
+var ErrMissingAttribute = fmt.Errorf("xacml: missing attribute")
+
+// Resolve returns the designated bag; a MustBePresent designator with an
+// empty bag returns ErrMissingAttribute.
+func (d Designator) Resolve(r *Request) (Bag, error) {
+	bag := r.Get(d.Cat, d.ID)
+	if len(bag) == 0 && d.MustBePresent {
+		return nil, fmt.Errorf("%w: %s/%s", ErrMissingAttribute, d.Cat, d.ID)
+	}
+	return bag, nil
+}
+
+// Key returns a canonical identifier for the designated attribute (ignoring
+// MustBePresent), used by the analyser's domain extraction.
+func (d Designator) Key() string { return string(d.Cat) + "/" + string(d.ID) }

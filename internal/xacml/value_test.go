@@ -1,0 +1,108 @@
+package xacml
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestValueEqual(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{String("x"), String("x"), true},
+		{String("x"), String("y"), false},
+		{Int(3), Int(3), true},
+		{Int(3), Int(4), false},
+		{Float(1.5), Float(1.5), true},
+		{Bool(true), Bool(true), true},
+		{Bool(true), Bool(false), false},
+		{Time(time.Unix(5, 0)), Time(time.Unix(5, 0)), true},
+		{String("3"), Int(3), false}, // cross-type never equal
+		{Int(0), Bool(false), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Equal(c.b); got != c.want {
+			t.Errorf("%s == %s: got %v", c.a, c.b, got)
+		}
+	}
+}
+
+func TestValueCompareOrdered(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{String("a"), String("b"), -1},
+		{Float(1.5), Float(0.5), 1},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0)), -1},
+	}
+	for _, c := range cases {
+		got, err := c.a.Compare(c.b)
+		if err != nil {
+			t.Fatalf("%s vs %s: %v", c.a, c.b, err)
+		}
+		if got != c.want {
+			t.Errorf("%s vs %s = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueCompareErrors(t *testing.T) {
+	if _, err := Int(1).Compare(String("1")); !errors.Is(err, ErrTypeMismatch) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := Bool(true).Compare(Bool(false)); !errors.Is(err, ErrNotOrdered) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestValueStringForms(t *testing.T) {
+	cases := map[string]Value{
+		`"hi"`: String("hi"),
+		"42":   Int(42),
+		"true": Bool(true),
+	}
+	for want, v := range cases {
+		if got := v.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestValueKeyDistinguishesTypes(t *testing.T) {
+	if Int(1).Key() == String("1").Key() {
+		t.Fatal("keys collide across types")
+	}
+	if Int(1).Key() != Int(1).Key() {
+		t.Fatal("key not deterministic")
+	}
+}
+
+func TestBagContains(t *testing.T) {
+	b := Bag{String("a"), Int(1)}
+	if !b.Contains(String("a")) || !b.Contains(Int(1)) {
+		t.Fatal("Contains missed present values")
+	}
+	if b.Contains(String("b")) || b.Contains(Int(2)) {
+		t.Fatal("Contains found absent values")
+	}
+	var empty Bag
+	if !empty.IsEmpty() || b.IsEmpty() {
+		t.Fatal("IsEmpty wrong")
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	for ty, want := range map[Type]string{
+		TypeString: "string", TypeInt: "int", TypeFloat: "float", TypeBool: "bool", TypeTime: "time",
+	} {
+		if ty.String() != want {
+			t.Errorf("%d.String() = %q", ty, ty.String())
+		}
+	}
+}
