@@ -20,6 +20,7 @@ import (
 	"drams/internal/analysis"
 	"drams/internal/attack"
 	"drams/internal/blockchain"
+	"drams/internal/contract"
 	"drams/internal/core"
 	"drams/internal/crypto"
 	"drams/internal/experiment"
@@ -190,6 +191,99 @@ func BenchmarkPDPEvaluate100Rules(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := pdp.Evaluate(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPDPEvaluate1000Rules / ...Cached1000Rules are the decision-cache
+// pair: the same repeated working set evaluated from scratch versus through
+// the lock-striped cache (after the first cycle every request is a hit).
+func BenchmarkPDPEvaluate1000Rules(b *testing.B) {
+	ps, reqs := benchPolicyAndRequests(1000)
+	pdp := xacml.NewPDP(ps)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdp.Evaluate(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPDPEvaluateCached1000Rules(b *testing.B) {
+	ps, reqs := benchPolicyAndRequests(1000)
+	pdp := xacml.NewCachedPDP(ps, 1024)
+	for _, r := range reqs { // warm the cache
+		if _, err := pdp.Evaluate(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pdp.Evaluate(reqs[i%len(reqs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchVerifierBatch builds a block-sized batch of signed transactions and
+// a registry accepting them.
+func benchVerifierBatch(b *testing.B, n int) ([]blockchain.Transaction, *blockchain.IdentityRegistry) {
+	b.Helper()
+	var seed [32]byte
+	seed[0] = 0x77
+	id := crypto.NewIdentityFromSeed("bench-verify", seed)
+	reg := blockchain.NewIdentityRegistry(id.Public())
+	txs := make([]blockchain.Transaction, n)
+	for i := range txs {
+		call := contract.Call{Contract: "kv", Method: "put", Args: []byte(fmt.Sprintf(`{"key":"k%d"}`, i))}
+		tx, err := blockchain.NewTransaction(id, uint64(i+1), call)
+		if err != nil {
+			b.Fatal(err)
+		}
+		txs[i] = tx
+	}
+	return txs, reg
+}
+
+// BenchmarkBlockSigVerifySequential256 is the pre-pipeline baseline: one
+// inline ed25519 check per transaction, as block validation used to do.
+func BenchmarkBlockSigVerifySequential256(b *testing.B) {
+	txs, reg := benchVerifierBatch(b, 256)
+	v := blockchain.NewTxVerifier(reg, blockchain.VerifierConfig{Sequential: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.VerifyAll(txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockSigVerifyPipelineCold256 measures the worker-pool fanout
+// with the verified-tx cache disabled (every signature checked each pass).
+func BenchmarkBlockSigVerifyPipelineCold256(b *testing.B) {
+	txs, reg := benchVerifierBatch(b, 256)
+	v := blockchain.NewTxVerifier(reg, blockchain.VerifierConfig{CacheSize: -1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.VerifyAll(txs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBlockSigVerifyPipelineWarm256 measures block validation in the
+// pipeline's steady state: every transaction was already verified at
+// mempool admission, so validation is pure verified-tx LRU hits.
+func BenchmarkBlockSigVerifyPipelineWarm256(b *testing.B) {
+	txs, reg := benchVerifierBatch(b, 256)
+	v := blockchain.NewTxVerifier(reg, blockchain.VerifierConfig{CacheSize: 1024})
+	if err := v.VerifyAll(txs); err != nil { // admission pass
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := v.VerifyAll(txs); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,10 +1,11 @@
-// drams-bench regenerates the full experiment suite E1–E8 of DESIGN.md §2
-// and prints each result table (text or CSV). EXPERIMENTS.md is produced
-// from this tool's output.
+// drams-bench regenerates the full experiment suite: E1–E8 of DESIGN.md §2,
+// the AB1–AB3 ablations, and the V1–V2 throughput-pipeline comparisons
+// (batch signature verification, PDP decision cache). It prints each result
+// table (text or CSV). EXPERIMENTS.md is produced from this tool's output.
 //
 // Usage:
 //
-//	drams-bench [-run E1,E2,...] [-quick] [-csv]
+//	drams-bench [-run E1,E2,...,V1,V2] [-quick] [-csv]
 package main
 
 import (
@@ -29,7 +30,7 @@ func run() int {
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2"} {
 			selected[id] = true
 		}
 	} else {
@@ -119,6 +120,20 @@ func run() int {
 				p = experiment.AB3Params{Requests: 8}
 			}
 			return experiment.RunAB3(p)
+		}},
+		{"V1", func() (experiment.Table, error) {
+			p := experiment.DefaultV1Params()
+			if *quick {
+				p = experiment.V1Params{BatchSizes: []int{64, 256}}
+			}
+			return experiment.RunV1(p)
+		}},
+		{"V2", func() (experiment.Table, error) {
+			p := experiment.DefaultV2Params()
+			if *quick {
+				p = experiment.V2Params{RuleCounts: []int{10, 100}, Requests: 64, Repeats: 4}
+			}
+			return experiment.RunV2(p)
 		}},
 	}
 

@@ -1,0 +1,3 @@
+module drams
+
+go 1.24

@@ -34,6 +34,16 @@ type Config struct {
 	Registry *contract.Registry
 	// Clock is the time source (defaults to the system clock).
 	Clock clock.Clock
+	// VerifyWorkers sizes the signature-verification worker pool used for
+	// block validation and batched mempool admission (default GOMAXPROCS).
+	VerifyWorkers int
+	// VerifyCacheSize bounds the verified-transaction LRU shared by gossip
+	// admission and block validation (default 8192; negative disables).
+	VerifyCacheSize int
+	// SequentialVerify disables the batch-verification pipeline and its
+	// cache: every signature is checked inline, one at a time — the
+	// pre-pipeline baseline for overhead experiments.
+	SequentialVerify bool
 }
 
 func (c Config) withDefaults() Config {
@@ -70,10 +80,11 @@ type EventSink func(height uint64, events []contract.Event)
 
 // Chain is one node's view of the blockchain. It is safe for concurrent use.
 type Chain struct {
-	cfg    Config
-	engine *contract.Engine
-	ids    *IdentityRegistry
-	clk    clock.Clock
+	cfg      Config
+	engine   *contract.Engine
+	ids      *IdentityRegistry
+	verifier *TxVerifier
+	clk      clock.Clock
 
 	mu        sync.RWMutex
 	blocks    map[crypto.Digest]*Block
@@ -110,6 +121,11 @@ func NewChain(cfg Config) *Chain {
 		emitted:  make(map[crypto.Digest]bool),
 		headSubs: make(map[int]chan struct{}),
 	}
+	c.verifier = NewTxVerifier(c.ids, VerifierConfig{
+		Workers:    cfg.VerifyWorkers,
+		CacheSize:  cfg.VerifyCacheSize,
+		Sequential: cfg.SequentialVerify,
+	})
 	gen := &Block{Header: BlockHeader{
 		Height:       0,
 		TimeUnixNano: cfg.GenesisTime.UnixNano(),
@@ -128,6 +144,11 @@ func NewChain(cfg Config) *Chain {
 
 // Identities exposes the permissioned membership registry.
 func (c *Chain) Identities() *IdentityRegistry { return c.ids }
+
+// Verifier exposes the transaction signature verifier. The node shares it
+// between mempool admission and block validation so a transaction verified
+// at gossip ingest is not re-verified when its block arrives.
+func (c *Chain) Verifier() *TxVerifier { return c.verifier }
 
 // Config returns the consensus parameters.
 func (c *Chain) Config() Config { return c.cfg }
@@ -302,6 +323,48 @@ func (c *Chain) SubscribeHead() (<-chan struct{}, func()) {
 func (c *Chain) AddBlock(b *Block) error {
 	hash := b.Hash()
 
+	// Cheap structural gates run before any signature work, so a gossip
+	// flood of duplicate, orphan or forged blocks cannot buy expensive
+	// ed25519 batches for the price of a message. addBlockLocked repeats
+	// these checks authoritatively under the lock.
+	c.mu.RLock()
+	_, known := c.blocks[hash]
+	parent, haveParent := c.blocks[b.Header.PrevHash]
+	var wantDifficulty uint8
+	if haveParent {
+		wantDifficulty = c.expectedDifficultyLocked(parent)
+	}
+	c.mu.RUnlock()
+	if known {
+		return ErrKnownBlock
+	}
+	if !haveParent {
+		return fmt.Errorf("%w: parent %s of block %s", ErrOrphanBlock, b.Header.PrevHash.Short(), hash.Short())
+	}
+	if b.Header.Height != parent.Header.Height+1 {
+		return fmt.Errorf("%w: height %d after parent %d", ErrBadHeight, b.Header.Height, parent.Header.Height)
+	}
+	if b.Header.Difficulty != wantDifficulty {
+		return fmt.Errorf("%w: have %d, want %d at height %d", ErrBadDifficulty, b.Header.Difficulty, wantDifficulty, b.Header.Height)
+	}
+	if !b.Header.MeetsDifficulty() {
+		return fmt.Errorf("%w: block %s at difficulty %d", ErrBadPoW, hash.Short(), b.Header.Difficulty)
+	}
+	if ComputeMerkleRoot(b.Txs) != b.Header.MerkleRoot {
+		return fmt.Errorf("%w: block %s", ErrBadMerkleRoot, hash.Short())
+	}
+	if len(b.Txs) > c.cfg.MaxTxPerBlock {
+		return fmt.Errorf("blockchain: block %s has %d txs, max %d", hash.Short(), len(b.Txs), c.cfg.MaxTxPerBlock)
+	}
+
+	// Verify transaction signatures outside the chain lock: verification
+	// depends only on the identity registry, and the batch verifier fans
+	// the checks out across cores, skipping transactions already verified
+	// at mempool admission.
+	if err := c.verifier.VerifyAll(b.Txs); err != nil {
+		return fmt.Errorf("blockchain: block %s %w", hash.Short(), err)
+	}
+
 	c.mu.Lock()
 	emits, err := c.addBlockLocked(b, hash)
 	var sink EventSink
@@ -354,11 +417,7 @@ func (c *Chain) addBlockLocked(b *Block, hash crypto.Digest) ([]blockEvents, err
 	if len(b.Txs) > c.cfg.MaxTxPerBlock {
 		return nil, fmt.Errorf("blockchain: block %s has %d txs, max %d", hash.Short(), len(b.Txs), c.cfg.MaxTxPerBlock)
 	}
-	for i := range b.Txs {
-		if err := c.ids.VerifyTx(&b.Txs[i]); err != nil {
-			return nil, fmt.Errorf("blockchain: block %s tx %d: %w", hash.Short(), i, err)
-		}
-	}
+	// Transaction signatures were verified in AddBlock, outside the lock.
 	// Validate per-sender nonce ordering against the branch state.
 	branchNonces, err := c.branchNoncesLocked(parent)
 	if err != nil {

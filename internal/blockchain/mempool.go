@@ -35,9 +35,26 @@ func NewMempool(maxSize int) *Mempool {
 // Add inserts a transaction. Duplicates (by ID, or same sender+nonce) return
 // ErrKnownTx; a full pool returns an error.
 func (m *Mempool) Add(tx Transaction) error {
-	id := tx.ID()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.addLocked(tx)
+}
+
+// AddBatch inserts a batch of transactions under one lock acquisition and
+// returns one error per transaction, index-aligned (nil = admitted). Used by
+// the node's batched gossip-admission loop.
+func (m *Mempool) AddBatch(txs []Transaction) []error {
+	errs := make([]error, len(txs))
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i := range txs {
+		errs[i] = m.addLocked(txs[i])
+	}
+	return errs
+}
+
+func (m *Mempool) addLocked(tx Transaction) error {
+	id := tx.ID()
 	if _, ok := m.byID[id]; ok {
 		return ErrKnownTx
 	}

@@ -56,6 +56,11 @@ type NodeConfig struct {
 	// healing (also closes per-sender nonce gaps). Default 250ms; negative
 	// disables.
 	RebroadcastInterval time.Duration
+	// IngestBatch caps how many gossiped transactions are admitted per
+	// signature-verification batch (default 128). Ignored when the chain
+	// is configured with SequentialVerify, which keeps the historic
+	// verify-inline-per-message behaviour.
+	IngestBatch int
 }
 
 // EventNotification delivers the events of one applied block to a
@@ -74,6 +79,11 @@ type NodeStats struct {
 	EventsDropped   int64
 	MiningCancelled int64
 	OrphansResolved int64
+	IngestBatches   int64
+	IngestDropped   int64
+	// Verifier reports the shared signature-verification pipeline counters
+	// (mempool admission + block validation).
+	Verifier VerifierStats
 }
 
 // Node is one participant of the private chain: chain storage, mempool,
@@ -89,18 +99,28 @@ type Node struct {
 	stop     chan struct{}
 	wg       sync.WaitGroup
 	newTx    chan struct{}
+	ingest   chan inboundTx // nil when SequentialVerify
 
 	subMu  sync.Mutex
 	subs   map[int]chan EventNotification
 	subSeq int
 
-	mined     metrics.Counter
-	accepted  metrics.Counter
-	rejected  metrics.Counter
-	submitted metrics.Counter
-	evDropped metrics.Counter
-	cancelled metrics.Counter
-	orphans   metrics.Counter
+	mined      metrics.Counter
+	accepted   metrics.Counter
+	rejected   metrics.Counter
+	submitted  metrics.Counter
+	evDropped  metrics.Counter
+	cancelled  metrics.Counter
+	orphans    metrics.Counter
+	inBatches  metrics.Counter
+	inDropped  metrics.Counter
+}
+
+// inboundTx is a gossiped transaction queued for batched admission.
+type inboundTx struct {
+	tx   Transaction
+	raw  []byte // original wire payload, re-gossiped on acceptance
+	from string
 }
 
 // NewNode constructs (but does not start) a node.
@@ -113,6 +133,9 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	if cfg.SyncDepth <= 0 {
 		cfg.SyncDepth = 10000
+	}
+	if cfg.IngestBatch <= 0 {
+		cfg.IngestBatch = 128
 	}
 	ep, err := cfg.Network.Register(cfg.Name)
 	if err != nil {
@@ -129,6 +152,13 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		subs:  make(map[int]chan EventNotification),
 	}
 	n.chain.SetEventSink(n.fanout)
+	if !cfg.Chain.SequentialVerify {
+		// Gossip handlers are active from construction, so the batched
+		// admission loop must be too (Stop terminates it).
+		n.ingest = make(chan inboundTx, 4*cfg.IngestBatch)
+		n.wg.Add(1)
+		go n.ingestLoop()
+	}
 	ep.OnMessage(kindTx, n.handleTxGossip)
 	ep.OnMessage(kindBlock, n.handleBlockGossip)
 	ep.OnCall(kindGetBlock, n.handleGetBlock)
@@ -156,6 +186,9 @@ func (n *Node) Stats() NodeStats {
 		EventsDropped:   n.evDropped.Value(),
 		MiningCancelled: n.cancelled.Value(),
 		OrphansResolved: n.orphans.Value(),
+		IngestBatches:   n.inBatches.Value(),
+		IngestDropped:   n.inDropped.Value(),
+		Verifier:        n.chain.Verifier().Stats(),
 	}
 }
 
@@ -214,7 +247,7 @@ func (n *Node) SubmitTx(tx Transaction) error {
 		return ErrStopped
 	default:
 	}
-	if err := n.chain.Identities().VerifyTx(&tx); err != nil {
+	if err := n.chain.Verifier().VerifyTx(&tx); err != nil {
 		return err
 	}
 	if err := n.pool.Add(tx); err != nil {
@@ -302,15 +335,37 @@ func (n *Node) gossip(kind string, payload []byte, except string) {
 	}
 }
 
-// handleTxGossip processes a gossiped transaction.
+// handleTxGossip processes a gossiped transaction. With the batch pipeline
+// (the default) it only decodes and enqueues; signature verification and
+// mempool admission happen in ingestLoop, batched across the worker pool.
 func (n *Node) handleTxGossip(from string, payload []byte) {
 	tx, err := DecodeTx(payload)
 	if err != nil {
 		return
 	}
-	if err := n.chain.Identities().VerifyTx(&tx); err != nil {
+	if n.ingest != nil {
+		if n.pool.Has(tx.ID()) {
+			return // duplicate flood: stop it before it costs a queue slot
+		}
+		select {
+		case n.ingest <- inboundTx{tx: tx, raw: payload, from: from}:
+		default:
+			// Queue full under burst; the sender's periodic rebroadcast
+			// will retry, so dropping here only delays admission.
+			n.inDropped.Inc()
+		}
 		return
 	}
+	// Sequential baseline: verify inline on the delivery goroutine.
+	if err := n.chain.Verifier().VerifyTx(&tx); err != nil {
+		return
+	}
+	n.admit(tx, payload, from)
+}
+
+// admit adds a verified transaction to the mempool, wakes the miner and
+// continues the gossip flood.
+func (n *Node) admit(tx Transaction, payload []byte, from string) {
 	if err := n.pool.Add(tx); err != nil {
 		return // duplicate or full: stop the flood here
 	}
@@ -319,6 +374,80 @@ func (n *Node) handleTxGossip(from string, payload []byte) {
 	default:
 	}
 	n.gossip(kindTx, payload, from)
+}
+
+// ingestLoop drains gossiped transactions and admits them in verification
+// batches: all signatures of a batch are checked in one worker-pool pass,
+// and transactions already verified (gossip duplicates, rebroadcasts) are
+// skipped via the verifier's LRU. Batches form opportunistically — the loop
+// takes whatever is queued up to IngestBatch without waiting, so a lone
+// transaction is admitted immediately.
+func (n *Node) ingestLoop() {
+	defer n.wg.Done()
+	for {
+		var first inboundTx
+		select {
+		case <-n.stop:
+			return
+		case first = <-n.ingest:
+		}
+		batch := []inboundTx{first}
+		for len(batch) < n.cfg.IngestBatch {
+			select {
+			case it := <-n.ingest:
+				batch = append(batch, it)
+				continue
+			default:
+			}
+			break
+		}
+		n.inBatches.Inc()
+		// Collapse copies of the same transaction flooding in from several
+		// peers at once — one verification per unique ID.
+		seen := make(map[crypto.Digest]struct{}, len(batch))
+		unique := batch[:0]
+		for _, it := range batch {
+			id := it.tx.ID()
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			unique = append(unique, it)
+		}
+		batch = unique
+		txs := make([]Transaction, len(batch))
+		for i := range batch {
+			txs[i] = batch[i].tx
+		}
+		verifyErrs := n.chain.Verifier().VerifyBatch(txs)
+		valid := txs[:0]
+		kept := batch[:0]
+		for i := range batch {
+			if verifyErrs[i] != nil {
+				continue
+			}
+			valid = append(valid, txs[i])
+			kept = append(kept, batch[i])
+		}
+		if len(valid) == 0 {
+			continue
+		}
+		addErrs := n.pool.AddBatch(valid)
+		admitted := false
+		for i := range kept {
+			if addErrs[i] != nil {
+				continue // duplicate or full: stop the flood here
+			}
+			admitted = true
+			n.gossip(kindTx, kept[i].raw, kept[i].from)
+		}
+		if admitted {
+			select {
+			case n.newTx <- struct{}{}:
+			default:
+			}
+		}
+	}
 }
 
 // handleBlockGossip processes a gossiped block, resolving orphans by

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drams/internal/contract"
@@ -91,6 +92,7 @@ func NewTransaction(id *crypto.Identity, nonce uint64, call contract.Call) (Tran
 type IdentityRegistry struct {
 	mu     sync.RWMutex
 	byName map[string]crypto.PublicIdentity
+	gen    atomic.Uint64
 }
 
 // NewIdentityRegistry builds a registry from the genesis allowlist.
@@ -102,12 +104,20 @@ func NewIdentityRegistry(ids ...crypto.PublicIdentity) *IdentityRegistry {
 	return r
 }
 
-// Add registers an identity (federation membership change).
+// Add registers an identity (federation membership change). It bumps the
+// registry generation so verified-transaction caches keyed to the previous
+// membership are invalidated.
 func (r *IdentityRegistry) Add(id crypto.PublicIdentity) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.byName[id.Name] = id
+	r.gen.Add(1)
 }
+
+// Generation returns a counter that changes whenever the membership does.
+// TxVerifier tags cached verifications with it: a cached "valid" result is
+// only trusted while the membership that produced it is still current.
+func (r *IdentityRegistry) Generation() uint64 { return r.gen.Load() }
 
 // Lookup returns the identity registered under name.
 func (r *IdentityRegistry) Lookup(name string) (crypto.PublicIdentity, bool) {
@@ -124,18 +134,29 @@ func (r *IdentityRegistry) Len() int {
 	return len(r.byName)
 }
 
+// sigCheck performs the cheap registry checks (membership, registered-key
+// match) and returns the remaining ed25519 verification as a job that
+// TxVerifier can fan out across its worker pool.
+func (r *IdentityRegistry) sigCheck(tx *Transaction) (crypto.SigCheck, error) {
+	reg, ok := r.Lookup(tx.From)
+	if !ok {
+		return crypto.SigCheck{}, fmt.Errorf("%w: %q", ErrUnknownIdentity, tx.From)
+	}
+	if !crypto.ConstantTimeEqual(reg.Key, tx.PubKey) {
+		return crypto.SigCheck{}, fmt.Errorf("%w: public key does not match registered identity %q", ErrBadSignature, tx.From)
+	}
+	return crypto.SigCheck{Key: reg.Key, Msg: tx.signingBytes(), Sig: tx.Signature}, nil
+}
+
 // VerifyTx checks a transaction's signature against the registry. The public
 // key embedded in the transaction must match the registered key for the
 // claimed sender — a forged key is rejected even if the signature verifies.
 func (r *IdentityRegistry) VerifyTx(tx *Transaction) error {
-	reg, ok := r.Lookup(tx.From)
-	if !ok {
-		return fmt.Errorf("%w: %q", ErrUnknownIdentity, tx.From)
+	check, err := r.sigCheck(tx)
+	if err != nil {
+		return err
 	}
-	if !crypto.ConstantTimeEqual(reg.Key, tx.PubKey) {
-		return fmt.Errorf("%w: public key does not match registered identity %q", ErrBadSignature, tx.From)
-	}
-	if !reg.Verify(tx.signingBytes(), tx.Signature) {
+	if !check.Verify() {
 		return fmt.Errorf("%w: from %q", ErrBadSignature, tx.From)
 	}
 	return nil

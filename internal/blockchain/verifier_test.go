@@ -1,0 +1,307 @@
+package blockchain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"drams/internal/crypto"
+	"drams/internal/netsim"
+)
+
+// testTxs builds n valid transactions from the given identity starting at
+// nonce 1.
+func testTxs(t testing.TB, id *crypto.Identity, n int) []Transaction {
+	t.Helper()
+	txs := make([]Transaction, n)
+	for i := range txs {
+		tx, err := NewTransaction(id, uint64(i+1), putCall(fmt.Sprintf("k%d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs[i] = tx
+	}
+	return txs
+}
+
+// TestVerifyBatchMatchesSequential checks that the batch verifier accepts
+// and rejects exactly the transactions the sequential registry check does,
+// including a corrupted signature and an unknown sender planted mid-batch.
+func TestVerifyBatchMatchesSequential(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	mallory := testIdentity(t, "mallory", 66) // not registered
+	reg := NewIdentityRegistry(alice.Public())
+	txs := testTxs(t, alice, 32)
+
+	txs[17].Signature[0] ^= 0xFF // corrupt one signature mid-batch
+	bad, err := NewTransaction(mallory, 1, putCall("m", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs[23] = bad
+
+	v := NewTxVerifier(reg, VerifierConfig{Workers: 4, CacheSize: -1})
+	got := v.VerifyBatch(txs)
+	for i := range txs {
+		want := reg.VerifyTx(&txs[i])
+		if (got[i] == nil) != (want == nil) {
+			t.Fatalf("tx %d: batch err %v, sequential err %v", i, got[i], want)
+		}
+	}
+	if !errors.Is(got[17], ErrBadSignature) {
+		t.Fatalf("tx 17 err = %v, want ErrBadSignature", got[17])
+	}
+	if !errors.Is(got[23], ErrUnknownIdentity) {
+		t.Fatalf("tx 23 err = %v, want ErrUnknownIdentity", got[23])
+	}
+	if err := v.VerifyAll(txs); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("VerifyAll err = %v, want first failure", err)
+	}
+	if v.Stats().Failures != 4 { // 2 from VerifyBatch + 2 from VerifyAll
+		t.Fatalf("failures = %d", v.Stats().Failures)
+	}
+}
+
+// TestVerifierCacheSkipsReverification checks that a second pass over the
+// same transactions performs no new signature verifications.
+func TestVerifierCacheSkipsReverification(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	reg := NewIdentityRegistry(alice.Public())
+	txs := testTxs(t, alice, 16)
+	v := NewTxVerifier(reg, VerifierConfig{})
+
+	if err := v.VerifyAll(txs); err != nil {
+		t.Fatal(err)
+	}
+	first := v.Stats()
+	if first.Verified != 16 || first.CacheHits != 0 {
+		t.Fatalf("cold pass stats = %+v", first)
+	}
+	if err := v.VerifyAll(txs); err != nil {
+		t.Fatal(err)
+	}
+	second := v.Stats()
+	if second.Verified != first.Verified {
+		t.Fatalf("warm pass re-verified: %d -> %d", first.Verified, second.Verified)
+	}
+	if second.CacheHits != 16 {
+		t.Fatalf("warm pass hits = %d", second.CacheHits)
+	}
+	// Single-tx path hits the same cache.
+	if err := v.VerifyTx(&txs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if v.Stats().Verified != first.Verified {
+		t.Fatal("VerifyTx re-verified a cached transaction")
+	}
+}
+
+// TestVerifierFailedTxNotCached checks that a rejected transaction is
+// re-checked (and re-rejected) on every attempt.
+func TestVerifierFailedTxNotCached(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	reg := NewIdentityRegistry(alice.Public())
+	tx := testTxs(t, alice, 1)[0]
+	tx.Signature[0] ^= 0xFF
+	v := NewTxVerifier(reg, VerifierConfig{})
+	for i := 0; i < 2; i++ {
+		if err := v.VerifyTx(&tx); !errors.Is(err, ErrBadSignature) {
+			t.Fatalf("attempt %d: err = %v", i, err)
+		}
+	}
+	if v.Stats().Verified != 2 {
+		t.Fatalf("verified = %d, want 2 (failures must not be cached)", v.Stats().Verified)
+	}
+}
+
+// TestVerifierRegistryGenerationInvalidation checks that a membership change
+// (same name, new key) invalidates cached verifications: a transaction
+// verified under the old key must fail, not hit the stale cache entry.
+func TestVerifierRegistryGenerationInvalidation(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	reg := NewIdentityRegistry(alice.Public())
+	tx := testTxs(t, alice, 1)[0]
+	v := NewTxVerifier(reg, VerifierConfig{})
+	if err := v.VerifyTx(&tx); err != nil {
+		t.Fatal(err)
+	}
+
+	// The federation rotates alice's key.
+	alice2 := testIdentity(t, "alice", 2)
+	reg.Add(alice2.Public())
+
+	if err := v.VerifyTx(&tx); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("stale cache served a rotated identity: err = %v", err)
+	}
+	if errs := v.VerifyBatch([]Transaction{tx}); !errors.Is(errs[0], ErrBadSignature) {
+		t.Fatalf("batch path served a rotated identity: err = %v", errs[0])
+	}
+}
+
+// TestVerifierLRUBound checks the cache never exceeds its configured size.
+func TestVerifierLRUBound(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	reg := NewIdentityRegistry(alice.Public())
+	v := NewTxVerifier(reg, VerifierConfig{CacheSize: 32})
+	txs := testTxs(t, alice, 200)
+	if err := v.VerifyAll(txs); err != nil {
+		t.Fatal(err)
+	}
+	if got := v.cache.len(); got > 32 {
+		t.Fatalf("cache holds %d entries, bound 32", got)
+	}
+}
+
+// TestVerifierConcurrent hammers overlapping batches from several
+// goroutines; run under -race this checks the striped cache's locking.
+func TestVerifierConcurrent(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	bob := testIdentity(t, "bob", 2)
+	reg := NewIdentityRegistry(alice.Public(), bob.Public())
+	txsA := testTxs(t, alice, 64)
+	txsB := make([]Transaction, 64)
+	for i := range txsB {
+		tx, err := NewTransaction(bob, uint64(i+1), putCall(fmt.Sprintf("b%d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txsB[i] = tx
+	}
+	v := NewTxVerifier(reg, VerifierConfig{Workers: 2, CacheSize: 64})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for iter := 0; iter < 10; iter++ {
+				batch := txsA
+				if (g+iter)%2 == 0 {
+					batch = txsB
+				}
+				if err := v.VerifyAll(batch); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestChainRejectsBadSignatureInBlock checks the batch path still rejects a
+// block carrying one transaction whose signature was corrupted after
+// signing (the A8 forgery case), end to end through AddBlock.
+func TestChainRejectsBadSignatureInBlock(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	c := NewChain(testChainConfig(t, alice))
+	txs := testTxs(t, alice, 8)
+	txs[5].Signature[0] ^= 0xFF
+	b := mineChild(t, c, c.Genesis(), txs...)
+	if err := c.AddBlock(b); !errors.Is(err, ErrBadSignature) {
+		t.Fatalf("AddBlock err = %v, want ErrBadSignature", err)
+	}
+	if _, h := c.Head(); h != 0 {
+		t.Fatalf("bad block extended the chain to height %d", h)
+	}
+}
+
+// TestAddBlockRejectsStructurallyInvalidBeforeVerifying checks the DoS
+// ordering: a block that fails a cheap structural check (bad PoW, wrong
+// difficulty, orphan) must be rejected before any ed25519 work is spent on
+// its transactions.
+func TestAddBlockRejectsStructurallyInvalidBeforeVerifying(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	c := NewChain(testChainConfig(t, alice))
+	txs := testTxs(t, alice, 8)
+
+	unmined := &Block{
+		Header: BlockHeader{
+			Height:     1,
+			PrevHash:   c.Genesis(),
+			MerkleRoot: ComputeMerkleRoot(txs),
+			Difficulty: 4,
+			Miner:      "cheap-forgery",
+		},
+		Txs: txs,
+	}
+	if err := c.AddBlock(unmined); !errors.Is(err, ErrBadPoW) {
+		t.Fatalf("AddBlock err = %v, want ErrBadPoW", err)
+	}
+	orphan := mineChild(t, c, c.Genesis(), txs...)
+	orphan.Header.PrevHash = crypto.Sum([]byte("unknown-parent")) // now an orphan (and stale PoW, but parent check wins)
+	if err := c.AddBlock(orphan); !errors.Is(err, ErrOrphanBlock) {
+		t.Fatalf("AddBlock err = %v, want ErrOrphanBlock", err)
+	}
+	if v := c.Verifier().Stats().Verified; v != 0 {
+		t.Fatalf("structurally invalid blocks cost %d signature verifications", v)
+	}
+}
+
+// TestBlockValidationUsesAdmissionCache checks the pipeline contract: a
+// transaction verified at mempool admission is not re-verified when the
+// block containing it is validated.
+func TestBlockValidationUsesAdmissionCache(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 11, Synchronous: true})
+	defer net.Close()
+	n, err := NewNode(NodeConfig{Name: "n", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n.Stop()
+
+	txs := testTxs(t, alice, 8)
+	for _, tx := range txs {
+		if err := n.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verifiedAtAdmission := n.Stats().Verifier.Verified
+	b := mineChild(t, n.Chain(), n.Chain().Genesis(), txs...)
+	if err := n.Chain().AddBlock(b); err != nil {
+		t.Fatal(err)
+	}
+	after := n.Stats().Verifier
+	if after.Verified != verifiedAtAdmission {
+		t.Fatalf("block validation re-verified: %d -> %d", verifiedAtAdmission, after.Verified)
+	}
+}
+
+// TestGossipBatchedAdmission checks that gossiped transactions reach a
+// peer's mempool through the batched ingest loop.
+func TestGossipBatchedAdmission(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 13})
+	defer net.Close()
+	a, err := NewNode(NodeConfig{Name: "a", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewNode(NodeConfig{Name: "b", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	defer b.Stop()
+	a.Start()
+	b.Start()
+
+	txs := testTxs(t, alice, 16)
+	for _, tx := range txs {
+		if err := a.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return b.Mempool().Len() == len(txs)
+	}, "gossiped txs admitted at peer")
+	if b.Stats().IngestBatches == 0 {
+		t.Fatal("peer admitted txs without the ingest loop")
+	}
+	// The peer verified each unique tx at most once, despite rebroadcasts.
+	if v := b.Stats().Verifier.Verified; v > int64(len(txs)) {
+		t.Fatalf("peer verified %d times for %d txs", v, len(txs))
+	}
+}

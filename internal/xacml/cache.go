@@ -1,0 +1,172 @@
+package xacml
+
+import (
+	"container/list"
+	"sync"
+
+	"drams/internal/crypto"
+	"drams/internal/metrics"
+)
+
+// cacheShards is the stripe count of the DecisionCache. Keys are SHA-256
+// digests of canonical request content, so the first key byte spreads
+// entries uniformly.
+const cacheShards = 16
+
+// DefaultDecisionCacheSize is the entry bound used when NewDecisionCache is
+// given a non-positive size.
+const DefaultDecisionCacheSize = 4096
+
+// CacheStats snapshots a DecisionCache's counters.
+type CacheStats struct {
+	// Hits counts lookups answered from the cache.
+	Hits int64
+	// Misses counts lookups that fell through to full evaluation.
+	Misses int64
+	// Invalidations counts entries discarded because they were computed
+	// under a different policy-set digest than the active one.
+	Invalidations int64
+	// Evictions counts entries displaced by the LRU bound.
+	Evictions int64
+	// Purges counts whole-cache clears (policy loads).
+	Purges int64
+}
+
+// DecisionCache memoises PDP results keyed by the canonical request content
+// digest (Request.Digest — attribute bags only, not the correlation ID), so
+// repeated subject/resource/action combinations skip target and condition
+// evaluation entirely. Every entry records the policy-set digest it was
+// computed under; a lookup under a different digest discards the entry, so
+// a policy swap can never serve stale decisions even if Purge is missed.
+// The cache is partitioned into lock-striped LRU shards and is safe for
+// concurrent use.
+type DecisionCache struct {
+	shards   [cacheShards]decisionShard
+	perShard int
+
+	hits          metrics.Counter
+	misses        metrics.Counter
+	invalidations metrics.Counter
+	evictions     metrics.Counter
+	purges        metrics.Counter
+}
+
+type decisionShard struct {
+	mu    sync.Mutex
+	order *list.List // front = most recent; values are *decisionEntry
+	items map[crypto.Digest]*list.Element
+}
+
+type decisionEntry struct {
+	key    crypto.Digest // request content digest
+	policy crypto.Digest // policy-set digest the result was computed under
+	res    Result        // RequestID left empty; filled in per lookup
+}
+
+// NewDecisionCache returns a cache bounded to roughly `size` entries
+// (DefaultDecisionCacheSize when size <= 0).
+func NewDecisionCache(size int) *DecisionCache {
+	if size <= 0 {
+		size = DefaultDecisionCacheSize
+	}
+	per := size / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &DecisionCache{perShard: per}
+	for i := range c.shards {
+		c.shards[i].order = list.New()
+		c.shards[i].items = make(map[crypto.Digest]*list.Element, per)
+	}
+	return c
+}
+
+func (c *DecisionCache) shard(key crypto.Digest) *decisionShard {
+	return &c.shards[key[0]%cacheShards]
+}
+
+// Get returns the cached result for the request key under the given policy
+// digest. An entry computed under a different policy digest is discarded
+// (digest invalidation) and reported as a miss.
+func (c *DecisionCache) Get(key, policyDigest crypto.Digest) (Result, bool) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	elem, ok := sh.items[key]
+	if !ok {
+		sh.mu.Unlock()
+		c.misses.Inc()
+		return Result{}, false
+	}
+	ent := elem.Value.(*decisionEntry)
+	if ent.policy != policyDigest {
+		sh.order.Remove(elem)
+		delete(sh.items, key)
+		sh.mu.Unlock()
+		c.invalidations.Inc()
+		c.misses.Inc()
+		return Result{}, false
+	}
+	sh.order.MoveToFront(elem)
+	res := ent.res
+	sh.mu.Unlock()
+	c.hits.Inc()
+	return res, true
+}
+
+// Put stores a result computed under the given policy digest. The stored
+// Result must not carry a correlation ID (the PDP strips it before Put and
+// re-stamps it on every Get).
+func (c *DecisionCache) Put(key, policyDigest crypto.Digest, res Result) {
+	sh := c.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if elem, ok := sh.items[key]; ok {
+		ent := elem.Value.(*decisionEntry)
+		ent.policy = policyDigest
+		ent.res = res
+		sh.order.MoveToFront(elem)
+		return
+	}
+	for sh.order.Len() >= c.perShard {
+		oldest := sh.order.Back()
+		sh.order.Remove(oldest)
+		delete(sh.items, oldest.Value.(*decisionEntry).key)
+		c.evictions.Inc()
+	}
+	sh.items[key] = sh.order.PushFront(&decisionEntry{key: key, policy: policyDigest, res: res})
+}
+
+// Purge drops every entry; called on policy load so memory is reclaimed
+// promptly (digest checking alone already guarantees correctness).
+func (c *DecisionCache) Purge() {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		sh.order.Init()
+		sh.items = make(map[crypto.Digest]*list.Element, c.perShard)
+		sh.mu.Unlock()
+	}
+	c.purges.Inc()
+}
+
+// Len returns the current number of cached decisions.
+func (c *DecisionCache) Len() int {
+	n := 0
+	for i := range c.shards {
+		c.shards[i].mu.Lock()
+		n += len(c.shards[i].items)
+		c.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the cache counters.
+func (c *DecisionCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Invalidations: c.invalidations.Value(),
+		Evictions:     c.evictions.Value(),
+		Purges:        c.purges.Value(),
+	}
+}

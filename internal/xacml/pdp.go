@@ -71,9 +71,14 @@ func DecodeResult(data []byte) (Result, error) {
 
 // PDP is the Policy Decision Point: it evaluates requests against the
 // currently active policy set. Policy swaps are atomic; evaluation is
-// lock-free on the hot path.
+// lock-free on the hot path. With a DecisionCache attached (SetCache),
+// repeated requests with identical attribute content are answered from the
+// cache — bit-for-bit the result full evaluation would produce, since a
+// decision is a pure function of (attributes, policy set) and entries are
+// keyed by both digests.
 type PDP struct {
 	current atomic.Pointer[loadedPolicy]
+	cache   atomic.Pointer[DecisionCache]
 	evals   atomic.Int64
 }
 
@@ -82,7 +87,8 @@ type loadedPolicy struct {
 	digest crypto.Digest
 }
 
-// NewPDP returns a PDP, optionally pre-loaded.
+// NewPDP returns a PDP, optionally pre-loaded. The decision cache is off;
+// attach one with SetCache or use NewCachedPDP.
 func NewPDP(ps *PolicySet) *PDP {
 	p := &PDP{}
 	if ps != nil {
@@ -91,11 +97,31 @@ func NewPDP(ps *PolicySet) *PDP {
 	return p
 }
 
+// NewCachedPDP returns a PDP with a decision cache of roughly cacheSize
+// entries attached.
+func NewCachedPDP(ps *PolicySet, cacheSize int) *PDP {
+	p := NewPDP(ps)
+	p.SetCache(NewDecisionCache(cacheSize))
+	return p
+}
+
+// SetCache attaches a decision cache (nil detaches, restoring
+// evaluate-from-scratch behaviour).
+func (p *PDP) SetCache(c *DecisionCache) { p.cache.Store(c) }
+
+// Cache returns the attached decision cache, or nil.
+func (p *PDP) Cache() *DecisionCache { return p.cache.Load() }
+
 // Load activates a policy set (clone-on-load so later caller mutations
-// cannot affect evaluation).
+// cannot affect evaluation). An attached cache is purged; entries are also
+// keyed by policy digest, so even an un-purged entry could not leak a stale
+// decision.
 func (p *PDP) Load(ps *PolicySet) {
 	cl := ps.Clone()
 	p.current.Store(&loadedPolicy{set: cl, digest: cl.Digest()})
+	if c := p.cache.Load(); c != nil {
+		c.Purge()
+	}
 }
 
 // Policy returns the active policy set and its digest.
@@ -110,13 +136,26 @@ func (p *PDP) Policy() (*PolicySet, crypto.Digest, error) {
 // Evaluations returns how many requests this PDP has evaluated.
 func (p *PDP) Evaluations() int64 { return p.evals.Load() }
 
-// Evaluate computes the decision for a request.
+// Evaluate computes the decision for a request, answering from the
+// decision cache when one is attached and the request's attribute content
+// was evaluated before under the active policy set. Only the correlation ID
+// differs between requests sharing a cache entry, and it is re-stamped per
+// call, so cached and freshly evaluated results are identical.
 func (p *PDP) Evaluate(r *Request) (Result, error) {
 	lp := p.current.Load()
 	if lp == nil {
 		return Result{}, ErrNoPolicy
 	}
 	p.evals.Add(1)
+	cache := p.cache.Load()
+	var key crypto.Digest
+	if cache != nil {
+		key = r.Digest()
+		if res, ok := cache.Get(key, lp.digest); ok {
+			res.RequestID = r.ID
+			return res, nil
+		}
+	}
 	ext := lp.set.Evaluate(r)
 	res := Result{
 		RequestID:     r.ID,
@@ -127,6 +166,11 @@ func (p *PDP) Evaluate(r *Request) (Result, error) {
 		PolicyDigest:  lp.digest,
 	}
 	res.Obligations = lp.set.CollectObligations(r, ext.Simple())
+	if cache != nil {
+		stored := res
+		stored.RequestID = ""
+		cache.Put(key, lp.digest, stored)
+	}
 	return res, nil
 }
 

@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
-	"strings"
 
 	"drams/internal/crypto"
 )
@@ -77,9 +76,11 @@ func (r *Request) Clone() *Request {
 // CanonicalBytes returns a deterministic encoding of the request content
 // (excluding the correlation ID) used for integrity digests: the monitor
 // compares the digest logged at the PEP with the digest logged at the PDP
-// (check M1).
+// (check M1), and the PDP decision cache keys on it. It runs on every
+// monitored request (twice, at PEP and PDP probes), so the encoding is
+// built with plain appends rather than fmt.
 func (r *Request) CanonicalBytes() []byte {
-	var sb strings.Builder
+	buf := make([]byte, 0, 256)
 	cats := make([]string, 0, len(r.Attrs))
 	for c := range r.Attrs {
 		cats = append(cats, string(c))
@@ -94,15 +95,31 @@ func (r *Request) CanonicalBytes() []byte {
 		sort.Strings(ids)
 		for _, id := range ids {
 			bag := m[AttributeID(id)]
-			vals := make([]string, 0, len(bag))
-			for _, v := range bag {
-				vals = append(vals, v.Key())
+			buf = append(buf, c...)
+			buf = append(buf, '/')
+			buf = append(buf, id...)
+			buf = append(buf, '=', '[')
+			switch len(bag) {
+			case 0:
+			case 1:
+				buf = bag[0].appendKey(buf)
+			default:
+				vals := make([]string, len(bag))
+				for i, v := range bag {
+					vals[i] = v.Key()
+				}
+				sort.Strings(vals)
+				for i, v := range vals {
+					if i > 0 {
+						buf = append(buf, ',')
+					}
+					buf = append(buf, v...)
+				}
 			}
-			sort.Strings(vals)
-			fmt.Fprintf(&sb, "%s/%s=[%s];", c, id, strings.Join(vals, ","))
+			buf = append(buf, ']', ';')
 		}
 	}
-	return []byte(sb.String())
+	return buf
 }
 
 // Digest returns the content digest of the request.

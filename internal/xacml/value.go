@@ -170,7 +170,31 @@ func (v Value) String() string {
 // Key returns a canonical map key for the value, used for deduplication in
 // the analyser's finite-domain abstraction.
 func (v Value) Key() string {
-	return fmt.Sprintf("%d|%s", v.T, v.String())
+	return string(v.appendKey(nil))
+}
+
+// appendKey appends the Key encoding to dst. This is the hot path of
+// request canonicalization (probe digests, the PDP decision-cache key), so
+// it avoids fmt; the output stays byte-identical to the historic
+// fmt-based encoding.
+func (v Value) appendKey(dst []byte) []byte {
+	dst = strconv.AppendUint(dst, uint64(v.T), 10)
+	dst = append(dst, '|')
+	switch v.T {
+	case TypeString:
+		dst = strconv.AppendQuote(dst, v.S)
+	case TypeInt:
+		dst = strconv.AppendInt(dst, v.I, 10)
+	case TypeFloat:
+		dst = strconv.AppendFloat(dst, v.F, 'g', -1, 64)
+	case TypeBool:
+		dst = strconv.AppendBool(dst, v.B)
+	case TypeTime:
+		dst = v.Tm.AppendFormat(dst, time.RFC3339)
+	default:
+		dst = append(dst, "<invalid>"...)
+	}
+	return dst
 }
 
 // Bag is an unordered multiset of values, the XACML attribute-bag type.
