@@ -1,11 +1,11 @@
 // drams-bench regenerates the full experiment suite: E1–E8 of DESIGN.md §2,
-// the AB1–AB3 ablations, and the V1–V2 throughput-pipeline comparisons
-// (batch signature verification, PDP decision cache). It prints each result
+// the AB1–AB3 ablations, and the V1–V3 throughput-pipeline comparisons
+// (batch signature verification, PDP decision cache, client decision pipelining). It prints each result
 // table (text or CSV). EXPERIMENTS.md is produced from this tool's output.
 //
 // Usage:
 //
-//	drams-bench [-run E1,E2,...,V1,V2] [-quick] [-csv]
+//	drams-bench [-run E1,E2,...,V1,V2,V3] [-quick] [-csv]
 package main
 
 import (
@@ -30,7 +30,7 @@ func run() int {
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3"} {
 			selected[id] = true
 		}
 	} else {
@@ -134,6 +134,14 @@ func run() int {
 				p = experiment.V2Params{RuleCounts: []int{10, 100}, Requests: 64, Repeats: 4}
 			}
 			return experiment.RunV2(p)
+		}},
+		{"V3", func() (experiment.Table, error) {
+			p := experiment.DefaultV3Params()
+			if *quick {
+				p = experiment.V3Params{InFlight: []int{1, 8, 64}, Requests: 64,
+					NetLatency: 300 * time.Microsecond}
+			}
+			return experiment.RunV3(p)
 		}},
 	}
 

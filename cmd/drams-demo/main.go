@@ -44,30 +44,47 @@ func run() error {
 	fmt.Println("[1/5] deploying the Figure-1 federation:")
 	fmt.Println("      2 clouds, 2 edge tenants + infrastructure tenant,")
 	fmt.Println("      PDP/PRP + PEPs + agents + LIs + 2-node chain + analyser")
-	dep, err := drams.New(drams.Config{
-		Policy:             policy(),
-		Difficulty:         8,
-		TimeoutBlocks:      25,
-		EmptyBlockInterval: 20 * time.Millisecond,
-		Seed:               2026,
-	})
+	dep, err := drams.Open(policy(),
+		drams.WithDifficulty(8),
+		drams.WithTimeoutBlocks(25),
+		drams.WithEmptyBlockInterval(20*time.Millisecond),
+		drams.WithSeed(2026),
+	)
 	if err != nil {
 		return err
 	}
 	defer dep.Close()
-	dep.Monitor.OnAlert(func(a drams.Alert) {
-		fmt.Printf("      🔔 ALERT %s\n", a)
-	})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
 
+	// Stream every security alert the monitor raises, as it lands.
+	alerts, stopAlerts, err := dep.Alerts(ctx, drams.AlertFilter{})
+	if err != nil {
+		return err
+	}
+	defer stopAlerts()
+	go func() {
+		for a := range alerts {
+			fmt.Printf("      🔔 ALERT %s\n", a)
+		}
+	}()
+
+	clients := map[string]*drams.Client{}
+	for _, tenant := range []string{"tenant-1", "tenant-2"} {
+		c, err := dep.Client(tenant)
+		if err != nil {
+			return err
+		}
+		clients[tenant] = c
+	}
+
 	fmt.Println()
 	fmt.Println("[2/5] clean traffic: a doctor reads a record via tenant-1's PEP")
-	req := dep.NewRequest().
+	req := clients["tenant-1"].NewRequest().
 		Add(xacml.CatSubject, "role", xacml.String("doctor")).
 		Add(xacml.CatAction, "op", xacml.String("read"))
-	enf, err := dep.Request("tenant-1", req)
+	enf, err := clients["tenant-1"].Decide(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -82,10 +99,10 @@ func run() error {
 	_ = dep.TamperPEP("tenant-1", &drams.Tamper{
 		Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
 	})
-	evil := dep.NewRequest().
+	evil := clients["tenant-1"].NewRequest().
 		Add(xacml.CatSubject, "role", xacml.String("intern")).
 		Add(xacml.CatAction, "op", xacml.String("read"))
-	enf, err = dep.Request("tenant-1", evil)
+	enf, err = clients["tenant-1"].Decide(ctx, evil)
 	if err != nil {
 		return err
 	}
@@ -99,10 +116,10 @@ func run() error {
 	fmt.Println()
 	fmt.Println("[4/5] attack: request suppressed in transit (A6)")
 	_ = dep.TamperPEP("tenant-2", &drams.Tamper{DropRequest: true})
-	dropped := dep.NewRequest().
+	dropped := clients["tenant-2"].NewRequest().
 		Add(xacml.CatSubject, "role", xacml.String("doctor")).
 		Add(xacml.CatAction, "op", xacml.String("read"))
-	if _, err := dep.Request("tenant-2", dropped); err != federation.ErrRequestDropped {
+	if _, err := clients["tenant-2"].Decide(ctx, dropped); err != federation.ErrRequestDropped {
 		fmt.Printf("      (request outcome: %v)\n", err)
 	}
 	if _, err := dep.WaitForAlert(ctx, dropped.ID, core.AlertMessageSuppressed); err != nil {

@@ -16,15 +16,22 @@
 //   - the Analyser re-deriving expected decisions, and the off-chain
 //     Monitor aggregating security alerts.
 //
-// Quickstart:
+// Quickstart (the client-centric surface):
 //
-//	dep, err := drams.New(drams.Config{Policy: policy})
+//	dep, err := drams.Open(policy, drams.WithSeed(7))
 //	defer dep.Close()
-//	enf, err := dep.Request("tenant-1", req)      // normal access control
-//	dep.TamperPEP("tenant-1", &federation.Tamper{ // inject an attack
+//	client, err := dep.Client("tenant-1")         // per-tenant handle
+//	enf, err := client.Decide(ctx, req)           // normal access control
+//	enfs, err := client.DecideBatch(ctx, reqs)    // pipelined decisions
+//	dep.TamperPEP("tenant-1", &drams.Tamper{      // inject an attack
 //	    Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
 //	})
-//	alert, err := dep.WaitForAlert(ctx, reqID, core.AlertEnforcementMismatch)
+//	alerts, stop, err := dep.Alerts(ctx, drams.AlertFilter{}) // streaming alerts
+//	defer stop()
+//
+// The original surface — drams.New(Config), Deployment.Request,
+// WaitForAlert/WaitForMatched — keeps working as thin shims over the
+// client API.
 package drams
 
 import (
@@ -54,9 +61,15 @@ type (
 	Alert = core.Alert
 	// AlertType classifies alerts.
 	AlertType = core.AlertType
+	// AlertFilter selects which monitor events a subscription receives.
+	AlertFilter = core.AlertFilter
 	// Tamper injects attacks at a PEP's data path.
 	Tamper = federation.Tamper
 )
+
+// AlertMatched is the synthetic stream event emitted on subscription
+// channels when an exchange completes cleanly on-chain.
+const AlertMatched = core.AlertMatched
 
 // Config configures a Deployment. The zero value plus a Policy is usable.
 type Config struct {
@@ -434,22 +447,6 @@ func (d *Deployment) NewRequest() *xacml.Request {
 	return xacml.NewRequest(d.NewRequestID())
 }
 
-// Request runs one access request through a tenant's PEP and returns the
-// enforced outcome — the application-facing entry point.
-func (d *Deployment) Request(tenant string, req *xacml.Request) (Enforcement, error) {
-	pep, ok := d.PEPs[tenant]
-	if !ok {
-		return Enforcement{}, fmt.Errorf("drams: tenant %q has no PEP", tenant)
-	}
-	if req.ID == "" {
-		req.ID = d.NewRequestID()
-	}
-	if d.Monitor != nil {
-		d.Monitor.TrackSubmission(req.ID)
-	}
-	return pep.Decide(context.Background(), req)
-}
-
 // TamperPEP installs attack injection at a tenant's PEP (nil clears).
 func (d *Deployment) TamperPEP(tenant string, t *Tamper) error {
 	pep, ok := d.PEPs[tenant]
@@ -471,19 +468,20 @@ func (d *Deployment) CompromisePDP(wrap func(xacml.Evaluator) xacml.Evaluator) {
 	d.PDPService.SetEvaluator(wrap(d.PDP))
 }
 
-// WaitForAlert blocks until the monitor sees the given alert for reqID.
+// WaitForAlert blocks until the monitor sees the given alert for reqID. It
+// is a shim over a one-shot Alerts subscription.
 func (d *Deployment) WaitForAlert(ctx context.Context, reqID string, t AlertType) (Alert, error) {
 	if d.Monitor == nil {
-		return Alert{}, errors.New("drams: monitoring is disabled")
+		return Alert{}, ErrMonitoringDisabled
 	}
 	return d.Monitor.WaitForAlert(ctx, reqID, t)
 }
 
 // WaitForMatched blocks until the exchange for reqID completed cleanly
-// on-chain.
+// on-chain. It is a shim over a one-shot Alerts subscription.
 func (d *Deployment) WaitForMatched(ctx context.Context, reqID string) error {
 	if d.Monitor == nil {
-		return errors.New("drams: monitoring is disabled")
+		return ErrMonitoringDisabled
 	}
 	return d.Monitor.WaitForMatched(ctx, reqID)
 }

@@ -38,17 +38,20 @@ func policy() *xacml.PolicySet {
 }
 
 func run() error {
-	dep, err := drams.New(drams.Config{
-		Policy:             policy(),
-		Difficulty:         8,
-		TimeoutBlocks:      20,
-		EmptyBlockInterval: 15 * time.Millisecond,
-		Seed:               5,
-	})
+	dep, err := drams.Open(policy(),
+		drams.WithDifficulty(8),
+		drams.WithTimeoutBlocks(20),
+		drams.WithEmptyBlockInterval(15*time.Millisecond),
+		drams.WithSeed(5),
+	)
 	if err != nil {
 		return err
 	}
 	defer dep.Close()
+	victim, err := dep.Client("tenant-1")
+	if err != nil {
+		return err
+	}
 
 	escalate := func(req *xacml.Request) *xacml.Request {
 		out := xacml.NewRequest(req.ID)
@@ -67,25 +70,33 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		req := dep.NewRequest().
+		req := victim.NewRequest().
 			Add(xacml.CatSubject, "role", xacml.String("intern")).
 			Add(xacml.CatAction, "op", xacml.String("read"))
 		_, startHeight := dep.InfraNode().Chain().Head()
-		t0 := time.Now()
-		_, _ = dep.Request("tenant-1", req) // suppression attacks error by design
 
+		// Subscribe to exactly the alerts this attack is expected to
+		// raise, before the malicious request is even submitted.
 		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		alerts, stop, err := dep.Alerts(ctx, drams.AlertFilter{ReqID: req.ID, Types: sc.Expected})
+		if err != nil {
+			cancel()
+			return err
+		}
+		t0 := time.Now()
+		_, _ = victim.Decide(ctx, req) // suppression attacks error by design
+
 		detectedBy := "NOT DETECTED"
 		latency := time.Duration(0)
 		var blocks uint64
-		for _, want := range sc.Expected {
-			if alert, err := dep.WaitForAlert(ctx, req.ID, want); err == nil {
-				detectedBy = string(alert.Type)
-				latency = time.Since(t0)
-				blocks = alert.Height - startHeight
-				break
-			}
+		select {
+		case alert := <-alerts:
+			detectedBy = string(alert.Type)
+			latency = time.Since(t0)
+			blocks = alert.Height - startHeight
+		case <-ctx.Done():
 		}
+		stop()
 		cancel()
 		cleanup()
 		fmt.Printf("%-42s %-26s %-10s %d\n",
@@ -101,14 +112,14 @@ func run() error {
 	fmt.Printf("%-42s %-26s %-10s %s\n", "A8 log forgery (outsider)", verdict, "-", "-")
 
 	// Control: clean traffic raises nothing.
-	req := dep.NewRequest().
-		Add(xacml.CatSubject, "role", xacml.String("doctor")).
-		Add(xacml.CatAction, "op", xacml.String("read"))
-	if _, err := dep.Request("tenant-1", req); err != nil {
-		return err
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
+	req := victim.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("doctor")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+	if _, err := victim.Decide(ctx, req); err != nil {
+		return err
+	}
 	if err := dep.WaitForMatched(ctx, req.ID); err != nil {
 		return err
 	}

@@ -80,14 +80,13 @@ func healthPolicy(version string) *xacml.PolicySet {
 
 func run() error {
 	topology := federation.SimpleTopology("health-federation", 3)
-	dep, err := drams.New(drams.Config{
-		Policy:             healthPolicy("v1"),
-		Topology:           topology,
-		Difficulty:         8,
-		TimeoutBlocks:      30,
-		EmptyBlockInterval: 20 * time.Millisecond,
-		Seed:               99,
-	})
+	dep, err := drams.Open(healthPolicy("v1"),
+		drams.WithTopology(topology),
+		drams.WithDifficulty(8),
+		drams.WithTimeoutBlocks(30),
+		drams.WithEmptyBlockInterval(20*time.Millisecond),
+		drams.WithSeed(99),
+	)
 	if err != nil {
 		return err
 	}
@@ -132,9 +131,13 @@ func run() error {
 
 	fmt.Println("\ntraffic:")
 	for _, c := range cases {
-		req := dep.NewRequest()
+		client, err := dep.Client(c.tenant)
+		if err != nil {
+			return err
+		}
+		req := client.NewRequest()
 		c.build(req)
-		enf, err := dep.Request(c.tenant, req)
+		enf, err := client.Decide(ctx, req)
 		if err != nil {
 			return err
 		}
@@ -190,17 +193,28 @@ func run() error {
 	}
 	fmt.Println("\nv2 published: stored in PRP, digest anchored on-chain, PDP and analyser reloaded")
 
-	req := dep.NewRequest()
-	req.Add(xacml.CatSubject, "role", xacml.String("nurse"))
-	req.Add(xacml.CatResource, "type", xacml.String("patient-record"))
-	req.Add(xacml.CatAction, "op", xacml.String("read"))
-	enf, err := dep.Request("tenant-3", req)
+	// Under v2 a ward of nurses reads records: a single pipelined batch
+	// through hospital 3's PEP (one network round-trip for all of them).
+	ward, err := dep.Client("tenant-3")
 	if err != nil {
 		return err
 	}
-	fmt.Printf("nurse reads a record under v2 → %s\n", enf.Decision)
-	if err := dep.WaitForMatched(ctx, req.ID); err != nil {
+	batch := make([]*xacml.Request, 4)
+	for i := range batch {
+		batch[i] = ward.NewRequest().
+			Add(xacml.CatSubject, "role", xacml.String("nurse")).
+			Add(xacml.CatResource, "type", xacml.String("patient-record")).
+			Add(xacml.CatAction, "op", xacml.String("read"))
+	}
+	enfs, err := ward.DecideBatch(ctx, batch)
+	if err != nil {
 		return err
+	}
+	fmt.Printf("nurse ward batch under v2 → %d requests, all %s\n", len(enfs), enfs[0].Decision)
+	for _, req := range batch {
+		if err := dep.WaitForMatched(ctx, req.ID); err != nil {
+			return err
+		}
 	}
 
 	st := dep.Monitor.Stats()

@@ -1,8 +1,9 @@
-// Quickstart: the smallest useful DRAMS program.
+// Quickstart: the smallest useful DRAMS program, on the client-centric API.
 //
-// It deploys a two-cloud federation with monitoring attached, runs one
-// legitimate access request, then compromises the tenant's PEP and shows
-// the monitor raising an on-chain alert.
+// It deploys a two-cloud federation with monitoring attached, opens a
+// per-tenant client and an alert subscription, runs one legitimate access
+// request, then compromises the tenant's PEP and shows the monitor pushing
+// the resulting on-chain alert into the stream.
 //
 //	go run ./examples/quickstart
 package main
@@ -42,7 +43,7 @@ func run() error {
 		}}},
 	}
 
-	dep, err := drams.New(drams.Config{Policy: policy})
+	dep, err := drams.Open(policy)
 	if err != nil {
 		return err
 	}
@@ -51,10 +52,22 @@ func run() error {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
+	// The tenant's handle for access requests, and a stream of every
+	// security alert the monitor raises for it.
+	client, err := dep.Client("tenant-1")
+	if err != nil {
+		return err
+	}
+	alerts, stop, err := dep.Alerts(ctx, drams.AlertFilter{Tenant: "tenant-1"})
+	if err != nil {
+		return err
+	}
+	defer stop()
+
 	// 1. A legitimate request: permitted, and the whole exchange is
 	//    matched on the federation blockchain.
-	req := dep.NewRequest().Add(xacml.CatSubject, "role", xacml.String("doctor"))
-	enf, err := dep.Request("tenant-1", req)
+	req := client.NewRequest().Add(xacml.CatSubject, "role", xacml.String("doctor"))
+	enf, err := client.Decide(ctx, req)
 	if err != nil {
 		return err
 	}
@@ -69,17 +82,23 @@ func run() error {
 	_ = dep.TamperPEP("tenant-1", &drams.Tamper{
 		Enforce: func(xacml.Decision) xacml.Decision { return xacml.Permit },
 	})
-	bad := dep.NewRequest().Add(xacml.CatSubject, "role", xacml.String("intern"))
-	enf, err = dep.Request("tenant-1", bad)
+	bad := client.NewRequest().Add(xacml.CatSubject, "role", xacml.String("intern"))
+	enf, err = client.Decide(ctx, bad)
 	if err != nil {
 		return err
 	}
 	fmt.Println("intern request  :", enf.Decision, "(wrongly granted by the compromised PEP)")
 
-	alert, err := dep.WaitForAlert(ctx, bad.ID, core.AlertEnforcementMismatch)
-	if err != nil {
-		return err
+	// The alert arrives on the subscription stream.
+	for {
+		select {
+		case alert := <-alerts:
+			if alert.ReqID == bad.ID && alert.Type == core.AlertEnforcementMismatch {
+				fmt.Println("DRAMS detected  :", alert.String())
+				return nil
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
 	}
-	fmt.Println("DRAMS detected  :", alert.String())
-	return nil
 }

@@ -105,15 +105,15 @@ type Node struct {
 	subs   map[int]chan EventNotification
 	subSeq int
 
-	mined      metrics.Counter
-	accepted   metrics.Counter
-	rejected   metrics.Counter
-	submitted  metrics.Counter
-	evDropped  metrics.Counter
-	cancelled  metrics.Counter
-	orphans    metrics.Counter
-	inBatches  metrics.Counter
-	inDropped  metrics.Counter
+	mined     metrics.Counter
+	accepted  metrics.Counter
+	rejected  metrics.Counter
+	submitted metrics.Counter
+	evDropped metrics.Counter
+	cancelled metrics.Counter
+	orphans   metrics.Counter
+	inBatches metrics.Counter
+	inDropped metrics.Counter
 }
 
 // inboundTx is a gossiped transaction queued for batched admission.

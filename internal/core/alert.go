@@ -38,6 +38,12 @@ const (
 	AlertEquivocation AlertType = "equivocation"
 )
 
+// AlertMatched is a synthetic stream event type: it never appears on-chain
+// and is emitted only on Monitor subscription channels when an exchange
+// completes cleanly (the Matched contract event). It carries ReqID and
+// Height but no Tenant. It is deliberately excluded from AllAlertTypes.
+const AlertMatched AlertType = "matched"
+
 // AllAlertTypes enumerates every alert the contract can raise.
 func AllAlertTypes() []AlertType {
 	return []AlertType{

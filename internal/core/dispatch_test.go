@@ -1,0 +1,304 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"drams/internal/clock"
+)
+
+// dispatcherMonitor builds a monitor that is never started: handleEvent is
+// driven directly, so the dispatcher is exercised without a chain node.
+func dispatcherMonitor() *Monitor {
+	return NewMonitor(nil, clock.System{})
+}
+
+func pumpAlert(m *Monitor, a Alert) {
+	m.handleEvent(ContractName, EventAlert, a.Encode(), a.Height)
+}
+
+func pumpMatched(m *Monitor, reqID string, height uint64) {
+	payload := []byte(fmt.Sprintf(`{"reqId":%q,"height":%d}`, reqID, height))
+	m.handleEvent(ContractName, EventMatched, payload, height)
+}
+
+func TestSubscribeFilterSelectsEvents(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	all, cancelAll := m.Subscribe(context.Background(), AlertFilter{})
+	defer cancelAll()
+	byTenant, cancelTen := m.Subscribe(context.Background(), AlertFilter{Tenant: "t1"})
+	defer cancelTen()
+	byType, cancelType := m.Subscribe(context.Background(), AlertFilter{Types: []AlertType{AlertEquivocation}})
+	defer cancelType()
+	matchedOnly, cancelMatched := m.Subscribe(context.Background(), AlertFilter{Types: []AlertType{AlertMatched}})
+	defer cancelMatched()
+
+	pumpAlert(m, Alert{Type: AlertRequestTampered, ReqID: "r1", Tenant: "t1", Height: 1})
+	pumpAlert(m, Alert{Type: AlertEquivocation, ReqID: "r2", Tenant: "t2", Height: 2})
+	pumpMatched(m, "r3", 3)
+
+	recv := func(ch <-chan Alert) []Alert {
+		var out []Alert
+		for {
+			select {
+			case a := <-ch:
+				out = append(out, a)
+			default:
+				return out
+			}
+		}
+	}
+	// The zero filter carries every security alert but not the synthetic
+	// completion events.
+	if got := recv(all); len(got) != 2 {
+		t.Fatalf("all-filter got %v", got)
+	}
+	if got := recv(byTenant); len(got) != 1 || got[0].ReqID != "r1" {
+		t.Fatalf("tenant-filter got %v", got)
+	}
+	if got := recv(byType); len(got) != 1 || got[0].Type != AlertEquivocation {
+		t.Fatalf("type-filter got %v", got)
+	}
+	if got := recv(matchedOnly); len(got) != 1 || got[0].Type != AlertMatched || got[0].ReqID != "r3" {
+		t.Fatalf("matched-filter got %v", got)
+	}
+}
+
+func TestSubscribeReplayDeliversHistory(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	pumpAlert(m, Alert{Type: AlertRequestTampered, ReqID: "r1", Tenant: "t1", Height: 1})
+	pumpMatched(m, "r2", 2)
+
+	ch, cancel := m.Subscribe(context.Background(), AlertFilter{ReqID: "r1", Replay: true})
+	defer cancel()
+	select {
+	case a := <-ch:
+		if a.Type != AlertRequestTampered {
+			t.Fatalf("replayed %v", a)
+		}
+	default:
+		t.Fatal("no replayed alert")
+	}
+
+	mch, mcancel := m.Subscribe(context.Background(), AlertFilter{
+		Types: []AlertType{AlertMatched}, Replay: true,
+	})
+	defer mcancel()
+	select {
+	case a := <-mch:
+		if a.Type != AlertMatched || a.ReqID != "r2" {
+			t.Fatalf("replayed %v", a)
+		}
+	default:
+		t.Fatal("no replayed matched event")
+	}
+}
+
+func TestSlowConsumerDropAccounting(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	ch, cancel := m.Subscribe(context.Background(), AlertFilter{Buffer: 2})
+	defer cancel()
+	const n = 50
+	for i := 0; i < n; i++ {
+		pumpAlert(m, Alert{Type: AlertEquivocation, ReqID: fmt.Sprintf("r%d", i), Height: uint64(i)})
+	}
+	if got := m.Stats().StreamDropped; got != n-2 {
+		t.Fatalf("StreamDropped = %d, want %d", got, n-2)
+	}
+	// The buffered prefix is intact: drops never reorder or corrupt.
+	a := <-ch
+	b := <-ch
+	if a.ReqID != "r0" || b.ReqID != "r1" {
+		t.Fatalf("buffered = %v, %v", a, b)
+	}
+	// A healthy peer subscribed later is unaffected by the slow one.
+	fast, fcancel := m.Subscribe(context.Background(), AlertFilter{})
+	defer fcancel()
+	pumpAlert(m, Alert{Type: AlertEquivocation, ReqID: "fresh", Height: 99})
+	if got := <-fast; got.ReqID != "fresh" {
+		t.Fatalf("fast sub got %v", got)
+	}
+}
+
+func TestSubscribeCancelAndContext(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	ch, cancel := m.Subscribe(context.Background(), AlertFilter{})
+	if m.Stats().Subscribers != 1 {
+		t.Fatalf("subscribers = %d", m.Stats().Subscribers)
+	}
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		t.Fatal("channel not closed after cancel")
+	}
+	if m.Stats().Subscribers != 0 {
+		t.Fatalf("subscribers = %d after cancel", m.Stats().Subscribers)
+	}
+
+	ctx, ctxCancel := context.WithCancel(context.Background())
+	ch2, cancel2 := m.Subscribe(ctx, AlertFilter{})
+	defer cancel2()
+	ctxCancel()
+	select {
+	case _, ok := <-ch2:
+		if ok {
+			t.Fatal("unexpected event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed after ctx cancel")
+	}
+}
+
+func TestMatchedRedeliveryPublishedOnce(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	ch, cancel := m.Subscribe(context.Background(), AlertFilter{Types: []AlertType{AlertMatched}})
+	defer cancel()
+	// Chain events are at-least-once: a reorg re-delivers Matched.
+	pumpMatched(m, "r1", 3)
+	pumpMatched(m, "r1", 5)
+	if got := <-ch; got.ReqID != "r1" || got.Height != 3 {
+		t.Fatalf("first completion = %v", got)
+	}
+	select {
+	case got := <-ch:
+		t.Fatalf("duplicate completion delivered: %v", got)
+	default:
+	}
+	if got := m.Stats().Matched; got != 1 {
+		t.Fatalf("Matched = %d, want 1", got)
+	}
+}
+
+func TestSubscribeAfterStopYieldsClosedStream(t *testing.T) {
+	m := dispatcherMonitor()
+	m.Stop()
+	ch, cancel := m.Subscribe(context.Background(), AlertFilter{})
+	if _, ok := <-ch; ok {
+		t.Fatal("subscription on a stopped monitor delivered an event")
+	}
+	cancel() // no-op, must not panic
+	if got := m.Stats().Subscribers; got != 0 {
+		t.Fatalf("subscribers = %d", got)
+	}
+}
+
+func TestStopClosesSubscriptions(t *testing.T) {
+	m := dispatcherMonitor()
+	ch, cancel := m.Subscribe(context.Background(), AlertFilter{})
+	m.Stop()
+	select {
+	case _, ok := <-ch:
+		if ok {
+			t.Fatal("unexpected event")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("channel not closed by Stop")
+	}
+	cancel() // still safe after Stop
+}
+
+// TestSubscribeStorm hammers the dispatcher with concurrent subscribes,
+// unsubscribes and a sustained alert storm; run under -race this is the
+// safety net for the locking scheme.
+func TestSubscribeStorm(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	const (
+		storms   = 4
+		alerts   = 500
+		churners = 8
+		rounds   = 40
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < storms; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < alerts; i++ {
+				pumpAlert(m, Alert{
+					Type:   AlertEquivocation,
+					ReqID:  fmt.Sprintf("s%d-r%d", s, i),
+					Tenant: fmt.Sprintf("t%d", i%3),
+					Height: uint64(i),
+				})
+			}
+		}(s)
+	}
+	for c := 0; c < churners; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				ch, cancel := m.Subscribe(context.Background(), AlertFilter{
+					Tenant: fmt.Sprintf("t%d", r%3),
+					Buffer: 4,
+				})
+				// Drain a little, then churn away mid-stream.
+				for i := 0; i < 2; i++ {
+					select {
+					case <-ch:
+					case <-stop:
+					default:
+					}
+				}
+				cancel()
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(stop)
+
+	if got := m.Stats().Subscribers; got != 0 {
+		t.Fatalf("leaked %d subscribers", got)
+	}
+	if got := m.Stats().AlertsSeen; got != storms*alerts {
+		t.Fatalf("alerts seen = %d, want %d", got, storms*alerts)
+	}
+}
+
+func TestTrackedMapBounded(t *testing.T) {
+	m := dispatcherMonitor()
+	defer m.Stop()
+
+	// Stragglers (no outcome ever) cannot grow tracking without bound.
+	for i := 0; i < 3*maxTracked; i++ {
+		m.TrackSubmission(fmt.Sprintf("straggler-%d", i))
+	}
+	if got := m.Stats().Tracked; got > maxTracked {
+		t.Fatalf("tracked = %d, want <= %d", got, maxTracked)
+	}
+
+	// A matched outcome clears its entry immediately.
+	m.TrackSubmission("will-match")
+	before := m.Stats().Tracked
+	pumpMatched(m, "will-match", 7)
+	if got := m.Stats().Tracked; got != before-1 {
+		t.Fatalf("tracked = %d after match, want %d", got, before-1)
+	}
+
+	// An alert outcome measures latency, then clears its entry.
+	m.TrackSubmission("will-alert")
+	before = m.Stats().Tracked
+	pumpAlert(m, Alert{Type: AlertEquivocation, ReqID: "will-alert", Height: 8})
+	if got := m.Stats().Tracked; got != before-1 {
+		t.Fatalf("tracked = %d after alert, want %d", got, before-1)
+	}
+	if got := m.Stats().DetectionLatencyMs.Count; got != 1 {
+		t.Fatalf("latency count = %d", got)
+	}
+}

@@ -12,6 +12,16 @@ import (
 	"drams/internal/metrics"
 )
 
+// maxTracked caps the submission-tracking map: entries are removed as soon
+// as their request matches or alerts, and stragglers (requests that never
+// produce an on-chain outcome) are evicted oldest-first beyond this bound so
+// sustained traffic cannot grow the monitor without limit.
+const maxTracked = 4096
+
+// defaultSubscriberBuffer is the channel capacity of a subscription when
+// AlertFilter.Buffer is left zero.
+const defaultSubscriberBuffer = 64
+
 // MonitorStats is a snapshot of what the monitor has observed.
 type MonitorStats struct {
 	LogsSeen     int64
@@ -21,41 +31,96 @@ type MonitorStats struct {
 	// DetectionLatencyMs summarises wall-clock time from TrackSubmission
 	// to the corresponding alert arriving off-chain.
 	DetectionLatencyMs metrics.Summary
+	// Tracked is the number of in-flight submission-latency entries.
+	Tracked int
+	// Subscribers is the number of live alert subscriptions.
+	Subscribers int
+	// StreamDropped counts events discarded because a subscriber's buffer
+	// was full (slow consumer). The on-chain record is unaffected.
+	StreamDropped int64
+}
+
+// AlertFilter selects which monitor events a subscription receives. The
+// zero value matches every event.
+type AlertFilter struct {
+	// ReqID restricts the stream to one request ("" = any).
+	ReqID string
+	// Types restricts the stream to the listed alert types. nil matches
+	// every security alert; the synthetic AlertMatched completion events
+	// are opt-in and delivered only when Types lists them explicitly.
+	Types []AlertType
+	// Tenant restricts the stream to alerts attributed to one tenant.
+	// AlertMatched events carry no tenant and are filtered out by a
+	// non-empty Tenant.
+	Tenant string
+	// Replay delivers already-recorded matching events (alerts seen so
+	// far, and AlertMatched for already-completed requests) into the
+	// channel at subscribe time, before any live events.
+	Replay bool
+	// Buffer sets the channel capacity (default 64). When the buffer is
+	// full, further events for this subscriber are dropped and counted in
+	// MonitorStats.StreamDropped.
+	Buffer int
+}
+
+// matches reports whether the filter selects the event.
+func (f AlertFilter) matches(a Alert) bool {
+	if f.ReqID != "" && f.ReqID != a.ReqID {
+		return false
+	}
+	if f.Tenant != "" && f.Tenant != a.Tenant {
+		return false
+	}
+	if len(f.Types) == 0 {
+		return a.Type != AlertMatched
+	}
+	for _, t := range f.Types {
+		if t == a.Type {
+			return true
+		}
+	}
+	return false
+}
+
+// subscriber is one live subscription.
+type subscriber struct {
+	filter  AlertFilter
+	ch      chan Alert
+	done    chan struct{} // closed on cancel; releases the ctx watcher
+	dropped int64         // guarded by Monitor.mu
 }
 
 // Monitor is the off-chain DRAMS observer: it consumes contract events from
-// a blockchain node, aggregates security alerts, exposes wait primitives
-// for tests/experiments, and measures detection latency. The on-chain state
-// remains the ground truth; the monitor is a (restartable) view.
+// a blockchain node, aggregates security alerts, fans them out to
+// subscribers, exposes wait primitives for tests/experiments, and measures
+// detection latency. The on-chain state remains the ground truth; the
+// monitor is a (restartable) view.
 type Monitor struct {
 	node *blockchain.Node
 	clk  clock.Clock
 
 	mu        sync.Mutex
+	stopped   bool // set by Stop; new subscriptions are refused after
 	alerts    []Alert
 	alertKeys map[string]bool // dedupe re-delivered events
 	byType    map[AlertType]int64
 	matched   map[string]uint64 // reqID → height
 	tracked   map[string]time.Time
-	waiters   []*waiter
+	trackedQ  []string // insertion order, for straggler eviction
+	subs      map[uint64]*subscriber
+	nextSub   uint64
 	handlers  []func(Alert)
 
 	logsSeen   metrics.Counter
 	alertsSeen metrics.Counter
 	matchedCnt metrics.Counter
+	dropCnt    metrics.Counter
 	latency    *metrics.Histogram
 
 	stopOnce  sync.Once
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	cancelSub func()
-}
-
-type waiter struct {
-	reqID string
-	// alertType empty means "wait for Matched".
-	alertType AlertType
-	ch        chan Alert
 }
 
 // NewMonitor builds a monitor attached to a node.
@@ -70,6 +135,7 @@ func NewMonitor(node *blockchain.Node, clk clock.Clock) *Monitor {
 		byType:    make(map[AlertType]int64),
 		matched:   make(map[string]uint64),
 		tracked:   make(map[string]time.Time),
+		subs:      make(map[uint64]*subscriber),
 		latency:   metrics.NewHistogram(0),
 		stop:      make(chan struct{}),
 	}
@@ -98,17 +164,145 @@ func (m *Monitor) Start() {
 	}()
 }
 
-// Stop halts the monitor.
+// Stop halts the monitor and closes every subscription channel.
 func (m *Monitor) Stop() {
 	m.stopOnce.Do(func() { close(m.stop) })
 	if m.cancelSub != nil {
 		m.cancelSub()
 	}
+	// Mark stopped before waiting: registration and wg.Add share the
+	// mutex, so any Subscribe either completed its Add before this point
+	// or will observe stopped and register nothing.
+	m.mu.Lock()
+	m.stopped = true
+	subs := m.subs
+	m.subs = make(map[uint64]*subscriber)
+	m.mu.Unlock()
 	m.wg.Wait()
+	for _, s := range subs {
+		close(s.done)
+		close(s.ch)
+	}
+}
+
+// Subscribe registers a stream of monitor events selected by the filter.
+// The returned channel is closed when the subscription is cancelled, the
+// context ends, or the monitor stops. The cancel function is idempotent and
+// must be called (directly or via ctx) to release the subscription.
+//
+// Delivery is best-effort per subscriber: the channel buffer is bounded
+// (AlertFilter.Buffer) and events beyond a full buffer are dropped and
+// counted, so one slow consumer cannot stall the monitor or its peers.
+func (m *Monitor) Subscribe(ctx context.Context, f AlertFilter) (<-chan Alert, func()) {
+	buf := f.Buffer
+	if buf <= 0 {
+		buf = defaultSubscriberBuffer
+	}
+	sub := &subscriber{
+		filter: f,
+		ch:     make(chan Alert, buf),
+		done:   make(chan struct{}),
+	}
+
+	m.mu.Lock()
+	if m.stopped {
+		// Subscribing to a stopped monitor yields a closed stream, same
+		// as a live subscription observing shutdown.
+		m.mu.Unlock()
+		close(sub.done)
+		close(sub.ch)
+		return sub.ch, func() {}
+	}
+	id := m.nextSub
+	m.nextSub++
+	m.subs[id] = sub
+	if f.Replay {
+		m.replayLocked(sub)
+	}
+	watch := ctx != nil && ctx.Done() != nil
+	if watch {
+		// Under the same lock as registration, so Stop's wg.Wait is
+		// ordered strictly after this Add.
+		m.wg.Add(1)
+	}
+	m.mu.Unlock()
+
+	cancel := func() {
+		m.mu.Lock()
+		s, ok := m.subs[id]
+		delete(m.subs, id)
+		m.mu.Unlock()
+		if ok {
+			// No delivery can race the close: sends only happen while the
+			// subscriber is registered, under m.mu.
+			close(s.done)
+			close(s.ch)
+		}
+	}
+
+	if watch {
+		go func() {
+			defer m.wg.Done()
+			select {
+			case <-ctx.Done():
+				cancel()
+			case <-sub.done:
+			case <-m.stop:
+			}
+		}()
+	}
+	return sub.ch, cancel
+}
+
+// replayLocked pushes already-recorded events matching the subscription
+// into its channel: recorded alerts first, then synthetic AlertMatched
+// events for completed requests.
+func (m *Monitor) replayLocked(sub *subscriber) {
+	for _, a := range m.alerts {
+		if sub.filter.matches(a) {
+			m.sendLocked(sub, a)
+		}
+	}
+	if sub.filter.ReqID != "" {
+		if h, ok := m.matched[sub.filter.ReqID]; ok {
+			a := Alert{Type: AlertMatched, ReqID: sub.filter.ReqID, Height: h}
+			if sub.filter.matches(a) {
+				m.sendLocked(sub, a)
+			}
+		}
+		return
+	}
+	for reqID, h := range m.matched {
+		a := Alert{Type: AlertMatched, ReqID: reqID, Height: h}
+		if sub.filter.matches(a) {
+			m.sendLocked(sub, a)
+		}
+	}
+}
+
+// sendLocked delivers one event to one subscriber without blocking,
+// counting a drop when the buffer is full.
+func (m *Monitor) sendLocked(sub *subscriber, a Alert) {
+	select {
+	case sub.ch <- a:
+	default:
+		sub.dropped++
+		m.dropCnt.Inc()
+	}
+}
+
+// publishLocked fans an event out to every matching subscriber.
+func (m *Monitor) publishLocked(a Alert) {
+	for _, sub := range m.subs {
+		if sub.filter.matches(a) {
+			m.sendLocked(sub, a)
+		}
+	}
 }
 
 // OnAlert registers a handler invoked (on the monitor goroutine) for every
-// new alert.
+// new alert. Prefer Subscribe for new code; OnAlert remains for callers
+// that want inline, unbuffered delivery.
 func (m *Monitor) OnAlert(fn func(Alert)) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -116,13 +310,40 @@ func (m *Monitor) OnAlert(fn func(Alert)) {
 }
 
 // TrackSubmission records the wall-clock submission time of a request's
-// first log so detection latency can be measured end-to-end.
+// first log so detection latency can be measured end-to-end. The entry is
+// removed when the request matches or alerts; stragglers are evicted
+// oldest-first beyond maxTracked.
 func (m *Monitor) TrackSubmission(reqID string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.tracked[reqID]; !ok {
-		m.tracked[reqID] = m.clk.Now()
+	if _, ok := m.tracked[reqID]; ok {
+		return
 	}
+	m.tracked[reqID] = m.clk.Now()
+	m.trackedQ = append(m.trackedQ, reqID)
+	if len(m.trackedQ) > 2*maxTracked {
+		// Most queue entries settle (match/alert) long before eviction;
+		// compact the settled ones out so the queue is bounded too.
+		live := m.trackedQ[:0]
+		for _, id := range m.trackedQ {
+			if _, ok := m.tracked[id]; ok {
+				live = append(live, id)
+			}
+		}
+		m.trackedQ = live
+	}
+	for len(m.tracked) > maxTracked && len(m.trackedQ) > 0 {
+		old := m.trackedQ[0]
+		m.trackedQ = m.trackedQ[1:]
+		delete(m.tracked, old)
+	}
+}
+
+// untrackLocked removes a settled request from the latency tracker. The
+// eviction queue is left to age out naturally (deleting from the map is
+// what bounds memory; the queue only holds strings already submitted).
+func (m *Monitor) untrackLocked(reqID string) {
+	delete(m.tracked, reqID)
 }
 
 func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, height uint64) {
@@ -140,11 +361,18 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 		if err := json.Unmarshal(payload, &body); err != nil {
 			return
 		}
-		m.matchedCnt.Inc()
 		m.mu.Lock()
+		if _, seen := m.matched[body.ReqID]; seen {
+			// Chain events are delivered at-least-once (reorgs re-deliver);
+			// completions are published to subscribers exactly once.
+			m.mu.Unlock()
+			return
+		}
 		m.matched[body.ReqID] = height
-		m.notifyLocked(Alert{ReqID: body.ReqID, Height: height}, true)
+		m.untrackLocked(body.ReqID)
+		m.publishLocked(Alert{Type: AlertMatched, ReqID: body.ReqID, Height: height})
 		m.mu.Unlock()
+		m.matchedCnt.Inc()
 	case EventAlert:
 		a, err := DecodeAlert(payload)
 		if err != nil {
@@ -161,10 +389,11 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 		m.byType[a.Type]++
 		if t0, ok := m.tracked[a.ReqID]; ok {
 			m.latency.ObserveDuration(m.clk.Since(t0))
+			m.untrackLocked(a.ReqID)
 		}
 		handlers := make([]func(Alert), len(m.handlers))
 		copy(handlers, m.handlers)
-		m.notifyLocked(a, false)
+		m.publishLocked(a)
 		m.mu.Unlock()
 		m.alertsSeen.Inc()
 		for _, fn := range handlers {
@@ -173,64 +402,43 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 	}
 }
 
-// notifyLocked wakes waiters matching the event. matchedEvent selects
-// waiters for Matched (alertType empty).
-func (m *Monitor) notifyLocked(a Alert, matchedEvent bool) {
-	remaining := m.waiters[:0]
-	for _, w := range m.waiters {
-		hit := w.reqID == a.ReqID &&
-			((matchedEvent && w.alertType == "") || (!matchedEvent && w.alertType == a.Type))
-		if hit {
-			w.ch <- a
-			continue
-		}
-		remaining = append(remaining, w)
-	}
-	m.waiters = remaining
-}
-
 // WaitForAlert blocks until an alert of the given type is seen for reqID.
 func (m *Monitor) WaitForAlert(ctx context.Context, reqID string, t AlertType) (Alert, error) {
-	m.mu.Lock()
-	if m.alertKeys[reqID+"|"+string(t)] {
-		for _, a := range m.alerts {
-			if a.ReqID == reqID && a.Type == t {
-				m.mu.Unlock()
-				return a, nil
-			}
-		}
-	}
-	w := &waiter{reqID: reqID, alertType: t, ch: make(chan Alert, 1)}
-	m.waiters = append(m.waiters, w)
-	m.mu.Unlock()
+	ch, cancel := m.Subscribe(ctx, AlertFilter{
+		ReqID: reqID, Types: []AlertType{t}, Replay: true, Buffer: 1,
+	})
+	defer cancel()
 	select {
-	case a := <-w.ch:
+	case a, ok := <-ch:
+		if !ok {
+			break
+		}
 		return a, nil
-	case <-ctx.Done():
-		return Alert{}, fmt.Errorf("core: wait for %s on %s: %w", t, reqID, ctx.Err())
 	case <-m.stop:
-		return Alert{}, fmt.Errorf("core: wait for %s on %s: monitor stopped", t, reqID)
 	}
+	if err := ctx.Err(); err != nil {
+		return Alert{}, fmt.Errorf("core: wait for %s on %s: %w", t, reqID, err)
+	}
+	return Alert{}, fmt.Errorf("core: wait for %s on %s: monitor stopped", t, reqID)
 }
 
 // WaitForMatched blocks until reqID completes cleanly.
 func (m *Monitor) WaitForMatched(ctx context.Context, reqID string) error {
-	m.mu.Lock()
-	if _, ok := m.matched[reqID]; ok {
-		m.mu.Unlock()
-		return nil
-	}
-	w := &waiter{reqID: reqID, ch: make(chan Alert, 1)}
-	m.waiters = append(m.waiters, w)
-	m.mu.Unlock()
+	ch, cancel := m.Subscribe(ctx, AlertFilter{
+		ReqID: reqID, Types: []AlertType{AlertMatched}, Replay: true, Buffer: 1,
+	})
+	defer cancel()
 	select {
-	case <-w.ch:
-		return nil
-	case <-ctx.Done():
-		return fmt.Errorf("core: wait for matched %s: %w", reqID, ctx.Err())
+	case _, ok := <-ch:
+		if ok {
+			return nil
+		}
 	case <-m.stop:
-		return fmt.Errorf("core: wait for matched %s: monitor stopped", reqID)
 	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: wait for matched %s: %w", reqID, err)
+	}
+	return fmt.Errorf("core: wait for matched %s: monitor stopped", reqID)
 }
 
 // Alerts returns a copy of all alerts seen so far.
@@ -270,6 +478,8 @@ func (m *Monitor) Stats() MonitorStats {
 	for k, v := range m.byType {
 		byType[k] = v
 	}
+	tracked := len(m.tracked)
+	subscribers := len(m.subs)
 	m.mu.Unlock()
 	return MonitorStats{
 		LogsSeen:           m.logsSeen.Value(),
@@ -277,5 +487,8 @@ func (m *Monitor) Stats() MonitorStats {
 		Matched:            m.matchedCnt.Value(),
 		AlertsByType:       byType,
 		DetectionLatencyMs: m.latency.Snapshot(),
+		Tracked:            tracked,
+		Subscribers:        subscribers,
+		StreamDropped:      m.dropCnt.Value(),
 	}
 }

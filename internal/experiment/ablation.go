@@ -42,14 +42,18 @@ func RunAB1(p AB1Params) (Table, error) {
 		},
 	}
 	for _, delta := range p.TimeoutBlocks {
-		dep, err := drams.New(drams.Config{
-			Policy:             StandardPolicy("v1"),
-			Difficulty:         8,
-			TimeoutBlocks:      delta,
-			EmptyBlockInterval: 15 * time.Millisecond,
-			Seed:               3,
-		})
+		dep, err := drams.Open(StandardPolicy("v1"),
+			drams.WithDifficulty(8),
+			drams.WithTimeoutBlocks(delta),
+			drams.WithEmptyBlockInterval(15*time.Millisecond),
+			drams.WithSeed(3),
+		)
 		if err != nil {
+			return t, err
+		}
+		client, err := dep.Client("tenant-1")
+		if err != nil {
+			dep.Close()
 			return t, err
 		}
 		lat := metrics.NewHistogram(0)
@@ -62,8 +66,8 @@ func RunAB1(p AB1Params) (Table, error) {
 			req := StandardRequest(dep, trial)
 			_, startHeight := dep.InfraNode().Chain().Head()
 			t0 := time.Now()
-			_, _ = dep.Request("tenant-1", req)
 			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			_, _ = client.Decide(ctx, req)
 			alert, err := dep.WaitForAlert(ctx, req.ID, core.AlertMessageSuppressed)
 			cancel()
 			if err != nil {
@@ -123,19 +127,26 @@ func RunAB2(p AB2Params) (Table, error) {
 		},
 	}
 	for _, withAnalyser := range []bool{true, false} {
-		dep, err := drams.New(drams.Config{
-			Policy:             StandardPolicy("v1"),
-			Difficulty:         8,
-			TimeoutBlocks:      15,
-			EmptyBlockInterval: 15 * time.Millisecond,
-			Seed:               4,
-			DisableVerdicts:    !withAnalyser,
-		})
+		opts := []drams.Option{
+			drams.WithDifficulty(8),
+			drams.WithTimeoutBlocks(15),
+			drams.WithEmptyBlockInterval(15 * time.Millisecond),
+			drams.WithSeed(4),
+		}
+		if !withAnalyser {
+			opts = append(opts, drams.WithoutVerdicts())
+		}
+		dep, err := drams.Open(StandardPolicy("v1"), opts...)
 		if err != nil {
 			return t, err
 		}
 		if !withAnalyser {
 			dep.Analyser.Stop()
+		}
+		client, err := dep.Client("tenant-1")
+		if err != nil {
+			dep.Close()
+			return t, err
 		}
 
 		runAttack := func(install func(), clear func(), alertType core.AlertType) int {
@@ -145,8 +156,8 @@ func RunAB2(p AB2Params) (Table, error) {
 				req := dep.NewRequest().
 					Add(xacml.CatSubject, "role", xacml.String("intern")).
 					Add(xacml.CatAction, "op", xacml.String("read"))
-				_, _ = dep.Request("tenant-1", req)
 				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				_, _ = client.Decide(ctx, req)
 				if _, err := dep.WaitForAlert(ctx, req.ID, alertType); err == nil {
 					detected++
 				}
@@ -176,13 +187,13 @@ func RunAB2(p AB2Params) (Table, error) {
 		// Clean traffic must match (and raise nothing) in both configs.
 		req := StandardRequest(dep, 0)
 		cleanAlerts := "-"
-		if _, err := dep.Request("tenant-1", req); err == nil {
-			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		if _, err := client.Decide(ctx, req); err == nil {
 			if err := dep.WaitForMatched(ctx, req.ID); err == nil {
 				cleanAlerts = fmt.Sprintf("%d false alerts", len(dep.Monitor.AlertsFor(req.ID)))
 			}
-			cancel()
 		}
+		cancel()
 
 		label := "full DRAMS (with analyser)"
 		if !withAnalyser {
@@ -230,11 +241,16 @@ func RunAB3(p AB3Params) (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		client, err := dep.Client("tenant-1")
+		if err != nil {
+			dep.Close()
+			return t, err
+		}
 		lat := metrics.NewHistogram(0)
 		for i := 0; i < p.Requests; i++ {
 			req := StandardRequest(dep, i)
 			t0 := time.Now()
-			if _, err := dep.Request("tenant-1", req); err != nil {
+			if _, err := client.Decide(context.Background(), req); err != nil {
 				dep.Close()
 				return t, fmt.Errorf("AB3 %s: %w", m.label, err)
 			}

@@ -1,0 +1,149 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"drams"
+	"drams/internal/xacml"
+)
+
+// V3Params parameterise the client pipeline comparison: per-request Decide
+// vs DecideBatch over the same PEP endpoint.
+type V3Params struct {
+	// InFlight are the pipeline depths compared (worker count for
+	// concurrent Decide, batch size for DecideBatch).
+	InFlight []int
+	// Requests is the total number of decisions measured per mode.
+	Requests int
+	// NetLatency shapes the simulated federation network (jitter is set
+	// to the same value); the round-trip cost is what batching amortises.
+	NetLatency time.Duration
+}
+
+// DefaultV3Params sweeps pipeline depths 1/8/64 over a half-millisecond
+// one-way network.
+func DefaultV3Params() V3Params {
+	return V3Params{InFlight: []int{1, 8, 64}, Requests: 256, NetLatency: 500 * time.Microsecond}
+}
+
+// RunV3 measures access-decision throughput through the drams.Client API in
+// three shapes: sequential per-request Decide (one in flight), concurrent
+// per-request Decide (n workers), and DecideBatch (n requests sharing one
+// network round-trip). Decisions are cross-checked between the sequential
+// and batch runs.
+func RunV3(p V3Params) (Table, error) {
+	t := Table{
+		ID:     "V3",
+		Title:  "client pipeline: DecideBatch vs per-request Decide throughput",
+		Header: []string{"inflight", "decide_seq_req_s", "decide_conc_req_s", "batch_req_s", "batch_vs_seq"},
+		Notes: []string{
+			fmt.Sprintf("%d requests per mode over a %s (+ jitter) simulated network, monitoring off",
+				p.Requests, p.NetLatency),
+			"decide_seq: one Decide at a time; decide_conc: n workers; batch: DecideBatch of n",
+			"sequential and batch decisions are cross-checked for equality each run",
+		},
+	}
+	dep, err := drams.Open(StandardPolicy("v1"),
+		drams.WithMonitoring(false),
+		drams.WithNetwork(p.NetLatency, p.NetLatency),
+		drams.WithDifficulty(8),
+		drams.WithEmptyBlockInterval(25*time.Millisecond),
+		drams.WithSeed(7),
+	)
+	if err != nil {
+		return t, err
+	}
+	defer dep.Close()
+	client, err := dep.Client("tenant-1")
+	if err != nil {
+		return t, err
+	}
+	ctx := context.Background()
+
+	newReqs := func() []*xacml.Request {
+		reqs := make([]*xacml.Request, p.Requests)
+		for i := range reqs {
+			reqs[i] = StandardRequest(dep, i)
+		}
+		return reqs
+	}
+
+	// Warm the PDP decision cache over the request working set so every
+	// mode measures the same steady state.
+	if _, err := client.DecideBatch(ctx, newReqs()); err != nil {
+		return t, fmt.Errorf("V3 warm-up: %w", err)
+	}
+
+	// Sequential baseline, measured once: strictly one Decide in flight.
+	seqDecisions := make([]xacml.Decision, p.Requests)
+	seqStart := time.Now()
+	for i, req := range newReqs() {
+		enf, err := client.Decide(ctx, req)
+		if err != nil {
+			return t, fmt.Errorf("V3 sequential: %w", err)
+		}
+		seqDecisions[i] = enf.Decision
+	}
+	seqElapsed := time.Since(seqStart)
+
+	for _, n := range p.InFlight {
+		if n < 1 || p.Requests%n != 0 {
+			return t, fmt.Errorf("V3: in-flight %d must divide Requests %d", n, p.Requests)
+		}
+
+		// Concurrent per-request Decide: n workers over the same load.
+		concReqs := newReqs()
+		var wg sync.WaitGroup
+		errCh := make(chan error, n)
+		concStart := time.Now()
+		for w := 0; w < n; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(concReqs); i += n {
+					if _, err := client.Decide(ctx, concReqs[i]); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		concElapsed := time.Since(concStart)
+		close(errCh)
+		for err := range errCh {
+			return t, fmt.Errorf("V3 concurrent n=%d: %w", n, err)
+		}
+
+		// Pipelined DecideBatch: the same load in batches of n.
+		batchReqs := newReqs()
+		batchStart := time.Now()
+		for off := 0; off < len(batchReqs); off += n {
+			enfs, err := client.DecideBatch(ctx, batchReqs[off:off+n])
+			if err != nil {
+				return t, fmt.Errorf("V3 batch n=%d: %w", n, err)
+			}
+			for i, enf := range enfs {
+				if enf.Decision != seqDecisions[off+i] {
+					return t, fmt.Errorf("V3 n=%d req %d: batch %v != sequential %v",
+						n, off+i, enf.Decision, seqDecisions[off+i])
+				}
+			}
+		}
+		batchElapsed := time.Since(batchStart)
+
+		batchRate := float64(p.Requests) / batchElapsed.Seconds()
+		seqRate := float64(p.Requests) / seqElapsed.Seconds()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%d", n),
+			rate(p.Requests, seqElapsed),
+			rate(p.Requests, concElapsed),
+			rate(p.Requests, batchElapsed),
+			fmt.Sprintf("%.1fx", batchRate/seqRate),
+		})
+	}
+	return t, nil
+}

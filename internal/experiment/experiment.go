@@ -131,6 +131,20 @@ func StandardRequest(dep *drams.Deployment, i int) *xacml.Request {
 		Add(xacml.CatResource, "type", xacml.String("record"))
 }
 
+// edgeClients returns one Client per edge tenant, in EdgeTenants order.
+func edgeClients(dep *drams.Deployment) ([]*drams.Client, error) {
+	tenants := dep.Topology().EdgeTenants()
+	clients := make([]*drams.Client, len(tenants))
+	for i, ten := range tenants {
+		c, err := dep.Client(ten.Name)
+		if err != nil {
+			return nil, err
+		}
+		clients[i] = c
+	}
+	return clients, nil
+}
+
 // NewStandardDeployment builds the deployment shape shared by the system
 // experiments: one edge tenant per cloud plus the infrastructure tenant.
 func NewStandardDeployment(clouds int, mode logger.SubmitMode, monitorOff bool, timeoutBlocks uint64) (*drams.Deployment, error) {

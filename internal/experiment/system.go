@@ -35,7 +35,10 @@ func RunE1(p E1Params) (Table, error) {
 	}
 	defer dep.Close()
 
-	tenants := dep.Topology().EdgeTenants()
+	clients, err := edgeClients(dep)
+	if err != nil {
+		return t, err
+	}
 	enforceLat := metrics.NewHistogram(0)
 	matchLat := metrics.NewHistogram(0)
 	var permits, denies int64
@@ -52,16 +55,16 @@ func RunE1(p E1Params) (Table, error) {
 			defer wg.Done()
 			defer func() { <-sem }()
 			req := StandardRequest(dep, i)
-			tenant := tenants[i%len(tenants)].Name
+			client := clients[i%len(clients)]
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
 			t0 := time.Now()
-			enf, err := dep.Request(tenant, req)
+			enf, err := client.Decide(ctx, req)
 			if err != nil {
 				errCh <- err
 				return
 			}
 			enforceLat.ObserveDuration(time.Since(t0))
-			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-			defer cancel()
 			if err := dep.WaitForMatched(ctx, req.ID); err != nil {
 				errCh <- err
 				return
@@ -132,6 +135,10 @@ func RunE5(p E5Params) (Table, error) {
 		return t, err
 	}
 	defer dep.Close()
+	client, err := dep.Client("tenant-1")
+	if err != nil {
+		return t, err
+	}
 
 	escalate := func(req *xacml.Request) *xacml.Request {
 		out := xacml.NewRequest(req.ID)
@@ -153,10 +160,10 @@ func RunE5(p E5Params) (Table, error) {
 				Add(xacml.CatSubject, "role", xacml.String("intern")).
 				Add(xacml.CatAction, "op", xacml.String("read"))
 			_, startHeight := dep.InfraNode().Chain().Head()
-			t0 := time.Now()
-			_, _ = dep.Request("tenant-1", req) // suppression scenarios error by design
-
 			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			t0 := time.Now()
+			_, _ = client.Decide(ctx, req) // suppression scenarios error by design
+
 			hit := false
 			for _, want := range sc.Expected {
 				if alert, err := dep.WaitForAlert(ctx, req.ID, want); err == nil {
@@ -198,11 +205,11 @@ func RunE5(p E5Params) (Table, error) {
 	req := dep.NewRequest().
 		Add(xacml.CatSubject, "role", xacml.String("doctor")).
 		Add(xacml.CatAction, "op", xacml.String("read"))
-	if _, err := dep.Request("tenant-1", req); err != nil {
-		return t, err
-	}
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
+	if _, err := client.Decide(ctx, req); err != nil {
+		return t, err
+	}
 	if err := dep.WaitForMatched(ctx, req.ID); err != nil {
 		return t, fmt.Errorf("E5 control: %w", err)
 	}
@@ -248,6 +255,11 @@ func RunE6(p E6Params) (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		client, err := dep.Client("tenant-1")
+		if err != nil {
+			dep.Close()
+			return t, err
+		}
 		lat := metrics.NewHistogram(0)
 		start := time.Now()
 		var wg sync.WaitGroup
@@ -261,7 +273,7 @@ func RunE6(p E6Params) (Table, error) {
 				defer func() { <-sem }()
 				req := StandardRequest(dep, i)
 				t0 := time.Now()
-				if _, err := dep.Request("tenant-1", req); err != nil {
+				if _, err := client.Decide(context.Background(), req); err != nil {
 					errCh <- err
 					return
 				}
@@ -306,6 +318,11 @@ func RunE8(p E8Params) (Table, error) {
 		if err != nil {
 			return t, err
 		}
+		clients, err := edgeClients(dep)
+		if err != nil {
+			dep.Close()
+			return t, err
+		}
 		tenants := dep.Topology().EdgeTenants()
 		matchLat := metrics.NewHistogram(0)
 		start := time.Now()
@@ -319,16 +336,16 @@ func RunE8(p E8Params) (Table, error) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				req := StandardRequest(dep, i)
-				tenant := tenants[i%len(tenants)].Name
+				client := clients[i%len(clients)]
+				ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+				defer cancel()
 				t0 := time.Now()
-				if _, err := dep.Request(tenant, req); err != nil {
+				if _, err := client.Decide(ctx, req); err != nil {
 					errCh <- err
 					return
 				}
-				ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
-				defer cancel()
 				if err := dep.WaitForMatched(ctx, req.ID); err != nil {
-					errCh <- fmt.Errorf("tenant %s: %w", tenant, err)
+					errCh <- fmt.Errorf("tenant %s: %w", client.Tenant(), err)
 					return
 				}
 				matchLat.ObserveDuration(time.Since(t0))

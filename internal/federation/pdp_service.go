@@ -1,6 +1,7 @@
 package federation
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -10,8 +11,31 @@ import (
 	"drams/internal/xacml"
 )
 
-// Message kind for access-control evaluation calls.
-const kindEvaluate = "ac.eval"
+// Message kinds for access-control evaluation calls.
+const (
+	kindEvaluate      = "ac.eval"
+	kindEvaluateBatch = "ac.evalBatch"
+)
+
+// batchEvalRequest is the wire form of a pipelined evaluation call: N
+// encoded requests sharing one network round-trip.
+type batchEvalRequest struct {
+	Reqs []json.RawMessage `json:"reqs"`
+}
+
+// batchEvalItem is one per-request outcome inside a batch reply. Err is set
+// when that request failed to decode or evaluate; failures are per-item so
+// one bad request cannot poison the rest of the batch.
+type batchEvalItem struct {
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"err,omitempty"`
+}
+
+// batchEvalResponse is the wire form of a batch reply, positionally aligned
+// with the request batch.
+type batchEvalResponse struct {
+	Items []batchEvalItem `json:"items"`
+}
 
 // PDPProbe is the hook interface a DRAMS agent implements at the PDP side
 // (infrastructure tenant).
@@ -44,6 +68,7 @@ func NewPDPService(net *netsim.Network, evaluator xacml.Evaluator) (*PDPService,
 	s := &PDPService{ep: ep}
 	s.evaluator.Store(&evalBox{ev: evaluator})
 	ep.OnCall(kindEvaluate, s.handleEvaluate)
+	ep.OnCall(kindEvaluateBatch, s.handleEvaluateBatch)
 	return s, nil
 }
 
@@ -61,7 +86,10 @@ func (s *PDPService) SetProbe(p PDPProbe) {
 // Evaluations returns how many requests the service has processed.
 func (s *PDPService) Evaluations() int64 { return s.evaluations.Value() }
 
-func (s *PDPService) handleEvaluate(from string, payload []byte) ([]byte, error) {
+// evaluateOne runs the probe→evaluate→probe path for a single encoded
+// request; both the single and the batch handler go through it so every
+// request produces identical probe logs regardless of how it arrived.
+func (s *PDPService) evaluateOne(payload []byte) ([]byte, error) {
 	req, err := xacml.DecodeRequest(payload)
 	if err != nil {
 		s.failures.Inc()
@@ -85,4 +113,30 @@ func (s *PDPService) handleEvaluate(from string, payload []byte) ([]byte, error)
 		pb.p.PDPResponseSent(req, res)
 	}
 	return res.Encode(), nil
+}
+
+func (s *PDPService) handleEvaluate(from string, payload []byte) ([]byte, error) {
+	return s.evaluateOne(payload)
+}
+
+func (s *PDPService) handleEvaluateBatch(from string, payload []byte) ([]byte, error) {
+	var batch batchEvalRequest
+	if err := json.Unmarshal(payload, &batch); err != nil {
+		s.failures.Inc()
+		return nil, fmt.Errorf("federation: PDP decode batch: %w", err)
+	}
+	out := batchEvalResponse{Items: make([]batchEvalItem, len(batch.Reqs))}
+	for i, raw := range batch.Reqs {
+		res, err := s.evaluateOne(raw)
+		if err != nil {
+			out.Items[i].Err = err.Error()
+			continue
+		}
+		out.Items[i].Result = res
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return nil, fmt.Errorf("federation: PDP encode batch: %w", err)
+	}
+	return b, nil
 }

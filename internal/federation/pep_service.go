@@ -2,6 +2,7 @@ package federation
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -173,4 +174,107 @@ func (s *PEPService) Decide(ctx context.Context, req *xacml.Request) (Enforcemen
 		s.denies.Inc()
 	}
 	return Enforcement{Decision: enforced, Obligations: res.Obligations}, nil
+}
+
+// DecideBatch runs the full PEP flow for a pipeline of application
+// requests: every request is probed, tampered and counted exactly as Decide
+// would, but all requests share a single network round-trip to the PDP and
+// arrive while its decision cache is warm from the batch's own earlier
+// items.
+//
+// The returned slice is positionally aligned with reqs and always has
+// len(reqs) entries; an entry whose request failed carries IndeterminateDP.
+// The error is nil only when every request succeeded — per-item failures
+// are combined with errors.Join, so errors.Is(err, ErrRequestDropped) still
+// works across the batch boundary.
+func (s *PEPService) DecideBatch(ctx context.Context, reqs []*xacml.Request) ([]Enforcement, error) {
+	if len(reqs) == 0 {
+		return nil, nil
+	}
+	out := make([]Enforcement, len(reqs))
+	errs := make([]error, len(reqs))
+	for i := range out {
+		out[i] = Enforcement{Decision: xacml.IndeterminateDP}
+	}
+	failAll := func(err error) ([]Enforcement, error) {
+		for i := range reqs {
+			s.failures.Inc()
+			errs[i] = err
+		}
+		return out, errors.Join(errs...)
+	}
+	tam := s.tamper.Load()
+
+	wire := batchEvalRequest{Reqs: make([]json.RawMessage, len(reqs))}
+	for i, req := range reqs {
+		s.requests.Inc()
+		// Probe sees each request as the application/PEP formed it.
+		if pb := s.probe.Load(); pb != nil && pb.p != nil {
+			pb.p.PEPRequestSent(req)
+		}
+		w := req
+		if tam != nil && tam.Request != nil {
+			w = tam.Request(req.Clone())
+		}
+		wire.Reqs[i] = w.Encode()
+	}
+	// In-transit suppression hits the shared pipeline after the probes
+	// observed every item, so each one fails exactly as Decide would.
+	if tam != nil && tam.DropRequest {
+		return failAll(ErrRequestDropped)
+	}
+
+	payload, err := json.Marshal(wire)
+	if err != nil {
+		return failAll(fmt.Errorf("federation: PEP %s encode batch: %w", s.tenant, err))
+	}
+	callCtx, cancel := context.WithTimeout(ctx, s.timeout)
+	defer cancel()
+	raw, err := s.ep.Call(callCtx, PDPAddr, kindEvaluateBatch, payload)
+	if err != nil {
+		return failAll(fmt.Errorf("federation: PEP %s → PDP batch: %w", s.tenant, err))
+	}
+	var resp batchEvalResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return failAll(fmt.Errorf("federation: PEP %s decode batch reply: %w", s.tenant, err))
+	}
+	if len(resp.Items) != len(reqs) {
+		return failAll(fmt.Errorf("federation: PEP %s batch reply has %d items for %d requests",
+			s.tenant, len(resp.Items), len(reqs)))
+	}
+	if tam != nil && tam.DropResponse {
+		return failAll(ErrRequestDropped)
+	}
+
+	for i, req := range reqs {
+		item := resp.Items[i]
+		if item.Err != "" {
+			s.failures.Inc()
+			errs[i] = errors.New(item.Err)
+			continue
+		}
+		res, err := xacml.DecodeResult(item.Result)
+		if err != nil {
+			s.failures.Inc()
+			errs[i] = err
+			continue
+		}
+		if tam != nil && tam.Response != nil {
+			res = tam.Response(res)
+		}
+		enforced := res.Decision
+		if tam != nil && tam.Enforce != nil {
+			enforced = tam.Enforce(res.Decision)
+		}
+		if pb := s.probe.Load(); pb != nil && pb.p != nil {
+			pb.p.PEPResponseReceived(req, res, enforced)
+		}
+		if enforced == xacml.Permit {
+			s.permits.Inc()
+		} else {
+			s.denies.Inc()
+		}
+		out[i] = Enforcement{Decision: enforced, Obligations: res.Obligations}
+	}
+	return out, errors.Join(errs...)
 }

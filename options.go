@@ -1,0 +1,150 @@
+package drams
+
+import (
+	"time"
+
+	"drams/internal/federation"
+	"drams/internal/logger"
+	"drams/internal/xacml"
+)
+
+// Option adjusts a Config during Open. Options are applied in order over
+// the zero Config, so later options win; anything not covered by an option
+// can still be set with WithConfig.
+type Option func(*Config)
+
+// Open assembles and starts a deployment from a policy plus functional
+// options — the client-centric construction path layered over Config (which
+// remains the compatibility surface for struct-literal callers):
+//
+//	dep, err := drams.Open(policy,
+//	    drams.WithTopology(federation.SimpleTopology("faas", 3)),
+//	    drams.WithSeed(42),
+//	)
+func Open(policy *xacml.PolicySet, opts ...Option) (*Deployment, error) {
+	cfg := Config{Policy: policy}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return New(cfg)
+}
+
+// WithConfig replaces the whole Config (keeping the Open-supplied policy if
+// the given config has none) — the escape hatch for knobs without a
+// dedicated option.
+func WithConfig(c Config) Option {
+	return func(cfg *Config) {
+		policy := cfg.Policy
+		*cfg = c
+		if cfg.Policy == nil {
+			cfg.Policy = policy
+		}
+	}
+}
+
+// WithTopology sets the federation topology.
+func WithTopology(t *federation.Topology) Option {
+	return func(c *Config) { c.Topology = t }
+}
+
+// WithSeed makes network behaviour, identities and request IDs
+// reproducible.
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithDifficulty sets the PoW difficulty in leading-zero bits.
+func WithDifficulty(bits uint8) Option {
+	return func(c *Config) { c.Difficulty = bits }
+}
+
+// WithTimeoutBlocks sets the log-match M3 window Δ in blocks.
+func WithTimeoutBlocks(n uint64) Option {
+	return func(c *Config) { c.TimeoutBlocks = n }
+}
+
+// WithEmptyBlockInterval keeps blocks flowing when idle.
+func WithEmptyBlockInterval(d time.Duration) Option {
+	return func(c *Config) { c.EmptyBlockInterval = d }
+}
+
+// WithMaxTxPerBlock caps block size.
+func WithMaxTxPerBlock(n int) Option {
+	return func(c *Config) { c.MaxTxPerBlock = n }
+}
+
+// WithSubmitMode sets the Logging Interface submission mode.
+func WithSubmitMode(m logger.SubmitMode) Option {
+	return func(c *Config) { c.SubmitMode = m }
+}
+
+// WithMonitoring enables or disables the whole monitoring plane (probes,
+// analyser, monitor). Disabled is the baseline for overhead experiments.
+func WithMonitoring(enabled bool) Option {
+	return func(c *Config) { c.MonitorOff = !enabled }
+}
+
+// WithoutVerdicts drops the analyser-verdict requirement from the log-match
+// contract.
+func WithoutVerdicts() Option {
+	return func(c *Config) { c.DisableVerdicts = true }
+}
+
+// WithNetwork shapes the simulated federation network.
+func WithNetwork(latency, jitter time.Duration) Option {
+	return func(c *Config) {
+		c.NetLatency = latency
+		c.NetJitter = jitter
+	}
+}
+
+// WithPEPTimeout bounds a PEP's wait for the PDP.
+func WithPEPTimeout(d time.Duration) Option {
+	return func(c *Config) { c.PEPTimeout = d }
+}
+
+// WithTPM seals the shared LI key in a per-tenant SoftTPM (the §III System
+// Integrity mitigation).
+func WithTPM() Option {
+	return func(c *Config) { c.UseTPM = true }
+}
+
+// WithRemoteAgents separates probing agents from their Logging Interfaces
+// over the tenant network.
+func WithRemoteAgents() Option {
+	return func(c *Config) { c.RemoteAgents = true }
+}
+
+// WithMineAll makes every cloud's node mine (more realistic, more forks)
+// instead of the designated-producer default.
+func WithMineAll() Option {
+	return func(c *Config) { c.MineAll = true }
+}
+
+// WithVerifyWorkers sizes each node's signature-verification worker pool.
+func WithVerifyWorkers(n int) Option {
+	return func(c *Config) { c.VerifyWorkers = n }
+}
+
+// WithVerifyCache bounds each node's verified-transaction LRU (negative
+// disables it).
+func WithVerifyCache(entries int) Option {
+	return func(c *Config) { c.VerifyCacheSize = entries }
+}
+
+// WithSequentialVerify disables the batch-verification pipeline — the
+// pre-pipeline baseline for overhead experiments.
+func WithSequentialVerify() Option {
+	return func(c *Config) { c.SequentialVerify = true }
+}
+
+// WithDecisionCache bounds the PDP decision cache in entries.
+func WithDecisionCache(entries int) Option {
+	return func(c *Config) { c.DecisionCacheSize = entries }
+}
+
+// WithoutDecisionCache evaluates every request from scratch — the overhead
+// baseline.
+func WithoutDecisionCache() Option {
+	return func(c *Config) { c.DisableDecisionCache = true }
+}
