@@ -1,11 +1,12 @@
 // drams-bench regenerates the full experiment suite: E1–E8 of DESIGN.md §2,
-// the AB1–AB3 ablations, and the V1–V3 throughput-pipeline comparisons
-// (batch signature verification, PDP decision cache, client decision pipelining). It prints each result
-// table (text or CSV). EXPERIMENTS.md is produced from this tool's output.
+// the AB1–AB3 ablations, and the V1–V4 throughput comparisons (batch
+// signature verification, PDP decision cache, client decision pipelining,
+// netsim vs TCP transport backends). It prints each result table (text or
+// CSV). EXPERIMENTS.md is produced from this tool's output.
 //
 // Usage:
 //
-//	drams-bench [-run E1,E2,...,V1,V2,V3] [-quick] [-csv]
+//	drams-bench [-run E1,E2,...,V1,V2,V3,V4] [-quick] [-csv]
 package main
 
 import (
@@ -30,7 +31,7 @@ func run() int {
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4"} {
 			selected[id] = true
 		}
 	} else {
@@ -142,6 +143,13 @@ func run() int {
 					NetLatency: 300 * time.Microsecond}
 			}
 			return experiment.RunV3(p)
+		}},
+		{"V4", func() (experiment.Table, error) {
+			p := experiment.DefaultV4Params()
+			if *quick {
+				p = experiment.V4Params{Requests: 128, Batch: 64}
+			}
+			return experiment.RunV4(p)
 		}},
 	}
 

@@ -1,26 +1,56 @@
-// drams-node runs a local multi-node DRAMS blockchain cluster and verifies
-// replication invariants live: it mines to a target height under injected
-// network latency, exercises a partition/heal cycle, and checks that every
-// node converges to the same state digest. Useful for exploring the chain
-// substrate in isolation from the access-control plane.
+// drams-node runs DRAMS blockchain nodes in two modes.
 //
-// Usage:
+// Cluster-sim mode (default): a local multi-node cluster over netsim that
+// verifies replication invariants live — it mines to a target height under
+// injected network latency, exercises a partition/heal cycle, and checks
+// that every node converges to the same state digest.
 //
 //	drams-node [-nodes 3] [-difficulty 10] [-height 30] [-latency 2ms]
+//
+// Daemon mode (-listen): one real federation process over the TCP
+// transport. Each process hosts the chain node, Logging Interface and
+// probing agent of one tenant; the infrastructure tenant's process also
+// hosts the PDP, publishes the policy on-chain, and runs the monitor and
+// analyser. Edge tenant processes host a PEP and (with -requests) drive
+// end-to-end access decisions against the remote PDP. A 3-process loopback
+// federation:
+//
+//	drams-node -listen 127.0.0.1:19701 -tenant infrastructure \
+//	    -federation tenant-1,tenant-2
+//	drams-node -listen 127.0.0.1:19702 -join 127.0.0.1:19701,127.0.0.1:19703 \
+//	    -tenant tenant-1 -federation tenant-1,tenant-2 -requests 4
+//	drams-node -listen 127.0.0.1:19703 -join 127.0.0.1:19701,127.0.0.1:19702 \
+//	    -tenant tenant-2 -federation tenant-1,tenant-2 -requests 4
+//
+// Every process derives the same identities, shared key and contract
+// configuration from -seed, so their chains validate each other's
+// transactions. See docs/DEPLOY.md for the full walkthrough.
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
+	"drams"
 	"drams/internal/blockchain"
+	"drams/internal/clock"
 	"drams/internal/contract"
 	"drams/internal/core"
 	"drams/internal/crypto"
+	"drams/internal/federation"
+	"drams/internal/idgen"
+	"drams/internal/logger"
 	"drams/internal/netsim"
+	"drams/internal/transport/tcp"
+	"drams/internal/xacml"
 )
 
 func main() {
@@ -31,12 +61,288 @@ func main() {
 }
 
 func run() error {
-	nodes := flag.Int("nodes", 3, "cluster size")
+	nodes := flag.Int("nodes", 3, "cluster-sim: cluster size")
 	difficulty := flag.Int("difficulty", 10, "PoW difficulty (leading zero bits)")
-	height := flag.Uint64("height", 30, "target chain height")
-	latency := flag.Duration("latency", 2*time.Millisecond, "simulated network latency")
+	height := flag.Uint64("height", 30, "cluster-sim: target chain height")
+	latency := flag.Duration("latency", 2*time.Millisecond, "cluster-sim: simulated network latency")
+
+	listen := flag.String("listen", "", "daemon: host:port to listen on (enables daemon mode)")
+	advertise := flag.String("advertise", "", "daemon: address peers dial to reach this process (required when -listen binds a wildcard host)")
+	join := flag.String("join", "", "daemon: comma-separated peer addresses to connect to")
+	tenant := flag.String("tenant", "", "daemon: tenant this process hosts ('infrastructure' hosts the PDP and mines)")
+	fedList := flag.String("federation", "tenant-1,tenant-2", "daemon: comma-separated edge tenant names of the whole federation")
+	seed := flag.Uint64("seed", 7, "daemon: federation seed (identities and shared key derive from it; must match across processes)")
+	requests := flag.Int("requests", 0, "daemon: access decisions to drive through this tenant's PEP")
+	mine := flag.Bool("mine", false, "daemon: mine on this node even if it is not the infrastructure process")
+	emptyBlock := flag.Duration("empty-block", 50*time.Millisecond, "daemon: empty-block cadence")
+	timeoutBlocks := flag.Uint64("timeout-blocks", 64, "daemon: log-match M3 window in blocks (consensus-critical; must match across processes)")
+	requireVerdict := flag.Bool("require-verdict", true, "daemon: demand an analyser verdict per exchange (consensus-critical; must match across processes)")
+	runFor := flag.Duration("run-for", 0, "daemon: exit cleanly after this duration (0 = until signalled)")
 	flag.Parse()
 
+	if *listen != "" {
+		if *tenant == "" {
+			return fmt.Errorf("daemon mode needs -tenant")
+		}
+		return runDaemon(daemonConfig{
+			listen:         *listen,
+			advertise:      *advertise,
+			join:           splitList(*join),
+			tenant:         *tenant,
+			edges:          splitList(*fedList),
+			seed:           *seed,
+			difficulty:     uint8(*difficulty),
+			requests:       *requests,
+			mine:           *mine,
+			emptyBlock:     *emptyBlock,
+			timeoutBlocks:  *timeoutBlocks,
+			requireVerdict: *requireVerdict,
+			runFor:         *runFor,
+		})
+	}
+	return runClusterSim(*nodes, *difficulty, *height, *latency)
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Daemon mode: one federation process over TCP.
+
+const infraTenant = "infrastructure"
+
+type daemonConfig struct {
+	listen     string
+	advertise  string
+	join       []string
+	tenant     string
+	edges      []string
+	seed       uint64
+	difficulty uint8
+	requests   int
+	mine       bool
+	emptyBlock time.Duration
+	runFor     time.Duration
+
+	// Consensus-critical knobs shared by every process (see
+	// drams.ChainParams).
+	timeoutBlocks  uint64
+	requireVerdict bool
+}
+
+func runDaemon(cfg daemonConfig) error {
+	logf := func(format string, args ...any) {
+		fmt.Printf("[%s] %s\n", cfg.tenant, fmt.Sprintf(format, args...))
+	}
+	isInfra := cfg.tenant == infraTenant
+
+	tenants := append([]string{}, cfg.edges...)
+	tenants = append(tenants, infraTenant)
+	found := false
+	for _, t := range tenants {
+		if t == cfg.tenant {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("tenant %q is not in the federation %v", cfg.tenant, tenants)
+	}
+
+	// Deterministic federation-wide material: component identities, the
+	// shared LI key, the contract registry and the chain parameters — the
+	// exact derivation drams.New uses, so a drams.Open deployment with the
+	// same seed, tenant set and ChainParams can join this federation.
+	material := drams.NewChainMaterial(cfg.seed, tenants, drams.ChainParams{
+		Difficulty:     cfg.difficulty,
+		TimeoutBlocks:  cfg.timeoutBlocks,
+		RequireVerdict: cfg.requireVerdict,
+	})
+	liIDs := material.LIIdentities
+	analyserID, papID := material.AnalyserID, material.PAPID
+	key := material.Key
+	chainCfg := material.Chain
+
+	// The process's wire: a TCP transport on loopback or a real interface.
+	tr, err := tcp.New(tcp.Config{ListenAddr: cfg.listen, AdvertiseAddr: cfg.advertise, Peers: cfg.join})
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	logf("listening on %s, peers %v", tr.Advertise(), cfg.join)
+
+	var nodePeers []string
+	for _, t := range tenants {
+		nodePeers = append(nodePeers, "node@"+t)
+	}
+	node, err := blockchain.NewNode(blockchain.NodeConfig{
+		Name:               "node@" + cfg.tenant,
+		Chain:              chainCfg,
+		Network:            tr,
+		Peers:              nodePeers,
+		Mine:               isInfra || cfg.mine,
+		EmptyBlockInterval: cfg.emptyBlock,
+	})
+	if err != nil {
+		return err
+	}
+	defer node.Stop()
+	node.Start()
+
+	li, err := logger.NewLI(logger.LIConfig{
+		Name:     "li@" + cfg.tenant,
+		Tenant:   cfg.tenant,
+		Node:     node,
+		Identity: liIDs[cfg.tenant],
+		Key:      key,
+		Mode:     logger.SubmitAsync,
+	})
+	if err != nil {
+		return err
+	}
+	li.Start()
+	defer li.Stop()
+	agent := logger.NewAgent("agent@"+cfg.tenant, cfg.tenant, li, clock.System{})
+
+	if isInfra {
+		if err := runInfraPlane(tr, node, agent, papID, analyserID, key, logf); err != nil {
+			return err
+		}
+	}
+
+	var pep *federation.PEPService
+	if !isInfra {
+		pep, err = federation.NewPEPService(tr, cfg.tenant, 5*time.Second)
+		if err != nil {
+			return err
+		}
+		pep.SetProbe(agent)
+	}
+
+	stopCh := make(chan os.Signal, 2)
+	signal.Notify(stopCh, os.Interrupt, syscall.SIGTERM)
+	deadline := make(<-chan time.Time)
+	if cfg.runFor > 0 {
+		deadline = time.After(cfg.runFor)
+	}
+
+	// Edge processes drive end-to-end decisions once the PDP is reachable
+	// (fire-and-forget: the daemon keeps serving until signalled/-run-for).
+	if pep != nil && cfg.requests > 0 {
+		go driveRequests(pep, cfg, logf)
+	}
+
+	status := time.NewTicker(500 * time.Millisecond)
+	defer status.Stop()
+	for {
+		select {
+		case <-stopCh:
+			logf("signalled, shutting down at height %d", node.Chain().Height())
+			return nil
+		case <-deadline:
+			logf("run-for elapsed, final height %d digest %s",
+				node.Chain().Height(), node.Chain().StateDigest().Short())
+			return nil
+		case <-status.C:
+			st := node.Stats()
+			logf("status height=%d digest=%s mined=%d accepted=%d",
+				node.Chain().Height(), node.Chain().StateDigest().Short(),
+				st.BlocksMined, st.BlocksAccepted)
+		}
+	}
+}
+
+// runInfraPlane brings up the infrastructure tenant's extras: the PDP
+// service, the on-chain policy anchor, and the monitoring plane.
+func runInfraPlane(tr *tcp.Transport, node *blockchain.Node, agent *logger.Agent,
+	papID, analyserID *crypto.Identity, key crypto.Key,
+	logf func(string, ...any)) error {
+	// The role-gated standard policy (canonical copy in xacml.StandardPolicy);
+	// edges never see the policy itself, only its decisions.
+	policy := xacml.StandardPolicy("v1")
+	pdp := xacml.NewPDP(nil)
+	pdp.SetCache(xacml.NewDecisionCache(0))
+	pdpService, err := federation.NewPDPService(tr, pdp)
+	if err != nil {
+		return err
+	}
+	pdpService.SetProbe(agent)
+
+	prp := xacml.NewPRP()
+	digest, err := prp.Publish(policy)
+	if err != nil {
+		return err
+	}
+	papSender := blockchain.NewSender(node, papID)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rec, err := papSender.SendAndWait(ctx, contract.Call{
+		Contract: core.ContractName, Method: core.MethodPolicy,
+		Args: core.PolicyAnnouncement{Version: policy.Version, Digest: digest, Active: true}.Encode(),
+	}, 1)
+	if err != nil {
+		return fmt.Errorf("anchor policy: %w", err)
+	}
+	if !rec.OK {
+		return fmt.Errorf("anchor policy rejected: %s", rec.Err)
+	}
+	pdp.Load(policy)
+	logf("policy %s anchored on-chain and loaded", policy.Version)
+
+	analyser, err := core.NewAnalyser("analyser", node, analyserID, key)
+	if err != nil {
+		return err
+	}
+	analyser.LoadPolicy(policy)
+	analyser.Start()
+
+	monitor := core.NewMonitor(node, clock.System{})
+	monitor.OnAlert(func(a core.Alert) {
+		logf("ALERT type=%s req=%s tenant=%s", a.Type, a.ReqID, a.Tenant)
+	})
+	monitor.Start()
+	return nil
+}
+
+// driveRequests issues access decisions through the local PEP, retrying
+// until the remote PDP is reachable and the policy is active.
+func driveRequests(pep *federation.PEPService, cfg daemonConfig, logf func(string, ...any)) {
+	tenantDigest := crypto.SumAll([]byte(cfg.tenant))
+	ids := idgen.NewSeeded(cfg.seed ^ binary.BigEndian.Uint64(tenantDigest[:8]))
+	roles := []string{"doctor", "nurse", "intern"}
+	for i := 0; i < cfg.requests; i++ {
+		req := xacml.NewRequest(ids.Next().String()).
+			Add(xacml.CatSubject, "role", xacml.String(roles[i%len(roles)])).
+			Add(xacml.CatAction, "op", xacml.String("read")).
+			Add(xacml.CatResource, "type", xacml.String("record"))
+		for attempt := 0; ; attempt++ {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			enf, err := pep.Decide(ctx, req)
+			cancel()
+			if err == nil {
+				logf("decision req=%s role=%s decision=%v", req.ID, roles[i%len(roles)], enf.Decision)
+				break
+			}
+			if attempt >= 60 {
+				logf("decision req=%s FAILED: %v", req.ID, err)
+				break
+			}
+			time.Sleep(500 * time.Millisecond)
+		}
+	}
+	logf("drove %d decisions", cfg.requests)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-sim mode (the original behaviour).
+
+func runClusterSim(nodes, difficulty int, height uint64, latency time.Duration) error {
 	var seed [32]byte
 	seed[0] = 1
 	writer := crypto.NewIdentityFromSeed("writer", seed)
@@ -46,20 +352,20 @@ func run() error {
 	registry.MustRegister(&contract.KVContract{ContractName: "kv"})
 	registry.MustRegister(&contract.AnchorContract{ContractName: "anchor"})
 
-	net := netsim.New(netsim.Config{BaseLatency: *latency, Jitter: *latency, Seed: 11})
+	net := netsim.New(netsim.Config{BaseLatency: latency, Jitter: latency, Seed: 11})
 	defer net.Close()
 
 	chainCfg := blockchain.Config{
-		Difficulty: uint8(*difficulty),
+		Difficulty: uint8(difficulty),
 		Identities: []crypto.PublicIdentity{writer.Public()},
 		Registry:   registry,
 	}
 	var cluster []*blockchain.Node
 	var names []string
-	for i := 0; i < *nodes; i++ {
+	for i := 0; i < nodes; i++ {
 		names = append(names, fmt.Sprintf("node-%d", i))
 	}
-	for i := 0; i < *nodes; i++ {
+	for i := 0; i < nodes; i++ {
 		n, err := blockchain.NewNode(blockchain.NodeConfig{
 			Name:               names[i],
 			Chain:              chainCfg,
@@ -75,7 +381,7 @@ func run() error {
 		cluster = append(cluster, n)
 		n.Start()
 	}
-	fmt.Printf("cluster of %d nodes, difficulty %d bits, producer node-0\n", *nodes, *difficulty)
+	fmt.Printf("cluster of %d nodes, difficulty %d bits, producer node-0\n", nodes, difficulty)
 
 	// Feed a stream of kv transactions while the chain grows.
 	sender := blockchain.NewSender(cluster[0], writer)
@@ -103,7 +409,7 @@ func run() error {
 		return fmt.Errorf("timeout waiting for height %d (at %d)", h, cluster[0].Chain().Height())
 	}
 
-	if err := waitHeight(*height/2, 2*time.Minute); err != nil {
+	if err := waitHeight(height/2, 2*time.Minute); err != nil {
 		return err
 	}
 	fmt.Printf("reached height %d — injecting partition {node-0} | {rest}\n", cluster[0].Chain().Height())
@@ -118,7 +424,7 @@ func run() error {
 		}
 	}
 
-	if err := waitHeight(*height, 5*time.Minute); err != nil {
+	if err := waitHeight(height, 5*time.Minute); err != nil {
 		return err
 	}
 

@@ -49,6 +49,8 @@ import (
 	"drams/internal/idgen"
 	"drams/internal/logger"
 	"drams/internal/netsim"
+	"drams/internal/transport"
+	"drams/internal/transport/tcp"
 	"drams/internal/xacml"
 )
 
@@ -135,6 +137,19 @@ type Config struct {
 	// and encryption, so K never leaves the LI). Default: in-process
 	// agents.
 	RemoteAgents bool
+	// Transport supplies the wire backend the deployment runs on. Default:
+	// a netsim.Network shaped by NetLatency/NetJitter/Seed. Providing a
+	// transport (e.g. a transport/tcp instance) makes the deployment's
+	// components reachable from other processes; NetLatency/NetJitter are
+	// then ignored and netsim-only fault injection (Deployment.Net) is
+	// unavailable.
+	Transport transport.Transport
+	// ListenAddr, when set (and Transport is nil), builds a TCP transport
+	// listening on this host:port instead of the netsim default.
+	ListenAddr string
+	// TransportPeers seeds the TCP transport built for ListenAddr with
+	// other processes' advertise addresses.
+	TransportPeers []string
 }
 
 // Deployment is a running DRAMS federation.
@@ -142,8 +157,15 @@ type Deployment struct {
 	cfg      Config
 	topology *federation.Topology
 
+	// Transport is the wire backend everything runs on.
+	Transport transport.Transport
+	// Net is the netsim view of Transport when the deployment runs on the
+	// simulator (the default) — the handle for fault injection (Partition,
+	// SetLinkFault, ...). Nil when a real transport was supplied.
 	Net   *netsim.Network
 	Nodes map[string]*blockchain.Node // by cloud name
+
+	ownsTransport bool
 
 	PDP          *xacml.PDP
 	PDPService   *federation.PDPService
@@ -158,9 +180,10 @@ type Deployment struct {
 
 	Key crypto.Key
 
-	papSender *blockchain.Sender
-	ids       *idgen.Generator
-	closed    bool
+	papSender  *blockchain.Sender
+	ids        *idgen.Generator
+	registered []string // endpoint addresses to release on Close (caller-owned transport)
+	closed     bool
 }
 
 // probe is what a tenant's agent must implement for both hook points.
@@ -175,13 +198,6 @@ func (d *Deployment) probeFor(tenant string) probe {
 		return a
 	}
 	return d.Agents[tenant]
-}
-
-// identitySeed derives deterministic identities per component so
-// deployments are reproducible under a fixed Config.Seed.
-func identitySeed(seed uint64, name string) [32]byte {
-	d := crypto.SumAll([]byte(fmt.Sprintf("drams-id|%d|", seed)), []byte(name))
-	return [32]byte(d)
 }
 
 // New assembles and starts a deployment.
@@ -222,46 +238,46 @@ func New(cfg Config) (*Deployment, error) {
 		TPMs:         make(map[string]*crypto.SoftTPM),
 		ids:          idgen.NewSeeded(cfg.Seed + 1),
 	}
-	d.Net = netsim.New(netsim.Config{
-		BaseLatency: cfg.NetLatency,
-		Jitter:      cfg.NetJitter,
-		Seed:        cfg.Seed,
-	})
-	d.Key = crypto.DeriveKey(fmt.Sprintf("drams-K-%d", cfg.Seed), "shared-li-key")
-
-	// Component identities (deterministic under Seed).
-	liIdentities := make(map[string]*crypto.Identity) // by tenant
-	var allow []crypto.PublicIdentity
-	for _, ten := range d.topology.Tenants {
-		id := crypto.NewIdentityFromSeed("li@"+ten.Name, identitySeed(cfg.Seed, "li@"+ten.Name))
-		liIdentities[ten.Name] = id
-		allow = append(allow, id.Public())
+	switch {
+	case cfg.Transport != nil:
+		d.Transport = cfg.Transport
+		d.Net, _ = cfg.Transport.(*netsim.Network)
+	case cfg.ListenAddr != "":
+		tt, err := tcp.New(tcp.Config{ListenAddr: cfg.ListenAddr, Peers: cfg.TransportPeers})
+		if err != nil {
+			return nil, fmt.Errorf("drams: tcp transport: %w", err)
+		}
+		d.Transport = tt
+		d.ownsTransport = true
+	default:
+		d.Net = netsim.New(netsim.Config{
+			BaseLatency: cfg.NetLatency,
+			Jitter:      cfg.NetJitter,
+			Seed:        cfg.Seed,
+		})
+		d.Transport = d.Net
+		d.ownsTransport = true
 	}
-	analyserID := crypto.NewIdentityFromSeed("analyser", identitySeed(cfg.Seed, "analyser"))
-	papID := crypto.NewIdentityFromSeed("pap", identitySeed(cfg.Seed, "pap"))
-	allow = append(allow, analyserID.Public(), papID.Public())
-
-	// Shared contract registry (contracts are stateless; state is
-	// per-chain).
-	registry := contract.NewRegistry()
-	registry.MustRegister(core.NewLogMatchContract(core.MatchConfig{
-		TimeoutBlocks:  cfg.TimeoutBlocks,
-		PAP:            papID.Name(),
-		Analyser:       analyserID.Name(),
-		RequireVerdict: !cfg.DisableVerdicts && !cfg.MonitorOff,
-	}))
-	registry.MustRegister(&contract.AnchorContract{ContractName: "anchor"})
-	registry.MustRegister(&contract.KVContract{ContractName: "kv"})
-
-	chainCfg := blockchain.Config{
+	// Consensus material (identities, allowlist, shared key, contract
+	// registry, chain config) — derived through the same helper the
+	// drams-node daemon uses, so both construction paths agree.
+	var tenantNames []string
+	for _, ten := range d.topology.Tenants {
+		tenantNames = append(tenantNames, ten.Name)
+	}
+	material := NewChainMaterial(cfg.Seed, tenantNames, ChainParams{
 		Difficulty:       cfg.Difficulty,
 		MaxTxPerBlock:    cfg.MaxTxPerBlock,
-		Identities:       allow,
-		Registry:         registry,
+		TimeoutBlocks:    cfg.TimeoutBlocks,
+		RequireVerdict:   !cfg.DisableVerdicts && !cfg.MonitorOff,
 		VerifyWorkers:    cfg.VerifyWorkers,
 		VerifyCacheSize:  cfg.VerifyCacheSize,
 		SequentialVerify: cfg.SequentialVerify,
-	}
+	})
+	d.Key = material.Key
+	liIdentities := material.LIIdentities
+	analyserID, papID := material.AnalyserID, material.PAPID
+	chainCfg := material.Chain
 
 	infra, err := d.topology.InfrastructureTenant()
 	if err != nil {
@@ -279,7 +295,7 @@ func New(cfg Config) (*Deployment, error) {
 		node, err := blockchain.NewNode(blockchain.NodeConfig{
 			Name:               "node@" + c.Name,
 			Chain:              chainCfg,
-			Network:            d.Net,
+			Network:            d.Transport,
 			Peers:              nodeNames,
 			Mine:               cfg.MineAll || c.Name == infra.Cloud,
 			EmptyBlockInterval: cfg.EmptyBlockInterval,
@@ -289,6 +305,7 @@ func New(cfg Config) (*Deployment, error) {
 			return nil, err
 		}
 		d.Nodes[c.Name] = node
+		d.registered = append(d.registered, "node@"+c.Name)
 	}
 	for _, node := range d.Nodes {
 		node.Start()
@@ -301,18 +318,20 @@ func New(cfg Config) (*Deployment, error) {
 		d.PDP.SetCache(xacml.NewDecisionCache(cfg.DecisionCacheSize))
 	}
 	d.PRP = xacml.NewPRP()
-	d.PDPService, err = federation.NewPDPService(d.Net, d.PDP)
+	d.PDPService, err = federation.NewPDPService(d.Transport, d.PDP)
 	if err != nil {
 		d.Close()
 		return nil, err
 	}
+	d.registered = append(d.registered, federation.PDPAddr)
 	for _, ten := range d.topology.EdgeTenants() {
-		pep, err := federation.NewPEPService(d.Net, ten.Name, cfg.PEPTimeout)
+		pep, err := federation.NewPEPService(d.Transport, ten.Name, cfg.PEPTimeout)
 		if err != nil {
 			d.Close()
 			return nil, err
 		}
 		d.PEPs[ten.Name] = pep
+		d.registered = append(d.registered, federation.PEPAddr(ten.Name))
 	}
 
 	d.papSender = blockchain.NewSender(infraNode, papID)
@@ -357,16 +376,18 @@ func New(cfg Config) (*Deployment, error) {
 			d.LIs[ten.Name] = li
 			if cfg.RemoteAgents {
 				liAddr := "li-endpoint@" + ten.Name
-				if err := li.Expose(d.Net, liAddr); err != nil {
+				if err := li.Expose(d.Transport, liAddr); err != nil {
 					d.Close()
 					return nil, err
 				}
-				ra, err := logger.NewRemoteAgent(d.Net, "agent@"+ten.Name, liAddr)
+				d.registered = append(d.registered, liAddr)
+				ra, err := logger.NewRemoteAgent(d.Transport, "agent@"+ten.Name, liAddr)
 				if err != nil {
 					d.Close()
 					return nil, err
 				}
 				d.RemoteAgents[ten.Name] = ra
+				d.registered = append(d.registered, "agent@"+ten.Name)
 			} else {
 				d.Agents[ten.Name] = logger.NewAgent("agent@"+ten.Name, ten.Name, li, clock.System{})
 			}
@@ -517,7 +538,15 @@ func (d *Deployment) Close() {
 	for _, node := range d.Nodes {
 		node.Stop()
 	}
-	if d.Net != nil {
-		d.Net.Close()
+	if d.Transport != nil {
+		if d.ownsTransport {
+			d.Transport.Close()
+		} else {
+			// Caller-owned transport: release our addresses so the caller
+			// can keep using it (and even open a fresh deployment on it).
+			for _, addr := range d.registered {
+				d.Transport.Unregister(addr)
+			}
+		}
 	}
 }

@@ -12,7 +12,7 @@ import (
 	"drams/internal/contract"
 	"drams/internal/crypto"
 	"drams/internal/metrics"
-	"drams/internal/netsim"
+	"drams/internal/transport"
 )
 
 // Message kinds used on the wire.
@@ -22,6 +22,7 @@ const (
 	kindGetBlock = "bc.getblock"
 	kindHead     = "bc.head"
 	kindSubmit   = "bc.submit"
+	kindHello    = "bc.hello"
 )
 
 // ErrStopped is returned by node operations after Stop.
@@ -34,11 +35,13 @@ type NodeConfig struct {
 	// Chain holds the consensus parameters (must match across the
 	// federation).
 	Chain Config
-	// Network connects the node to its peers.
-	Network *netsim.Network
-	// Peers are the addresses gossip goes to. Empty means "broadcast to
-	// every address on the network", which is convenient in small
-	// simulations.
+	// Network connects the node to its peers. Any transport backend works:
+	// netsim.Network in-process, transport/tcp across processes.
+	Network transport.Transport
+	// Peers are the addresses gossip goes to. Empty means "discover chain
+	// peers dynamically": the node announces itself with a bc.hello
+	// handshake and gossips only to nodes that answered, so PEP/PDP/logger
+	// endpoints sharing the transport never see bc.* frames.
 	Peers []string
 	// Mine enables the mining loop.
 	Mine bool
@@ -92,8 +95,12 @@ type Node struct {
 	cfg   NodeConfig
 	chain *Chain
 	pool  *Mempool
-	ep    *netsim.Endpoint
+	ep    transport.Endpoint
 	clk   clock.Clock
+
+	peerMu    sync.Mutex
+	chainPeer map[string]struct{} // discovered via bc.hello (Peers empty)
+	helloed   int                 // address count at the last hello broadcast
 
 	stopOnce sync.Once
 	stop     chan struct{}
@@ -142,14 +149,15 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("blockchain: register node %q: %w", cfg.Name, err)
 	}
 	n := &Node{
-		cfg:   cfg,
-		chain: NewChain(cfg.Chain),
-		pool:  NewMempool(cfg.MempoolSize),
-		ep:    ep,
-		clk:   cfg.Chain.withDefaults().Clock,
-		stop:  make(chan struct{}),
-		newTx: make(chan struct{}, 1),
-		subs:  make(map[int]chan EventNotification),
+		cfg:       cfg,
+		chain:     NewChain(cfg.Chain),
+		pool:      NewMempool(cfg.MempoolSize),
+		ep:        ep,
+		clk:       cfg.Chain.withDefaults().Clock,
+		stop:      make(chan struct{}),
+		newTx:     make(chan struct{}, 1),
+		subs:      make(map[int]chan EventNotification),
+		chainPeer: make(map[string]struct{}),
 	}
 	n.chain.SetEventSink(n.fanout)
 	if !cfg.Chain.SequentialVerify {
@@ -161,10 +169,70 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	}
 	ep.OnMessage(kindTx, n.handleTxGossip)
 	ep.OnMessage(kindBlock, n.handleBlockGossip)
+	ep.OnMessage(kindHello, n.handleHello)
 	ep.OnCall(kindGetBlock, n.handleGetBlock)
 	ep.OnCall(kindHead, n.handleHead)
 	ep.OnCall(kindSubmit, n.handleSubmit)
+	if len(cfg.Peers) == 0 {
+		// No static peer table: announce ourselves so existing chain nodes
+		// learn us (and answer, so we learn them). The handshake is the
+		// only bc.* frame non-node endpoints ever receive; all subsequent
+		// gossip is scoped to discovered chain peers. On multi-process
+		// transports addresses appear asynchronously, so rebroadcastLoop
+		// re-announces whenever the address set changes (see reHello).
+		n.helloed = len(cfg.Network.Addresses())
+		ep.Broadcast(kindHello, []byte{helloSyn})
+	}
 	return n, nil
+}
+
+// reHello re-broadcasts the discovery announcement when the transport's
+// address set changed since the last hello — on multi-process transports
+// peer processes (and their node endpoints) become routable long after
+// NewNode's initial broadcast. Quiescent once the membership is stable.
+func (n *Node) reHello() {
+	if len(n.cfg.Peers) != 0 {
+		return
+	}
+	count := len(n.cfg.Network.Addresses())
+	n.peerMu.Lock()
+	changed := count != n.helloed
+	n.helloed = count
+	n.peerMu.Unlock()
+	if changed {
+		n.ep.Broadcast(kindHello, []byte{helloSyn})
+	}
+}
+
+// bc.hello payload flags.
+const (
+	helloSyn byte = 1 // "I just joined, please answer"
+	helloAck byte = 2 // targeted answer; no further reply needed
+)
+
+// handleHello records a chain peer discovered via the bc.hello handshake and
+// answers syn announcements so the newcomer learns this node too.
+func (n *Node) handleHello(from string, payload []byte) {
+	if from == n.cfg.Name {
+		return
+	}
+	n.peerMu.Lock()
+	n.chainPeer[from] = struct{}{}
+	n.peerMu.Unlock()
+	if len(payload) > 0 && payload[0] == helloSyn {
+		_ = n.ep.Send(from, kindHello, []byte{helloAck})
+	}
+}
+
+// discoveredPeers snapshots the bc.hello peer set.
+func (n *Node) discoveredPeers() []string {
+	n.peerMu.Lock()
+	defer n.peerMu.Unlock()
+	out := make([]string, 0, len(n.chainPeer))
+	for p := range n.chainPeer {
+		out = append(out, p)
+	}
+	return out
 }
 
 // Chain exposes the node's chain view.
@@ -219,6 +287,7 @@ func (n *Node) rebroadcastLoop(interval time.Duration) {
 			return
 		case <-n.clk.After(interval):
 		}
+		n.reHello()
 		for _, tx := range n.pool.All(256) {
 			n.gossip(kindTx, EncodeTx(tx), "")
 		}
@@ -322,12 +391,16 @@ func (n *Node) fanout(height uint64, events []contract.Event) {
 	}
 }
 
+// gossip fans a frame out to the chain peer set: the static Peers table when
+// configured, otherwise the peers discovered through the bc.hello handshake.
+// Either way gossip never sprays non-node endpoints (PEPs, PDP, loggers)
+// that share the transport.
 func (n *Node) gossip(kind string, payload []byte, except string) {
-	if len(n.cfg.Peers) == 0 {
-		n.ep.Broadcast(kind, payload, except)
-		return
+	peers := n.cfg.Peers
+	if len(peers) == 0 {
+		peers = n.discoveredPeers()
 	}
-	for _, p := range n.cfg.Peers {
+	for _, p := range peers {
 		if p == except || p == n.cfg.Name {
 			continue
 		}

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"drams/internal/contract"
 	"drams/internal/crypto"
 	"drams/internal/netsim"
+	"drams/internal/transport/tcp"
 )
 
 // testCluster spins up n mining nodes sharing a network and identity set.
@@ -318,4 +321,118 @@ func TestLateJoinerSyncs(t *testing.T) {
 	if late.Chain().StateDigest() != n0.Chain().StateDigest() {
 		t.Fatal("late joiner did not reach the same state")
 	}
+}
+
+func TestGossipScopedToChainPeers(t *testing.T) {
+	// With Peers empty, gossip must go only to chain peers discovered via
+	// the bc.hello handshake — never sprayed at unrelated endpoints (PEPs,
+	// PDP, logger faces) sharing the transport.
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Synchronous: true, Seed: 9})
+	defer net.Close()
+
+	var stray atomic.Int64
+	for _, addr := range []string{"pep@tenant-1", "pdp@infrastructure", "li-endpoint@tenant-1"} {
+		ep, err := net.Register(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ep.OnDefault(func(msg netsim.Message) {
+			if strings.HasPrefix(msg.Kind, "bc.") && msg.Kind != "bc.hello" {
+				stray.Add(1)
+			}
+		})
+	}
+
+	var nodes []*Node
+	for i := 0; i < 3; i++ {
+		n, err := NewNode(NodeConfig{
+			Name:                fmt.Sprintf("node-%d", i),
+			Chain:               testChainConfig(t, alice),
+			Network:             net,
+			RebroadcastInterval: -1, // keep the message count deterministic
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer n.Stop()
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		n.Start()
+	}
+
+	// Synchronous delivery: hello discovery has converged by now.
+	base := net.Stats()
+
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	if err := nodes[0].SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		return nodes[1].Mempool().Has(tx.ID()) && nodes[2].Mempool().Has(tx.ID())
+	}, "tx reaches every chain peer")
+
+	if got := stray.Load(); got != 0 {
+		t.Fatalf("non-node endpoints received %d chain gossip frames", got)
+	}
+	// Scoped flood: the submitter sends to its 2 chain peers, each peer
+	// re-gossips at most once more — ≤ 6 sends. The old spray-to-everyone
+	// behaviour would have sent to all 5 other registered addresses per
+	// hop (≥ 10 sends for the same propagation).
+	delta := net.Stats().Sent - base.Sent
+	if delta > 6 {
+		t.Fatalf("tx flood used %d sends, want ≤ 6 (gossip not scoped to chain peers)", delta)
+	}
+}
+
+func TestDynamicPeerDiscoveryOverTCP(t *testing.T) {
+	// With Peers empty on a multi-process transport, the bc.hello
+	// handshake must converge even though addresses become routable long
+	// after NewNode's initial announcement: rebroadcastLoop re-announces
+	// whenever the transport's address set changes.
+	alice := testIdentity(t, "alice", 1)
+	trA, err := tcp.New(tcp.Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trA.Close()
+
+	nodeA, err := NewNode(NodeConfig{
+		Name:                "node-a",
+		Chain:               testChainConfig(t, alice),
+		Network:             trA,
+		RebroadcastInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Stop()
+	nodeA.Start()
+
+	// The second process comes up only after the first node already sent
+	// its one-shot hello into an empty universe.
+	trB, err := tcp.New(tcp.Config{ListenAddr: "127.0.0.1:0", Peers: []string{trA.Advertise()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trB.Close()
+	nodeB, err := NewNode(NodeConfig{
+		Name:                "node-b",
+		Chain:               testChainConfig(t, alice),
+		Network:             trB,
+		RebroadcastInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Stop()
+	nodeB.Start()
+
+	tx, _ := NewTransaction(alice, 1, putCall("k", "v"))
+	if err := nodeA.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 15*time.Second, func() bool { return nodeB.Mempool().Has(tx.ID()) },
+		"tx gossip crosses processes after dynamic discovery")
 }

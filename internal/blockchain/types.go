@@ -7,7 +7,8 @@
 //   - blocks mined with a tunable leading-zero-bits difficulty, exactly the
 //     "private blockchain where all PoW parameters can be dynamically tuned"
 //     of §III, including optional automatic retargeting;
-//   - a multi-node network: transaction/block gossip over netsim, orphan
+//   - a multi-node network: transaction/block gossip over any
+//     transport.Transport backend (netsim in-process, TCP across), orphan
 //     resolution, heaviest-work fork choice with deterministic state replay
 //     on reorganisation;
 //   - contract execution at block application, with events published to

@@ -98,26 +98,10 @@ func max(a, b int) int {
 }
 
 // StandardPolicy is the benchmark access-control policy: role-gated reads
-// and writes over records with a default deny.
+// and writes over records with a default deny (canonical copy in
+// xacml.StandardPolicy, shared with the drams-node daemon).
 func StandardPolicy(version string) *xacml.PolicySet {
-	match := func(cat xacml.Category, id xacml.AttributeID, v string) xacml.Match {
-		return xacml.Match{Op: xacml.CmpEq, Attr: xacml.Designator{Cat: cat, ID: id}, Lit: xacml.String(v)}
-	}
-	target := func(ms ...xacml.Match) xacml.Target {
-		return xacml.Target{AnyOf: []xacml.AnyOf{{AllOf: []xacml.AllOf{{Matches: ms}}}}}
-	}
-	rules := []*xacml.Rule{
-		{ID: "doctor-read", Effect: xacml.EffectPermit,
-			Target: target(match(xacml.CatSubject, "role", "doctor"), match(xacml.CatAction, "op", "read"))},
-		{ID: "doctor-write", Effect: xacml.EffectPermit,
-			Target: target(match(xacml.CatSubject, "role", "doctor"), match(xacml.CatAction, "op", "write"))},
-		{ID: "nurse-read", Effect: xacml.EffectPermit,
-			Target: target(match(xacml.CatSubject, "role", "nurse"), match(xacml.CatAction, "op", "read"))},
-		{ID: "default-deny", Effect: xacml.EffectDeny},
-	}
-	return &xacml.PolicySet{ID: "records", Version: version, Alg: xacml.DenyUnlessPermit,
-		Items: []xacml.PolicyItem{{Policy: &xacml.Policy{
-			ID: "records-policy", Version: "1", Alg: xacml.FirstApplicable, Rules: rules}}}}
+	return xacml.StandardPolicy(version)
 }
 
 // StandardRequest builds the i-th benchmark request (cycling through

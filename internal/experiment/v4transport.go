@@ -1,0 +1,198 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"drams/internal/federation"
+	"drams/internal/netsim"
+	"drams/internal/transport"
+	"drams/internal/transport/tcp"
+	"drams/internal/xacml"
+)
+
+// V4Params parameterise the transport comparison: the same PEP→PDP decision
+// traffic over the in-process simulator vs the real TCP stack on loopback.
+type V4Params struct {
+	// Requests is the total number of decisions measured per mode.
+	Requests int
+	// Batch is the DecideBatch pipeline depth.
+	Batch int
+}
+
+// DefaultV4Params measures 512 decisions sequentially and in batches of 64.
+func DefaultV4Params() V4Params { return V4Params{Requests: 512, Batch: 64} }
+
+// v4Backend is one transport universe holding a PEP and a PDP, possibly in
+// different transport instances (TCP: every call crosses loopback).
+type v4Backend struct {
+	name  string
+	pep   *federation.PEPService
+	close func()
+}
+
+// newV4Netsim wires PEP and PDP over the default simulator (no injected
+// latency) — the single-process baseline every experiment so far ran on.
+func newV4Netsim(policy *xacml.PolicySet) (*v4Backend, error) {
+	net := netsim.New(netsim.Config{Seed: 4})
+	pdp := xacml.NewPDP(nil)
+	pdp.SetCache(xacml.NewDecisionCache(0))
+	pdp.Load(policy)
+	if _, err := federation.NewPDPService(net, pdp); err != nil {
+		net.Close()
+		return nil, err
+	}
+	pep, err := federation.NewPEPService(net, "tenant-1", 30*time.Second)
+	if err != nil {
+		net.Close()
+		return nil, err
+	}
+	return &v4Backend{name: "netsim", pep: pep, close: func() { net.Close() }}, nil
+}
+
+// newV4TCP puts the PDP and the PEP on two TCP transports peered over
+// loopback, so every Decide round-trip crosses real sockets and the
+// length-prefixed frame codec.
+func newV4TCP(policy *xacml.PolicySet) (*v4Backend, error) {
+	pdpTr, err := tcp.New(tcp.Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		return nil, err
+	}
+	pepTr, err := tcp.New(tcp.Config{ListenAddr: "127.0.0.1:0", Peers: []string{pdpTr.Advertise()}})
+	if err != nil {
+		pdpTr.Close()
+		return nil, err
+	}
+	closeAll := func() { pepTr.Close(); pdpTr.Close() }
+
+	pdp := xacml.NewPDP(nil)
+	pdp.SetCache(xacml.NewDecisionCache(0))
+	pdp.Load(policy)
+	if _, err := federation.NewPDPService(pdpTr, pdp); err != nil {
+		closeAll()
+		return nil, err
+	}
+	pep, err := federation.NewPEPService(pepTr, "tenant-1", 30*time.Second)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	if err := v4WaitAddr(pepTr, federation.PDPAddr, 10*time.Second); err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &v4Backend{name: "tcp-loopback", pep: pep, close: closeAll}, nil
+}
+
+func v4WaitAddr(tr transport.Transport, addr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		for _, a := range tr.Addresses() {
+			if a == addr {
+				return nil
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return fmt.Errorf("V4: %q never became routable", addr)
+}
+
+// RunV4 measures access-decision throughput through the PEP over both
+// transport backends: strictly sequential Decide and pipelined DecideBatch.
+// Decisions are cross-checked between backends — the transports must be
+// semantically interchangeable, not just both fast.
+func RunV4(p V4Params) (Table, error) {
+	t := Table{
+		ID:     "V4",
+		Title:  "transport backends: decision throughput over netsim vs TCP loopback",
+		Header: []string{"transport", "decide_seq_req_s", fmt.Sprintf("batch%d_req_s", p.Batch), "batch_vs_seq"},
+		Notes: []string{
+			fmt.Sprintf("%d decisions per mode, PEP and PDP on separate transport instances (TCP: real loopback sockets)", p.Requests),
+			"decide_seq: one Decide at a time; batch: DecideBatch pipelines of the given depth",
+			"identical requests and policy on both backends; decisions cross-checked for equality",
+		},
+	}
+	if p.Batch < 1 || p.Requests%p.Batch != 0 {
+		return t, fmt.Errorf("V4: batch %d must divide Requests %d", p.Batch, p.Requests)
+	}
+	policy := StandardPolicy("v1")
+	newReqs := func() []*xacml.Request {
+		reqs := make([]*xacml.Request, p.Requests)
+		roles := []string{"doctor", "nurse", "intern"}
+		ops := []string{"read", "write"}
+		for i := range reqs {
+			reqs[i] = xacml.NewRequest(fmt.Sprintf("v4-%d", i)).
+				Add(xacml.CatSubject, "role", xacml.String(roles[i%len(roles)])).
+				Add(xacml.CatAction, "op", xacml.String(ops[(i/3)%len(ops)])).
+				Add(xacml.CatResource, "type", xacml.String("record"))
+		}
+		return reqs
+	}
+
+	backends := []func(*xacml.PolicySet) (*v4Backend, error){newV4Netsim, newV4TCP}
+	var reference []xacml.Decision
+	ctx := context.Background()
+	for _, newBackend := range backends {
+		b, err := newBackend(policy)
+		if err != nil {
+			return t, err
+		}
+		// Warm-up pass: decision cache, connections, JIT paths.
+		if _, err := b.pep.DecideBatch(ctx, newReqs()); err != nil {
+			b.close()
+			return t, fmt.Errorf("V4 %s warm-up: %w", b.name, err)
+		}
+
+		decisions := make([]xacml.Decision, p.Requests)
+		seqStart := time.Now()
+		for i, req := range newReqs() {
+			enf, err := b.pep.Decide(ctx, req)
+			if err != nil {
+				b.close()
+				return t, fmt.Errorf("V4 %s sequential: %w", b.name, err)
+			}
+			decisions[i] = enf.Decision
+		}
+		seqElapsed := time.Since(seqStart)
+
+		batchReqs := newReqs()
+		batchStart := time.Now()
+		for off := 0; off < len(batchReqs); off += p.Batch {
+			enfs, err := b.pep.DecideBatch(ctx, batchReqs[off:off+p.Batch])
+			if err != nil {
+				b.close()
+				return t, fmt.Errorf("V4 %s batch: %w", b.name, err)
+			}
+			for i, enf := range enfs {
+				if enf.Decision != decisions[off+i] {
+					b.close()
+					return t, fmt.Errorf("V4 %s req %d: batch %v != sequential %v",
+						b.name, off+i, enf.Decision, decisions[off+i])
+				}
+			}
+		}
+		batchElapsed := time.Since(batchStart)
+		b.close()
+
+		if reference == nil {
+			reference = decisions
+		} else {
+			for i := range decisions {
+				if decisions[i] != reference[i] {
+					return t, fmt.Errorf("V4 req %d: %s decided %v, first backend %v",
+						i, b.name, decisions[i], reference[i])
+				}
+			}
+		}
+		seqRate := float64(p.Requests) / seqElapsed.Seconds()
+		batchRate := float64(p.Requests) / batchElapsed.Seconds()
+		t.Rows = append(t.Rows, []string{
+			b.name,
+			rate(p.Requests, seqElapsed),
+			rate(p.Requests, batchElapsed),
+			fmt.Sprintf("%.1fx", batchRate/seqRate),
+		})
+	}
+	return t, nil
+}

@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"drams/internal/crypto"
 )
 
 // Cloud is one federation member platform.
@@ -137,3 +139,18 @@ func PEPAddr(tenant string) string { return "pep@" + tenant }
 
 // PDPAddr is the network address of the federation PDP service.
 const PDPAddr = "pdp@infrastructure"
+
+// IdentitySeed derives the deterministic per-component identity seed every
+// federation participant computes from the shared deployment seed, so that
+// single-process deployments (drams.New) and multi-process daemons
+// (cmd/drams-node) agree on the chain allowlist byte-for-byte.
+func IdentitySeed(seed uint64, name string) [32]byte {
+	d := crypto.SumAll([]byte(fmt.Sprintf("drams-id|%d|", seed)), []byte(name))
+	return [32]byte(d)
+}
+
+// SharedKey derives the federation's shared symmetric LI key K from the
+// deployment seed (paper §II; sealed in a TPM under the §III mitigation).
+func SharedKey(seed uint64) crypto.Key {
+	return crypto.DeriveKey(fmt.Sprintf("drams-K-%d", seed), "shared-li-key")
+}

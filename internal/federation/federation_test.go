@@ -127,7 +127,7 @@ type acEnv struct {
 func newACEnv(t *testing.T) (*acEnv, *probeRecorder) {
 	t.Helper()
 	net := netsim.New(netsim.Config{Seed: 4})
-	t.Cleanup(net.Close)
+	t.Cleanup(func() { net.Close() })
 	pdpSvc, err := NewPDPService(net, xacml.NewPDP(acPolicy()))
 	if err != nil {
 		t.Fatal(err)

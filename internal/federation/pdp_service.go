@@ -7,7 +7,7 @@ import (
 	"sync/atomic"
 
 	"drams/internal/metrics"
-	"drams/internal/netsim"
+	"drams/internal/transport"
 	"drams/internal/xacml"
 )
 
@@ -48,7 +48,7 @@ type PDPProbe interface {
 // xacml.Evaluator; the attack framework substitutes a compromised evaluator
 // to model altered evaluation processes (threats of paper §I).
 type PDPService struct {
-	ep        *netsim.Endpoint
+	ep        transport.Endpoint
 	evaluator atomic.Pointer[evalBox]
 	probe     atomic.Pointer[probeBoxPDP]
 
@@ -60,7 +60,7 @@ type evalBox struct{ ev xacml.Evaluator }
 type probeBoxPDP struct{ p PDPProbe }
 
 // NewPDPService registers the PDP service on the network at PDPAddr.
-func NewPDPService(net *netsim.Network, evaluator xacml.Evaluator) (*PDPService, error) {
+func NewPDPService(net transport.Transport, evaluator xacml.Evaluator) (*PDPService, error) {
 	ep, err := net.Register(PDPAddr)
 	if err != nil {
 		return nil, fmt.Errorf("federation: register PDP: %w", err)

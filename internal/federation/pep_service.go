@@ -9,7 +9,7 @@ import (
 	"time"
 
 	"drams/internal/metrics"
-	"drams/internal/netsim"
+	"drams/internal/transport"
 	"drams/internal/xacml"
 )
 
@@ -56,7 +56,7 @@ func (e Enforcement) Permitted() bool { return e.Decision == xacml.Permit }
 // PEPService is the tenant-edge Policy Enforcement Point.
 type PEPService struct {
 	tenant  string
-	ep      *netsim.Endpoint
+	ep      transport.Endpoint
 	timeout time.Duration
 
 	probe  atomic.Pointer[probeBoxPEP]
@@ -71,7 +71,7 @@ type PEPService struct {
 type probeBoxPEP struct{ p PEPProbe }
 
 // NewPEPService registers a PEP for a tenant on the network.
-func NewPEPService(net *netsim.Network, tenant string, timeout time.Duration) (*PEPService, error) {
+func NewPEPService(net transport.Transport, tenant string, timeout time.Duration) (*PEPService, error) {
 	ep, err := net.Register(PEPAddr(tenant))
 	if err != nil {
 		return nil, fmt.Errorf("federation: register PEP %q: %w", tenant, err)

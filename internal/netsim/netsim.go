@@ -6,6 +6,11 @@
 // multi-datacenter deployment: goroutine-per-node on one box with explicit,
 // controllable asynchrony (DESIGN.md §4).
 //
+// Network is the in-process implementation of transport.Transport; the
+// fault-injection surface (Partition, Heal, SetLinkFault, Synchronous mode)
+// stays netsim-specific, behind the shared interface. The multi-process
+// counterpart is transport/tcp.
+//
 // Two delivery modes are supported:
 //
 //   - Asynchronous (default): each message is delivered on its own goroutine
@@ -16,7 +21,6 @@ package netsim
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -25,31 +29,34 @@ import (
 	"drams/internal/clock"
 	"drams/internal/idgen"
 	"drams/internal/metrics"
+	"drams/internal/transport"
 )
 
+// Sentinel errors, shared across transport backends (see package transport).
 var (
 	// ErrUnknownAddress is returned when sending to an unregistered address.
-	ErrUnknownAddress = errors.New("netsim: unknown address")
+	ErrUnknownAddress = transport.ErrUnknownAddress
 	// ErrAddressInUse is returned when registering a duplicate address.
-	ErrAddressInUse = errors.New("netsim: address already registered")
+	ErrAddressInUse = transport.ErrAddressInUse
 	// ErrDropped is returned to callers when the network dropped the request
 	// or the reply (Call only; one-way sends are dropped silently, as on a
 	// real network).
-	ErrDropped = errors.New("netsim: message dropped")
+	ErrDropped = transport.ErrDropped
 	// ErrNoHandler is returned when the peer has no handler for a call kind.
-	ErrNoHandler = errors.New("netsim: no handler for message kind")
+	ErrNoHandler = transport.ErrNoHandler
 	// ErrCrashed is returned when the destination endpoint is crashed.
-	ErrCrashed = errors.New("netsim: endpoint crashed")
+	ErrCrashed = transport.ErrCrashed
 	// ErrNetworkClosed is returned after Network.Close.
-	ErrNetworkClosed = errors.New("netsim: network closed")
+	ErrNetworkClosed = transport.ErrClosed
 )
 
 // Message is the unit of delivery.
-type Message struct {
-	From    string
-	To      string
-	Kind    string
-	Payload []byte
+type Message = transport.Message
+
+// envelope is a Message plus the private wire fields of the simulator's
+// request/response machinery.
+type envelope struct {
+	Message
 	corrID  uint64
 	isReply bool
 	callErr string
@@ -72,14 +79,10 @@ type Config struct {
 }
 
 // Stats aggregates network-level counters.
-type Stats struct {
-	Sent      int64
-	Delivered int64
-	Dropped   int64
-	Bytes     int64
-}
+type Stats = transport.Stats
 
-// Network routes messages between registered endpoints.
+// Network routes messages between registered endpoints. It implements
+// transport.Transport.
 type Network struct {
 	cfg   Config
 	clk   clock.Clock
@@ -98,6 +101,8 @@ type Network struct {
 	dropped   metrics.Counter
 	bytes     metrics.Counter
 }
+
+var _ transport.Transport = (*Network)(nil)
 
 type linkFault struct {
 	dropRate     float64
@@ -127,7 +132,7 @@ func (n *Network) Stats() Stats {
 }
 
 // Register creates an endpoint bound to addr.
-func (n *Network) Register(addr string) (*Endpoint, error) {
+func (n *Network) Register(addr string) (transport.Endpoint, error) {
 	n.state.Lock()
 	defer n.state.Unlock()
 	if n.state.closed {
@@ -141,7 +146,7 @@ func (n *Network) Register(addr string) (*Endpoint, error) {
 		addr:     addr,
 		msgH:     make(map[string]func(from string, payload []byte)),
 		callH:    make(map[string]func(from string, payload []byte) ([]byte, error)),
-		pending:  make(map[uint64]chan Message),
+		pending:  make(map[uint64]chan envelope),
 		defaultH: nil,
 	}
 	n.state.endpoints[addr] = ep
@@ -210,11 +215,12 @@ func linkKey(a, b string) string {
 }
 
 // Close shuts the network down and waits for in-flight deliveries.
-func (n *Network) Close() {
+func (n *Network) Close() error {
 	n.state.Lock()
 	n.state.closed = true
 	n.state.Unlock()
 	n.wg.Wait()
+	return nil
 }
 
 // route decides whether a message may travel from src to dst and with what
@@ -255,7 +261,7 @@ func (n *Network) route(src, dst string, size int) (latency time.Duration, drop 
 }
 
 // deliver performs the actual handoff to the destination endpoint.
-func (n *Network) deliver(msg Message) {
+func (n *Network) deliver(msg envelope) {
 	n.state.Lock()
 	ep, ok := n.state.endpoints[msg.To]
 	n.state.Unlock()
@@ -272,7 +278,7 @@ func (n *Network) deliver(msg Message) {
 }
 
 // send schedules a message for delivery, respecting faults and latency.
-func (n *Network) send(msg Message) error {
+func (n *Network) send(msg envelope) error {
 	n.sent.Inc()
 	n.bytes.Add(int64(len(msg.Payload)))
 	latency, drop, err := n.route(msg.From, msg.To, len(msg.Payload))
@@ -298,7 +304,7 @@ func (n *Network) send(msg Message) error {
 	return nil
 }
 
-// Endpoint is one addressable participant.
+// Endpoint is one addressable participant. It implements transport.Endpoint.
 type Endpoint struct {
 	net     *Network
 	addr    string
@@ -308,8 +314,10 @@ type Endpoint struct {
 	msgH     map[string]func(from string, payload []byte)
 	callH    map[string]func(from string, payload []byte) ([]byte, error)
 	defaultH func(msg Message)
-	pending  map[uint64]chan Message
+	pending  map[uint64]chan envelope
 }
+
+var _ transport.Endpoint = (*Endpoint)(nil)
 
 // Addr returns the endpoint's address.
 func (e *Endpoint) Addr() string { return e.addr }
@@ -349,7 +357,7 @@ func (e *Endpoint) Send(to, kind string, payload []byte) error {
 	if e.isCrashed() {
 		return ErrCrashed
 	}
-	return e.net.send(Message{From: e.addr, To: to, Kind: kind, Payload: payload})
+	return e.net.send(envelope{Message: Message{From: e.addr, To: to, Kind: kind, Payload: payload}})
 }
 
 // Broadcast sends the message to every registered address except the sender
@@ -376,7 +384,7 @@ func (e *Endpoint) Call(ctx context.Context, to, kind string, payload []byte) ([
 		return nil, ErrCrashed
 	}
 	corr := e.net.corr.Add(1)
-	ch := make(chan Message, 1)
+	ch := make(chan envelope, 1)
 	e.mu.Lock()
 	e.pending[corr] = ch
 	e.mu.Unlock()
@@ -386,14 +394,14 @@ func (e *Endpoint) Call(ctx context.Context, to, kind string, payload []byte) ([
 		e.mu.Unlock()
 	}()
 
-	msg := Message{From: e.addr, To: to, Kind: kind, Payload: payload, corrID: corr}
+	msg := envelope{Message: Message{From: e.addr, To: to, Kind: kind, Payload: payload}, corrID: corr}
 	if err := e.net.send(msg); err != nil {
 		return nil, err
 	}
 	select {
 	case reply := <-ch:
 		if reply.callErr != "" {
-			return nil, remoteError(reply.callErr)
+			return nil, transport.RemoteError(reply.callErr)
 		}
 		return reply.Payload, nil
 	case <-ctx.Done():
@@ -401,21 +409,8 @@ func (e *Endpoint) Call(ctx context.Context, to, kind string, payload []byte) ([
 	}
 }
 
-// remoteError maps a wire error string back onto sentinel errors where
-// possible so callers can use errors.Is across the network boundary.
-func remoteError(s string) error {
-	switch s {
-	case ErrNoHandler.Error():
-		return ErrNoHandler
-	case ErrDropped.Error():
-		return ErrDropped
-	default:
-		return errors.New(s)
-	}
-}
-
 // dispatch runs on the delivery goroutine.
-func (e *Endpoint) dispatch(msg Message) {
+func (e *Endpoint) dispatch(msg envelope) {
 	if msg.isReply {
 		e.mu.RLock()
 		ch, ok := e.pending[msg.corrID]
@@ -433,7 +428,10 @@ func (e *Endpoint) dispatch(msg Message) {
 		e.mu.RLock()
 		fn, ok := e.callH[msg.Kind]
 		e.mu.RUnlock()
-		reply := Message{From: e.addr, To: msg.From, Kind: msg.Kind, corrID: msg.corrID, isReply: true}
+		reply := envelope{
+			Message: Message{From: e.addr, To: msg.From, Kind: msg.Kind},
+			corrID:  msg.corrID, isReply: true,
+		}
 		if !ok {
 			reply.callErr = ErrNoHandler.Error()
 		} else {
@@ -457,6 +455,6 @@ func (e *Endpoint) dispatch(msg Message) {
 		return
 	}
 	if def != nil {
-		def(msg)
+		def(msg.Message)
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"drams/internal/transport"
 )
 
 func syncNet() *Network {
@@ -272,7 +274,7 @@ func TestNetworkCloseRejectsTraffic(t *testing.T) {
 func TestConcurrentTraffic(t *testing.T) {
 	n := New(Config{Seed: 9})
 	defer n.Close()
-	recv := make([]*Endpoint, 4)
+	recv := make([]transport.Endpoint, 4)
 	var count atomic.Int64
 	for i := range recv {
 		ep, err := n.Register(string(rune('a' + i)))

@@ -42,15 +42,28 @@ type walRecord struct {
 	Batch int    `json:"batch,omitempty"` // records in this atomic batch (set on first record)
 }
 
+// Compaction defaults: the WAL is snapshotted and truncated when it holds
+// more than CompactFactor× the live key count in records (and at least
+// CompactMinRecords, so small stores are not churned).
+const (
+	DefaultCompactFactor     = 4
+	DefaultCompactMinRecords = 1024
+)
+
 // KV is the embedded store. Create with Open (durable) or NewMemory.
 type KV struct {
-	mu     sync.RWMutex
-	data   map[string][]byte
-	wal    *os.File
-	walBuf *bufio.Writer
-	path   string
-	closed bool
-	writes int64
+	mu      sync.RWMutex
+	data    map[string][]byte
+	wal     *os.File
+	walBuf  *bufio.Writer
+	path    string
+	closed  bool
+	writes  int64
+	walRecs int64 // records in the WAL file (replayed + appended)
+
+	compactFactor int64
+	compactMin    int64
+	compactions   int64
 }
 
 // NewMemory returns a volatile in-memory store.
@@ -61,7 +74,12 @@ func NewMemory() *KV {
 // Open opens (creating if necessary) a durable store whose WAL lives at path.
 // Existing WAL records are replayed into memory.
 func Open(path string) (*KV, error) {
-	kv := &KV{data: make(map[string][]byte), path: path}
+	kv := &KV{
+		data:          make(map[string][]byte),
+		path:          path,
+		compactFactor: DefaultCompactFactor,
+		compactMin:    DefaultCompactMinRecords,
+	}
 	if err := kv.replay(path); err != nil {
 		return nil, err
 	}
@@ -72,6 +90,31 @@ func Open(path string) (*KV, error) {
 	kv.wal = f
 	kv.walBuf = bufio.NewWriter(f)
 	return kv, nil
+}
+
+// SetAutoCompact tunes the WAL auto-compaction trigger: compaction runs
+// after a mutation leaves more than factor× the live key count in WAL
+// records, but never below minRecords. factor <= 0 disables auto-compaction
+// (explicit Compact still works).
+func (kv *KV) SetAutoCompact(factor, minRecords int) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	kv.compactFactor = int64(factor)
+	kv.compactMin = int64(minRecords)
+}
+
+// Compactions reports how many WAL compactions have run.
+func (kv *KV) Compactions() int64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.compactions
+}
+
+// WALRecords reports how many records the WAL file currently holds.
+func (kv *KV) WALRecords() int64 {
+	kv.mu.RLock()
+	defer kv.mu.RUnlock()
+	return kv.walRecs
 }
 
 func (kv *KV) replay(path string) error {
@@ -96,6 +139,7 @@ func (kv *KV) replay(path string) error {
 			break
 		}
 		kv.applyLocked(rec)
+		kv.walRecs++
 	}
 	if err := sc.Err(); err != nil {
 		return fmt.Errorf("store: replay WAL %s: %w", path, err)
@@ -125,7 +169,108 @@ func (kv *KV) appendWAL(recs ...walRecord) error {
 			return fmt.Errorf("store: append WAL: %w", err)
 		}
 	}
-	return kv.walBuf.Flush()
+	if err := kv.walBuf.Flush(); err != nil {
+		return err
+	}
+	kv.walRecs += int64(len(recs))
+	return nil
+}
+
+// maybeCompactLocked runs a compaction when the WAL has accumulated more
+// than compactFactor× the live key count in records (overwrites and
+// deletes pile up dead records across reopen cycles; without this the
+// append-only file grows without bound). Callers hold kv.mu.
+func (kv *KV) maybeCompactLocked() {
+	if kv.walBuf == nil || kv.compactFactor <= 0 {
+		return
+	}
+	threshold := kv.compactFactor * int64(len(kv.data))
+	if threshold < kv.compactMin {
+		threshold = kv.compactMin
+	}
+	if kv.walRecs <= threshold {
+		return
+	}
+	// Compaction failure is non-fatal: the WAL stays append-only correct,
+	// just longer than ideal, and the next mutation retries.
+	_ = kv.compactLocked()
+}
+
+// Compact rewrites the WAL as a snapshot of the live keys, atomically
+// replacing the old log. The store keeps serving from memory throughout.
+func (kv *KV) Compact() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if kv.closed {
+		return ErrClosed
+	}
+	if kv.walBuf == nil {
+		return nil // memory-only store: nothing to compact
+	}
+	return kv.compactLocked()
+}
+
+func (kv *KV) compactLocked() error {
+	tmpPath := kv.path + ".compact"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: compact %s: %w", kv.path, err)
+	}
+	w := bufio.NewWriter(tmp)
+	keys := make([]string, 0, len(kv.data))
+	for k := range kv.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var recs int64
+	for _, k := range keys {
+		b, err := json.Marshal(walRecord{Op: OpPut, Key: k, Value: kv.data[k]})
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact encode %q: %w", k, err)
+		}
+		if _, err := w.Write(append(b, '\n')); err != nil {
+			tmp.Close()
+			os.Remove(tmpPath)
+			return fmt.Errorf("store: compact write: %w", err)
+		}
+		recs++
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact flush: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact close: %w", err)
+	}
+	// Atomic switch: the rename is the commit point. A crash before it
+	// replays the old WAL; after it, the snapshot.
+	if err := os.Rename(tmpPath, kv.path); err != nil {
+		os.Remove(tmpPath)
+		return fmt.Errorf("store: compact rename: %w", err)
+	}
+	old := kv.wal
+	f, err := os.OpenFile(kv.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		// The snapshot landed but we lost the append handle; keep the old
+		// descriptor (it appends to the unlinked file — durability of new
+		// writes degrades until reopen, but memory state stays correct).
+		return fmt.Errorf("store: compact reopen: %w", err)
+	}
+	old.Close()
+	kv.wal = f
+	kv.walBuf = bufio.NewWriter(f)
+	kv.walRecs = recs
+	kv.compactions++
+	return nil
 }
 
 // Put stores value under key.
@@ -142,6 +287,7 @@ func (kv *KV) Put(key string, value []byte) error {
 	}
 	kv.data[key] = cp
 	kv.writes++
+	kv.maybeCompactLocked()
 	return nil
 }
 
@@ -181,6 +327,7 @@ func (kv *KV) Delete(key string) error {
 	}
 	delete(kv.data, key)
 	kv.writes++
+	kv.maybeCompactLocked()
 	return nil
 }
 
@@ -214,6 +361,7 @@ func (kv *KV) Batch(puts map[string][]byte) error {
 		kv.data[rec.Key] = rec.Value
 	}
 	kv.writes += int64(len(recs))
+	kv.maybeCompactLocked()
 	return nil
 }
 

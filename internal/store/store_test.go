@@ -248,3 +248,147 @@ func TestWALBinaryValues(t *testing.T) {
 		t.Fatalf("binary round trip: % x", got)
 	}
 }
+
+func TestCompactionShrinksWALAndPreservesState(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.wal")
+	kv, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kv.SetAutoCompact(4, 16)
+
+	// Overwrite a small working set far past the threshold: dead records
+	// pile up, compaction must kick in and rewrite the log as a snapshot.
+	for round := 0; round < 40; round++ {
+		for i := 0; i < 8; i++ {
+			if err := kv.Put(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("v%d-%d", i, round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := kv.Delete("k7"); err != nil {
+		t.Fatal(err)
+	}
+	if kv.Compactions() == 0 {
+		t.Fatal("auto-compaction never triggered")
+	}
+	if recs := kv.WALRecords(); recs > 4*int64(kv.Len())+16 {
+		t.Fatalf("WAL holds %d records for %d live keys", recs, kv.Len())
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 live keys with ~60-byte JSON records plus the post-compaction tail
+	// must be far below the ~320 uncompacted records.
+	if info.Size() > 8*1024 {
+		t.Fatalf("WAL file is %d bytes after compaction", info.Size())
+	}
+
+	// Reopen: the snapshot + tail replays to exactly the live state.
+	kv2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if kv2.Len() != 7 {
+		t.Fatalf("reopened store has %d keys, want 7", kv2.Len())
+	}
+	for i := 0; i < 7; i++ {
+		v, err := kv2.Get(fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("v%d-39", i); string(v) != want {
+			t.Fatalf("k%d = %q, want %q", i, v, want)
+		}
+	}
+	if kv2.Has("k7") {
+		t.Fatal("deleted key survived compaction + reopen")
+	}
+}
+
+func TestCompactionSurvivesReopenCycles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.wal")
+	for cycle := 0; cycle < 5; cycle++ {
+		kv, err := Open(path)
+		if err != nil {
+			t.Fatalf("cycle %d: %v", cycle, err)
+		}
+		kv.SetAutoCompact(2, 8)
+		for i := 0; i < 20; i++ {
+			if err := kv.Put(fmt.Sprintf("k%d", i%4), []byte(fmt.Sprintf("c%d-%d", cycle, i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := kv.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kv, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if kv.Len() != 4 {
+		t.Fatalf("store has %d keys, want 4", kv.Len())
+	}
+	for i := 0; i < 4; i++ {
+		v, err := kv.Get(fmt.Sprintf("k%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("c4-%d", 16+i); string(v) != want {
+			t.Fatalf("k%d = %q, want %q", i, v, want)
+		}
+	}
+	// The WAL must not have grown with the total write count (100 puts):
+	// each cycle's compaction resets it to the live set.
+	if recs := kv.WALRecords(); recs > 20 {
+		t.Fatalf("WAL carries %d records across reopen cycles", recs)
+	}
+}
+
+func TestTamperUnderlyingSurvivesCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "kv.wal")
+	kv, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put("a", []byte("honest")); err != nil {
+		t.Fatal(err)
+	}
+	if !kv.TamperUnderlying("a", []byte("tampered")) {
+		t.Fatal("tamper failed")
+	}
+	if err := kv.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	// The attacker's value is what the store serves — compaction must not
+	// resurrect the honest value (it snapshots memory, the attacker's
+	// view), and explicit compaction of a tampered store must not error.
+	v, err := kv.Get("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "tampered" {
+		t.Fatalf("value after compaction = %q", v)
+	}
+	if !kv.TamperUnderlying("a", []byte("again")) {
+		t.Fatal("tamper after compaction failed")
+	}
+}
+
+func TestExplicitCompactOnMemoryStore(t *testing.T) {
+	kv := NewMemory()
+	if err := kv.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Compact(); err != nil {
+		t.Fatalf("memory-store compact: %v", err)
+	}
+}

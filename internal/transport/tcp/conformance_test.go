@@ -1,0 +1,34 @@
+package tcp
+
+import (
+	"testing"
+
+	"drams/internal/transport"
+	"drams/internal/transport/transporttest"
+)
+
+// newCluster builds n TCP transports on loopback, peered into a full mesh:
+// each transport seeds connections to all previously created ones, and the
+// hello handshake merges the address tables.
+func newCluster(t *testing.T, n int) []transport.Transport {
+	t.Helper()
+	out := make([]transport.Transport, n)
+	var seeds []string
+	for i := 0; i < n; i++ {
+		tr, err := New(Config{ListenAddr: "127.0.0.1:0", Peers: append([]string(nil), seeds...)})
+		if err != nil {
+			t.Fatalf("tcp transport %d: %v", i, err)
+		}
+		t.Cleanup(func() { tr.Close() })
+		out[i] = tr
+		seeds = append(seeds, tr.Advertise())
+	}
+	return out
+}
+
+// TestTransportConformance runs the shared conformance suite over real
+// loopback sockets: every Send/Call between endpoints hosted on different
+// transports crosses a TCP connection.
+func TestTransportConformance(t *testing.T) {
+	transporttest.Run(t, newCluster)
+}

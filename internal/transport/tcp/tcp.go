@@ -1,0 +1,914 @@
+// Package tcp is the real-network implementation of transport.Transport: a
+// length-prefixed-frame TCP stack that lets a DRAMS federation run as
+// genuinely separate OS processes.
+//
+// One Transport per process. It listens on Config.ListenAddr, dials the
+// static seed peers from Config.Peers, and keeps one persistent connection
+// per peer with a dedicated write queue and reconnect-with-backoff. A
+// handshake ("hello") exchanges each node's logical endpoint addresses, and
+// later Register/Unregister calls are announced incrementally, so logical
+// addresses ("node@cloud-1", "pdp@infrastructure") route to whichever
+// process hosts them. Sends to addresses hosted locally are delivered
+// in-process without touching a socket.
+//
+// Delivery semantics match netsim (pinned by the transporttest conformance
+// suite): one-way loss is silent, Call correlates request/response and
+// honours ctx cancellation mid-flight, crashed endpoints drop traffic both
+// ways, and remote handler errors keep their ErrNoHandler/ErrDropped
+// sentinel identity across the wire.
+package tcp
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"drams/internal/metrics"
+	"drams/internal/transport"
+)
+
+// Config controls one process's transport.
+type Config struct {
+	// ListenAddr is the host:port to listen on ("127.0.0.1:0" picks an
+	// ephemeral port).
+	ListenAddr string
+	// AdvertiseAddr is the address peers dial to reach this node; defaults
+	// to the resolved listen address. It doubles as the node's identity, so
+	// every process in a federation must refer to a node by the exact same
+	// string.
+	AdvertiseAddr string
+	// Peers are seed advertise addresses of other transports. Connections
+	// to them are established eagerly and re-established with backoff.
+	Peers []string
+	// DialTimeout bounds one connection attempt (default 2s).
+	DialTimeout time.Duration
+	// MaxBackoff caps the reconnect backoff (default 2s; attempts start at
+	// 50ms and double).
+	MaxBackoff time.Duration
+	// WriteQueue bounds each peer's outbound frame queue (default 4096);
+	// frames beyond it are dropped, like any congested network drops.
+	WriteQueue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 2 * time.Second
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.WriteQueue <= 0 {
+		c.WriteQueue = 4096
+	}
+	return c
+}
+
+// helloBody is the JSON payload of a handshake frame.
+type helloBody struct {
+	// Node is the sender's advertise address.
+	Node string `json:"node"`
+	// Addrs are the logical endpoint addresses registered on the sender.
+	Addrs []string `json:"addrs"`
+}
+
+// Transport is one process's TCP transport. It implements
+// transport.Transport.
+type Transport struct {
+	cfg       Config
+	ln        net.Listener
+	advertise string
+
+	mu     sync.Mutex
+	local  map[string]*endpoint  // logical addr -> endpoint
+	remote map[string]string     // logical addr -> hosting node (advertise addr)
+	peers  map[string]*peer      // node advertise addr -> connection manager
+	conns  map[net.Conn]struct{} // every live conn, so Close can unblock readers
+	closed bool
+
+	pendMu  sync.Mutex
+	pending map[uint64]chan frame
+	corr    atomic.Uint64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	sent      metrics.Counter
+	delivered metrics.Counter
+	dropped   metrics.Counter
+	bytes     metrics.Counter
+}
+
+var _ transport.Transport = (*Transport)(nil)
+
+// New starts a transport: it listens immediately and begins dialing the
+// configured seed peers in the background.
+func New(cfg Config) (*Transport, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: listen %s: %w", cfg.ListenAddr, err)
+	}
+	adv := cfg.AdvertiseAddr
+	if adv == "" {
+		adv = ln.Addr().String()
+		// The advertise address is the identity peers dial back; a
+		// wildcard host would be silently undialable (all learned
+		// addresses attributed to e.g. "0.0.0.0:port"), so refuse it
+		// rather than misroute later.
+		if host, _, err := net.SplitHostPort(adv); err == nil {
+			if ip := net.ParseIP(host); ip != nil && ip.IsUnspecified() {
+				ln.Close()
+				return nil, fmt.Errorf("tcp: listening on wildcard %s needs an explicit AdvertiseAddr", cfg.ListenAddr)
+			}
+		}
+	}
+	t := &Transport{
+		cfg:       cfg,
+		ln:        ln,
+		advertise: adv,
+		local:     make(map[string]*endpoint),
+		remote:    make(map[string]string),
+		peers:     make(map[string]*peer),
+		conns:     make(map[net.Conn]struct{}),
+		pending:   make(map[uint64]chan frame),
+		stop:      make(chan struct{}),
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	for _, seed := range cfg.Peers {
+		if seed == adv {
+			continue
+		}
+		t.peerFor(seed)
+	}
+	return t, nil
+}
+
+// Addr returns the resolved listen address (useful with ":0").
+func (t *Transport) Addr() string { return t.ln.Addr().String() }
+
+// Advertise returns the node identity peers know this transport by.
+func (t *Transport) Advertise() string { return t.advertise }
+
+// Stats returns a snapshot of this process's traffic counters.
+func (t *Transport) Stats() transport.Stats {
+	return transport.Stats{
+		Sent:      t.sent.Value(),
+		Delivered: t.delivered.Value(),
+		Dropped:   t.dropped.Value(),
+		Bytes:     t.bytes.Value(),
+	}
+}
+
+// Register creates a local endpoint bound to the logical address and
+// announces it to every connected peer.
+func (t *Transport) Register(addr string) (transport.Endpoint, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, transport.ErrClosed
+	}
+	if _, ok := t.local[addr]; ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: register %q: %w", addr, transport.ErrAddressInUse)
+	}
+	ep := &endpoint{
+		t:     t,
+		addr:  addr,
+		msgH:  make(map[string]func(from string, payload []byte)),
+		callH: make(map[string]func(from string, payload []byte) ([]byte, error)),
+	}
+	t.local[addr] = ep
+	peers := t.peerList()
+	t.mu.Unlock()
+	for _, p := range peers {
+		p.enqueueCtl(frame{typ: fAddrAdd, from: t.advertise, kind: addr})
+	}
+	return ep, nil
+}
+
+// Unregister removes a local address and announces the removal.
+func (t *Transport) Unregister(addr string) {
+	t.mu.Lock()
+	_, ok := t.local[addr]
+	delete(t.local, addr)
+	peers := t.peerList()
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	for _, p := range peers {
+		p.enqueueCtl(frame{typ: fAddrDel, from: t.advertise, kind: addr})
+	}
+}
+
+// Addresses lists every known logical address: local endpoints plus those
+// learned from connected peers.
+func (t *Transport) Addresses() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.local)+len(t.remote))
+	for a := range t.local {
+		out = append(out, a)
+	}
+	for a := range t.remote {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close shuts the listener, all peer connections and in-flight dispatches
+// down.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	peers := t.peerList()
+	conns := make([]net.Conn, 0, len(t.conns))
+	for c := range t.conns {
+		conns = append(conns, c)
+	}
+	t.mu.Unlock()
+	close(t.stop)
+	err := t.ln.Close()
+	for _, p := range peers {
+		p.close()
+	}
+	for _, c := range conns {
+		c.Close() // unblock any reader parked in readFrame
+	}
+	t.wg.Wait()
+	return err
+}
+
+// trackConn records a live connection so Close can unblock its reader;
+// returns false (and leaves the conn untracked) when the transport is
+// already closed.
+func (t *Transport) trackConn(c net.Conn) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return false
+	}
+	t.conns[c] = struct{}{}
+	return true
+}
+
+func (t *Transport) untrackConn(c net.Conn) {
+	t.mu.Lock()
+	delete(t.conns, c)
+	t.mu.Unlock()
+}
+
+// peerList snapshots the peer set; callers hold t.mu.
+func (t *Transport) peerList() []*peer {
+	out := make([]*peer, 0, len(t.peers))
+	for _, p := range t.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// peerFor returns (creating and starting if needed) the connection manager
+// for a node.
+func (t *Transport) peerFor(node string) *peer {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil
+	}
+	if p, ok := t.peers[node]; ok {
+		return p
+	}
+	p := &peer{
+		t:      t,
+		node:   node,
+		out:    make(chan frame, t.cfg.WriteQueue),
+		ctl:    make(chan frame, 64),
+		attach: make(chan net.Conn, 1),
+		dead:   make(chan net.Conn, 8),
+		stop:   make(chan struct{}),
+	}
+	// Endpoints registered between the connection's handshake snapshot and
+	// this peer entry's creation would otherwise never be announced: have
+	// the writer send a full hello once it owns a connection.
+	p.needsResync.Store(true)
+	t.peers[node] = p
+	t.wg.Add(1)
+	go p.run()
+	return p
+}
+
+// helloFrame builds this node's handshake frame.
+func (t *Transport) helloFrame() frame {
+	t.mu.Lock()
+	addrs := make([]string, 0, len(t.local))
+	for a := range t.local {
+		addrs = append(addrs, a)
+	}
+	t.mu.Unlock()
+	body, _ := json.Marshal(helloBody{Node: t.advertise, Addrs: addrs})
+	return frame{typ: fHello, from: t.advertise, payload: body}
+}
+
+// learnAddrs records which node hosts the given logical addresses.
+func (t *Transport) learnAddrs(node string, addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, a := range addrs {
+		if _, local := t.local[a]; local {
+			continue // never shadow a local endpoint
+		}
+		t.remote[a] = node
+	}
+}
+
+// syncAddrs makes a full hello authoritative for its sender: addresses the
+// node no longer lists are forgotten, so a resync hello repairs both lost
+// addr-add and lost addr-del announcements.
+func (t *Transport) syncAddrs(node string, addrs []string) {
+	listed := make(map[string]bool, len(addrs))
+	for _, a := range addrs {
+		listed[a] = true
+	}
+	t.mu.Lock()
+	for a, n := range t.remote {
+		if n == node && !listed[a] {
+			delete(t.remote, a)
+		}
+	}
+	t.mu.Unlock()
+	t.learnAddrs(node, addrs)
+}
+
+// forgetAddr drops a remote address if it is still attributed to node.
+func (t *Transport) forgetAddr(node, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.remote[addr] == node {
+		delete(t.remote, addr)
+	}
+}
+
+// acceptLoop serves inbound connections.
+func (t *Transport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			select {
+			case <-t.stop:
+				return
+			case <-time.After(10 * time.Millisecond):
+				// Brief pause so a persistent accept error (e.g. fd
+				// exhaustion) cannot spin this loop at full speed.
+			}
+			continue
+		}
+		t.mu.Lock()
+		closed := t.closed
+		if !closed {
+			t.wg.Add(1)
+		}
+		t.mu.Unlock()
+		if closed || !t.trackConn(conn) {
+			conn.Close()
+			if closed {
+				return
+			}
+			t.wg.Done()
+			continue
+		}
+		go t.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection: handshake, then a read loop.
+// The inbound conn is offered to the peer's writer so nodes that never
+// dialed us can still be written to.
+func (t *Transport) serveConn(conn net.Conn) {
+	defer t.wg.Done()
+	defer t.untrackConn(conn)
+	r := bufio.NewReaderSize(conn, 64<<10)
+	f, err := readFrame(r)
+	if err != nil || f.typ != fHello {
+		conn.Close()
+		return
+	}
+	var hb helloBody
+	if err := json.Unmarshal(f.payload, &hb); err != nil || hb.Node == "" {
+		conn.Close()
+		return
+	}
+	t.syncAddrs(hb.Node, hb.Addrs)
+	// Answer with our own hello directly on this conn — the peer's writer
+	// does not own it yet, so this write cannot interleave.
+	hf := t.helloFrame()
+	out, err := appendFrame(nil, &hf)
+	if err != nil {
+		conn.Close()
+		return
+	}
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	_, err = conn.Write(out)
+	conn.SetWriteDeadline(time.Time{})
+	if err != nil {
+		conn.Close()
+		return
+	}
+	p := t.peerFor(hb.Node)
+	if p == nil {
+		conn.Close()
+		return
+	}
+	p.offer(conn)
+	t.readLoop(r, conn, hb.Node)
+}
+
+// connDead tells the peer's writer its connection died, so it stops
+// writing into a stale socket and redials (or adopts a fresh inbound conn).
+func (t *Transport) connDead(node string, conn net.Conn) {
+	t.mu.Lock()
+	p := t.peers[node]
+	t.mu.Unlock()
+	if p != nil {
+		select {
+		case p.dead <- conn:
+		default:
+		}
+	}
+}
+
+// readLoop dispatches frames arriving on conn until it fails.
+func (t *Transport) readLoop(r *bufio.Reader, conn net.Conn, node string) {
+	defer t.connDead(node, conn)
+	for {
+		f, err := readFrame(r)
+		if err != nil {
+			conn.Close()
+			return
+		}
+		switch f.typ {
+		case fHello:
+			var hb helloBody
+			if json.Unmarshal(f.payload, &hb) == nil && hb.Node != "" {
+				t.syncAddrs(hb.Node, hb.Addrs)
+			}
+		case fAddrAdd:
+			t.learnAddrs(f.from, []string{f.kind})
+		case fAddrDel:
+			t.forgetAddr(f.from, f.kind)
+		case fMsg, fCall:
+			t.mu.Lock()
+			closed := t.closed
+			if !closed {
+				t.wg.Add(1)
+			}
+			t.mu.Unlock()
+			if closed {
+				conn.Close()
+				return
+			}
+			// Each message gets its own goroutine, like netsim's async
+			// delivery: handlers may block or call back without wedging
+			// the connection.
+			go func(f frame) {
+				defer t.wg.Done()
+				t.dispatch(f, node)
+			}(f)
+		case fReply:
+			t.deliverReply(f)
+		}
+	}
+}
+
+func (t *Transport) localEndpoint(addr string) *endpoint {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.local[addr]
+}
+
+// dispatch delivers an ingress message or call to the target local
+// endpoint. viaNode is the peer the frame arrived from ("" for loopback
+// delivery within this process).
+func (t *Transport) dispatch(f frame, viaNode string) {
+	ep := t.localEndpoint(f.to)
+	if ep == nil || ep.isCrashed() {
+		t.dropped.Inc()
+		return
+	}
+	t.delivered.Inc()
+	switch f.typ {
+	case fMsg:
+		ep.dispatchMsg(f)
+	case fCall:
+		reply := frame{typ: fReply, corr: f.corr, from: f.to, to: f.from}
+		out, err := ep.dispatchCall(f)
+		if err != nil {
+			reply.errStr = err.Error()
+		} else {
+			reply.payload = out
+		}
+		t.sendReply(reply, viaNode)
+	}
+}
+
+// deliverReply completes a pending local Call with an arriving reply.
+// Replies to crashed callers are dropped, as on netsim.
+func (t *Transport) deliverReply(reply frame) {
+	t.pendMu.Lock()
+	ch, ok := t.pending[reply.corr]
+	t.pendMu.Unlock()
+	if !ok {
+		return
+	}
+	if ep := t.localEndpoint(reply.to); ep != nil && ep.isCrashed() {
+		t.dropped.Inc()
+		return
+	}
+	select {
+	case ch <- reply:
+	default:
+	}
+}
+
+// sendReply routes a reply back to the caller: locally when the call
+// originated in this process, else over the connection's peer.
+func (t *Transport) sendReply(reply frame, viaNode string) {
+	t.sent.Inc()
+	t.bytes.Add(int64(len(reply.payload)))
+	if viaNode == "" {
+		t.deliverReply(reply)
+		return
+	}
+	if p := t.peerFor(viaNode); p != nil {
+		p.enqueue(reply)
+	}
+}
+
+// send routes an egress frame by logical destination.
+func (t *Transport) send(f frame) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return transport.ErrClosed
+	}
+	_, isLocal := t.local[f.to]
+	node, isRemote := t.remote[f.to]
+	if !isLocal && !isRemote {
+		t.mu.Unlock()
+		return fmt.Errorf("tcp: send to %q: %w", f.to, transport.ErrUnknownAddress)
+	}
+	if isLocal {
+		t.wg.Add(1)
+	}
+	t.mu.Unlock()
+
+	t.sent.Inc()
+	t.bytes.Add(int64(len(f.payload)))
+	if isLocal {
+		// Loopback delivery: stay off the socket but keep netsim's
+		// one-goroutine-per-delivery asynchrony.
+		go func() {
+			defer t.wg.Done()
+			t.dispatch(f, "")
+		}()
+		return nil
+	}
+	if p := t.peerFor(node); p != nil {
+		p.enqueue(f)
+	}
+	return nil
+}
+
+// endpoint is one local addressable participant.
+type endpoint struct {
+	t       *Transport
+	addr    string
+	crashed atomic.Bool
+
+	mu       sync.RWMutex
+	msgH     map[string]func(from string, payload []byte)
+	callH    map[string]func(from string, payload []byte) ([]byte, error)
+	defaultH func(msg transport.Message)
+}
+
+var _ transport.Endpoint = (*endpoint)(nil)
+
+// Addr returns the endpoint's logical address.
+func (e *endpoint) Addr() string { return e.addr }
+
+// OnMessage registers a handler for one-way messages of the given kind.
+func (e *endpoint) OnMessage(kind string, fn func(from string, payload []byte)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.msgH[kind] = fn
+}
+
+// OnCall registers a request handler for the given kind.
+func (e *endpoint) OnCall(kind string, fn func(from string, payload []byte) ([]byte, error)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.callH[kind] = fn
+}
+
+// OnDefault registers a catch-all handler for unmatched one-way messages.
+func (e *endpoint) OnDefault(fn func(msg transport.Message)) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.defaultH = fn
+}
+
+// Crash makes the endpoint drop all traffic until Restart.
+func (e *endpoint) Crash() { e.crashed.Store(true) }
+
+// Restart brings a crashed endpoint back.
+func (e *endpoint) Restart() { e.crashed.Store(false) }
+
+func (e *endpoint) isCrashed() bool { return e.crashed.Load() }
+
+// Send transmits a one-way message. Loss is silent by design.
+func (e *endpoint) Send(to, kind string, payload []byte) error {
+	if e.isCrashed() {
+		return transport.ErrCrashed
+	}
+	return e.t.send(frame{typ: fMsg, from: e.addr, to: to, kind: kind, payload: payload})
+}
+
+// Broadcast sends to every known address except the sender and exclusions.
+func (e *endpoint) Broadcast(kind string, payload []byte, except ...string) {
+	skip := make(map[string]bool, len(except)+1)
+	skip[e.addr] = true
+	for _, a := range except {
+		skip[a] = true
+	}
+	for _, a := range e.t.Addresses() {
+		if skip[a] {
+			continue
+		}
+		_ = e.Send(a, kind, payload)
+	}
+}
+
+// Call sends a request and waits for the reply or ctx cancellation.
+func (e *endpoint) Call(ctx context.Context, to, kind string, payload []byte) ([]byte, error) {
+	if e.isCrashed() {
+		return nil, transport.ErrCrashed
+	}
+	corr := e.t.corr.Add(1)
+	ch := make(chan frame, 1)
+	e.t.pendMu.Lock()
+	e.t.pending[corr] = ch
+	e.t.pendMu.Unlock()
+	defer func() {
+		e.t.pendMu.Lock()
+		delete(e.t.pending, corr)
+		e.t.pendMu.Unlock()
+	}()
+
+	if err := e.t.send(frame{typ: fCall, corr: corr, from: e.addr, to: to, kind: kind, payload: payload}); err != nil {
+		return nil, err
+	}
+	select {
+	case reply := <-ch:
+		if reply.errStr != "" {
+			return nil, transport.RemoteError(reply.errStr)
+		}
+		return reply.Payload(), nil
+	case <-ctx.Done():
+		return nil, fmt.Errorf("tcp: call %s/%s: %w", to, kind, ctx.Err())
+	case <-e.t.stop:
+		return nil, transport.ErrClosed
+	}
+}
+
+// Payload returns the reply payload (helper so Call reads naturally).
+func (f frame) Payload() []byte { return f.payload }
+
+// dispatchMsg runs the kind handler (or the catch-all) for a one-way
+// message.
+func (e *endpoint) dispatchMsg(f frame) {
+	e.mu.RLock()
+	fn, ok := e.msgH[f.kind]
+	def := e.defaultH
+	e.mu.RUnlock()
+	if ok {
+		fn(f.from, f.payload)
+		return
+	}
+	if def != nil {
+		def(transport.Message{From: f.from, To: f.to, Kind: f.kind, Payload: f.payload})
+	}
+}
+
+// dispatchCall runs the call handler, mapping a missing handler onto the
+// shared sentinel.
+func (e *endpoint) dispatchCall(f frame) ([]byte, error) {
+	e.mu.RLock()
+	fn, ok := e.callH[f.kind]
+	e.mu.RUnlock()
+	if !ok {
+		return nil, transport.ErrNoHandler
+	}
+	return fn(f.from, f.payload)
+}
+
+// peer manages the persistent connection to one other node: a single write
+// queue drained by one goroutine that dials (with capped exponential
+// backoff) whenever it has no usable connection, and adopts inbound
+// connections offered by the accept path.
+type peer struct {
+	t      *Transport
+	node   string
+	out    chan frame
+	ctl    chan frame // routing control frames (addr announcements)
+	attach chan net.Conn
+	dead   chan net.Conn // readers report connections that failed
+	stop   chan struct{}
+	once   sync.Once
+
+	// needsResync asks the writer to send a fresh full hello: set when a
+	// control frame could not be queued (or at peer creation), so address
+	// knowledge always heals even after control-plane loss.
+	needsResync atomic.Bool
+}
+
+// enqueue queues a frame for the peer, dropping (with accounting) when the
+// queue is full — backpressure behaves like a congested link.
+func (p *peer) enqueue(f frame) {
+	select {
+	case p.out <- f:
+	default:
+		p.t.dropped.Inc()
+	}
+}
+
+// enqueueCtl queues a routing control frame. Control-plane loss would be
+// unrecoverable on a healthy connection (a missed addr-add leaves the
+// address unroutable forever), so a full queue degrades to requesting a
+// complete hello resync instead of dropping the information.
+func (p *peer) enqueueCtl(f frame) {
+	select {
+	case p.ctl <- f:
+	default:
+		p.needsResync.Store(true)
+	}
+}
+
+// offer hands an inbound connection to the writer; if the writer already
+// has one, the offer is discarded (the conn stays alive for reading).
+func (p *peer) offer(conn net.Conn) {
+	select {
+	case p.attach <- conn:
+	default:
+	}
+}
+
+func (p *peer) close() {
+	p.once.Do(func() { close(p.stop) })
+}
+
+// run is the peer's writer/redialer loop. One frame survives a write
+// failure: it is held and retried on the next connection, so e.g. a call
+// reply racing a peer restart still arrives once the link is back.
+func (p *peer) run() {
+	defer p.t.wg.Done()
+	var conn net.Conn
+	var encBuf []byte
+	var held *frame // frame whose write failed, retried after reconnect
+	backoff := 50 * time.Millisecond
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	writeFrame := func(f *frame) bool {
+		out, err := appendFrame(encBuf[:0], f)
+		if err != nil {
+			p.t.dropped.Inc()
+			held = nil
+			return true // unencodable: drop it, keep the conn
+		}
+		encBuf = out
+		if _, err := conn.Write(out); err != nil {
+			held = f
+			conn.Close()
+			conn = nil
+			return false
+		}
+		held = nil
+		return true
+	}
+	for {
+		if conn == nil {
+			select {
+			case <-p.stop:
+				return
+			case c := <-p.attach:
+				conn = c
+				backoff = 50 * time.Millisecond
+				continue
+			default:
+			}
+			c, err := net.DialTimeout("tcp", p.node, p.t.cfg.DialTimeout)
+			if err != nil {
+				select {
+				case <-p.stop:
+					return
+				case c := <-p.attach:
+					conn = c
+					backoff = 50 * time.Millisecond
+				case <-time.After(backoff):
+					backoff *= 2
+					if backoff > p.t.cfg.MaxBackoff {
+						backoff = p.t.cfg.MaxBackoff
+					}
+				}
+				continue
+			}
+			// A dialed connection starts with our hello; the remote's
+			// accept path answers with its own and learns our addresses.
+			hf := p.t.helloFrame()
+			out, encErr := appendFrame(encBuf[:0], &hf)
+			if encErr != nil {
+				c.Close()
+				continue
+			}
+			encBuf = out
+			if _, err := c.Write(out); err != nil {
+				c.Close()
+				continue
+			}
+			if !p.t.trackConn(c) {
+				c.Close()
+				return
+			}
+			conn = c
+			backoff = 50 * time.Millisecond
+			p.t.mu.Lock()
+			closed := p.t.closed
+			if !closed {
+				p.t.wg.Add(1)
+			}
+			p.t.mu.Unlock()
+			if closed {
+				return
+			}
+			r := bufio.NewReaderSize(conn, 64<<10)
+			go func(conn net.Conn) {
+				defer p.t.wg.Done()
+				defer p.t.untrackConn(conn)
+				p.t.readLoop(r, conn, p.node)
+			}(conn)
+		}
+		if held != nil {
+			f := held
+			if !writeFrame(f) {
+				continue
+			}
+		}
+		if p.needsResync.Swap(false) {
+			hf := p.t.helloFrame()
+			if !writeFrame(&hf) {
+				p.needsResync.Store(true)
+				continue
+			}
+		}
+		// Control frames go first: address knowledge must not queue behind
+		// bulk data.
+		select {
+		case f := <-p.ctl:
+			writeFrame(&f)
+			continue
+		default:
+		}
+		select {
+		case <-p.stop:
+			return
+		case c := <-p.dead:
+			if c == conn {
+				// Our reader saw this conn fail; stop writing into it.
+				conn.Close()
+				conn = nil
+			}
+		case c := <-p.attach:
+			// Writer already has a conn; keep it — stale ones are reaped
+			// via p.dead.
+			_ = c
+		case f := <-p.ctl:
+			writeFrame(&f)
+		case f := <-p.out:
+			writeFrame(&f)
+		}
+	}
+}

@@ -1,0 +1,123 @@
+// Package transport defines the wire abstraction connecting every DRAMS
+// component — blockchain gossip, PEP→PDP access calls, agent→LI log
+// submissions and alert pushes. The rest of the system talks only to the
+// Transport and Endpoint interfaces; concrete backends decide what "the
+// network" actually is:
+//
+//   - netsim.Network: the in-process simulator with controllable latency,
+//     jitter, loss, partitions and link faults (single-process federations,
+//     deterministic tests, fault-injection experiments);
+//   - tcp.Transport: a real length-prefixed-frame TCP stack with persistent
+//     connections, per-peer write queues and reconnect, so a federation can
+//     run as genuinely separate OS processes (cmd/drams-node daemon mode).
+//
+// Addressing is logical: endpoints are named strings ("node@cloud-1",
+// "pep@tenant-1", "pdp@infrastructure"), and a backend maps names to
+// whatever locators it uses underneath. Both backends must satisfy the
+// semantics pinned down by the transporttest conformance suite.
+package transport
+
+import (
+	"context"
+	"errors"
+)
+
+// Sentinel errors shared by all transport backends so callers can use
+// errors.Is without knowing which backend is underneath. Backends may wrap
+// these with context.
+var (
+	// ErrUnknownAddress is returned when sending to an unregistered address.
+	ErrUnknownAddress = errors.New("transport: unknown address")
+	// ErrAddressInUse is returned when registering a duplicate address.
+	ErrAddressInUse = errors.New("transport: address already registered")
+	// ErrDropped is returned to callers when the transport dropped the
+	// request or the reply (Call only; one-way sends are dropped silently,
+	// as on a real network).
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrNoHandler is returned when the peer has no handler for a call kind.
+	ErrNoHandler = errors.New("transport: no handler for message kind")
+	// ErrCrashed is returned when the local endpoint is crashed.
+	ErrCrashed = errors.New("transport: endpoint crashed")
+	// ErrClosed is returned after Transport.Close.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// Message is the unit of delivery handed to catch-all handlers.
+type Message struct {
+	From    string
+	To      string
+	Kind    string
+	Payload []byte
+}
+
+// Stats aggregates transport-level traffic counters. For multi-process
+// backends the counters are per-process: Sent counts local egress,
+// Delivered local ingress dispatches.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	Dropped   int64
+	Bytes     int64
+}
+
+// Endpoint is one addressable participant on a transport. Implementations
+// must be safe for concurrent use: handlers may be invoked concurrently
+// with each other and with outbound operations.
+type Endpoint interface {
+	// Addr returns the endpoint's logical address.
+	Addr() string
+	// Send transmits a one-way message. Loss is silent by design: an error
+	// is returned only for local conditions (crashed endpoint, unknown
+	// destination, closed transport), never for in-flight loss.
+	Send(to, kind string, payload []byte) error
+	// Broadcast sends the message to every known address except the sender
+	// and any listed exclusions. Best effort.
+	Broadcast(kind string, payload []byte, except ...string)
+	// Call sends a request and waits for the reply, ctx cancellation or
+	// transport failure. Remote handler errors come back as errors; the
+	// ErrNoHandler and ErrDropped sentinels survive the wire (errors.Is).
+	Call(ctx context.Context, to, kind string, payload []byte) ([]byte, error)
+	// OnMessage registers a handler for one-way messages of the given kind.
+	OnMessage(kind string, fn func(from string, payload []byte))
+	// OnCall registers a request handler for the given kind.
+	OnCall(kind string, fn func(from string, payload []byte) ([]byte, error))
+	// OnDefault registers a catch-all handler invoked for one-way messages
+	// with no kind-specific handler.
+	OnDefault(fn func(msg Message))
+	// Crash makes the endpoint drop all traffic (in and out) until Restart,
+	// simulating a crashed component without tearing down its registration.
+	Crash()
+	// Restart brings a crashed endpoint back.
+	Restart()
+}
+
+// Transport connects endpoints. A single process may host many logical
+// endpoints on one transport.
+type Transport interface {
+	// Register creates an endpoint bound to the logical address.
+	Register(addr string) (Endpoint, error)
+	// Unregister removes addr from the transport.
+	Unregister(addr string)
+	// Addresses lists every known endpoint address — local ones and, for
+	// multi-process backends, addresses learned from connected peers.
+	Addresses() []string
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+	// Close shuts the transport down; subsequent operations fail with
+	// ErrClosed.
+	Close() error
+}
+
+// RemoteError maps a wire error string back onto the sentinel errors where
+// possible, so callers can use errors.Is across the network boundary. Both
+// backends funnel remote handler errors through this.
+func RemoteError(s string) error {
+	switch s {
+	case ErrNoHandler.Error():
+		return ErrNoHandler
+	case ErrDropped.Error():
+		return ErrDropped
+	default:
+		return errors.New(s)
+	}
+}

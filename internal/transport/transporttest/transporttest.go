@@ -1,0 +1,363 @@
+// Package transporttest is the conformance suite every transport backend
+// must pass. It pins down the delivery semantics the rest of DRAMS relies
+// on — Send/Broadcast/Call behaviour, sentinel errors across the wire, ctx
+// cancellation mid-Call, endpoint crash/restart, and safety under
+// concurrent use — so that netsim (in-process simulator) and tcp (real
+// sockets) stay interchangeable behind transport.Transport.
+package transporttest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drams/internal/transport"
+)
+
+// Factory builds a universe of n connected transports. For single-process
+// backends (netsim) all n entries may be the same Transport; multi-process
+// backends return n distinct instances that can reach each other. Cleanup
+// is the factory's job (t.Cleanup).
+type Factory func(t *testing.T, n int) []transport.Transport
+
+// Run executes the conformance suite against the backend.
+func Run(t *testing.T, factory Factory) {
+	t.Run("SendDelivers", func(t *testing.T) { testSendDelivers(t, factory) })
+	t.Run("SendUnknownAddress", func(t *testing.T) { testSendUnknownAddress(t, factory) })
+	t.Run("CallRoundTrip", func(t *testing.T) { testCallRoundTrip(t, factory) })
+	t.Run("CallErrors", func(t *testing.T) { testCallErrors(t, factory) })
+	t.Run("CallCtxCancelMidCall", func(t *testing.T) { testCallCtxCancel(t, factory) })
+	t.Run("CrashRestart", func(t *testing.T) { testCrashRestart(t, factory) })
+	t.Run("Broadcast", func(t *testing.T) { testBroadcast(t, factory) })
+	t.Run("OnDefault", func(t *testing.T) { testOnDefault(t, factory) })
+	t.Run("RegisterSemantics", func(t *testing.T) { testRegisterSemantics(t, factory) })
+	t.Run("Concurrent", func(t *testing.T) { testConcurrent(t, factory) })
+}
+
+func waitFor(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}
+
+// register binds addr on ts[idx] and waits until every transport in the
+// universe can route to it (multi-process backends learn addresses
+// asynchronously).
+func register(t *testing.T, ts []transport.Transport, idx int, addr string) transport.Endpoint {
+	t.Helper()
+	ep, err := ts[idx].Register(addr)
+	if err != nil {
+		t.Fatalf("register %q: %v", addr, err)
+	}
+	for _, tr := range ts {
+		tr := tr
+		waitFor(t, 5*time.Second, func() bool {
+			for _, a := range tr.Addresses() {
+				if a == addr {
+					return true
+				}
+			}
+			return false
+		}, fmt.Sprintf("address %q visible on every transport", addr))
+	}
+	return ep
+}
+
+func testSendDelivers(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	a := register(t, ts, 0, "a")
+	b := register(t, ts, 1%len(ts), "b")
+
+	type got struct {
+		from    string
+		payload []byte
+	}
+	ch := make(chan got, 1)
+	b.OnMessage("ping", func(from string, payload []byte) {
+		ch <- got{from, append([]byte(nil), payload...)}
+	})
+	if err := a.Send("b", "ping", []byte("hello")); err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	select {
+	case g := <-ch:
+		if g.from != "a" || !bytes.Equal(g.payload, []byte("hello")) {
+			t.Fatalf("got from=%q payload=%q", g.from, g.payload)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("message not delivered")
+	}
+	st := ts[0].Stats()
+	if st.Sent == 0 {
+		t.Fatalf("sender stats not counted: %+v", st)
+	}
+	waitFor(t, 5*time.Second, func() bool { return ts[1%len(ts)].Stats().Delivered > 0 },
+		"receiver counted the delivery")
+}
+
+func testSendUnknownAddress(t *testing.T, factory Factory) {
+	ts := factory(t, 1)
+	a := register(t, ts, 0, "a")
+	if err := a.Send("nobody", "k", nil); !errors.Is(err, transport.ErrUnknownAddress) {
+		t.Fatalf("send to unknown = %v, want ErrUnknownAddress", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := a.Call(ctx, "nobody", "k", nil); !errors.Is(err, transport.ErrUnknownAddress) {
+		t.Fatalf("call to unknown = %v, want ErrUnknownAddress", err)
+	}
+}
+
+func testCallRoundTrip(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	a := register(t, ts, 0, "a")
+	b := register(t, ts, 1%len(ts), "b")
+	b.OnCall("echo", func(from string, payload []byte) ([]byte, error) {
+		return append([]byte(from+":"), payload...), nil
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	out, err := a.Call(ctx, "b", "echo", []byte("x"))
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if string(out) != "a:x" {
+		t.Fatalf("reply = %q, want %q", out, "a:x")
+	}
+}
+
+func testCallErrors(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	a := register(t, ts, 0, "a")
+	b := register(t, ts, 1%len(ts), "b")
+	b.OnCall("fail", func(from string, payload []byte) ([]byte, error) {
+		return nil, errors.New("boom: handler exploded")
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := a.Call(ctx, "b", "fail", nil); err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("handler error = %v, want boom", err)
+	}
+	// Calls to a kind with no handler keep their sentinel identity across
+	// the wire.
+	if _, err := a.Call(ctx, "b", "no-such-kind", nil); !errors.Is(err, transport.ErrNoHandler) {
+		t.Fatalf("missing handler = %v, want ErrNoHandler", err)
+	}
+}
+
+func testCallCtxCancel(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	a := register(t, ts, 0, "a")
+	b := register(t, ts, 1%len(ts), "b")
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	b.OnCall("slow", func(from string, payload []byte) ([]byte, error) {
+		close(entered)
+		<-release
+		return []byte("late"), nil
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := a.Call(ctx, "b", "slow", nil)
+		done <- err
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("handler never entered")
+	}
+	cancel() // cancel mid-call, while the handler is still running
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled call = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled call did not return")
+	}
+	close(release) // the late reply must not break anything
+	time.Sleep(10 * time.Millisecond)
+}
+
+func testCrashRestart(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	a := register(t, ts, 0, "a")
+	b := register(t, ts, 1%len(ts), "b")
+	var delivered atomic.Int64
+	b.OnMessage("m", func(string, []byte) { delivered.Add(1) })
+	b.OnCall("c", func(string, []byte) ([]byte, error) { return []byte("ok"), nil })
+
+	// A crashed endpoint refuses outbound traffic.
+	b.Crash()
+	if err := b.Send("a", "m", nil); !errors.Is(err, transport.ErrCrashed) {
+		t.Fatalf("crashed send = %v, want ErrCrashed", err)
+	}
+	ctx0, cancel0 := context.WithTimeout(context.Background(), time.Second)
+	if _, err := b.Call(ctx0, "a", "c", nil); !errors.Is(err, transport.ErrCrashed) {
+		cancel0()
+		t.Fatalf("crashed call = %v, want ErrCrashed", err)
+	}
+	cancel0()
+
+	// Inbound traffic to a crashed endpoint is dropped: one-way silently,
+	// calls by timing out.
+	if err := a.Send("b", "m", nil); err != nil {
+		t.Fatalf("send to crashed endpoint must be silent, got %v", err)
+	}
+	ctx1, cancel1 := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	if _, err := a.Call(ctx1, "b", "c", nil); !errors.Is(err, context.DeadlineExceeded) {
+		cancel1()
+		t.Fatalf("call to crashed endpoint = %v, want deadline exceeded", err)
+	}
+	cancel1()
+	if delivered.Load() != 0 {
+		t.Fatal("crashed endpoint received traffic")
+	}
+
+	// Restart restores both directions.
+	b.Restart()
+	if err := a.Send("b", "m", nil); err != nil {
+		t.Fatalf("send after restart: %v", err)
+	}
+	waitFor(t, 5*time.Second, func() bool { return delivered.Load() == 1 }, "delivery after restart")
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	if out, err := a.Call(ctx2, "b", "c", nil); err != nil || string(out) != "ok" {
+		t.Fatalf("call after restart = %q, %v", out, err)
+	}
+}
+
+func testBroadcast(t *testing.T, factory Factory) {
+	ts := factory(t, 3)
+	eps := make([]transport.Endpoint, 4)
+	counts := make([]atomic.Int64, 4)
+	for i := range eps {
+		name := fmt.Sprintf("n%d", i)
+		eps[i] = register(t, ts, i%len(ts), name)
+		i := i
+		eps[i].OnMessage("g", func(string, []byte) { counts[i].Add(1) })
+	}
+	eps[0].Broadcast("g", []byte("x"), "n2") // except n2
+	waitFor(t, 5*time.Second, func() bool {
+		return counts[1].Load() == 1 && counts[3].Load() == 1
+	}, "broadcast reaches all non-excluded endpoints")
+	time.Sleep(20 * time.Millisecond)
+	if counts[0].Load() != 0 {
+		t.Fatal("broadcast came back to the sender")
+	}
+	if counts[2].Load() != 0 {
+		t.Fatal("broadcast reached the excluded endpoint")
+	}
+}
+
+func testOnDefault(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	a := register(t, ts, 0, "a")
+	b := register(t, ts, 1%len(ts), "b")
+	got := make(chan transport.Message, 1)
+	b.OnMessage("known", func(string, []byte) {})
+	b.OnDefault(func(msg transport.Message) { got <- msg })
+	if err := a.Send("b", "mystery", []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case msg := <-got:
+		if msg.Kind != "mystery" || msg.From != "a" || string(msg.Payload) != "p" {
+			t.Fatalf("catch-all got %+v", msg)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("catch-all never invoked")
+	}
+}
+
+func testRegisterSemantics(t *testing.T, factory Factory) {
+	ts := factory(t, 1)
+	ep := register(t, ts, 0, "dup")
+	if ep.Addr() != "dup" {
+		t.Fatalf("Addr() = %q", ep.Addr())
+	}
+	if _, err := ts[0].Register("dup"); !errors.Is(err, transport.ErrAddressInUse) {
+		t.Fatalf("duplicate register = %v, want ErrAddressInUse", err)
+	}
+	ts[0].Unregister("dup")
+	if _, err := ts[0].Register("dup"); err != nil {
+		t.Fatalf("register after unregister: %v", err)
+	}
+}
+
+func testConcurrent(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	const endpoints = 4
+	const workers = 4
+	const opsPerWorker = 50
+
+	eps := make([]transport.Endpoint, endpoints)
+	var received atomic.Int64
+	for i := range eps {
+		name := fmt.Sprintf("w%d", i)
+		eps[i] = register(t, ts, i%len(ts), name)
+		eps[i].OnMessage("m", func(string, []byte) { received.Add(1) })
+		eps[i].OnCall("sum", func(from string, payload []byte) ([]byte, error) {
+			var s byte
+			for _, b := range payload {
+				s += b
+			}
+			return []byte{s}, nil
+		})
+	}
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, endpoints*workers)
+	var sent atomic.Int64
+	for e := 0; e < endpoints; e++ {
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(e, w int) {
+				defer wg.Done()
+				src := eps[e]
+				for i := 0; i < opsPerWorker; i++ {
+					dst := fmt.Sprintf("w%d", (e+1+i%(endpoints-1))%endpoints)
+					if i%2 == 0 {
+						if err := src.Send(dst, "m", []byte{byte(i)}); err != nil {
+							errCh <- fmt.Errorf("send: %w", err)
+							return
+						}
+						sent.Add(1)
+					} else {
+						ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+						out, err := src.Call(ctx, dst, "sum", []byte{1, 2, byte(i)})
+						cancel()
+						if err != nil {
+							errCh <- fmt.Errorf("call: %w", err)
+							return
+						}
+						if want := byte(3 + byte(i)); out[0] != want {
+							errCh <- fmt.Errorf("call result %d, want %d", out[0], want)
+							return
+						}
+					}
+				}
+			}(e, w)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, func() bool { return received.Load() == sent.Load() },
+		fmt.Sprintf("all %d one-way messages delivered", sent.Load()))
+}

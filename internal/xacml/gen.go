@@ -192,3 +192,27 @@ func (g *Generator) Request(id string) *Request {
 	}
 	return r
 }
+
+// StandardPolicy is the canonical benchmark/demo policy shared by the
+// experiment harness and the drams-node daemon: role-gated reads and
+// writes over records with a default deny.
+func StandardPolicy(version string) *PolicySet {
+	match := func(cat Category, id AttributeID, v string) Match {
+		return Match{Op: CmpEq, Attr: Designator{Cat: cat, ID: id}, Lit: String(v)}
+	}
+	target := func(ms ...Match) Target {
+		return Target{AnyOf: []AnyOf{{AllOf: []AllOf{{Matches: ms}}}}}
+	}
+	rules := []*Rule{
+		{ID: "doctor-read", Effect: EffectPermit,
+			Target: target(match(CatSubject, "role", "doctor"), match(CatAction, "op", "read"))},
+		{ID: "doctor-write", Effect: EffectPermit,
+			Target: target(match(CatSubject, "role", "doctor"), match(CatAction, "op", "write"))},
+		{ID: "nurse-read", Effect: EffectPermit,
+			Target: target(match(CatSubject, "role", "nurse"), match(CatAction, "op", "read"))},
+		{ID: "default-deny", Effect: EffectDeny},
+	}
+	return &PolicySet{ID: "records", Version: version, Alg: DenyUnlessPermit,
+		Items: []PolicyItem{{Policy: &Policy{
+			ID: "records-policy", Version: "1", Alg: FirstApplicable, Rules: rules}}}}
+}

@@ -5,6 +5,7 @@ import (
 
 	"drams/internal/federation"
 	"drams/internal/logger"
+	"drams/internal/transport"
 	"drams/internal/xacml"
 )
 
@@ -96,6 +97,27 @@ func WithNetwork(latency, jitter time.Duration) Option {
 		c.NetLatency = latency
 		c.NetJitter = jitter
 	}
+}
+
+// WithTransport runs the deployment on the given wire backend instead of
+// the default in-process simulator — e.g. a transport/tcp instance so other
+// processes can join the federation. The caller keeps ownership: Close does
+// not shut a supplied transport down.
+func WithTransport(t transport.Transport) Option {
+	return func(c *Config) { c.Transport = t }
+}
+
+// WithListenAddr makes the deployment build its own TCP transport listening
+// on host:port (instead of netsim), so the federation is reachable from
+// other processes.
+func WithListenAddr(addr string) Option {
+	return func(c *Config) { c.ListenAddr = addr }
+}
+
+// WithPeers seeds the WithListenAddr TCP transport with other processes'
+// advertise addresses.
+func WithPeers(addrs ...string) Option {
+	return func(c *Config) { c.TransportPeers = append([]string(nil), addrs...) }
 }
 
 // WithPEPTimeout bounds a PEP's wait for the PDP.
