@@ -31,7 +31,7 @@ func run() int {
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5"} {
 			selected[id] = true
 		}
 	} else {
@@ -150,6 +150,13 @@ func run() int {
 				p = experiment.V4Params{Requests: 128, Batch: 64}
 			}
 			return experiment.RunV4(p)
+		}},
+		{"V5", func() (experiment.Table, error) {
+			p := experiment.DefaultV5Params()
+			if *quick {
+				p = experiment.V5Params{Requests: 2048, Batch: 64, UpdateEveryBlocks: 2}
+			}
+			return experiment.RunV5(p)
 		}},
 	}
 

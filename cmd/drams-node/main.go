@@ -49,6 +49,7 @@ import (
 	"drams/internal/idgen"
 	"drams/internal/logger"
 	"drams/internal/netsim"
+	"drams/internal/pap"
 	"drams/internal/transport/tcp"
 	"drams/internal/xacml"
 )
@@ -73,13 +74,21 @@ func run() error {
 	fedList := flag.String("federation", "tenant-1,tenant-2", "daemon: comma-separated edge tenant names of the whole federation")
 	seed := flag.Uint64("seed", 7, "daemon: federation seed (identities and shared key derive from it; must match across processes)")
 	requests := flag.Int("requests", 0, "daemon: access decisions to drive through this tenant's PEP")
+	requestEvery := flag.Duration("request-every", 0, "daemon: keep driving one access decision at this interval until shutdown")
 	mine := flag.Bool("mine", false, "daemon: mine on this node even if it is not the infrastructure process")
 	emptyBlock := flag.Duration("empty-block", 50*time.Millisecond, "daemon: empty-block cadence")
 	timeoutBlocks := flag.Uint64("timeout-blocks", 64, "daemon: log-match M3 window in blocks (consensus-critical; must match across processes)")
 	requireVerdict := flag.Bool("require-verdict", true, "daemon: demand an analyser verdict per exchange (consensus-critical; must match across processes)")
 	runFor := flag.Duration("run-for", 0, "daemon: exit cleanly after this duration (0 = until signalled)")
+	policyFile := flag.String("policy-file", "", "daemon: policy-set JSON to publish on-chain as a PAP update (any member may push)")
+	policyAtHeight := flag.Uint64("policy-at-height", 0, "daemon: wait for this local chain height before pushing -policy-file (0 = push immediately)")
+	policyDelta := flag.Uint64("policy-delta", 5, "daemon: activation delay of the -policy-file update, in blocks after submission")
+	printPolicy := flag.String("print-policy", "", "print a built-in policy set as JSON and exit: standard:<version> or restricted:<version>")
 	flag.Parse()
 
+	if *printPolicy != "" {
+		return runPrintPolicy(*printPolicy)
+	}
 	if *listen != "" {
 		if *tenant == "" {
 			return fmt.Errorf("daemon mode needs -tenant")
@@ -93,14 +102,38 @@ func run() error {
 			seed:           *seed,
 			difficulty:     uint8(*difficulty),
 			requests:       *requests,
+			requestEvery:   *requestEvery,
 			mine:           *mine,
 			emptyBlock:     *emptyBlock,
 			timeoutBlocks:  *timeoutBlocks,
 			requireVerdict: *requireVerdict,
 			runFor:         *runFor,
+			policyFile:     *policyFile,
+			policyAtHeight: *policyAtHeight,
+			policyDelta:    *policyDelta,
 		})
 	}
 	return runClusterSim(*nodes, *difficulty, *height, *latency)
+}
+
+// runPrintPolicy emits a built-in policy set as JSON (the smoke test uses
+// it to produce the v2 update file without hand-written JSON).
+func runPrintPolicy(spec string) error {
+	name, version, ok := strings.Cut(spec, ":")
+	if !ok || version == "" {
+		return fmt.Errorf("-print-policy wants name:version, got %q", spec)
+	}
+	var ps *xacml.PolicySet
+	switch name {
+	case "standard":
+		ps = xacml.StandardPolicy(version)
+	case "restricted":
+		ps = xacml.RestrictedPolicy(version)
+	default:
+		return fmt.Errorf("-print-policy knows standard|restricted, got %q", name)
+	}
+	_, err := os.Stdout.Write(append(ps.Encode(), '\n'))
+	return err
 }
 
 func splitList(s string) []string {
@@ -119,17 +152,25 @@ func splitList(s string) []string {
 const infraTenant = "infrastructure"
 
 type daemonConfig struct {
-	listen     string
-	advertise  string
-	join       []string
-	tenant     string
-	edges      []string
-	seed       uint64
-	difficulty uint8
-	requests   int
-	mine       bool
-	emptyBlock time.Duration
-	runFor     time.Duration
+	listen       string
+	advertise    string
+	join         []string
+	tenant       string
+	edges        []string
+	seed         uint64
+	difficulty   uint8
+	requests     int
+	requestEvery time.Duration
+	mine         bool
+	emptyBlock   time.Duration
+	runFor       time.Duration
+
+	// Policy administration: push policyFile as an on-chain PAP update
+	// once the local chain reaches policyAtHeight, activating policyDelta
+	// blocks after submission.
+	policyFile     string
+	policyAtHeight uint64
+	policyDelta    uint64
 
 	// Consensus-critical knobs shared by every process (see
 	// drams.ChainParams).
@@ -210,10 +251,56 @@ func runDaemon(cfg daemonConfig) error {
 	defer li.Stop()
 	agent := logger.NewAgent("agent@"+cfg.tenant, cfg.tenant, li, clock.System{})
 
+	// Every process watches the chain-replicated policy lifecycle; the
+	// infrastructure process additionally hot-reloads its PDP/PRP and
+	// feeds the monitor.
+	var infra *infraPlane
 	if isInfra {
-		if err := runInfraPlane(tr, node, agent, papID, analyserID, key, logf); err != nil {
+		infra, err = newInfraPlane(tr, node, agent, analyserID, key, logf)
+		if err != nil {
 			return err
 		}
+	}
+	watcherCfg := pap.WatcherConfig{Node: node}
+	if infra != nil {
+		watcherCfg.PDP = infra.pdp
+		watcherCfg.PRP = infra.prp
+	}
+	watcherCfg.OnEvent = func(ev pap.Event) {
+		switch ev.Kind {
+		case pap.EventStaged:
+			logf("policy %s staged (digest %s, activates at height %d)", ev.Version, ev.Digest.Short(), ev.Height)
+		case pap.EventActivated:
+			logf("policy %s activated at height %d digest %s", ev.Version, ev.Height, ev.Digest.Short())
+		case pap.EventRejected:
+			logf("policy %s REJECTED: %s", ev.Version, ev.Err)
+		}
+		if infra != nil {
+			infra.onPolicyEvent(ev)
+		}
+	}
+	watcher, err := pap.NewWatcher(watcherCfg)
+	if err != nil {
+		return err
+	}
+	watcher.Start()
+	defer watcher.Stop()
+
+	// The infrastructure process publishes the initial policy on-chain and
+	// waits for its own watcher to activate it.
+	if infra != nil {
+		admin := pap.NewAdmin(node, papID)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		if _, err := admin.UpdatePolicy(ctx, infra.initial, pap.UpdateOptions{}); err != nil {
+			cancel()
+			return fmt.Errorf("anchor policy: %w", err)
+		}
+		if err := watcher.WaitForVersion(ctx, infra.initial.Version); err != nil {
+			cancel()
+			return err
+		}
+		cancel()
+		logf("policy %s anchored on-chain and loaded", infra.initial.Version)
 	}
 
 	var pep *federation.PEPService
@@ -231,11 +318,19 @@ func runDaemon(cfg daemonConfig) error {
 	if cfg.runFor > 0 {
 		deadline = time.After(cfg.runFor)
 	}
+	done := make(chan struct{})
+	defer close(done)
+
+	// Any member can administer policies: push the -policy-file update
+	// once the local chain reaches the trigger height.
+	if cfg.policyFile != "" {
+		go pushPolicyFile(node, papID, watcher, cfg, logf, done)
+	}
 
 	// Edge processes drive end-to-end decisions once the PDP is reachable
 	// (fire-and-forget: the daemon keeps serving until signalled/-run-for).
-	if pep != nil && cfg.requests > 0 {
-		go driveRequests(pep, cfg, logf)
+	if pep != nil && (cfg.requests > 0 || cfg.requestEvery > 0) {
+		go driveRequests(pep, cfg, logf, done)
 	}
 
 	status := time.NewTicker(500 * time.Millisecond)
@@ -258,48 +353,37 @@ func runDaemon(cfg daemonConfig) error {
 	}
 }
 
-// runInfraPlane brings up the infrastructure tenant's extras: the PDP
-// service, the on-chain policy anchor, and the monitoring plane.
-func runInfraPlane(tr *tcp.Transport, node *blockchain.Node, agent *logger.Agent,
-	papID, analyserID *crypto.Identity, key crypto.Key,
-	logf func(string, ...any)) error {
+// infraPlane bundles the infrastructure tenant's extras: the PDP service,
+// PRP, analyser and monitor, plus the initial policy to anchor.
+type infraPlane struct {
+	pdp      *xacml.PDP
+	prp      *xacml.PRP
+	analyser *core.Analyser
+	monitor  *core.Monitor
+	initial  *xacml.PolicySet
+	logf     func(string, ...any)
+}
+
+// newInfraPlane brings up the PDP service and the monitoring plane; the
+// policy itself is anchored on-chain by the caller through a pap.Admin and
+// applied by the process's watcher like on every other member.
+func newInfraPlane(tr *tcp.Transport, node *blockchain.Node, agent *logger.Agent,
+	analyserID *crypto.Identity, key crypto.Key,
+	logf func(string, ...any)) (*infraPlane, error) {
 	// The role-gated standard policy (canonical copy in xacml.StandardPolicy);
 	// edges never see the policy itself, only its decisions.
-	policy := xacml.StandardPolicy("v1")
 	pdp := xacml.NewPDP(nil)
 	pdp.SetCache(xacml.NewDecisionCache(0))
 	pdpService, err := federation.NewPDPService(tr, pdp)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	pdpService.SetProbe(agent)
 
-	prp := xacml.NewPRP()
-	digest, err := prp.Publish(policy)
-	if err != nil {
-		return err
-	}
-	papSender := blockchain.NewSender(node, papID)
-	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-	defer cancel()
-	rec, err := papSender.SendAndWait(ctx, contract.Call{
-		Contract: core.ContractName, Method: core.MethodPolicy,
-		Args: core.PolicyAnnouncement{Version: policy.Version, Digest: digest, Active: true}.Encode(),
-	}, 1)
-	if err != nil {
-		return fmt.Errorf("anchor policy: %w", err)
-	}
-	if !rec.OK {
-		return fmt.Errorf("anchor policy rejected: %s", rec.Err)
-	}
-	pdp.Load(policy)
-	logf("policy %s anchored on-chain and loaded", policy.Version)
-
 	analyser, err := core.NewAnalyser("analyser", node, analyserID, key)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	analyser.LoadPolicy(policy)
 	analyser.Start()
 
 	monitor := core.NewMonitor(node, clock.System{})
@@ -307,18 +391,75 @@ func runInfraPlane(tr *tcp.Transport, node *blockchain.Node, agent *logger.Agent
 		logf("ALERT type=%s req=%s tenant=%s", a.Type, a.ReqID, a.Tenant)
 	})
 	monitor.Start()
-	return nil
+	return &infraPlane{
+		pdp: pdp, prp: xacml.NewPRP(), analyser: analyser, monitor: monitor,
+		initial: xacml.StandardPolicy("v1"), logf: logf,
+	}, nil
+}
+
+// onPolicyEvent keeps the analyser's compiled policy in step with the
+// watcher-applied activations and feeds rollout events into the monitor.
+func (ip *infraPlane) onPolicyEvent(ev pap.Event) {
+	if ev.Kind == pap.EventActivated {
+		if ps, err := ip.prp.Version(ev.Version); err == nil {
+			ip.analyser.LoadPolicy(ps)
+			_ = ip.analyser.VerifyPolicyAnchor()
+		}
+	}
+	if alert, ok := pap.MonitorEvent(ev); ok {
+		ip.monitor.PublishPolicyEvent(alert)
+	}
+}
+
+// pushPolicyFile publishes the -policy-file update once the local chain
+// reaches the trigger height, then waits for the local flip.
+func pushPolicyFile(node *blockchain.Node, papID *crypto.Identity, watcher *pap.Watcher,
+	cfg daemonConfig, logf func(string, ...any), done <-chan struct{}) {
+	raw, err := os.ReadFile(cfg.policyFile)
+	if err != nil {
+		logf("policy push FAILED: %v", err)
+		return
+	}
+	ps, err := xacml.DecodePolicySet(raw)
+	if err != nil {
+		logf("policy push FAILED: %s does not parse: %v", cfg.policyFile, err)
+		return
+	}
+	for node.Chain().Height() < cfg.policyAtHeight {
+		select {
+		case <-done:
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+	admin := pap.NewAdmin(node, papID)
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	prop, err := admin.UpdatePolicy(ctx, ps, pap.UpdateOptions{ActivateDelta: cfg.policyDelta})
+	if err != nil {
+		logf("policy push FAILED: %v", err)
+		return
+	}
+	logf("policy %s pushed (digest %s), fleet activates at height %d",
+		prop.Version, prop.Digest.Short(), prop.ActivateHeight)
+	if err := watcher.WaitForVersion(ctx, prop.Version); err != nil {
+		logf("policy push: local flip not observed: %v", err)
+	}
 }
 
 // driveRequests issues access decisions through the local PEP, retrying
-// until the remote PDP is reachable and the policy is active.
-func driveRequests(pep *federation.PEPService, cfg daemonConfig, logf func(string, ...any)) {
+// until the remote PDP is reachable and the policy is active. With
+// -request-every it keeps going until shutdown, logging each decision with
+// the policy version it was made under — the observable trace of a
+// fleet-wide policy flip.
+func driveRequests(pep *federation.PEPService, cfg daemonConfig, logf func(string, ...any), done <-chan struct{}) {
 	tenantDigest := crypto.SumAll([]byte(cfg.tenant))
 	ids := idgen.NewSeeded(cfg.seed ^ binary.BigEndian.Uint64(tenantDigest[:8]))
 	roles := []string{"doctor", "nurse", "intern"}
-	for i := 0; i < cfg.requests; i++ {
+	decideOnce := func(i int, retries int) bool {
+		role := roles[i%len(roles)]
 		req := xacml.NewRequest(ids.Next().String()).
-			Add(xacml.CatSubject, "role", xacml.String(roles[i%len(roles)])).
+			Add(xacml.CatSubject, "role", xacml.String(role)).
 			Add(xacml.CatAction, "op", xacml.String("read")).
 			Add(xacml.CatResource, "type", xacml.String("record"))
 		for attempt := 0; ; attempt++ {
@@ -326,17 +467,40 @@ func driveRequests(pep *federation.PEPService, cfg daemonConfig, logf func(strin
 			enf, err := pep.Decide(ctx, req)
 			cancel()
 			if err == nil {
-				logf("decision req=%s role=%s decision=%v", req.ID, roles[i%len(roles)], enf.Decision)
-				break
+				logf("decision req=%s role=%s decision=%v policy=%s",
+					req.ID, role, enf.Decision, enf.PolicyVersion)
+				return true
 			}
-			if attempt >= 60 {
+			if attempt >= retries {
 				logf("decision req=%s FAILED: %v", req.ID, err)
-				break
+				return false
 			}
-			time.Sleep(500 * time.Millisecond)
+			select {
+			case <-done:
+				return false
+			case <-time.After(500 * time.Millisecond):
+			}
 		}
 	}
-	logf("drove %d decisions", cfg.requests)
+	for i := 0; i < cfg.requests; i++ {
+		decideOnce(i, 60)
+	}
+	if cfg.requests > 0 {
+		logf("drove %d decisions", cfg.requests)
+	}
+	if cfg.requestEvery <= 0 {
+		return
+	}
+	// Continuous mode: always the doctor-read probe (index 0), so the
+	// decision stream flips visibly when a policy update lands.
+	for i := 0; ; i++ {
+		select {
+		case <-done:
+			return
+		case <-time.After(cfg.requestEvery):
+		}
+		decideOnce(0, 20)
+	}
 }
 
 // ---------------------------------------------------------------------------

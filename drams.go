@@ -42,13 +42,13 @@ import (
 
 	"drams/internal/blockchain"
 	"drams/internal/clock"
-	"drams/internal/contract"
 	"drams/internal/core"
 	"drams/internal/crypto"
 	"drams/internal/federation"
 	"drams/internal/idgen"
 	"drams/internal/logger"
 	"drams/internal/netsim"
+	"drams/internal/pap"
 	"drams/internal/transport"
 	"drams/internal/transport/tcp"
 	"drams/internal/xacml"
@@ -180,7 +180,9 @@ type Deployment struct {
 
 	Key crypto.Key
 
-	papSender  *blockchain.Sender
+	papID      *crypto.Identity
+	papAdmin   *pap.Admin
+	watcher    *pap.Watcher
 	ids        *idgen.Generator
 	registered []string // endpoint addresses to release on Close (caller-owned transport)
 	closed     bool
@@ -334,7 +336,8 @@ func New(cfg Config) (*Deployment, error) {
 		d.registered = append(d.registered, federation.PEPAddr(ten.Name))
 	}
 
-	d.papSender = blockchain.NewSender(infraNode, papID)
+	d.papID = papID
+	d.papAdmin = pap.NewAdmin(infraNode, papID)
 
 	// Monitoring plane (unless disabled).
 	if !cfg.MonitorOff {
@@ -419,6 +422,22 @@ func New(cfg Config) (*Deployment, error) {
 		d.Monitor.Start()
 	}
 
+	// The PAP watcher applies the chain-replicated policy lifecycle
+	// locally: it stages announced versions, flips the PDP (purging the
+	// decision cache) at each activation height, keeps the PRP and
+	// analyser in step, and feeds rollout events into the monitor stream.
+	d.watcher, err = pap.NewWatcher(pap.WatcherConfig{
+		Node:    infraNode,
+		PDP:     d.PDP,
+		PRP:     d.PRP,
+		OnEvent: d.onPolicyEvent,
+	})
+	if err != nil {
+		d.Close()
+		return nil, err
+	}
+	d.watcher.Start()
+
 	// Publish the initial policy.
 	if err := d.PublishPolicy(cfg.Policy); err != nil {
 		d.Close()
@@ -427,33 +446,46 @@ func New(cfg Config) (*Deployment, error) {
 	return d, nil
 }
 
-// PublishPolicy publishes a policy set: it is stored in the PRP, its digest
-// is anchored on-chain by the PAP (waiting for confirmation), the PDP loads
-// it, and the Analyser recompiles its logical form.
-func (d *Deployment) PublishPolicy(ps *xacml.PolicySet) error {
-	digest, err := d.PRP.Publish(ps)
-	if err != nil {
-		return err
+// onPolicyEvent runs on the watcher goroutine for every policy lifecycle
+// transition of this deployment.
+func (d *Deployment) onPolicyEvent(ev pap.Event) {
+	if ev.Kind == pap.EventActivated && d.Analyser != nil {
+		// The watcher mirrors activated versions into the PRP before
+		// notifying, so the authoritative copy is always available here.
+		if ps, err := d.PRP.Version(ev.Version); err == nil {
+			d.Analyser.LoadPolicy(ps)
+			// Best-effort: the analyser's node may still be syncing; the
+			// anchor check re-runs on chain state.
+			_ = d.Analyser.VerifyPolicyAnchor()
+		}
 	}
-	pa := core.PolicyAnnouncement{Version: ps.Version, Digest: digest, Active: true}
-	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	if d.Monitor != nil {
+		if alert, ok := pap.MonitorEvent(ev); ok {
+			d.Monitor.PublishPolicyEvent(alert)
+		}
+	}
+}
+
+// PublishPolicy publishes a policy set as a new on-chain version activated
+// immediately: the PAP signs a PolicyUpdate transaction carrying the full
+// serialized set, the policy contract anchors and schedules it, and the
+// call returns once this deployment's watcher has hot-reloaded the PDP
+// (decision cache purged) and analyser. It is a convenience wrapper over
+// Admin.UpdatePolicy for the "new version, right now" case.
+func (d *Deployment) PublishPolicy(ps *xacml.PolicySet) error {
+	if ps == nil || ps.Version == "" {
+		return errors.New("drams: policy set with a version is required")
+	}
+	if _, err := d.PRP.Version(ps.Version); err == nil {
+		return fmt.Errorf("drams: version %q already published", ps.Version)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
-	rec, err := d.papSender.SendAndWait(ctx, contract.Call{
-		Contract: core.ContractName, Method: core.MethodPolicy, Args: pa.Encode(),
-	}, 1)
-	if err != nil {
+	if _, err := d.papAdmin.UpdatePolicy(ctx, ps, pap.UpdateOptions{}); err != nil {
 		return fmt.Errorf("drams: anchor policy: %w", err)
 	}
-	if !rec.OK {
-		return fmt.Errorf("drams: anchor policy rejected: %s", rec.Err)
-	}
-	d.PDP.Load(ps)
-	if d.Analyser != nil {
-		d.Analyser.LoadPolicy(ps)
-		// Give the analyser's chain view a moment to include the anchor,
-		// then verify it (non-fatal if its node is still syncing; the
-		// anchor check re-runs on chain state, so this is best-effort).
-		_ = d.Analyser.VerifyPolicyAnchor()
+	if err := d.watcher.WaitForVersion(ctx, ps.Version); err != nil {
+		return fmt.Errorf("drams: activate policy: %w", err)
 	}
 	return nil
 }
@@ -526,6 +558,9 @@ func (d *Deployment) Close() {
 		return
 	}
 	d.closed = true
+	if d.watcher != nil {
+		d.watcher.Stop()
+	}
 	if d.Monitor != nil {
 		d.Monitor.Stop()
 	}

@@ -64,7 +64,46 @@ type CallCtx struct {
 	// Caller is the verified component identity name that signed the
 	// transaction.
 	Caller string
+	// Cross gives the contract read-only access to other contracts'
+	// committed state (earlier transactions of the same block included).
+	// Set by the engine; nil when a contract is executed standalone, so
+	// contracts must treat cross-reads as optional.
+	Cross CrossReader
 }
+
+// CrossReader is deterministic read-only access to another contract's
+// state namespace. Reads observe the block-application state: everything
+// committed up to (but not including) the currently executing transaction
+// of the same block, which is identical on every replica.
+type CrossReader interface {
+	// Read returns the value stored under key in the named contract's
+	// namespace.
+	Read(contractName, key string) ([]byte, bool)
+	// ReadKeys lists the named contract's keys with the given prefix,
+	// sorted.
+	ReadKeys(contractName, prefix string) []string
+}
+
+// crossView implements CrossReader over the engine's root state.
+type crossView struct{ st StateDB }
+
+func (c crossView) Read(contractName, key string) ([]byte, bool) {
+	return c.st.Get(contractName + "/" + key)
+}
+
+func (c crossView) ReadKeys(contractName, prefix string) []string {
+	full := c.st.Keys(contractName + "/" + prefix)
+	out := make([]string, len(full))
+	for i, k := range full {
+		out[i] = strings.TrimPrefix(k, contractName+"/")
+	}
+	return out
+}
+
+// CrossOver returns a CrossReader over a root (un-namespaced) state — the
+// same view the engine hands contracts at execution time. Off-chain code and
+// tests use it to run contract read helpers against a state snapshot.
+func CrossOver(st StateDB) CrossReader { return crossView{st: st} }
 
 // Event is an on-chain occurrence published to off-chain subscribers.
 type Event struct {
@@ -363,6 +402,11 @@ func (e *Engine) Execute(ctx CallCtx, st StateDB, call Call) ([]Event, error) {
 	c, ok := e.registry.Get(call.Contract)
 	if !ok {
 		return nil, fmt.Errorf("contract: execute %q: %w", call.Contract, ErrUnknownContract)
+	}
+	if ctx.Cross == nil {
+		// Cross-reads observe the committed block state, not the executing
+		// transaction's own pending overlay.
+		ctx.Cross = crossView{st: st}
 	}
 	ov := NewOverlay(st)
 	events, err := c.Execute(ctx, Namespace(ov, call.Contract), call)

@@ -32,6 +32,15 @@ type Analyser struct {
 
 	compiled atomic.Pointer[analysedPolicy]
 
+	// history keeps the compiled forms of recently loaded versions keyed
+	// by policy digest, so exchanges whose logs land around a runtime
+	// policy flip are verified under the policy the PDP actually decided
+	// with (M6 separately polices that the claimed version was anchored
+	// and active). Bounded FIFO.
+	histMu    sync.Mutex
+	history   map[crypto.Digest]*analysedPolicy
+	histOrder []crypto.Digest
+
 	verdicts   metrics.Counter
 	mismatches metrics.Counter
 	failures   metrics.Counter
@@ -62,20 +71,52 @@ func NewAnalyser(name string, node *blockchain.Node, identity *crypto.Identity, 
 		return nil, fmt.Errorf("core: analyser cipher: %w", err)
 	}
 	return &Analyser{
-		name:   name,
-		node:   node,
-		sender: blockchain.NewSender(node, identity),
-		cipher: cipher,
-		key:    key,
-		stop:   make(chan struct{}),
+		name:    name,
+		node:    node,
+		sender:  blockchain.NewSender(node, identity),
+		cipher:  cipher,
+		key:     key,
+		history: make(map[crypto.Digest]*analysedPolicy),
+		stop:    make(chan struct{}),
 	}, nil
 }
 
+// analyserHistoryBound caps how many compiled policy versions are retained
+// for flip-window verification.
+const analyserHistoryBound = 8
+
 // LoadPolicy compiles the authoritative policy set the analyser will check
-// decisions against.
+// decisions against. Previously loaded versions are retained (bounded) so
+// in-flight exchanges from before a runtime policy flip are still verified
+// under the policy they were decided with.
 func (an *Analyser) LoadPolicy(ps *xacml.PolicySet) {
 	cl := ps.Clone()
-	an.compiled.Store(&analysedPolicy{compiled: analysis.Compile(cl), digest: cl.Digest()})
+	ap := &analysedPolicy{compiled: analysis.Compile(cl), digest: cl.Digest()}
+	an.compiled.Store(ap)
+	an.histMu.Lock()
+	if _, ok := an.history[ap.digest]; !ok {
+		an.history[ap.digest] = ap
+		an.histOrder = append(an.histOrder, ap.digest)
+		for len(an.histOrder) > analyserHistoryBound {
+			oldest := an.histOrder[0]
+			an.histOrder = an.histOrder[1:]
+			delete(an.history, oldest)
+		}
+	}
+	an.histMu.Unlock()
+}
+
+// policyFor picks the compiled policy matching the digest a pdp.response
+// claims, falling back to the current one for unknown digests (the forged
+// digest then makes the M5 verdict mismatch, and M6 fires independently).
+func (an *Analyser) policyFor(digest crypto.Digest) *analysedPolicy {
+	an.histMu.Lock()
+	ap := an.history[digest]
+	an.histMu.Unlock()
+	if ap != nil {
+		return ap
+	}
+	return an.compiled.Load()
 }
 
 // VerifyPolicyAnchor checks that the loaded policy matches the on-chain
@@ -90,11 +131,18 @@ func (an *Analyser) VerifyPolicyAnchor() error {
 		anchored   crypto.Digest
 		haveAnchor bool
 	)
-	an.node.Chain().ReadState(ContractName, func(st contract.StateDB) {
-		if ver, ok := ReadActivePolicyVersion(st); ok {
-			anchored, haveAnchor = ReadPolicyAnchor(st, ver)
-		}
+	// Preferred anchor: the policy lifecycle contract; legacy PAP
+	// announcements in the log-match contract otherwise.
+	an.node.Chain().ReadState(PolicyContractName, func(st contract.StateDB) {
+		_, anchored, haveAnchor = ReadActivePolicy(st)
 	})
+	if !haveAnchor {
+		an.node.Chain().ReadState(ContractName, func(st contract.StateDB) {
+			if ver, ok := ReadActivePolicyVersion(st); ok {
+				anchored, haveAnchor = ReadPolicyAnchor(st, ver)
+			}
+		})
+	}
 	if !haveAnchor {
 		return fmt.Errorf("core: no active policy anchored on-chain")
 	}
@@ -153,7 +201,7 @@ func (an *Analyser) handleLog(payload []byte) {
 	if err != nil || rec.Kind != KindPDPResponse {
 		return
 	}
-	ap := an.compiled.Load()
+	ap := an.policyFor(rec.PolicyDigest)
 	if ap == nil {
 		an.failures.Inc()
 		return

@@ -42,6 +42,12 @@ type MatchConfig struct {
 	// RequireVerdict makes a missing analyser verdict at timeout an
 	// AlertVerdictMissing.
 	RequireVerdict bool
+	// PolicyContract names the policy lifecycle contract whose state the
+	// M6 check consults (cross-contract read) for the active version and
+	// anchored digests. While that contract has no active policy — or when
+	// the field is empty — M6 falls back to the digests announced through
+	// this contract's own legacy "policy" method.
+	PolicyContract string
 }
 
 // LogMatchContract is the smart contract storing and comparing logs
@@ -128,7 +134,7 @@ func (lm *LogMatchContract) execLog(ctx contract.CallCtx, st contract.StateDB, a
 		st.Set(deadlineKey(ctx.Height+lm.cfg.TimeoutBlocks, rec.ReqID), []byte("1"))
 	}
 
-	events = append(events, lm.runChecks(st, rec.ReqID, ctx.Height)...)
+	events = append(events, lm.runChecks(ctx, st, rec.ReqID, ctx.Height)...)
 	return events, nil
 }
 
@@ -152,7 +158,7 @@ func (lm *LogMatchContract) execVerdict(ctx contract.CallCtx, st contract.StateD
 	}
 	st.Set(verdictKey(v.ReqID), enc)
 	events := []contract.Event{{Type: EventVerdict, Payload: enc}}
-	events = append(events, lm.runChecks(st, v.ReqID, ctx.Height)...)
+	events = append(events, lm.runChecks(ctx, st, v.ReqID, ctx.Height)...)
 	return events, nil
 }
 
@@ -175,6 +181,73 @@ func (lm *LogMatchContract) execPolicy(ctx contract.CallCtx, st contract.StateDB
 		st.Set(policyActiveKey, []byte(pa.Version))
 	}
 	return []contract.Event{{Type: EventPolicy, Payload: args}}, nil
+}
+
+// checkM6Policy computes the M6 verdict for one pdp.response record,
+// returning the alert to raise (ok=false means the record is clean).
+func (lm *LogMatchContract) checkM6Policy(ctx contract.CallCtx, st contract.StateDB, pdpResp LogRecord, reqID string, height uint64) (Alert, bool) {
+	version := pdpResp.PolicyVersion
+
+	// Preferred anchor: the policy lifecycle contract's state, read
+	// cross-contract under whatever name it was registered with.
+	if lm.cfg.PolicyContract != "" && ctx.Cross != nil {
+		pst := crossState{cross: ctx.Cross, name: lm.cfg.PolicyContract}
+		if activeVer, _, haveActive := ReadActivePolicy(pst); haveActive {
+			anchored, haveAnchor := ReadPolicyDigest(pst, version)
+			switch {
+			case !haveAnchor:
+				return Alert{
+					Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+					Detail: fmt.Sprintf("PDP claims policy version %q which is not anchored", version),
+				}, true
+			case anchored != pdpResp.PolicyDigest:
+				return Alert{
+					Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+					Detail: fmt.Sprintf("PDP policy digest %s differs from anchored digest for version %q",
+						pdpResp.PolicyDigest.Short(), version),
+				}, true
+			case version != activeVer:
+				// Around a height-gated flip, decisions evaluated just
+				// before activation log just after it. A superseded version
+				// stays acceptable for the Δ window (the same bound M3
+				// uses); anything older — or never activated — alerts.
+				if deact, ok := ReadPolicyDeactivatedAt(pst, version); ok && height <= deact+lm.cfg.TimeoutBlocks {
+					return Alert{}, false
+				}
+				return Alert{
+					Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+					Detail: fmt.Sprintf("PDP evaluated version %q but active version is %q",
+						version, activeVer),
+				}, true
+			}
+			return Alert{}, false
+		}
+	}
+
+	// Legacy anchor: digests announced through this contract's own
+	// "policy" method.
+	activeVer, haveActive := st.Get(policyActiveKey)
+	anchored, haveAnchor := st.Get(policyKey(version))
+	switch {
+	case !haveActive || !haveAnchor:
+		return Alert{
+			Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+			Detail: fmt.Sprintf("PDP claims policy version %q which is not anchored", version),
+		}, true
+	case string(activeVer) != version:
+		return Alert{
+			Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+			Detail: fmt.Sprintf("PDP evaluated version %q but active version is %q",
+				version, activeVer),
+		}, true
+	case string(anchored) != pdpResp.PolicyDigest.String():
+		return Alert{
+			Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
+			Detail: fmt.Sprintf("PDP policy digest %s differs from anchored digest for version %q",
+				pdpResp.PolicyDigest.Short(), version),
+		}, true
+	}
+	return Alert{}, false
 }
 
 // alert records and emits an alert once per (request, type).
@@ -203,7 +276,7 @@ func loadRecord(st contract.StateDB, reqID string, kind LogKind) (LogRecord, boo
 // runChecks executes M1, M2, M4, M5, M6 for a request with the currently
 // available records, and emits Matched when the exchange is complete and
 // clean.
-func (lm *LogMatchContract) runChecks(st contract.StateDB, reqID string, height uint64) []contract.Event {
+func (lm *LogMatchContract) runChecks(ctx contract.CallCtx, st contract.StateDB, reqID string, height uint64) []contract.Event {
 	var events []contract.Event
 
 	pepReq, havePepReq := loadRecord(st, reqID, KindPEPRequest)
@@ -259,28 +332,13 @@ func (lm *LogMatchContract) runChecks(st contract.StateDB, reqID string, height 
 	}
 
 	// M6: policy integrity — the PDP must have evaluated the anchored
-	// digest of the active version.
+	// digest of the active version. With a policy lifecycle contract
+	// configured and holding an active policy, its chain-replicated state
+	// is the trust anchor; otherwise the legacy PAP announcements stored
+	// in this contract apply.
 	if havePdpResp {
-		activeVer, haveActive := st.Get(policyActiveKey)
-		anchored, haveAnchor := st.Get(policyKey(pdpResp.PolicyVersion))
-		switch {
-		case !haveActive || !haveAnchor:
-			events = append(events, lm.alert(st, Alert{
-				Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
-				Detail: fmt.Sprintf("PDP claims policy version %q which is not anchored", pdpResp.PolicyVersion),
-			})...)
-		case string(activeVer) != pdpResp.PolicyVersion:
-			events = append(events, lm.alert(st, Alert{
-				Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
-				Detail: fmt.Sprintf("PDP evaluated version %q but active version is %q",
-					pdpResp.PolicyVersion, activeVer),
-			})...)
-		case string(anchored) != pdpResp.PolicyDigest.String():
-			events = append(events, lm.alert(st, Alert{
-				Type: AlertPolicyTampered, ReqID: reqID, Tenant: pdpResp.Tenant, Height: height,
-				Detail: fmt.Sprintf("PDP policy digest %s differs from anchored digest for version %q",
-					pdpResp.PolicyDigest.Short(), pdpResp.PolicyVersion),
-			})...)
+		if a, ok := lm.checkM6Policy(ctx, st, pdpResp, reqID, height); ok {
+			events = append(events, lm.alert(st, a)...)
 		}
 	}
 

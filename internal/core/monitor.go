@@ -38,6 +38,10 @@ type MonitorStats struct {
 	// StreamDropped counts events discarded because a subscriber's buffer
 	// was full (slow consumer). The on-chain record is unaffected.
 	StreamDropped int64
+	// PolicyActivations / PolicyRejections count the policy rollout events
+	// published through this monitor (PAP watcher wiring).
+	PolicyActivations int64
+	PolicyRejections  int64
 }
 
 // AlertFilter selects which monitor events a subscription receives. The
@@ -72,7 +76,7 @@ func (f AlertFilter) matches(a Alert) bool {
 		return false
 	}
 	if len(f.Types) == 0 {
-		return a.Type != AlertMatched
+		return !a.Type.IsSynthetic()
 	}
 	for _, t := range f.Types {
 		if t == a.Type {
@@ -105,6 +109,7 @@ type Monitor struct {
 	alertKeys map[string]bool // dedupe re-delivered events
 	byType    map[AlertType]int64
 	matched   map[string]uint64 // reqID → height
+	policyLog []Alert           // policy rollout events, for Replay
 	tracked   map[string]time.Time
 	trackedQ  []string // insertion order, for straggler eviction
 	subs      map[uint64]*subscriber
@@ -115,6 +120,8 @@ type Monitor struct {
 	alertsSeen metrics.Counter
 	matchedCnt metrics.Counter
 	dropCnt    metrics.Counter
+	policyActs metrics.Counter
+	policyRejs metrics.Counter
 	latency    *metrics.Histogram
 
 	stopOnce  sync.Once
@@ -254,11 +261,47 @@ func (m *Monitor) Subscribe(ctx context.Context, f AlertFilter) (<-chan Alert, f
 	return sub.ch, cancel
 }
 
+// PublishPolicyEvent feeds a policy rollout observation (the PAP watcher's
+// staged→activated/rejected outcomes) into the monitor's stream. The events
+// are synthetic: delivered only to subscriptions listing their type,
+// retained for Replay, and counted separately from security alerts.
+func (m *Monitor) PublishPolicyEvent(a Alert) {
+	switch a.Type {
+	case AlertPolicyActivated:
+		m.policyActs.Inc()
+	case AlertPolicyRejected:
+		m.policyRejs.Inc()
+	default:
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stopped {
+		return
+	}
+	m.policyLog = append(m.policyLog, a)
+	m.publishLocked(a)
+}
+
+// PolicyEvents returns a copy of the policy rollout events seen so far.
+func (m *Monitor) PolicyEvents() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.policyLog))
+	copy(out, m.policyLog)
+	return out
+}
+
 // replayLocked pushes already-recorded events matching the subscription
-// into its channel: recorded alerts first, then synthetic AlertMatched
-// events for completed requests.
+// into its channel: recorded alerts first, then policy rollout events, then
+// synthetic AlertMatched events for completed requests.
 func (m *Monitor) replayLocked(sub *subscriber) {
 	for _, a := range m.alerts {
+		if sub.filter.matches(a) {
+			m.sendLocked(sub, a)
+		}
+	}
+	for _, a := range m.policyLog {
 		if sub.filter.matches(a) {
 			m.sendLocked(sub, a)
 		}
@@ -490,5 +533,7 @@ func (m *Monitor) Stats() MonitorStats {
 		Tracked:            tracked,
 		Subscribers:        subscribers,
 		StreamDropped:      m.dropCnt.Value(),
+		PolicyActivations:  m.policyActs.Value(),
+		PolicyRejections:   m.policyRejs.Value(),
 	}
 }

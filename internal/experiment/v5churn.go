@@ -1,0 +1,263 @@
+package experiment
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"drams"
+	"drams/internal/federation"
+	"drams/internal/transport/tcp"
+	"drams/internal/xacml"
+)
+
+// V5Params parameterise the policy-churn experiment: sustained decision
+// traffic while PAP updates land on-chain every few blocks.
+type V5Params struct {
+	// Requests is the total number of decisions measured per mode.
+	Requests int
+	// Batch is the DecideBatch pipeline depth.
+	Batch int
+	// UpdateEveryBlocks is the churn cadence: a new policy version is
+	// published whenever the chain advanced this many blocks since the
+	// last one.
+	UpdateEveryBlocks uint64
+}
+
+// DefaultV5Params drives 16k decisions per mode with an update every 4
+// blocks (~10 updates per measured second at the 25ms block cadence).
+func DefaultV5Params() V5Params {
+	return V5Params{Requests: 16384, Batch: 64, UpdateEveryBlocks: 4}
+}
+
+// v5Backend is one deployment universe: a full DRAMS federation (chain +
+// PAP watcher) plus a dedicated bench PEP talking to its PDP.
+type v5Backend struct {
+	name  string
+	dep   *drams.Deployment
+	pep   *federation.PEPService
+	close func()
+}
+
+// newV5Netsim builds the deployment on the in-process simulator.
+func newV5Netsim() (*v5Backend, error) {
+	dep, err := drams.Open(StandardPolicy("v1"),
+		drams.WithMonitoring(false),
+		drams.WithDifficulty(8),
+		drams.WithEmptyBlockInterval(25*time.Millisecond),
+		drams.WithSeed(5),
+	)
+	if err != nil {
+		return nil, err
+	}
+	pep, err := federation.NewPEPService(dep.Transport, "bench-edge", 30*time.Second)
+	if err != nil {
+		dep.Close()
+		return nil, err
+	}
+	return &v5Backend{name: "netsim", dep: dep, pep: pep, close: dep.Close}, nil
+}
+
+// newV5TCP puts the whole deployment on one TCP transport and the bench
+// PEP on a second, peered over loopback — every decision crosses real
+// sockets while policy updates churn the chain underneath.
+func newV5TCP() (*v5Backend, error) {
+	depTr, err := tcp.New(tcp.Config{ListenAddr: "127.0.0.1:0"})
+	if err != nil {
+		return nil, err
+	}
+	dep, err := drams.Open(StandardPolicy("v1"),
+		drams.WithMonitoring(false),
+		drams.WithDifficulty(8),
+		drams.WithEmptyBlockInterval(25*time.Millisecond),
+		drams.WithSeed(5),
+		drams.WithTransport(depTr),
+	)
+	if err != nil {
+		depTr.Close()
+		return nil, err
+	}
+	pepTr, err := tcp.New(tcp.Config{ListenAddr: "127.0.0.1:0", Peers: []string{depTr.Advertise()}})
+	if err != nil {
+		dep.Close()
+		depTr.Close()
+		return nil, err
+	}
+	closeAll := func() { dep.Close(); pepTr.Close(); depTr.Close() }
+	pep, err := federation.NewPEPService(pepTr, "bench-edge", 30*time.Second)
+	if err != nil {
+		closeAll()
+		return nil, err
+	}
+	if err := v4WaitAddr(pepTr, federation.PDPAddr, 10*time.Second); err != nil {
+		closeAll()
+		return nil, err
+	}
+	return &v5Backend{name: "tcp-loopback", dep: dep, pep: pep, close: closeAll}, nil
+}
+
+// v5Churner publishes a fresh policy version (same rules, new version
+// string — so the digest, and with it every decision-cache entry, changes)
+// whenever the chain advances by the configured stride.
+type v5Churner struct {
+	stop    chan struct{}
+	done    chan struct{}
+	updates atomic.Int64
+	failed  atomic.Int64
+}
+
+func startV5Churn(dep *drams.Deployment, stride uint64) (*v5Churner, error) {
+	admin, err := dep.Admin("tenant-1")
+	if err != nil {
+		return nil, err
+	}
+	c := &v5Churner{stop: make(chan struct{}), done: make(chan struct{})}
+	chain := dep.InfraNode().Chain()
+	go func() {
+		defer close(c.done)
+		last := chain.Height()
+		version := 1
+		for {
+			select {
+			case <-c.stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			h := chain.Height()
+			if h < last+stride {
+				continue
+			}
+			last = h
+			version++
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := admin.UpdatePolicy(ctx, StandardPolicy(fmt.Sprintf("v%d", version)), drams.UpdateOptions{})
+			cancel()
+			if err != nil {
+				c.failed.Add(1)
+				continue
+			}
+			c.updates.Add(1)
+		}
+	}()
+	return c, nil
+}
+
+func (c *v5Churner) halt() (updates int64, failed int64) {
+	close(c.stop)
+	<-c.done
+	return c.updates.Load(), c.failed.Load()
+}
+
+// v5Measure runs the sequential and batched phases over the bench PEP,
+// checking every decision stays Permit across policy flips (the churned
+// versions share the same rules; only version identity and digest change).
+func v5Measure(b *v5Backend, p V5Params) (seq, batch time.Duration, err error) {
+	newReqs := func(tag string) []*xacml.Request {
+		reqs := make([]*xacml.Request, p.Requests)
+		for i := range reqs {
+			reqs[i] = xacml.NewRequest(fmt.Sprintf("v5-%s-%d", tag, i)).
+				Add(xacml.CatSubject, "role", xacml.String("doctor")).
+				Add(xacml.CatAction, "op", xacml.String("read")).
+				Add(xacml.CatResource, "type", xacml.String("record"))
+		}
+		return reqs
+	}
+	ctx := context.Background()
+
+	// Warm-up: connections, decision cache, JIT paths.
+	warm := newReqs("warm")
+	if _, err := b.pep.DecideBatch(ctx, warm[:min(len(warm), 256)]); err != nil {
+		return 0, 0, fmt.Errorf("V5 %s warm-up: %w", b.name, err)
+	}
+
+	seqStart := time.Now()
+	for i, req := range newReqs("seq") {
+		enf, err := b.pep.Decide(ctx, req)
+		if err != nil {
+			return 0, 0, fmt.Errorf("V5 %s sequential: %w", b.name, err)
+		}
+		if enf.Decision != xacml.Permit {
+			return 0, 0, fmt.Errorf("V5 %s req %d: %v under churned policy %s",
+				b.name, i, enf.Decision, enf.PolicyVersion)
+		}
+	}
+	seq = time.Since(seqStart)
+
+	batchReqs := newReqs("batch")
+	batchStart := time.Now()
+	for off := 0; off < len(batchReqs); off += p.Batch {
+		enfs, err := b.pep.DecideBatch(ctx, batchReqs[off:off+p.Batch])
+		if err != nil {
+			return 0, 0, fmt.Errorf("V5 %s batch: %w", b.name, err)
+		}
+		for i, enf := range enfs {
+			if enf.Decision != xacml.Permit {
+				return 0, 0, fmt.Errorf("V5 %s batch req %d: %v under churned policy %s",
+					b.name, off+i, enf.Decision, enf.PolicyVersion)
+			}
+		}
+	}
+	batch = time.Since(batchStart)
+	return seq, batch, nil
+}
+
+// RunV5 measures decisions-under-churn: the same sustained Decide /
+// DecideBatch traffic of V4, but with the PAP publishing a new on-chain
+// policy version every few blocks — each activation hot-swaps the PDP and
+// purges the decision cache fleet-wide. Rows compare quiet vs churning
+// runs on netsim and on real TCP loopback sockets.
+func RunV5(p V5Params) (Table, error) {
+	t := Table{
+		ID:     "V5",
+		Title:  "policy churn: decision throughput while on-chain policy updates land",
+		Header: []string{"transport", "churn", "updates", "purges", "decide_seq_req_s", fmt.Sprintf("batch%d_req_s", p.Batch)},
+		Notes: []string{
+			fmt.Sprintf("%d decisions per mode; churn publishes a new policy version every %d blocks (25ms empty-block cadence)",
+				p.Requests, p.UpdateEveryBlocks),
+			"every activation is a fleet-wide height-gated hot reload: PDP swap + decision-cache purge",
+			"decisions are checked to stay Permit across every flip (versions share rules; digests differ)",
+		},
+	}
+	if p.Batch < 1 || p.Requests%p.Batch != 0 {
+		return t, fmt.Errorf("V5: batch %d must divide Requests %d", p.Batch, p.Requests)
+	}
+	backends := []func() (*v5Backend, error){newV5Netsim, newV5TCP}
+	for _, newBackend := range backends {
+		for _, churn := range []bool{false, true} {
+			b, err := newBackend()
+			if err != nil {
+				return t, err
+			}
+			var churner *v5Churner
+			if churn {
+				if churner, err = startV5Churn(b.dep, p.UpdateEveryBlocks); err != nil {
+					b.close()
+					return t, err
+				}
+			}
+			seq, batch, err := v5Measure(b, p)
+			var updates int64
+			if churner != nil {
+				updates, _ = churner.halt()
+			}
+			purges := b.dep.PolicyStats().CachePurges
+			b.close()
+			if err != nil {
+				return t, err
+			}
+			label := "off"
+			if churn {
+				label = fmt.Sprintf("every %d blocks", p.UpdateEveryBlocks)
+			}
+			t.Rows = append(t.Rows, []string{
+				b.name, label,
+				fmt.Sprintf("%d", updates),
+				fmt.Sprintf("%d", purges),
+				rate(p.Requests, seq),
+				rate(p.Requests, batch),
+			})
+		}
+	}
+	return t, nil
+}

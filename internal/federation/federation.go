@@ -96,6 +96,16 @@ func (t *Topology) InfrastructureTenant() (Tenant, error) {
 	return Tenant{}, ErrNoInfrastructure
 }
 
+// Tenant returns the named tenant.
+func (t *Topology) Tenant(name string) (Tenant, bool) {
+	for _, ten := range t.Tenants {
+		if ten.Name == name {
+			return ten, true
+		}
+	}
+	return Tenant{}, false
+}
+
 // EdgeTenants returns the non-infrastructure tenants, sorted by name.
 func (t *Topology) EdgeTenants() []Tenant {
 	var out []Tenant

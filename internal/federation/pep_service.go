@@ -46,6 +46,10 @@ type Tamper struct {
 type Enforcement struct {
 	Decision    xacml.Decision     `json:"decision"`
 	Obligations []xacml.Obligation `json:"obligations,omitempty"`
+	// PolicyVersion identifies the policy-set version the PDP decided
+	// under — the application-visible trace of a runtime policy rollout
+	// ("" when the exchange failed before a decision arrived).
+	PolicyVersion string `json:"policyVersion,omitempty"`
 }
 
 // Permitted reports whether access is granted (XACML: only an explicit
@@ -173,7 +177,7 @@ func (s *PEPService) Decide(ctx context.Context, req *xacml.Request) (Enforcemen
 	} else {
 		s.denies.Inc()
 	}
-	return Enforcement{Decision: enforced, Obligations: res.Obligations}, nil
+	return Enforcement{Decision: enforced, Obligations: res.Obligations, PolicyVersion: res.PolicyVersion}, nil
 }
 
 // DecideBatch runs the full PEP flow for a pipeline of application
@@ -274,7 +278,7 @@ func (s *PEPService) DecideBatch(ctx context.Context, reqs []*xacml.Request) ([]
 		} else {
 			s.denies.Inc()
 		}
-		out[i] = Enforcement{Decision: enforced, Obligations: res.Obligations}
+		out[i] = Enforcement{Decision: enforced, Obligations: res.Obligations, PolicyVersion: res.PolicyVersion}
 	}
 	return out, errors.Join(errs...)
 }

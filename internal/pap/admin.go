@@ -1,0 +1,217 @@
+// Package pap implements the off-chain half of the DRAMS Policy
+// Administration Point: runtime policy administration for a whole cloud
+// federation, with the private blockchain as the tamper-evident replication
+// and ordering layer.
+//
+// The paper's architecture (§II) assumes the PAP publishes policy versions
+// whose digests every member can verify (the trust anchor of check M6).
+// This package makes that dynamic:
+//
+//   - Admin signs PolicyUpdate transactions — the full serialized
+//     xacml.PolicySet, its digest and a height-gated activation — executed
+//     by the on-chain core.PolicyContract (which lives in package core so
+//     the log-match contract can cross-read its state for M6);
+//   - Watcher runs on every federation member: it tails its node's chain
+//     events, pre-stages and digest-verifies announced versions, and
+//     atomically hot-reloads the local PDP (and PRP view) the moment the
+//     chain reaches the activation height — every member flips at the same
+//     block height, with the decision cache invalidated in the same step.
+//
+// Failure modes are first-class: a version whose bytes do not verify
+// against the anchored digest, or do not parse, is never activated locally
+// and surfaces as a PolicyRejected event; a conflicting re-anchor of an
+// existing version is flagged on-chain (PolicyConflict) and reported by the
+// Admin as an error.
+package pap
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"drams/internal/blockchain"
+	"drams/internal/contract"
+	"drams/internal/core"
+	"drams/internal/crypto"
+	"drams/internal/metrics"
+	"drams/internal/xacml"
+)
+
+// ErrPolicyConflict is returned by Admin.UpdatePolicy when the version is
+// already anchored on-chain with a different digest.
+var ErrPolicyConflict = errors.New("pap: policy version already anchored with a different digest")
+
+// UpdateOptions shape one policy update / rollback.
+type UpdateOptions struct {
+	// ActivateDelta schedules activation this many blocks after the
+	// current chain height (0 = at the block that includes the
+	// transaction). Larger deltas give slow members time to pre-stage the
+	// parsed set before the fleet-wide flip.
+	ActivateDelta uint64
+	// ActivateHeight, when non-zero, overrides ActivateDelta with an
+	// absolute chain height.
+	ActivateHeight uint64
+	// Confirmations to wait for after the transaction is mined (default 1).
+	Confirmations uint64
+}
+
+// Proposal reports a submitted policy update.
+type Proposal struct {
+	Version string
+	Digest  crypto.Digest
+	TxID    crypto.Digest
+	// ActivateHeight is the height the fleet will flip at.
+	ActivateHeight uint64
+}
+
+// AdminStats snapshot.
+type AdminStats struct {
+	UpdatesSubmitted   int64
+	RollbacksSubmitted int64
+	Conflicts          int64
+}
+
+// Admin publishes policy updates on behalf of the federation's PAP
+// identity. Safe for concurrent use; updates from one Admin are ordered by
+// its transaction nonces.
+type Admin struct {
+	node   *blockchain.Node
+	sender *blockchain.Sender
+
+	updates   metrics.Counter
+	rollbacks metrics.Counter
+	conflicts metrics.Counter
+}
+
+// NewAdmin binds the PAP identity to a chain node. Any member's node works:
+// the update is a normal transaction and reaches the block producers by
+// gossip, so an edge process can administer policies for the whole fleet.
+func NewAdmin(node *blockchain.Node, pap *crypto.Identity) *Admin {
+	return &Admin{node: node, sender: blockchain.NewSender(node, pap)}
+}
+
+// resolveHeight turns the options into the absolute activation height.
+func (a *Admin) resolveHeight(opts UpdateOptions) uint64 {
+	if opts.ActivateHeight > 0 {
+		return opts.ActivateHeight
+	}
+	return a.node.Chain().Height() + opts.ActivateDelta
+}
+
+// UpdatePolicy signs and submits ps as a new on-chain policy version,
+// waiting until the transaction is mined (and confirmed per opts). The
+// returned Proposal carries the activation height every member will flip
+// at; use a Watcher (or Deployment.Admin's wrapper) to observe the local
+// flip itself.
+func (a *Admin) UpdatePolicy(ctx context.Context, ps *xacml.PolicySet, opts UpdateOptions) (Proposal, error) {
+	if ps == nil || ps.Version == "" {
+		return Proposal{}, errors.New("pap: policy set with a version is required")
+	}
+	blob := ps.Encode()
+	pu := core.PolicyUpdate{
+		Version:        ps.Version,
+		Policy:         blob,
+		Digest:         crypto.Sum(blob),
+		ActivateHeight: a.resolveHeight(opts),
+	}
+	rec, err := a.submit(ctx, core.MethodPolicyUpdate, pu.Encode(), opts)
+	if err != nil {
+		return Proposal{}, err
+	}
+	for _, ev := range rec.Events {
+		if ev.Type == core.EventPolicyConflict {
+			a.conflicts.Inc()
+			return Proposal{}, fmt.Errorf("%w: version %q", ErrPolicyConflict, ps.Version)
+		}
+	}
+	a.updates.Inc()
+	return Proposal{Version: ps.Version, Digest: pu.Digest, TxID: rec.TxID, ActivateHeight: pu.ActivateHeight}, nil
+}
+
+// Rollback re-activates an already-anchored version (height-gated like an
+// update; the policy bytes do not travel again).
+func (a *Admin) Rollback(ctx context.Context, version string, opts UpdateOptions) (Proposal, error) {
+	if version == "" {
+		return Proposal{}, errors.New("pap: rollback needs a version")
+	}
+	args := core.PolicyActivateArgs{Version: version, ActivateHeight: a.resolveHeight(opts)}
+	enc, err := json.Marshal(args)
+	if err != nil {
+		return Proposal{}, err
+	}
+	rec, err := a.submit(ctx, core.MethodPolicyActivate, enc, opts)
+	if err != nil {
+		return Proposal{}, err
+	}
+	digest, _ := a.PolicyDigest(version)
+	a.rollbacks.Inc()
+	return Proposal{Version: version, Digest: digest, TxID: rec.TxID, ActivateHeight: args.ActivateHeight}, nil
+}
+
+func (a *Admin) submit(ctx context.Context, method string, args []byte, opts UpdateOptions) (blockchain.Receipt, error) {
+	// The PAP identity may be driven from several processes (any member
+	// can administer); re-reading the confirmed nonce narrows the window
+	// for collisions with updates published elsewhere.
+	a.sender.Resync()
+	conf := opts.Confirmations
+	if conf == 0 {
+		conf = 1
+	}
+	rec, err := a.sender.SendAndWait(ctx, contract.Call{
+		Contract: core.PolicyContractName, Method: method, Args: args,
+	}, conf)
+	if err != nil {
+		return blockchain.Receipt{}, fmt.Errorf("pap: submit %s: %w", method, err)
+	}
+	if !rec.OK {
+		return blockchain.Receipt{}, fmt.Errorf("pap: %s rejected on-chain: %s", method, rec.Err)
+	}
+	return rec, nil
+}
+
+// ActivePolicy reads the chain's current active version and digest.
+func (a *Admin) ActivePolicy() (version string, digest crypto.Digest, ok bool) {
+	a.node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		version, digest, ok = core.ReadActivePolicy(st)
+	})
+	return
+}
+
+// PolicyDigest reads the anchored digest of a version.
+func (a *Admin) PolicyDigest(version string) (digest crypto.Digest, ok bool) {
+	a.node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		digest, ok = core.ReadPolicyDigest(st, version)
+	})
+	return
+}
+
+// PolicySet fetches and parses the stored policy bytes of a version.
+func (a *Admin) PolicySet(version string) (*xacml.PolicySet, error) {
+	var blob []byte
+	a.node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		blob, _ = core.ReadPolicyBlob(st, version)
+	})
+	if blob == nil {
+		return nil, fmt.Errorf("pap: version %q is not anchored", version)
+	}
+	return xacml.DecodePolicySet(blob)
+}
+
+// History returns the on-chain activation history, oldest first.
+func (a *Admin) History() []core.PolicyActivation {
+	var out []core.PolicyActivation
+	a.node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		out = core.ReadPolicyHistory(st)
+	})
+	return out
+}
+
+// Stats snapshots the admin counters.
+func (a *Admin) Stats() AdminStats {
+	return AdminStats{
+		UpdatesSubmitted:   a.updates.Value(),
+		RollbacksSubmitted: a.rollbacks.Value(),
+		Conflicts:          a.conflicts.Value(),
+	}
+}

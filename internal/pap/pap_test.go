@@ -1,0 +1,372 @@
+package pap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"drams/internal/blockchain"
+	"drams/internal/contract"
+	"drams/internal/core"
+	"drams/internal/crypto"
+	"drams/internal/netsim"
+	"drams/internal/xacml"
+)
+
+// papFleet is a miniature federation: n chain nodes over netsim, each with
+// a PDP and a Watcher, plus an Admin bound to one member.
+type papFleet struct {
+	nodes    []*blockchain.Node
+	pdps     []*xacml.PDP
+	watchers []*Watcher
+	admin    *Admin
+	events   *eventLog
+}
+
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+func (l *eventLog) add(ev Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, ev)
+}
+
+func (l *eventLog) byKind(k EventKind) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Event
+	for _, ev := range l.events {
+		if ev.Kind == k {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+func newFleet(t *testing.T, n int) *papFleet {
+	t.Helper()
+	pap := crypto.NewIdentityFromSeed("pap", crypto.DeriveKey("pap-test", "id"))
+	registry := contract.NewRegistry()
+	registry.MustRegister(&core.PolicyContract{PAP: pap.Name()})
+	chainCfg := blockchain.Config{
+		Difficulty: 6,
+		Identities: []crypto.PublicIdentity{pap.Public()},
+		Registry:   registry,
+	}
+	net := netsim.New(netsim.Config{BaseLatency: time.Millisecond, Seed: 5})
+	f := &papFleet{events: &eventLog{}}
+	for i := 0; i < n; i++ {
+		node, err := blockchain.NewNode(blockchain.NodeConfig{
+			Name:               fmt.Sprintf("node-%d", i),
+			Chain:              chainCfg,
+			Network:            net,
+			Mine:               i == 0,
+			EmptyBlockInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.nodes = append(f.nodes, node)
+		pdp := xacml.NewCachedPDP(nil, 256)
+		f.pdps = append(f.pdps, pdp)
+		w, err := NewWatcher(WatcherConfig{Node: node, PDP: pdp, PRP: xacml.NewPRP(), OnEvent: f.events.add})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.watchers = append(f.watchers, w)
+	}
+	t.Cleanup(func() {
+		for _, w := range f.watchers {
+			w.Stop()
+		}
+		for _, nd := range f.nodes {
+			nd.Stop()
+		}
+		net.Close()
+	})
+	for _, nd := range f.nodes {
+		nd.Start()
+	}
+	for _, w := range f.watchers {
+		w.Start()
+	}
+	f.admin = NewAdmin(f.nodes[0], pap)
+	return f
+}
+
+func papCtx(t *testing.T) context.Context {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func (f *papFleet) waitAll(t *testing.T, version string) {
+	t.Helper()
+	ctx := papCtx(t)
+	for i, w := range f.watchers {
+		if err := w.WaitForVersion(ctx, version); err != nil {
+			t.Fatalf("watcher %d: %v", i, err)
+		}
+	}
+}
+
+func doctorRead(id string) *xacml.Request {
+	return xacml.NewRequest(id).
+		Add(xacml.CatSubject, "role", xacml.String("doctor")).
+		Add(xacml.CatAction, "op", xacml.String("read"))
+}
+
+// TestFleetActivatesAtSameHeight publishes updates from one member and
+// demands every member flip — to the same version, at the same chain
+// height, with the PDP answering under the new policy afterwards.
+func TestFleetActivatesAtSameHeight(t *testing.T) {
+	f := newFleet(t, 3)
+	ctx := papCtx(t)
+
+	prop, err := f.admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v1")
+	for i, pdp := range f.pdps {
+		res, err := pdp.Evaluate(doctorRead(fmt.Sprintf("r1-%d", i)))
+		if err != nil {
+			t.Fatalf("pdp %d: %v", i, err)
+		}
+		if res.Decision != xacml.Permit || res.PolicyVersion != "v1" {
+			t.Fatalf("pdp %d under v1: %v/%s", i, res.Decision, res.PolicyVersion)
+		}
+	}
+
+	// Second update with a real activation delay.
+	prop, err = f.admin.UpdatePolicy(ctx, xacml.RestrictedPolicy("v2"), UpdateOptions{ActivateDelta: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Digest != xacml.RestrictedPolicy("v2").Digest() {
+		t.Fatalf("proposal digest = %s", prop.Digest.Short())
+	}
+	f.waitAll(t, "v2")
+
+	// Same activation height on every member.
+	var height uint64
+	for i, w := range f.watchers {
+		st := w.Stats()
+		if st.Version != "v2" {
+			t.Fatalf("watcher %d version = %q", i, st.Version)
+		}
+		if i == 0 {
+			height = st.Height
+		} else if st.Height != height {
+			t.Fatalf("watcher %d activated at %d, watcher 0 at %d", i, st.Height, height)
+		}
+	}
+	if height < prop.ActivateHeight {
+		t.Fatalf("activated at %d before the gate %d", height, prop.ActivateHeight)
+	}
+
+	// Decisions flip everywhere, and the decision caches were purged.
+	for i, pdp := range f.pdps {
+		res, err := pdp.Evaluate(doctorRead(fmt.Sprintf("r2-%d", i)))
+		if err != nil {
+			t.Fatalf("pdp %d: %v", i, err)
+		}
+		if res.Decision != xacml.Deny || res.PolicyVersion != "v2" {
+			t.Fatalf("pdp %d under v2: %v/%s", i, res.Decision, res.PolicyVersion)
+		}
+		if purges := pdp.Cache().Stats().Purges; purges < 2 {
+			t.Fatalf("pdp %d cache purges = %d", i, purges)
+		}
+	}
+
+	// On-chain history agrees.
+	if hist := f.admin.History(); len(hist) != 2 || hist[0].Version != "v1" || hist[1].Version != "v2" {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+// TestRollbackReactivatesOldVersion flips v1→v2→v1 and checks decisions,
+// history and PRP state follow.
+func TestRollbackReactivatesOldVersion(t *testing.T) {
+	f := newFleet(t, 2)
+	ctx := papCtx(t)
+
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v1")
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.RestrictedPolicy("v2"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v2")
+
+	prop, err := f.admin.Rollback(ctx, "v1", UpdateOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prop.Version != "v1" {
+		t.Fatalf("rollback proposal = %+v", prop)
+	}
+	f.waitAll(t, "v1")
+	for i, pdp := range f.pdps {
+		res, err := pdp.Evaluate(doctorRead(fmt.Sprintf("rb-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision != xacml.Permit || res.PolicyVersion != "v1" {
+			t.Fatalf("pdp %d after rollback: %v/%s", i, res.Decision, res.PolicyVersion)
+		}
+	}
+	if hist := f.admin.History(); len(hist) != 3 || hist[2].Version != "v1" {
+		t.Fatalf("history = %+v", hist)
+	}
+	if _, err := f.admin.Rollback(ctx, "v9", UpdateOptions{}); err == nil {
+		t.Fatal("rollback to unknown version accepted")
+	}
+}
+
+// TestConflictSurfacesAsError re-anchors an existing version with different
+// content: the Admin reports ErrPolicyConflict, the fleet keeps the
+// original digest, and watchers surface the equivocation as a rejection.
+func TestConflictSurfacesAsError(t *testing.T) {
+	f := newFleet(t, 2)
+	ctx := papCtx(t)
+
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v1")
+
+	divergent := xacml.RestrictedPolicy("v1")
+	if _, err := f.admin.UpdatePolicy(ctx, divergent, UpdateOptions{}); !errors.Is(err, ErrPolicyConflict) {
+		t.Fatalf("conflict err = %v", err)
+	}
+	if d, _ := f.admin.PolicyDigest("v1"); d != xacml.StandardPolicy("v1").Digest() {
+		t.Fatal("conflict replaced the anchored digest")
+	}
+	if st := f.admin.Stats(); st.Conflicts != 1 || st.UpdatesSubmitted != 1 {
+		t.Fatalf("admin stats = %+v", st)
+	}
+	waitCond(t, 10*time.Second, func() bool {
+		return len(f.events.byKind(EventRejected)) >= 1
+	}, "watchers never surfaced the conflict")
+
+	// Idempotent retry of the original content is fine.
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{}); err != nil {
+		t.Fatalf("idempotent retry: %v", err)
+	}
+}
+
+// TestLateJoinerSyncsActivePolicy starts a watcher only after activations
+// happened: Sync must bring it to the fleet's active version.
+func TestLateJoinerSyncsActivePolicy(t *testing.T) {
+	f := newFleet(t, 2)
+	ctx := papCtx(t)
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.RestrictedPolicy("v5"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v5")
+
+	pdp := xacml.NewCachedPDP(nil, 64)
+	late, err := NewWatcher(WatcherConfig{Node: f.nodes[1], PDP: pdp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late.Start()
+	defer late.Stop()
+	if err := late.WaitForVersion(ctx, "v5"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pdp.Evaluate(doctorRead("late"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != xacml.Deny || res.PolicyVersion != "v5" {
+		t.Fatalf("late joiner: %v/%s", res.Decision, res.PolicyVersion)
+	}
+}
+
+// TestReplayReproducesPolicyState replays the frozen best chain into a
+// fresh replica and demands identical contract state and active version —
+// the node-restart determinism guarantee.
+func TestReplayReproducesPolicyState(t *testing.T) {
+	f := newFleet(t, 2)
+	ctx := papCtx(t)
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v1")
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.RestrictedPolicy("v2"), UpdateOptions{ActivateDelta: 2}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v2")
+	if _, err := f.admin.Rollback(ctx, "v1", UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v1")
+
+	// Freeze the source chain.
+	src := f.nodes[0].Chain()
+	for _, nd := range f.nodes {
+		nd.Stop()
+	}
+
+	replica := blockchain.NewChain(src.Config())
+	for _, h := range src.BestChainHashes() {
+		if h == src.Genesis() {
+			continue
+		}
+		b, ok := src.BlockByHash(h)
+		if !ok {
+			t.Fatalf("best-chain block %s missing", h.Short())
+		}
+		if err := replica.AddBlock(b); err != nil {
+			t.Fatalf("replay %s: %v", h.Short(), err)
+		}
+	}
+	if replica.StateDigest() != src.StateDigest() {
+		t.Fatalf("replayed state digest %s != source %s",
+			replica.StateDigest().Short(), src.StateDigest().Short())
+	}
+	var srcVer, repVer string
+	src.ReadState(core.PolicyContractName, func(st contract.StateDB) { srcVer, _, _ = core.ReadActivePolicy(st) })
+	replica.ReadState(core.PolicyContractName, func(st contract.StateDB) { repVer, _, _ = core.ReadActivePolicy(st) })
+	if srcVer != "v1" || repVer != srcVer {
+		t.Fatalf("active versions: source %q, replica %q", srcVer, repVer)
+	}
+}
+
+// TestMonitorEventConversion checks the watcher→monitor adapter.
+func TestMonitorEventConversion(t *testing.T) {
+	d := crypto.Sum([]byte("x"))
+	a, ok := MonitorEvent(Event{Kind: EventActivated, Version: "v3", Digest: d, Height: 9})
+	if !ok || a.Type != core.AlertPolicyActivated || a.ReqID != "v3@9" || a.Height != 9 {
+		t.Fatalf("activated alert = %+v (%v)", a, ok)
+	}
+	a, ok = MonitorEvent(Event{Kind: EventRejected, Version: "v3", Height: 4, Err: "boom"})
+	if !ok || a.Type != core.AlertPolicyRejected {
+		t.Fatalf("rejected alert = %+v (%v)", a, ok)
+	}
+	if _, ok := MonitorEvent(Event{Kind: EventStaged, Version: "v3"}); ok {
+		t.Fatal("staged events must not reach the monitor")
+	}
+}
+
+func waitCond(t *testing.T, timeout time.Duration, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timeout: %s", msg)
+}

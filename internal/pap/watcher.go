@@ -1,0 +1,427 @@
+package pap
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"drams/internal/blockchain"
+	"drams/internal/contract"
+	"drams/internal/core"
+	"drams/internal/crypto"
+	"drams/internal/metrics"
+	"drams/internal/xacml"
+)
+
+// EventKind classifies a watcher notification.
+type EventKind string
+
+// Watcher event kinds.
+const (
+	// EventStaged: a version was announced, verified against its anchored
+	// digest and parsed; it is ready for the height-gated flip.
+	EventStaged EventKind = "staged"
+	// EventActivated: the chain reached the activation height and the
+	// local PDP/PRP were hot-reloaded (on PDP-less members: the flip was
+	// acknowledged).
+	EventActivated EventKind = "activated"
+	// EventRejected: a version failed local verification (digest mismatch
+	// against the anchored root, unparseable bytes) or an on-chain
+	// conflict was flagged; nothing was activated.
+	EventRejected EventKind = "rejected"
+)
+
+// Event is one watcher notification, delivered on the watcher goroutine.
+type Event struct {
+	Kind    EventKind
+	Version string
+	Digest  crypto.Digest
+	// Height is the chain height of the underlying on-chain event.
+	Height uint64
+	// Err explains a rejection.
+	Err string
+}
+
+// WatcherStats snapshots the watcher counters (the PAP/PDP reload counters
+// surfaced through Deployment.PolicyStats).
+type WatcherStats struct {
+	// Version is the last version this member activated ("" before the
+	// first activation).
+	Version string
+	// Height is the chain height of the last activation.
+	Height uint64
+	// Staged / Activations / Rejections count watcher transitions.
+	Staged      int64
+	Activations int64
+	Rejections  int64
+}
+
+// WatcherConfig configures a Watcher.
+type WatcherConfig struct {
+	// Node is the member's chain node (required).
+	Node *blockchain.Node
+	// PDP, when the member hosts one, is hot-reloaded at every activation
+	// (atomic swap + decision-cache purge).
+	PDP *xacml.PDP
+	// PRP, when present, mirrors the chain's version store: staged
+	// versions are ensured into it and the activation pointer follows the
+	// chain.
+	PRP *xacml.PRP
+	// OnEvent, when set, receives every watcher notification (monitor
+	// wiring, daemon logging). Called on the watcher goroutine — keep it
+	// non-blocking.
+	OnEvent func(Event)
+}
+
+// Watcher tails a member's chain events and applies the policy lifecycle
+// locally: stage on announcement, verify digests, atomically flip the PDP
+// at the activation height, and surface every transition. On-chain state is
+// the ground truth — Sync recovers from missed events (restart, slow
+// subscriber), and activations are deduplicated so at-least-once event
+// delivery (reorgs) cannot double-fire.
+type Watcher struct {
+	cfg WatcherConfig
+
+	mu         sync.Mutex
+	staged     map[string]*stagedPolicy // version → verified parsed set, until activated
+	current    string                   // last version applied locally
+	curHeight  uint64
+	applied    map[appliedKey]bool // dedupe at-least-once activations (bounded)
+	appliedQ   []appliedKey        // insertion order, for pruning
+	waiters    map[uint64]chan struct{}
+	nextWaiter uint64
+
+	stagedCnt   metrics.Counter
+	activations metrics.Counter
+	rejections  metrics.Counter
+
+	stopOnce  sync.Once
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	cancelSub func()
+}
+
+type stagedPolicy struct {
+	set    *xacml.PolicySet
+	digest crypto.Digest
+}
+
+type appliedKey struct {
+	version string
+	height  uint64
+}
+
+// NewWatcher builds a watcher (not yet started).
+func NewWatcher(cfg WatcherConfig) (*Watcher, error) {
+	if cfg.Node == nil {
+		return nil, fmt.Errorf("pap: watcher needs a node")
+	}
+	return &Watcher{
+		cfg:     cfg,
+		staged:  make(map[string]*stagedPolicy),
+		applied: make(map[appliedKey]bool),
+		waiters: make(map[uint64]chan struct{}),
+		stop:    make(chan struct{}),
+	}, nil
+}
+
+// appliedBound caps the at-least-once dedup set; only recent activations
+// can be re-delivered (reorg window), so a small bound suffices.
+const appliedBound = 64
+
+// Start subscribes to chain events and replays the current on-chain policy
+// state (Sync), so a member that boots — or restarts — after activations
+// converges immediately.
+func (w *Watcher) Start() {
+	events, cancel := w.cfg.Node.SubscribeEvents(0)
+	w.cancelSub = cancel
+	w.Sync()
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case note, ok := <-events:
+				if !ok {
+					return
+				}
+				for _, e := range note.Events {
+					if e.Contract == core.PolicyContractName {
+						w.handleEvent(e.Type, e.Payload, note.Height)
+					}
+				}
+			}
+		}
+	}()
+}
+
+// Stop halts the watcher.
+func (w *Watcher) Stop() {
+	w.stopOnce.Do(func() { close(w.stop) })
+	if w.cancelSub != nil {
+		w.cancelSub()
+	}
+	w.wg.Wait()
+}
+
+// Version returns the version this member last activated.
+func (w *Watcher) Version() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.current
+}
+
+// Stats snapshots the watcher counters.
+func (w *Watcher) Stats() WatcherStats {
+	w.mu.Lock()
+	version, height := w.current, w.curHeight
+	w.mu.Unlock()
+	return WatcherStats{
+		Version:     version,
+		Height:      height,
+		Staged:      w.stagedCnt.Value(),
+		Activations: w.activations.Value(),
+		Rejections:  w.rejections.Value(),
+	}
+}
+
+// WaitForVersion blocks until this member has activated the given version
+// (already-active versions return immediately).
+func (w *Watcher) WaitForVersion(ctx context.Context, version string) error {
+	for {
+		w.mu.Lock()
+		if w.current == version {
+			w.mu.Unlock()
+			return nil
+		}
+		armed := make(chan struct{})
+		id := w.nextWaiter
+		w.nextWaiter++
+		w.waiters[id] = armed
+		w.mu.Unlock()
+		release := func() {
+			w.mu.Lock()
+			delete(w.waiters, id)
+			w.mu.Unlock()
+		}
+		select {
+		case <-armed:
+		case <-w.stop:
+			release()
+			return fmt.Errorf("pap: wait for policy %q: watcher stopped", version)
+		case <-ctx.Done():
+			release()
+			return fmt.Errorf("pap: wait for policy %q: %w", version, ctx.Err())
+		}
+	}
+}
+
+// Sync reconciles with on-chain state: it applies the chain's active
+// version if this member has not done so yet. Start calls it once; it is
+// safe to call again at any time (e.g. after a partition heals).
+func (w *Watcher) Sync() {
+	var (
+		version string
+		digest  crypto.Digest
+		ok      bool
+		height  uint64
+	)
+	w.cfg.Node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		version, digest, ok = core.ReadActivePolicy(st)
+		if !ok {
+			return
+		}
+		// The true activation height comes from the on-chain history (its
+		// last entry is the active version), so a buffered activation
+		// event for the same flip dedupes against this Sync.
+		if hist := core.ReadPolicyHistory(st); len(hist) > 0 {
+			height = hist[len(hist)-1].Height
+		}
+	})
+	if !ok {
+		return
+	}
+	w.activate(version, digest, height)
+}
+
+func (w *Watcher) handleEvent(eventType string, payload []byte, height uint64) {
+	switch eventType {
+	case core.EventPolicyStaged:
+		var act core.PolicyActivation
+		if err := json.Unmarshal(payload, &act); err != nil {
+			return
+		}
+		// act.Height is the scheduled activation height (the payload is a
+		// PolicyActivation), not the announcement block's height.
+		w.stage(act.Version, act.Digest, act.Height)
+	case core.EventPolicyActivated:
+		var act core.PolicyActivation
+		if err := json.Unmarshal(payload, &act); err != nil {
+			return
+		}
+		w.activate(act.Version, act.Digest, act.Height)
+	case core.EventPolicyConflict:
+		var body struct {
+			Version string `json:"version"`
+			By      string `json:"by"`
+		}
+		if err := json.Unmarshal(payload, &body); err != nil {
+			return
+		}
+		w.reject(Event{
+			Kind: EventRejected, Version: body.Version, Height: height,
+			Err: fmt.Sprintf("conflicting digest for anchored version (by %s)", body.By),
+		})
+	}
+}
+
+// fetch loads, digest-verifies and parses a version from chain state.
+func (w *Watcher) fetch(version string) (*stagedPolicy, error) {
+	var (
+		blob     []byte
+		anchored crypto.Digest
+		haveRec  bool
+	)
+	w.cfg.Node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		blob, _ = core.ReadPolicyBlob(st, version)
+		anchored, haveRec = core.ReadPolicyDigest(st, version)
+	})
+	if blob == nil || !haveRec {
+		return nil, fmt.Errorf("version %q not found in chain state", version)
+	}
+	// Verify the bytes against the anchored root before trusting them:
+	// the consensus layer enforced this at proposal time, but the local
+	// store is not consensus — recomputing keeps a tampered replica from
+	// ever reaching the PDP.
+	if got := crypto.Sum(blob); got != anchored {
+		return nil, fmt.Errorf("stored bytes digest %s != anchored %s", got.Short(), anchored.Short())
+	}
+	ps, err := xacml.DecodePolicySet(blob)
+	if err != nil {
+		return nil, fmt.Errorf("stored policy does not parse: %v", err)
+	}
+	if ps.Version != version {
+		return nil, fmt.Errorf("stored policy carries version %q", ps.Version)
+	}
+	return &stagedPolicy{set: ps, digest: anchored}, nil
+}
+
+// stage pre-verifies and parses an announced version so the activation
+// flip later is a pure pointer swap.
+func (w *Watcher) stage(version string, digest crypto.Digest, height uint64) {
+	sp, err := w.fetch(version)
+	if err != nil {
+		w.reject(Event{Kind: EventRejected, Version: version, Digest: digest, Height: height, Err: err.Error()})
+		return
+	}
+	w.mu.Lock()
+	_, known := w.staged[version]
+	w.staged[version] = sp
+	w.mu.Unlock()
+	if !known {
+		w.stagedCnt.Inc()
+		w.notify(Event{Kind: EventStaged, Version: version, Digest: sp.digest, Height: height})
+	}
+	if w.cfg.PRP != nil {
+		_ = w.cfg.PRP.Ensure(sp.set)
+	}
+}
+
+// activate flips this member to version: the staged parsed set (fetched
+// from chain state when staging was missed) is atomically loaded into the
+// PDP — which purges the decision cache in the same step — and the PRP
+// pointer follows. The whole flip runs in one critical section, so a Sync
+// racing the event goroutine applies each flip exactly once, at-least-once
+// event deliveries dedupe, and a stale buffered activation (lower height
+// than what this member already applied, e.g. after Sync caught up past
+// it) can never downgrade the PDP.
+func (w *Watcher) activate(version string, digest crypto.Digest, height uint64) {
+	key := appliedKey{version, height}
+	w.mu.Lock()
+	if w.applied[key] || height < w.curHeight ||
+		(w.current == version && w.curHeight >= height) {
+		w.mu.Unlock()
+		return
+	}
+	sp := w.staged[version]
+	if sp == nil {
+		var err error
+		sp, err = w.fetch(version)
+		if err != nil {
+			w.mu.Unlock()
+			w.reject(Event{Kind: EventRejected, Version: version, Digest: digest, Height: height, Err: err.Error()})
+			return
+		}
+	}
+	if !digest.IsZero() && sp.digest != digest {
+		w.mu.Unlock()
+		w.reject(Event{
+			Kind: EventRejected, Version: version, Digest: digest, Height: height,
+			Err: fmt.Sprintf("staged digest %s != activation digest %s", sp.digest.Short(), digest.Short()),
+		})
+		return
+	}
+
+	if w.cfg.PDP != nil {
+		w.cfg.PDP.Load(sp.set)
+	}
+	if w.cfg.PRP != nil {
+		_ = w.cfg.PRP.Ensure(sp.set)
+		_ = w.cfg.PRP.Activate(version)
+	}
+
+	w.current = version
+	w.curHeight = height
+	// The parsed set served its purpose (the PRP keeps the authoritative
+	// copy; a rollback re-fetches from chain state), and the dedup set is
+	// bounded to the reorg-redelivery window.
+	delete(w.staged, version)
+	w.applied[key] = true
+	w.appliedQ = append(w.appliedQ, key)
+	for len(w.appliedQ) > appliedBound {
+		delete(w.applied, w.appliedQ[0])
+		w.appliedQ = w.appliedQ[1:]
+	}
+	waiters := w.waiters
+	w.waiters = make(map[uint64]chan struct{})
+	w.mu.Unlock()
+	for _, ch := range waiters {
+		close(ch)
+	}
+	w.activations.Inc()
+	w.notify(Event{Kind: EventActivated, Version: version, Digest: sp.digest, Height: height})
+}
+
+func (w *Watcher) reject(ev Event) {
+	w.rejections.Inc()
+	w.notify(ev)
+}
+
+func (w *Watcher) notify(ev Event) {
+	if w.cfg.OnEvent != nil {
+		w.cfg.OnEvent(ev)
+	}
+}
+
+// MonitorEvent converts a watcher notification into the synthetic monitor
+// alert the operators' Alerts subscriptions see (core.AlertPolicyActivated
+// / core.AlertPolicyRejected; staged transitions produce no alert).
+func MonitorEvent(ev Event) (core.Alert, bool) {
+	ref := fmt.Sprintf("%s@%d", ev.Version, ev.Height)
+	switch ev.Kind {
+	case EventActivated:
+		return core.Alert{
+			Type: core.AlertPolicyActivated, ReqID: ref, Height: ev.Height,
+			Detail: fmt.Sprintf("policy %s activated (digest %s)", ev.Version, ev.Digest.Short()),
+		}, true
+	case EventRejected:
+		return core.Alert{
+			Type: core.AlertPolicyRejected, ReqID: ref, Height: ev.Height,
+			Detail: fmt.Sprintf("policy %s rejected: %s", ev.Version, ev.Err),
+		}, true
+	}
+	return core.Alert{}, false
+}

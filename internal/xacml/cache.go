@@ -3,6 +3,7 @@ package xacml
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 
 	"drams/internal/crypto"
 	"drams/internal/metrics"
@@ -30,6 +31,10 @@ type CacheStats struct {
 	Evictions int64
 	// Purges counts whole-cache clears (policy loads).
 	Purges int64
+	// StalePuts counts stores discarded because the cache epoch advanced
+	// (a Purge ran) between the caller's lookup and its Put — the
+	// hot-swap window a concurrent policy load opens.
+	StalePuts int64
 }
 
 // DecisionCache memoises PDP results keyed by the canonical request content
@@ -44,11 +49,19 @@ type DecisionCache struct {
 	shards   [cacheShards]decisionShard
 	perShard int
 
+	// epoch advances on every Purge. Writers pin the epoch at lookup time
+	// (Epoch) and pass it to Put, which discards stores from a previous
+	// epoch — so an evaluation that raced a policy load can never park its
+	// result in the post-swap cache, and a purge leaves nothing stale
+	// behind regardless of in-flight evaluations.
+	epoch atomic.Uint64
+
 	hits          metrics.Counter
 	misses        metrics.Counter
 	invalidations metrics.Counter
 	evictions     metrics.Counter
 	purges        metrics.Counter
+	stalePuts     metrics.Counter
 }
 
 type decisionShard struct {
@@ -113,13 +126,27 @@ func (c *DecisionCache) Get(key, policyDigest crypto.Digest) (Result, bool) {
 	return res, true
 }
 
+// Epoch returns the current cache epoch. Callers that will Put a result
+// computed from a policy snapshot must pin the epoch before (or while)
+// taking that snapshot and hand it back to Put.
+func (c *DecisionCache) Epoch() uint64 { return c.epoch.Load() }
+
 // Put stores a result computed under the given policy digest. The stored
 // Result must not carry a correlation ID (the PDP strips it before Put and
-// re-stamps it on every Get).
-func (c *DecisionCache) Put(key, policyDigest crypto.Digest, res Result) {
+// re-stamps it on every Get). epoch is the value Epoch returned when the
+// caller looked up the policy snapshot the result was computed from; if a
+// Purge ran since, the store is discarded, so a purge is final.
+func (c *DecisionCache) Put(key, policyDigest crypto.Digest, res Result, epoch uint64) {
 	sh := c.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
+	// Checked under the shard lock: Purge bumps the epoch before clearing
+	// any shard, so either this store observes the bump and bails, or the
+	// purge's sweep of this shard is ordered after it and removes it.
+	if c.epoch.Load() != epoch {
+		c.stalePuts.Inc()
+		return
+	}
 	if elem, ok := sh.items[key]; ok {
 		ent := elem.Value.(*decisionEntry)
 		ent.policy = policyDigest
@@ -136,9 +163,12 @@ func (c *DecisionCache) Put(key, policyDigest crypto.Digest, res Result) {
 	sh.items[key] = sh.order.PushFront(&decisionEntry{key: key, policy: policyDigest, res: res})
 }
 
-// Purge drops every entry; called on policy load so memory is reclaimed
-// promptly (digest checking alone already guarantees correctness).
+// Purge drops every entry and advances the cache epoch; called on policy
+// load so memory is reclaimed promptly (digest checking alone already
+// guarantees a stale entry cannot be served) and so in-flight evaluations
+// from before the load cannot re-populate the cache afterwards.
 func (c *DecisionCache) Purge() {
+	c.epoch.Add(1)
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -168,5 +198,6 @@ func (c *DecisionCache) Stats() CacheStats {
 		Invalidations: c.invalidations.Value(),
 		Evictions:     c.evictions.Value(),
 		Purges:        c.purges.Value(),
+		StalePuts:     c.stalePuts.Value(),
 	}
 }

@@ -102,7 +102,7 @@ func TestCacheDigestInvalidation(t *testing.T) {
 	// rejected by its policy digest.
 	cache := NewDecisionCache(64)
 	key := req.Digest()
-	cache.Put(key, permit.Digest(), Result{Decision: Permit})
+	cache.Put(key, permit.Digest(), Result{Decision: Permit}, cache.Epoch())
 	if _, ok := cache.Get(key, deny.Digest()); ok {
 		t.Fatal("entry under old policy digest served for new digest")
 	}

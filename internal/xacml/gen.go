@@ -216,3 +216,25 @@ func StandardPolicy(version string) *PolicySet {
 		Items: []PolicyItem{{Policy: &Policy{
 			ID: "records-policy", Version: "1", Alg: FirstApplicable, Rules: rules}}}}
 }
+
+// RestrictedPolicy is the rollout-demo counterpart of StandardPolicy: reads
+// over records are revoked for every role (doctors keep write access), so a
+// doctor-read request permitted under StandardPolicy is denied under it.
+// The policy rollout example, the V5 churn benchmark and the federation
+// smoke test push it as the "v2" update to prove a fleet-wide flip.
+func RestrictedPolicy(version string) *PolicySet {
+	match := func(cat Category, id AttributeID, v string) Match {
+		return Match{Op: CmpEq, Attr: Designator{Cat: cat, ID: id}, Lit: String(v)}
+	}
+	target := func(ms ...Match) Target {
+		return Target{AnyOf: []AnyOf{{AllOf: []AllOf{{Matches: ms}}}}}
+	}
+	rules := []*Rule{
+		{ID: "doctor-write", Effect: EffectPermit,
+			Target: target(match(CatSubject, "role", "doctor"), match(CatAction, "op", "write"))},
+		{ID: "default-deny", Effect: EffectDeny},
+	}
+	return &PolicySet{ID: "records", Version: version, Alg: DenyUnlessPermit,
+		Items: []PolicyItem{{Policy: &Policy{
+			ID: "records-policy", Version: "1", Alg: FirstApplicable, Rules: rules}}}}
+}

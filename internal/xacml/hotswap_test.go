@@ -1,0 +1,129 @@
+package xacml
+
+import (
+	"sync"
+	"testing"
+)
+
+// hotswapRequest is the probe request the hammer evaluates: permitted by
+// StandardPolicy (doctor-read) and denied by RestrictedPolicy. The record
+// id varies with i, spreading the keys across cache shards so Put/Purge
+// race on many shards, not one.
+func hotswapRequest(i int) *Request {
+	return NewRequest("hot").
+		Add(CatSubject, "role", String("doctor")).
+		Add(CatAction, "op", String("read")).
+		Add(CatResource, "type", String("record")).
+		Add(CatResource, "id", Int(int64(i%64)))
+}
+
+// TestEvaluateDuringLoadConsistency hammers Evaluate from many goroutines
+// while another goroutine hot-swaps the policy between a permitting and a
+// denying set. Every result must be internally consistent — the decision,
+// version and digest of ONE policy snapshot, never a torn mix — and a
+// decision computed against one policy must never be cached under (or
+// served for) the other's digest. Run under -race this also proves the
+// Load/Evaluate window is data-race free.
+func TestEvaluateDuringLoadConsistency(t *testing.T) {
+	permit := StandardPolicy("v1")
+	deny := RestrictedPolicy("v2")
+	permitDigest, denyDigest := permit.Digest(), deny.Digest()
+
+	pdp := NewCachedPDP(permit, 1024)
+
+	const (
+		hammers   = 8
+		evalsEach = 2000
+		swaps     = 400
+	)
+	var wg sync.WaitGroup
+
+	// Swapper: alternate policies as fast as possible.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < swaps; i++ {
+			if i%2 == 0 {
+				pdp.Load(deny)
+			} else {
+				pdp.Load(permit)
+			}
+		}
+	}()
+
+	errCh := make(chan error, hammers)
+	for w := 0; w < hammers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < evalsEach; i++ {
+				res, err := pdp.Evaluate(hotswapRequest(i))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				switch res.PolicyVersion {
+				case "v1":
+					if res.Decision != Permit || res.PolicyDigest != permitDigest {
+						t.Errorf("torn result under v1: decision=%v digest=%s",
+							res.Decision, res.PolicyDigest.Short())
+						return
+					}
+				case "v2":
+					if res.Decision != Deny || res.PolicyDigest != denyDigest {
+						t.Errorf("torn result under v2: decision=%v digest=%s",
+							res.Decision, res.PolicyDigest.Short())
+						return
+					}
+				default:
+					t.Errorf("unknown policy version %q", res.PolicyVersion)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	// Settle on the permitting policy: everything the cache now serves
+	// must be a v1 result, regardless of what the in-flight evaluations
+	// above tried to park in it.
+	pdp.Load(permit)
+	for i := 0; i < 64; i++ {
+		res, err := pdp.Evaluate(hotswapRequest(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Decision != Permit || res.PolicyVersion != "v1" || res.PolicyDigest != permitDigest {
+			t.Fatalf("post-settle result = %v/%s/%s", res.Decision, res.PolicyVersion, res.PolicyDigest.Short())
+		}
+	}
+}
+
+// TestCacheEpochPinsPut proves the purge-epoch mechanism directly: a Put
+// carrying an epoch from before a Purge is discarded, so a hot swap's purge
+// is final even with evaluations in flight.
+func TestCacheEpochPinsPut(t *testing.T) {
+	ps := StandardPolicy("v1")
+	req := hotswapRequest(0)
+	cache := NewDecisionCache(64)
+
+	epoch := cache.Epoch()
+	cache.Purge() // the policy load wins the race
+	cache.Put(req.Digest(), ps.Digest(), Result{Decision: Permit}, epoch)
+	if cache.Len() != 0 {
+		t.Fatal("stale-epoch Put landed after Purge")
+	}
+	if got := cache.Stats().StalePuts; got != 1 {
+		t.Fatalf("stalePuts = %d", got)
+	}
+
+	// A current-epoch Put still lands.
+	cache.Put(req.Digest(), ps.Digest(), Result{Decision: Permit}, cache.Epoch())
+	if cache.Len() != 1 {
+		t.Fatal("current-epoch Put rejected")
+	}
+}

@@ -133,6 +133,15 @@ func (p *PDP) Policy() (*PolicySet, crypto.Digest, error) {
 	return lp.set, lp.digest, nil
 }
 
+// Version returns the active policy set's version ("" before any Load).
+func (p *PDP) Version() string {
+	lp := p.current.Load()
+	if lp == nil {
+		return ""
+	}
+	return lp.set.Version
+}
+
 // Evaluations returns how many requests this PDP has evaluated.
 func (p *PDP) Evaluations() int64 { return p.evals.Load() }
 
@@ -142,12 +151,21 @@ func (p *PDP) Evaluations() int64 { return p.evals.Load() }
 // differs between requests sharing a cache entry, and it is re-stamped per
 // call, so cached and freshly evaluated results are identical.
 func (p *PDP) Evaluate(r *Request) (Result, error) {
+	// The cache epoch is pinned before the policy snapshot: a Load (and
+	// its Purge) between here and the final Put makes the Put a no-op, so
+	// a decision computed against policy A can never be parked in the
+	// cache a hot swap to policy B just cleared — and Get is additionally
+	// keyed by A's digest, so even a surviving entry could not serve B.
+	cache := p.cache.Load()
+	var epoch uint64
+	if cache != nil {
+		epoch = cache.Epoch()
+	}
 	lp := p.current.Load()
 	if lp == nil {
 		return Result{}, ErrNoPolicy
 	}
 	p.evals.Add(1)
-	cache := p.cache.Load()
 	var key crypto.Digest
 	if cache != nil {
 		key = r.Digest()
@@ -169,7 +187,7 @@ func (p *PDP) Evaluate(r *Request) (Result, error) {
 	if cache != nil {
 		stored := res
 		stored.RequestID = ""
-		cache.Put(key, lp.digest, stored)
+		cache.Put(key, lp.digest, stored, epoch)
 	}
 	return res, nil
 }
@@ -216,6 +234,29 @@ func (p *PRP) Publish(ps *PolicySet) (crypto.Digest, error) {
 	p.order = append(p.order, cl.Version)
 	p.active = cl.Version
 	return cl.Digest(), nil
+}
+
+// Ensure stores a policy set under its version if absent, WITHOUT touching
+// the activation pointer — the idempotent staging entry point the PAP
+// watcher uses while mirroring chain-replicated versions. Re-ensuring the
+// same version with identical content is a no-op; divergent content for an
+// existing version is an error.
+func (p *PRP) Ensure(ps *PolicySet) error {
+	if ps.Version == "" {
+		return errors.New("xacml: policy set needs a version")
+	}
+	cl := ps.Clone()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if existing, ok := p.versions[cl.Version]; ok {
+		if existing.Digest() != cl.Digest() {
+			return fmt.Errorf("xacml: version %q already stored with different content", cl.Version)
+		}
+		return nil
+	}
+	p.versions[cl.Version] = cl
+	p.order = append(p.order, cl.Version)
+	return nil
 }
 
 // Active returns the active policy set and its version.

@@ -86,7 +86,11 @@ func NewChainMaterial(seed uint64, tenantNames []string, p ChainParams) ChainMat
 		PAP:            m.PAPID.Name(),
 		Analyser:       m.AnalyserID.Name(),
 		RequireVerdict: p.RequireVerdict,
+		// M6 trusts the policy lifecycle contract's chain-replicated
+		// anchor once it holds an active policy.
+		PolicyContract: core.PolicyContractName,
 	}))
+	registry.MustRegister(&core.PolicyContract{PAP: m.PAPID.Name()})
 	registry.MustRegister(&contract.AnchorContract{ContractName: "anchor"})
 	registry.MustRegister(&contract.KVContract{ContractName: "kv"})
 

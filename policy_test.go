@@ -1,0 +1,242 @@
+package drams_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"drams"
+	"drams/internal/blockchain"
+	"drams/internal/contract"
+	"drams/internal/core"
+	"drams/internal/pap"
+	"drams/internal/xacml"
+)
+
+// restrictedTestPolicy denies the doctor-read request testPolicy permits.
+func restrictedTestPolicy(version string) *xacml.PolicySet {
+	defaultDeny := &xacml.Rule{ID: "default-deny", Effect: xacml.EffectDeny}
+	pol := &xacml.Policy{ID: "records", Version: "1", Alg: xacml.FirstApplicable,
+		Rules: []*xacml.Rule{defaultDeny}}
+	return &xacml.PolicySet{ID: "root", Version: version, Alg: xacml.DenyUnlessPermit,
+		Items: []xacml.PolicyItem{{Policy: pol}}}
+}
+
+// TestAdminUpdatePolicyHotReload drives the full runtime administration
+// flow through the public API: subscribe to rollout events, publish a
+// restricting v2 through Deployment.Admin, watch the PolicyActivated alert
+// arrive, and check the same request flips Permit → Deny with the decision
+// cache invalidated — then roll back to v1 and watch it flip again.
+func TestAdminUpdatePolicyHotReload(t *testing.T) {
+	dep := testDeployment(t, nil)
+	ctx := ctx20(t)
+
+	alerts, stop, err := dep.Alerts(ctx, drams.AlertFilter{
+		Types: []drams.AlertType{drams.AlertPolicyActivated}, Replay: true, Buffer: 16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	// The boot-time v1 activation is replayed.
+	select {
+	case a := <-alerts:
+		if a.Type != drams.AlertPolicyActivated || !strings.HasPrefix(a.ReqID, "v1@") {
+			t.Fatalf("replayed rollout event = %+v", a)
+		}
+	case <-ctx.Done():
+		t.Fatal("no replayed activation event")
+	}
+
+	admin, err := dep.Admin("tenant-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := admin.PolicyVersion(); got != "v1" {
+		t.Fatalf("active version = %q", got)
+	}
+
+	// Permit under v1, and the repeat hits the decision cache.
+	req := doctorRequest(dep)
+	enf, err := dep.Request("tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() || enf.PolicyVersion != "v1" {
+		t.Fatalf("v1 enforcement = %+v", enf)
+	}
+
+	// Publish v2 from an edge tenant's admin handle.
+	if err := admin.UpdatePolicy(ctx, restrictedTestPolicy("v2"), drams.UpdateOptions{ActivateDelta: 2}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case a := <-alerts:
+		if !strings.HasPrefix(a.ReqID, "v2@") {
+			t.Fatalf("rollout event = %+v", a)
+		}
+	case <-ctx.Done():
+		t.Fatal("no v2 activation event")
+	}
+
+	enf, err = dep.Request("tenant-1", doctorRequest(dep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.Permitted() || enf.PolicyVersion != "v2" {
+		t.Fatalf("v2 enforcement = %+v", enf)
+	}
+
+	st := dep.PolicyStats()
+	if st.Version != "v2" || st.Activations != 2 || st.CachePurges < 2 {
+		t.Fatalf("policy stats = %+v", st)
+	}
+	if ms := dep.Monitor.Stats(); ms.PolicyActivations != 2 {
+		t.Fatalf("monitor policy activations = %d", ms.PolicyActivations)
+	}
+
+	// Roll back to v1: decisions flip again, history shows all three
+	// activations on-chain.
+	if err := admin.Rollback(ctx, "v1", drams.UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	enf, err = dep.Request("tenant-1", doctorRequest(dep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !enf.Permitted() || enf.PolicyVersion != "v1" {
+		t.Fatalf("post-rollback enforcement = %+v", enf)
+	}
+	hist := admin.History()
+	if len(hist) != 3 || hist[0].Version != "v1" || hist[1].Version != "v2" || hist[2].Version != "v1" {
+		t.Fatalf("history = %+v", hist)
+	}
+
+	// The policy bytes round-trip from chain state.
+	ps, err := admin.PolicySet("v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Digest() != restrictedTestPolicy("v2").Digest() {
+		t.Fatal("chain-stored v2 differs from the published set")
+	}
+}
+
+// TestAdminConflictingVersionRejected re-publishes an anchored version with
+// different content: the admin gets ErrPolicyConflict and the fleet keeps
+// the original digest.
+func TestAdminConflictingVersionRejected(t *testing.T) {
+	dep := testDeployment(t, nil)
+	admin, err := dep.Admin("infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = admin.UpdatePolicy(ctx20(t), restrictedTestPolicy("v1"), drams.UpdateOptions{})
+	if !errors.Is(err, pap.ErrPolicyConflict) {
+		t.Fatalf("conflict err = %v", err)
+	}
+	if d, _ := admin.PolicyDigest("v1"); d != testPolicy("v1").Digest() {
+		t.Fatal("anchored digest changed")
+	}
+}
+
+// TestExchangesMatchAcrossPolicyFlip proves the M6 grace window: a request
+// decided under v1 whose logs land around the v2 flip still matches
+// cleanly, and post-flip requests match under v2.
+func TestExchangesMatchAcrossPolicyFlip(t *testing.T) {
+	dep := testDeployment(t, nil)
+	ctx := ctx20(t)
+
+	// Decide under v1 and immediately publish v2 so the exchange's logs
+	// race the activation.
+	req := doctorRequest(dep)
+	if _, err := dep.Request("tenant-1", req); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.PublishPolicy(restrictedTestPolicy("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.WaitForMatched(ctx, req.ID); err != nil {
+		t.Fatalf("v1-era exchange did not match across the flip: %v", err)
+	}
+
+	req2 := doctorRequest(dep)
+	if _, err := dep.Request("tenant-1", req2); err != nil {
+		t.Fatal(err)
+	}
+	if err := dep.WaitForMatched(ctx, req2.ID); err != nil {
+		t.Fatalf("v2 exchange did not match: %v", err)
+	}
+	if alerts := dep.Monitor.AlertsFor(req.ID); len(alerts) != 0 {
+		t.Fatalf("flip produced alerts: %v", alerts)
+	}
+}
+
+// TestPolicyStateReplaysDeterministically replays the deployment's frozen
+// best chain into a fresh replica built from the same ChainMaterial and
+// demands identical contract state — proving a restarted member re-derives
+// the exact policy lifecycle from the chain.
+func TestPolicyStateReplaysDeterministically(t *testing.T) {
+	cfg := drams.Config{
+		Policy:             testPolicy("v1"),
+		Difficulty:         6,
+		TimeoutBlocks:      20,
+		EmptyBlockInterval: 15 * time.Millisecond,
+		Seed:               42,
+	}
+	dep, err := drams.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dep.Close()
+	ctx := ctx20(t)
+
+	admin, err := dep.Admin("infrastructure")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.UpdatePolicy(ctx, restrictedTestPolicy("v2"), drams.UpdateOptions{ActivateDelta: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := admin.Rollback(ctx, "v1", drams.UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze the chain, then replay it into a fresh node built from the
+	// same deterministic material.
+	src := dep.InfraNode().Chain()
+	dep.Close()
+
+	var tenants []string
+	for _, ten := range dep.Topology().Tenants {
+		tenants = append(tenants, ten.Name)
+	}
+	material := drams.NewChainMaterial(cfg.Seed, tenants, drams.ChainParams{
+		Difficulty:     cfg.Difficulty,
+		TimeoutBlocks:  cfg.TimeoutBlocks,
+		RequireVerdict: true,
+	})
+	replica := blockchain.NewChain(material.Chain)
+	for _, h := range src.BestChainHashes() {
+		if h == src.Genesis() {
+			continue
+		}
+		b, ok := src.BlockByHash(h)
+		if !ok {
+			t.Fatalf("missing best-chain block %s", h.Short())
+		}
+		if err := replica.AddBlock(b); err != nil {
+			t.Fatalf("replay: %v", err)
+		}
+	}
+	if replica.StateDigest() != src.StateDigest() {
+		t.Fatalf("replayed digest %s != source %s",
+			replica.StateDigest().Short(), src.StateDigest().Short())
+	}
+	var ver string
+	replica.ReadState(core.PolicyContractName, func(st contract.StateDB) { ver, _, _ = core.ReadActivePolicy(st) })
+	if ver != "v1" {
+		t.Fatalf("replayed active version = %q", ver)
+	}
+}

@@ -4,14 +4,22 @@
 # Starts three drams-node daemons on loopback (infrastructure + two edge
 # tenants), waits until every process reports chain height >= TARGET_HEIGHT
 # and each edge has served at least one end-to-end access decision, then
-# tears everything down. Exits non-zero on any failure or on the hard
-# timeout.
+# exercises a live policy rollout: tenant-1's process pushes a restricting
+# v2 policy on-chain mid-run and the script asserts that
+#
+#   1. all three processes activate v2 at the SAME chain height, and
+#   2. each edge's decision stream flips from Permit-under-v1 to
+#      Deny-under-v2 without any process restarting,
+#
+# then checks state-digest convergence and tears everything down. Exits
+# non-zero on any failure or on the hard timeout.
 #
 # Usage: scripts/smoke_federation.sh [bin-dir]
 set -u
 
 TIMEOUT="${SMOKE_TIMEOUT:-120}"
 TARGET_HEIGHT="${SMOKE_HEIGHT:-5}"
+PUSH_HEIGHT="${SMOKE_PUSH_HEIGHT:-8}"
 PORT_BASE="${SMOKE_PORT_BASE:-19701}"
 WORKDIR="$(mktemp -d)"
 BIN="${1:-$WORKDIR}/drams-node"
@@ -28,6 +36,9 @@ if [ ! -x "$BIN" ]; then
     go build -o "$BIN" ./cmd/drams-node || exit 1
 fi
 
+# The v2 update: reads revoked (doctor-read flips Permit -> Deny).
+"$BIN" -print-policy restricted:v2 > "$WORKDIR/v2.json" || exit 1
+
 P1=$((PORT_BASE)) P2=$((PORT_BASE + 1)) P3=$((PORT_BASE + 2))
 A1="127.0.0.1:$P1" A2="127.0.0.1:$P2" A3="127.0.0.1:$P3"
 COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -run-for ${TIMEOUT}s"
@@ -35,14 +46,24 @@ COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -run-for ${TIMEOUT}s
 "$BIN" -listen "$A1" -join "$A2,$A3" -tenant infrastructure $COMMON \
     >"$WORKDIR/infra.log" 2>&1 &
 PIDS="$!"
-"$BIN" -listen "$A2" -join "$A1,$A3" -tenant tenant-1 -requests 3 $COMMON \
-    >"$WORKDIR/t1.log" 2>&1 &
+"$BIN" -listen "$A2" -join "$A1,$A3" -tenant tenant-1 -request-every 300ms \
+    -policy-file "$WORKDIR/v2.json" -policy-at-height "$PUSH_HEIGHT" -policy-delta 4 \
+    $COMMON >"$WORKDIR/t1.log" 2>&1 &
 PIDS="$PIDS $!"
-"$BIN" -listen "$A3" -join "$A1,$A2" -tenant tenant-2 -requests 3 $COMMON \
-    >"$WORKDIR/t2.log" 2>&1 &
+"$BIN" -listen "$A3" -join "$A1,$A2" -tenant tenant-2 -request-every 300ms \
+    $COMMON >"$WORKDIR/t2.log" 2>&1 &
 PIDS="$PIDS $!"
 
-echo "3 daemons up (logs in $WORKDIR), waiting for height >= $TARGET_HEIGHT and decisions..."
+echo "3 daemons up (logs in $WORKDIR), waiting for height >= $TARGET_HEIGHT, decisions, and the v2 rollout..."
+
+fail() {
+    echo "SMOKE FAILED: $1" >&2
+    for log in infra t1 t2; do
+        echo "--- $log.log (tail) ---" >&2
+        tail -25 "$WORKDIR/$log.log" >&2
+    done
+    exit 1
+}
 
 deadline=$(( $(date +%s) + TIMEOUT ))
 ok=""
@@ -52,25 +73,42 @@ while [ "$(date +%s)" -lt "$deadline" ]; do
         h=$(grep -o 'status height=[0-9]*' "$WORKDIR/$log.log" 2>/dev/null | tail -1 | grep -o '[0-9]*$')
         [ -n "$h" ] && [ "$h" -ge "$TARGET_HEIGHT" ] || heights_ok=false
     done
-    decisions_ok=true
+    # Phase 1: a v1 Permit on each edge.
+    v1_ok=true
     for log in t1 t2; do
-        grep -q 'decision req=.*decision=Permit' "$WORKDIR/$log.log" 2>/dev/null || decisions_ok=false
+        grep -q 'decision req=.*decision=Permit policy=v1' "$WORKDIR/$log.log" 2>/dev/null || v1_ok=false
     done
-    if $heights_ok && $decisions_ok; then
+    # Phase 2: every process observed the v2 activation.
+    flip_ok=true
+    for log in infra t1 t2; do
+        grep -q 'policy v2 activated at height' "$WORKDIR/$log.log" 2>/dev/null || flip_ok=false
+    done
+    # Phase 3: a v2 Deny on each edge — the fleet-wide hot reload landed.
+    v2_ok=true
+    for log in t1 t2; do
+        grep -q 'decision req=.*decision=Deny policy=v2' "$WORKDIR/$log.log" 2>/dev/null || v2_ok=false
+    done
+    if $heights_ok && $v1_ok && $flip_ok && $v2_ok; then
         ok=1
         break
     fi
     sleep 1
 done
 
-if [ -z "$ok" ]; then
-    echo "SMOKE FAILED: criteria not met within ${TIMEOUT}s" >&2
-    for log in infra t1 t2; do
-        echo "--- $log.log (tail) ---" >&2
-        tail -20 "$WORKDIR/$log.log" >&2
-    done
-    exit 1
-fi
+[ -n "$ok" ] || fail "criteria not met within ${TIMEOUT}s"
+
+# Height-gated atomicity: all three processes must report the SAME
+# activation height for v2.
+act_heights=$(for log in infra t1 t2; do
+    grep -o 'policy v2 activated at height [0-9]*' "$WORKDIR/$log.log" | head -1 | grep -o '[0-9]*$'
+done | sort -u | wc -l)
+[ "$act_heights" -eq 1 ] || fail "v2 activation heights differ across processes"
+
+# No process was restarted for the rollout.
+for log in infra t1 t2; do
+    starts=$(grep -c 'listening on' "$WORKDIR/$log.log")
+    [ "$starts" -eq 1 ] || fail "$log restarted during the rollout"
+done
 
 # Convergence: the last reported state digests must agree across processes.
 digests=$(for log in infra t1 t2; do
@@ -94,5 +132,5 @@ if [ "$digests" -ne 1 ]; then
     exit 1
 fi
 
-echo "SMOKE OK: 3-process federation mined to height >= $TARGET_HEIGHT, served decisions on both edges, and converged"
+echo "SMOKE OK: 3-process federation served v1 decisions, hot-reloaded to v2 at one height fleet-wide (permit -> deny on both edges), and converged"
 exit 0
