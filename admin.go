@@ -106,6 +106,12 @@ type PolicyStats struct {
 	Staged      int64
 	Activations int64
 	Rejections  int64
+	// EventsDropped / Resyncs report the watcher's recovery path: chain
+	// event notifications its subscription missed, and the chain-state
+	// reconciliations triggered to compensate for them (the watcher's
+	// unconditional startup Sync is not counted).
+	EventsDropped int64
+	Resyncs       int64
 	// CachePurges counts decision-cache purges (one per hot reload; 0
 	// with the cache disabled).
 	CachePurges int64
@@ -116,11 +122,13 @@ type PolicyStats struct {
 func (d *Deployment) PolicyStats() PolicyStats {
 	st := d.watcher.Stats()
 	out := PolicyStats{
-		Version:     st.Version,
-		Height:      st.Height,
-		Staged:      st.Staged,
-		Activations: st.Activations,
-		Rejections:  st.Rejections,
+		Version:       st.Version,
+		Height:        st.Height,
+		Staged:        st.Staged,
+		Activations:   st.Activations,
+		Rejections:    st.Rejections,
+		EventsDropped: st.EventsDropped,
+		Resyncs:       st.Resyncs,
 	}
 	if c := d.PDP.Cache(); c != nil {
 		out.CachePurges = c.Stats().Purges

@@ -31,7 +31,7 @@ func run() int {
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5", "V6"} {
 			selected[id] = true
 		}
 	} else {
@@ -157,6 +157,14 @@ func run() int {
 				p = experiment.V5Params{Requests: 2048, Batch: 64, UpdateEveryBlocks: 2}
 			}
 			return experiment.RunV5(p)
+		}},
+		{"V6", func() (experiment.Table, error) {
+			p := experiment.DefaultV6Params()
+			if *quick {
+				p = experiment.V6Params{ChainLengths: []int{64, 256}, SyncBatch: 64,
+					NetLatency: 300 * time.Microsecond}
+			}
+			return experiment.RunV6(p)
 		}},
 	}
 

@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -50,6 +51,7 @@ import (
 	"drams/internal/logger"
 	"drams/internal/netsim"
 	"drams/internal/pap"
+	"drams/internal/store"
 	"drams/internal/transport/tcp"
 	"drams/internal/xacml"
 )
@@ -80,6 +82,7 @@ func run() error {
 	timeoutBlocks := flag.Uint64("timeout-blocks", 64, "daemon: log-match M3 window in blocks (consensus-critical; must match across processes)")
 	requireVerdict := flag.Bool("require-verdict", true, "daemon: demand an analyser verdict per exchange (consensus-critical; must match across processes)")
 	runFor := flag.Duration("run-for", 0, "daemon: exit cleanly after this duration (0 = until signalled)")
+	dataDir := flag.String("data-dir", "", "daemon: directory for the durable chain store; a restarted process re-validates and resumes its persisted chain instead of starting from genesis")
 	policyFile := flag.String("policy-file", "", "daemon: policy-set JSON to publish on-chain as a PAP update (any member may push)")
 	policyAtHeight := flag.Uint64("policy-at-height", 0, "daemon: wait for this local chain height before pushing -policy-file (0 = push immediately)")
 	policyDelta := flag.Uint64("policy-delta", 5, "daemon: activation delay of the -policy-file update, in blocks after submission")
@@ -108,6 +111,7 @@ func run() error {
 			timeoutBlocks:  *timeoutBlocks,
 			requireVerdict: *requireVerdict,
 			runFor:         *runFor,
+			dataDir:        *dataDir,
 			policyFile:     *policyFile,
 			policyAtHeight: *policyAtHeight,
 			policyDelta:    *policyDelta,
@@ -164,6 +168,7 @@ type daemonConfig struct {
 	mine         bool
 	emptyBlock   time.Duration
 	runFor       time.Duration
+	dataDir      string
 
 	// Policy administration: push policyFile as an on-chain PAP update
 	// once the local chain reaches policyAtHeight, activating policyDelta
@@ -222,6 +227,20 @@ func runDaemon(cfg daemonConfig) error {
 	for _, t := range tenants {
 		nodePeers = append(nodePeers, "node@"+t)
 	}
+	// Durable chain store: a process restarted with the same -data-dir
+	// re-validates its persisted chain and rejoins instead of starting a
+	// fresh genesis.
+	var chainStore *store.KV
+	if cfg.dataDir != "" {
+		if err := os.MkdirAll(cfg.dataDir, 0o755); err != nil {
+			return fmt.Errorf("data dir: %w", err)
+		}
+		chainStore, err = store.Open(filepath.Join(cfg.dataDir, "chain.wal"))
+		if err != nil {
+			return fmt.Errorf("open chain store: %w", err)
+		}
+		defer chainStore.Close()
+	}
 	node, err := blockchain.NewNode(blockchain.NodeConfig{
 		Name:               "node@" + cfg.tenant,
 		Chain:              chainCfg,
@@ -229,12 +248,18 @@ func runDaemon(cfg daemonConfig) error {
 		Peers:              nodePeers,
 		Mine:               isInfra || cfg.mine,
 		EmptyBlockInterval: cfg.emptyBlock,
+		Store:              chainStore,
 	})
 	if err != nil {
 		return err
 	}
 	defer node.Stop()
 	node.Start()
+	if chainStore != nil {
+		st := node.Stats()
+		logf("restored chain height=%d (%d blocks reloaded, %d dropped from damaged tail)",
+			node.Chain().Height(), st.BlocksReloaded, st.ReloadDropped)
+	}
 
 	li, err := logger.NewLI(logger.LIConfig{
 		Name:     "li@" + cfg.tenant,
@@ -287,20 +312,30 @@ func runDaemon(cfg daemonConfig) error {
 	defer watcher.Stop()
 
 	// The infrastructure process publishes the initial policy on-chain and
-	// waits for its own watcher to activate it.
+	// waits for its own watcher to activate it — unless the chain restored
+	// from -data-dir already carries an active policy, which re-anchoring
+	// would downgrade fleet-wide.
 	if infra != nil {
-		admin := pap.NewAdmin(node, papID)
-		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
-		if _, err := admin.UpdatePolicy(ctx, infra.initial, pap.UpdateOptions{}); err != nil {
+		activeVer := ""
+		node.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+			activeVer, _, _ = core.ReadActivePolicy(st)
+		})
+		if activeVer != "" {
+			logf("restored chain already carries active policy %s; skipping initial anchor", activeVer)
+		} else {
+			admin := pap.NewAdmin(node, papID)
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			if _, err := admin.UpdatePolicy(ctx, infra.initial, pap.UpdateOptions{}); err != nil {
+				cancel()
+				return fmt.Errorf("anchor policy: %w", err)
+			}
+			if err := watcher.WaitForVersion(ctx, infra.initial.Version); err != nil {
+				cancel()
+				return err
+			}
 			cancel()
-			return fmt.Errorf("anchor policy: %w", err)
+			logf("policy %s anchored on-chain and loaded", infra.initial.Version)
 		}
-		if err := watcher.WaitForVersion(ctx, infra.initial.Version); err != nil {
-			cancel()
-			return err
-		}
-		cancel()
-		logf("policy %s anchored on-chain and loaded", infra.initial.Version)
 	}
 
 	var pep *federation.PEPService
@@ -320,6 +355,11 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	done := make(chan struct{})
 	defer close(done)
+
+	// Actively pull the chain suffix this process is missing (restart from
+	// -data-dir, late join) over batched bc.getrange calls instead of
+	// waiting for the next gossiped block to trigger orphan resolution.
+	go catchUp(node, nodePeers, logf, done)
 
 	// Any member can administer policies: push the -policy-file update
 	// once the local chain reaches the trigger height.
@@ -409,6 +449,34 @@ func (ip *infraPlane) onPolicyEvent(ev pap.Event) {
 	if alert, ok := pap.MonitorEvent(ev); ok {
 		ip.monitor.PublishPolicyEvent(alert)
 	}
+}
+
+// catchUp syncs the node with the first reachable chain peer, retrying
+// while peer processes are still dialing. One log line reports the batched
+// range-sync economics: blocks fetched vs transport Calls spent. The
+// counters are the node's lifetime totals, not a delta — a gossiped block
+// can trigger the same batched pull through orphan resolution before (or
+// while) this goroutine runs, and that work is part of the rejoin too.
+func catchUp(node *blockchain.Node, peers []string, logf func(string, ...any), done <-chan struct{}) {
+	for attempt := 0; attempt < 240; attempt++ {
+		for _, p := range peers {
+			if p == node.Name() {
+				continue
+			}
+			if err := node.SyncFrom(p); err == nil {
+				st := node.Stats()
+				logf("caught up to height %d from %s: %d blocks in %d sync calls",
+					node.Chain().Height(), p, st.SyncBlocks, st.SyncCalls)
+				return
+			}
+		}
+		select {
+		case <-done:
+			return
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	logf("catch-up: no chain peer reachable; relying on gossip")
 }
 
 // pushPolicyFile publishes the -policy-file update once the local chain

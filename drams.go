@@ -38,10 +38,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"drams/internal/blockchain"
 	"drams/internal/clock"
+	"drams/internal/contract"
 	"drams/internal/core"
 	"drams/internal/crypto"
 	"drams/internal/federation"
@@ -49,6 +52,7 @@ import (
 	"drams/internal/logger"
 	"drams/internal/netsim"
 	"drams/internal/pap"
+	"drams/internal/store"
 	"drams/internal/transport"
 	"drams/internal/transport/tcp"
 	"drams/internal/xacml"
@@ -150,6 +154,15 @@ type Config struct {
 	// TransportPeers seeds the TCP transport built for ListenAddr with
 	// other processes' advertise addresses.
 	TransportPeers []string
+	// DataDir, when set, makes every chain node durable: each cloud's node
+	// opens a WAL-backed store under this directory, re-validates and
+	// replays its persisted chain at construction, and persists every
+	// accepted block incrementally from then on. Reopening a deployment
+	// with the same DataDir (and seed/topology) resumes the chain instead
+	// of starting a fresh genesis, and the policy watcher reconciles with
+	// the restored on-chain policy state — the initial Policy is only
+	// published when the chain has no active policy yet.
+	DataDir string
 }
 
 // Deployment is a running DRAMS federation.
@@ -184,7 +197,8 @@ type Deployment struct {
 	papAdmin   *pap.Admin
 	watcher    *pap.Watcher
 	ids        *idgen.Generator
-	registered []string // endpoint addresses to release on Close (caller-owned transport)
+	registered []string    // endpoint addresses to release on Close (caller-owned transport)
+	stores     []*store.KV // per-node durable chain stores (DataDir mode)
 	closed     bool
 }
 
@@ -293,7 +307,23 @@ func New(cfg Config) (*Deployment, error) {
 	for _, c := range d.topology.Clouds {
 		nodeNames = append(nodeNames, "node@"+c.Name)
 	}
+	if cfg.DataDir != "" {
+		if err := os.MkdirAll(cfg.DataDir, 0o755); err != nil {
+			d.Close()
+			return nil, fmt.Errorf("drams: data dir: %w", err)
+		}
+	}
 	for _, c := range d.topology.Clouds {
+		var kv *store.KV
+		if cfg.DataDir != "" {
+			var err error
+			kv, err = store.Open(filepath.Join(cfg.DataDir, "chain-"+c.Name+".wal"))
+			if err != nil {
+				d.Close()
+				return nil, fmt.Errorf("drams: open chain store for %s: %w", c.Name, err)
+			}
+			d.stores = append(d.stores, kv)
+		}
 		node, err := blockchain.NewNode(blockchain.NodeConfig{
 			Name:               "node@" + c.Name,
 			Chain:              chainCfg,
@@ -301,6 +331,7 @@ func New(cfg Config) (*Deployment, error) {
 			Peers:              nodeNames,
 			Mine:               cfg.MineAll || c.Name == infra.Cloud,
 			EmptyBlockInterval: cfg.EmptyBlockInterval,
+			Store:              kv,
 		})
 		if err != nil {
 			d.Close()
@@ -438,10 +469,19 @@ func New(cfg Config) (*Deployment, error) {
 	}
 	d.watcher.Start()
 
-	// Publish the initial policy.
-	if err := d.PublishPolicy(cfg.Policy); err != nil {
-		d.Close()
-		return nil, err
+	// Publish the initial policy — unless the chain (restored from DataDir
+	// or synced from an existing federation) already carries an active
+	// policy, in which case the watcher's Sync during Start has applied it
+	// and re-publishing would downgrade the whole fleet.
+	var activeVersion string
+	infraNode.Chain().ReadState(core.PolicyContractName, func(st contract.StateDB) {
+		activeVersion, _, _ = core.ReadActivePolicy(st)
+	})
+	if activeVersion == "" {
+		if err := d.PublishPolicy(cfg.Policy); err != nil {
+			d.Close()
+			return nil, err
+		}
 	}
 	return d, nil
 }
@@ -572,6 +612,9 @@ func (d *Deployment) Close() {
 	}
 	for _, node := range d.Nodes {
 		node.Stop()
+	}
+	for _, kv := range d.stores {
+		kv.Close()
 	}
 	if d.Transport != nil {
 		if d.ownsTransport {

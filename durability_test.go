@@ -1,0 +1,85 @@
+package drams_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"drams"
+	"drams/internal/xacml"
+)
+
+// TestDeploymentRestartFromDataDir is the deployment-level durable
+// lifecycle: a deployment opened with a DataDir, closed, and reopened with
+// the same directory must resume its persisted chains (not a fresh
+// genesis), keep the policy version that was active at shutdown — even
+// though Open is handed the original v1 policy — and serve decisions under
+// it immediately.
+func TestDeploymentRestartFromDataDir(t *testing.T) {
+	dir := t.TempDir()
+	open := func() *drams.Deployment {
+		dep, err := drams.Open(testPolicy("v1"),
+			drams.WithDataDir(dir),
+			drams.WithSeed(42),
+			drams.WithDifficulty(6),
+			drams.WithTimeoutBlocks(20),
+			drams.WithEmptyBlockInterval(15*time.Millisecond),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dep
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	dep := open()
+	client, err := dep.Client("tenant-1")
+	if err != nil {
+		dep.Close()
+		t.Fatal(err)
+	}
+	if _, err := client.Decide(ctx, doctorRequest(dep)); err != nil {
+		dep.Close()
+		t.Fatal(err)
+	}
+	// Flip the fleet to a restricting v2, then shut everything down.
+	admin, err := dep.Admin("tenant-1")
+	if err != nil {
+		dep.Close()
+		t.Fatal(err)
+	}
+	v2 := xacml.RestrictedPolicy("v2")
+	if err := admin.UpdatePolicy(ctx, v2, drams.UpdateOptions{}); err != nil {
+		dep.Close()
+		t.Fatal(err)
+	}
+	heightAtClose := dep.InfraNode().Chain().Height()
+	dep.Close()
+
+	restarted := open()
+	defer restarted.Close()
+	node := restarted.InfraNode()
+	if st := node.Stats(); st.BlocksReloaded == 0 {
+		t.Fatal("restarted deployment began from a fresh genesis")
+	}
+	if h := node.Chain().Height(); h < heightAtClose {
+		t.Fatalf("restored height %d < height at close %d", h, heightAtClose)
+	}
+	// The restored member must land on v2 without re-publishing: Open was
+	// given v1 but the chain's active policy wins.
+	if st := restarted.PolicyStats(); st.Version != "v2" {
+		t.Fatalf("restarted deployment active policy %q, want v2", st.Version)
+	}
+	client2, err := restarted.Client("tenant-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	enf, err := client2.Decide(ctx, doctorRequest(restarted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.Decision != xacml.Deny || enf.PolicyVersion != "v2" {
+		t.Fatalf("decision %v under %s, want Deny under v2", enf.Decision, enf.PolicyVersion)
+	}
+}

@@ -10,6 +10,8 @@ import (
 	"drams/internal/clock"
 	"drams/internal/contract"
 	"drams/internal/crypto"
+	"drams/internal/metrics"
+	"drams/internal/store"
 )
 
 // Config are the consensus parameters of a private DRAMS chain. Every node
@@ -102,6 +104,10 @@ type Chain struct {
 	sink     EventSink
 	headSubs map[int]chan struct{}
 	subSeq   int
+
+	storeKV     *store.KV // incremental persistence target (nil = volatile)
+	persisted   metrics.Counter
+	persistErrs metrics.Counter
 }
 
 // NewChain constructs a chain containing only the genesis block.
@@ -511,6 +517,7 @@ func (c *Chain) reorgToLocked(newHead crypto.Digest) ([]blockEvents, error) {
 		evs := c.applyBlockLocked(nb, c.state, c.nonces)
 		c.head = newHead
 		c.bestChain = append(c.bestChain, newHead)
+		c.persistAppendLocked(nb)
 		if c.emitted[newHead] {
 			return []blockEvents{{height: nb.Header.Height}}, nil
 		}
@@ -518,6 +525,7 @@ func (c *Chain) reorgToLocked(newHead crypto.Digest) ([]blockEvents, error) {
 		return []blockEvents{{height: nb.Header.Height, events: evs}}, nil
 	}
 
+	oldBest := c.bestChain
 	path, err := c.pathFromGenesisLocked(newHead)
 	if err != nil {
 		return nil, err
@@ -542,6 +550,7 @@ func (c *Chain) reorgToLocked(newHead crypto.Digest) ([]blockEvents, error) {
 	}
 	c.head = newHead
 	c.bestChain = best
+	c.persistReorgLocked(oldBest)
 	return emits, nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"drams/internal/contract"
 	"drams/internal/crypto"
 	"drams/internal/metrics"
+	"drams/internal/store"
 	"drams/internal/transport"
 )
 
@@ -20,6 +21,7 @@ const (
 	kindTx       = "bc.tx"
 	kindBlock    = "bc.block"
 	kindGetBlock = "bc.getblock"
+	kindGetRange = "bc.getrange"
 	kindHead     = "bc.head"
 	kindSubmit   = "bc.submit"
 	kindHello    = "bc.hello"
@@ -64,6 +66,20 @@ type NodeConfig struct {
 	// is configured with SequentialVerify, which keeps the historic
 	// verify-inline-per-message behaviour.
 	IngestBatch int
+	// Store, when set, makes the chain durable: persisted blocks are
+	// replayed (with full validation) at construction, a damaged tail is
+	// truncated, and every block that joins the best chain afterwards is
+	// written incrementally. The caller owns the store's lifecycle (open
+	// before NewNode, close after Stop).
+	Store *store.KV
+	// SyncBatch caps how many blocks one bc.getrange catch-up call may
+	// return (default 128, server-clamped to 512). Catch-up cost is then
+	// dominated by validation, not round-trips.
+	SyncBatch int
+	// PerBlockSync forces the legacy one-Call-per-block catch-up protocol
+	// instead of batched range sync — the baseline for the V6 rejoin
+	// benchmark.
+	PerBlockSync bool
 }
 
 // EventNotification delivers the events of one applied block to a
@@ -84,6 +100,22 @@ type NodeStats struct {
 	OrphansResolved int64
 	IngestBatches   int64
 	IngestDropped   int64
+	// BlocksPersisted / PersistErrors count incremental writes to the
+	// durable chain store (zero without NodeConfig.Store).
+	BlocksPersisted int64
+	PersistErrors   int64
+	// BlocksReloaded is how many persisted blocks were re-validated and
+	// applied at construction; ReloadDropped counts persisted blocks
+	// discarded because the stored tail failed validation (torn write,
+	// tampering) — the discarded range is re-fetched from peers.
+	BlocksReloaded int64
+	ReloadDropped  int64
+	// SyncCalls / SyncBlocks count the catch-up protocol: transport Calls
+	// issued (head, range and per-block fetches) and blocks obtained
+	// through them. With batched range sync SyncCalls stays far below
+	// SyncBlocks; the legacy per-block protocol pays one Call per block.
+	SyncCalls  int64
+	SyncBlocks int64
 	// Verifier reports the shared signature-verification pipeline counters
 	// (mempool admission + block validation).
 	Verifier VerifierStats
@@ -109,18 +141,27 @@ type Node struct {
 	ingest   chan inboundTx // nil when SequentialVerify
 
 	subMu  sync.Mutex
-	subs   map[int]chan EventNotification
+	subs   map[int]*eventSub
 	subSeq int
 
-	mined     metrics.Counter
-	accepted  metrics.Counter
-	rejected  metrics.Counter
-	submitted metrics.Counter
-	evDropped metrics.Counter
-	cancelled metrics.Counter
-	orphans   metrics.Counter
-	inBatches metrics.Counter
-	inDropped metrics.Counter
+	mined      metrics.Counter
+	accepted   metrics.Counter
+	rejected   metrics.Counter
+	submitted  metrics.Counter
+	evDropped  metrics.Counter
+	cancelled  metrics.Counter
+	orphans    metrics.Counter
+	inBatches  metrics.Counter
+	inDropped  metrics.Counter
+	reloaded   metrics.Counter
+	reloadDrop metrics.Counter
+	syncCalls  metrics.Counter
+	syncBlocks metrics.Counter
+
+	// testAfterCollect, when set (tests only), runs between the mining
+	// loop's mempool collection and its head re-check — the window of the
+	// historical stale-snapshot race.
+	testAfterCollect func()
 }
 
 // inboundTx is a gossiped transaction queued for batched admission.
@@ -144,21 +185,49 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	if cfg.IngestBatch <= 0 {
 		cfg.IngestBatch = 128
 	}
+	if cfg.SyncBatch <= 0 {
+		cfg.SyncBatch = 128
+	}
+	chain := NewChain(cfg.Chain)
+	var reloaded, reloadDropped int
+	if cfg.Store != nil {
+		// Replay the persisted best chain through full validation before
+		// any network traffic; the event sink is not installed yet, so
+		// replay emits nothing (subscribers reconcile via their own Sync).
+		applied, err := chain.LoadFromStore(cfg.Store)
+		reloaded = applied
+		if err != nil {
+			// The tail beyond the validated prefix is damaged (torn final
+			// write after a crash, tampering): drop it and let catch-up
+			// re-fetch those heights from peers.
+			for _, key := range cfg.Store.Keys(persistBlockPrefix) {
+				if key > persistBlockKey(uint64(applied)) {
+					reloadDropped++
+				}
+			}
+			if terr := truncateStoreAbove(cfg.Store, uint64(applied)); terr != nil {
+				return nil, fmt.Errorf("blockchain: reload %q: %v; truncate: %w", cfg.Name, err, terr)
+			}
+		}
+		chain.AttachStore(cfg.Store)
+	}
 	ep, err := cfg.Network.Register(cfg.Name)
 	if err != nil {
 		return nil, fmt.Errorf("blockchain: register node %q: %w", cfg.Name, err)
 	}
 	n := &Node{
 		cfg:       cfg,
-		chain:     NewChain(cfg.Chain),
+		chain:     chain,
 		pool:      NewMempool(cfg.MempoolSize),
 		ep:        ep,
 		clk:       cfg.Chain.withDefaults().Clock,
 		stop:      make(chan struct{}),
 		newTx:     make(chan struct{}, 1),
-		subs:      make(map[int]chan EventNotification),
+		subs:      make(map[int]*eventSub),
 		chainPeer: make(map[string]struct{}),
 	}
+	n.reloaded.Add(int64(reloaded))
+	n.reloadDrop.Add(int64(reloadDropped))
 	n.chain.SetEventSink(n.fanout)
 	if !cfg.Chain.SequentialVerify {
 		// Gossip handlers are active from construction, so the batched
@@ -171,6 +240,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 	ep.OnMessage(kindBlock, n.handleBlockGossip)
 	ep.OnMessage(kindHello, n.handleHello)
 	ep.OnCall(kindGetBlock, n.handleGetBlock)
+	ep.OnCall(kindGetRange, n.handleGetRange)
 	ep.OnCall(kindHead, n.handleHead)
 	ep.OnCall(kindSubmit, n.handleSubmit)
 	if len(cfg.Peers) == 0 {
@@ -246,6 +316,7 @@ func (n *Node) Mempool() *Mempool { return n.pool }
 
 // Stats snapshots the node counters.
 func (n *Node) Stats() NodeStats {
+	persist := n.chain.PersistStats()
 	return NodeStats{
 		BlocksMined:     n.mined.Value(),
 		BlocksAccepted:  n.accepted.Value(),
@@ -256,6 +327,12 @@ func (n *Node) Stats() NodeStats {
 		OrphansResolved: n.orphans.Value(),
 		IngestBatches:   n.inBatches.Value(),
 		IngestDropped:   n.inDropped.Value(),
+		BlocksPersisted: persist.BlocksPersisted,
+		PersistErrors:   persist.PersistErrors,
+		BlocksReloaded:  n.reloaded.Value(),
+		ReloadDropped:   n.reloadDrop.Value(),
+		SyncCalls:       n.syncCalls.Value(),
+		SyncBlocks:      n.syncBlocks.Value(),
 		Verifier:        n.chain.Verifier().Stats(),
 	}
 }
@@ -301,8 +378,8 @@ func (n *Node) Stop() {
 	})
 	n.wg.Wait()
 	n.subMu.Lock()
-	for id, ch := range n.subs {
-		close(ch)
+	for id, sub := range n.subs {
+		close(sub.ch)
 		delete(n.subs, id)
 	}
 	n.subMu.Unlock()
@@ -351,41 +428,86 @@ func (n *Node) WaitForReceipt(ctx context.Context, txID crypto.Digest, confirmat
 	}
 }
 
-// SubscribeEvents returns a channel of per-block contract events (delivered
-// at-least-once) and a cancel function. The channel is closed on Stop or
-// cancel.
-func (n *Node) SubscribeEvents(buffer int) (<-chan EventNotification, func()) {
+// eventSub is one event subscriber: its delivery channel plus a private
+// drop counter, so a consumer can detect that it missed notifications and
+// reconcile from chain state.
+type eventSub struct {
+	ch      chan EventNotification
+	dropped metrics.Counter
+}
+
+// EventSubscription is a handle on one event stream. Delivery is best
+// effort: when the subscriber's buffer is full the notification is dropped
+// (never blocking consensus) and Dropped advances — consumers that need
+// completeness must treat on-chain state as ground truth and resync when
+// they observe drops (pap.Watcher does exactly this).
+type EventSubscription struct {
+	// C delivers per-block contract events. Closed on Cancel or node Stop.
+	C <-chan EventNotification
+
+	sub    *eventSub
+	cancel func()
+}
+
+// Dropped reports how many notifications this subscriber has missed to a
+// full buffer since subscribing. The counter is monotonic; consumers track
+// the last value they acted on and resync on any advance.
+func (s *EventSubscription) Dropped() int64 { return s.sub.dropped.Value() }
+
+// Cancel unsubscribes and closes C. Safe to call more than once.
+func (s *EventSubscription) Cancel() { s.cancel() }
+
+// Subscribe registers a per-block contract event stream (buffer <= 0 means
+// the 4096 default). Delivery is best effort — see EventSubscription.
+func (n *Node) Subscribe(buffer int) *EventSubscription {
 	if buffer <= 0 {
 		buffer = 4096
 	}
-	ch := make(chan EventNotification, buffer)
+	sub := &eventSub{ch: make(chan EventNotification, buffer)}
 	n.subMu.Lock()
 	n.subSeq++
 	id := n.subSeq
-	n.subs[id] = ch
+	n.subs[id] = sub
 	n.subMu.Unlock()
 	var once sync.Once
-	return ch, func() {
-		once.Do(func() {
-			n.subMu.Lock()
-			if c, ok := n.subs[id]; ok {
-				delete(n.subs, id)
-				close(c)
-			}
-			n.subMu.Unlock()
-		})
+	return &EventSubscription{
+		C:   sub.ch,
+		sub: sub,
+		cancel: func() {
+			once.Do(func() {
+				n.subMu.Lock()
+				if s, ok := n.subs[id]; ok {
+					delete(n.subs, id)
+					close(s.ch)
+				}
+				n.subMu.Unlock()
+			})
+		},
 	}
+}
+
+// SubscribeEvents returns a channel of per-block contract events and a
+// cancel function; the channel is closed on Stop or cancel. Delivery is
+// best effort — a slow subscriber's notifications are dropped (counted in
+// NodeStats.EventsDropped), NOT delivered at-least-once. Consumers that
+// cannot tolerate gaps should use Subscribe, whose handle exposes the
+// per-subscriber drop counter to trigger a state resync.
+func (n *Node) SubscribeEvents(buffer int) (<-chan EventNotification, func()) {
+	sub := n.Subscribe(buffer)
+	return sub.C, sub.cancel
 }
 
 func (n *Node) fanout(height uint64, events []contract.Event) {
 	n.subMu.Lock()
 	defer n.subMu.Unlock()
-	for _, ch := range n.subs {
+	for _, sub := range n.subs {
 		select {
-		case ch <- EventNotification{Height: height, Events: events}:
+		case sub.ch <- EventNotification{Height: height, Events: events}:
 		default:
-			// Subscriber too slow: drop (consumers must treat on-chain
-			// state as ground truth; notifications are a fast path).
+			// Subscriber too slow: drop rather than block consensus. The
+			// per-subscriber counter lets the consumer notice and resync
+			// from chain state, which stays the ground truth.
+			sub.dropped.Inc()
 			n.evDropped.Inc()
 		}
 	}
@@ -557,41 +679,6 @@ func (n *Node) afterAccept(b *Block, from string) {
 	n.gossip(kindBlock, b.Encode(), from)
 }
 
-// resolveOrphans walks the parent chain back from b, fetching blocks from
-// the peer until one attaches, then applies the fetched suffix in order.
-// Returns true if b was eventually accepted.
-func (n *Node) resolveOrphans(b *Block, peer string) bool {
-	pending := []*Block{b}
-	cursor := b.Header.PrevHash
-	for depth := 0; depth < n.cfg.SyncDepth; depth++ {
-		if _, ok := n.chain.BlockByHash(cursor); ok {
-			break
-		}
-		ctx, cancelCtx := context.WithTimeout(context.Background(), 5*time.Second)
-		resp, err := n.ep.Call(ctx, peer, kindGetBlock, cursor.Bytes())
-		cancelCtx()
-		if err != nil {
-			return false
-		}
-		parent, err := DecodeBlock(resp)
-		if err != nil || parent.Hash() != cursor {
-			return false
-		}
-		pending = append(pending, parent)
-		cursor = parent.Header.PrevHash
-	}
-	// Apply oldest-first.
-	for i := len(pending) - 1; i >= 0; i-- {
-		err := n.chain.AddBlock(pending[i])
-		if err != nil && !errors.Is(err, ErrKnownBlock) {
-			n.rejected.Inc()
-			return false
-		}
-	}
-	n.orphans.Inc()
-	return true
-}
-
 // handleGetBlock serves a block by hash.
 func (n *Node) handleGetBlock(from string, payload []byte) ([]byte, error) {
 	if len(payload) != crypto.DigestSize {
@@ -630,39 +717,6 @@ func (n *Node) handleSubmit(from string, payload []byte) ([]byte, error) {
 	return id.Bytes(), nil
 }
 
-// SyncFrom pulls the peer's best chain and imports it (used by nodes that
-// join or restart).
-func (n *Node) SyncFrom(peer string) error {
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	resp, err := n.ep.Call(ctx, peer, kindHead, nil)
-	if err != nil {
-		return fmt.Errorf("blockchain: sync from %q: %w", peer, err)
-	}
-	var hi headInfo
-	if err := json.Unmarshal(resp, &hi); err != nil {
-		return fmt.Errorf("blockchain: sync from %q: %w", peer, err)
-	}
-	if _, ok := n.chain.BlockByHash(hi.Hash); ok {
-		return nil // already have their head
-	}
-	blkCtx, cancelBlk := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancelBlk()
-	raw, err := n.ep.Call(blkCtx, peer, kindGetBlock, hi.Hash.Bytes())
-	if err != nil {
-		return fmt.Errorf("blockchain: sync head block: %w", err)
-	}
-	b, err := DecodeBlock(raw)
-	if err != nil {
-		return err
-	}
-	n.importBlock(b, peer)
-	if _, ok := n.chain.BlockByHash(hi.Hash); !ok {
-		return fmt.Errorf("blockchain: sync from %q did not converge", peer)
-	}
-	return nil
-}
-
 // headAge reports how long ago the current head block was produced. A
 // fresh chain (only genesis, whose timestamp is a fixed past instant)
 // reports a large age, which correctly kick-starts empty-block production.
@@ -693,7 +747,21 @@ func (n *Node) mineLoop() {
 		default:
 		}
 
+		// Snapshot the parent BEFORE collecting from the mempool, and
+		// re-check it afterwards: a block imported between the two would
+		// otherwise let Collect run against post-import nonces while the
+		// candidate still builds on the old head (or vice versa), mining
+		// already-confirmed transactions onto the new head — a guaranteed
+		// rejection after the PoW was paid.
+		parentHash, parentHeight := n.chain.Head()
 		txs := n.pool.Collect(n.chain.Config().MaxTxPerBlock, n.chain.AccountNonces())
+		if n.testAfterCollect != nil {
+			n.testAfterCollect()
+		}
+		if h, _ := n.chain.Head(); h != parentHash {
+			n.cancelled.Inc()
+			continue // head moved mid-snapshot: restart from the new head
+		}
 		if len(txs) == 0 {
 			if n.cfg.EmptyBlockInterval == 0 {
 				// Wait for work.
@@ -723,7 +791,6 @@ func (n *Node) mineLoop() {
 			// Fall through: mine an empty liveness block.
 		}
 
-		parentHash, parentHeight := n.chain.Head()
 		b := &Block{
 			Header: BlockHeader{
 				Height:       parentHeight + 1,

@@ -1,0 +1,627 @@
+package blockchain
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"drams/internal/contract"
+	"drams/internal/netsim"
+	"drams/internal/store"
+)
+
+// TestMineLoopHeadMovedMidSnapshot is the regression test for the mining
+// loop's stale-snapshot race: a block imported between the mempool
+// collection and the head read used to make the miner build
+// already-confirmed transactions onto the new head, a guaranteed rejection
+// after the PoW was paid. The test hook injects a competing import exactly
+// into that window.
+func TestMineLoopHeadMovedMidSnapshot(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 9})
+	defer net.Close()
+	node, err := NewNode(NodeConfig{
+		Name:    "miner",
+		Chain:   testChainConfig(t, alice),
+		Network: net,
+		Mine:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	tx, err := NewTransaction(alice, 1, putCall("race", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var once sync.Once
+	raced := make(chan struct{})
+	node.testAfterCollect = func() {
+		if len(node.pool.Collect(16, node.chain.AccountNonces())) == 0 {
+			return // not our tx yet (empty warm-up iterations)
+		}
+		once.Do(func() {
+			// A peer's block carrying the same tx lands right between the
+			// miner's collection and its head re-check.
+			head, _ := node.chain.Head()
+			b := mineChild(t, node.chain, head, tx)
+			if err := node.chain.AddBlock(b); err != nil {
+				t.Errorf("competing import: %v", err)
+			}
+			close(raced)
+		})
+	}
+	node.Start()
+	if err := node.SubmitTx(tx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-raced:
+	case <-time.After(10 * time.Second):
+		t.Fatal("race window never hit")
+	}
+	waitFor(t, 5*time.Second, func() bool {
+		_, _, err := node.chain.Receipt(tx.ID())
+		return err == nil
+	}, "tx confirmed")
+	// The miner must have detected the moved head and restarted instead of
+	// mining the confirmed tx again onto the new head.
+	if st := node.Stats(); st.BlocksRejected != 0 {
+		t.Fatalf("miner produced %d rejected blocks", st.BlocksRejected)
+	}
+	if st := node.Stats(); st.MiningCancelled == 0 {
+		t.Fatalf("expected at least one cancelled attempt, stats: %+v", st)
+	}
+}
+
+// TestSubscriptionDropCounters pins the corrected SubscribeEvents contract:
+// delivery is best effort, drops are counted per subscriber and in the
+// node aggregate.
+func TestSubscriptionDropCounters(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 3})
+	defer net.Close()
+	node, err := NewNode(NodeConfig{Name: "n", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	slow := node.Subscribe(1)
+	defer slow.Cancel()
+	fast := node.Subscribe(8)
+	defer fast.Cancel()
+	for i := 0; i < 4; i++ {
+		node.fanout(uint64(i+1), []contract.Event{{Contract: "kv", Type: "put"}})
+	}
+	if got := slow.Dropped(); got != 3 {
+		t.Fatalf("slow subscriber dropped %d, want 3", got)
+	}
+	if got := fast.Dropped(); got != 0 {
+		t.Fatalf("fast subscriber dropped %d, want 0", got)
+	}
+	if st := node.Stats(); st.EventsDropped != 3 {
+		t.Fatalf("aggregate EventsDropped = %d, want 3", st.EventsDropped)
+	}
+}
+
+// rangeOf is a test helper calling the bc.getrange handler directly.
+func rangeOf(t *testing.T, n *Node, req rangeReq) []*Block {
+	t.Helper()
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := n.handleGetRange("tester", payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp rangeResp
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*Block, len(resp.Blocks))
+	for i, enc := range resp.Blocks {
+		b, err := DecodeBlock(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = b
+	}
+	return out
+}
+
+func TestGetRangeServesDescendingWindow(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 4})
+	defer net.Close()
+	node, err := NewNode(NodeConfig{Name: "src", Chain: testChainConfig(t, alice), Network: net})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	parent := node.chain.Genesis()
+	for i := 1; i <= 6; i++ {
+		tx, err := NewTransaction(alice, uint64(i), putCall(fmt.Sprintf("k%d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := mineChild(t, node.chain, parent, tx)
+		if err := node.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		parent = b.Hash()
+	}
+	head, _ := node.chain.Head()
+
+	// Full window: descending from head, genesis excluded.
+	blocks := rangeOf(t, node, rangeReq{Cursor: head, Count: 100})
+	if len(blocks) != 6 {
+		t.Fatalf("got %d blocks, want 6", len(blocks))
+	}
+	for i, b := range blocks {
+		if want := uint64(6 - i); b.Header.Height != want {
+			t.Fatalf("block %d at height %d, want %d", i, b.Header.Height, want)
+		}
+	}
+	// Bounded window respects Count.
+	if got := len(rangeOf(t, node, rangeReq{Cursor: head, Count: 2})); got != 2 {
+		t.Fatalf("bounded window returned %d blocks", got)
+	}
+	// Unknown cursor errors.
+	payload, _ := json.Marshal(rangeReq{Cursor: crypto32(0xee), Count: 4})
+	if _, err := node.handleGetRange("tester", payload); err == nil {
+		t.Fatal("unknown cursor served")
+	}
+}
+
+// TestBatchedSyncUsesFewCalls proves catch-up economics: syncing a chain of
+// N blocks costs ~N/SyncBatch range calls, not N round-trips.
+func TestBatchedSyncUsesFewCalls(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 5})
+	defer net.Close()
+	src, err := NewNode(NodeConfig{Name: "src", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"src", "joiner"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Stop()
+	parent := src.chain.Genesis()
+	const length = 30
+	for i := 1; i <= length; i++ {
+		tx, err := NewTransaction(alice, uint64(i), putCall(fmt.Sprintf("k%d", i), "v"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := mineChild(t, src.chain, parent, tx)
+		if err := src.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		parent = b.Hash()
+	}
+
+	joiner, err := NewNode(NodeConfig{Name: "joiner", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"src", "joiner"}, SyncBatch: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Stop()
+	if err := joiner.SyncFrom("src"); err != nil {
+		t.Fatal(err)
+	}
+	if joiner.chain.Height() != length {
+		t.Fatalf("joiner height %d, want %d", joiner.chain.Height(), length)
+	}
+	if joiner.chain.StateDigest() != src.chain.StateDigest() {
+		t.Fatal("state digest diverged")
+	}
+	st := joiner.Stats()
+	if st.SyncBlocks != length {
+		t.Fatalf("SyncBlocks = %d, want %d", st.SyncBlocks, length)
+	}
+	// 1 head call + ceil(30/10) range calls.
+	if st.SyncCalls > 5 {
+		t.Fatalf("SyncCalls = %d for %d blocks (batch 10)", st.SyncCalls, length)
+	}
+}
+
+// TestNodeRestartFromStore is the crash/restart lifecycle: a validating
+// node persists incrementally, dies, reopens from its data dir with full
+// re-validation, and catches up past its crash height via batched sync.
+func TestNodeRestartFromStore(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{BaseLatency: time.Millisecond, Seed: 7})
+	defer net.Close()
+	peers := []string{"miner", "member"}
+	miner, err := NewNode(NodeConfig{Name: "miner", Chain: testChainConfig(t, alice), Network: net,
+		Peers: peers, Mine: true, EmptyBlockInterval: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer miner.Stop()
+	miner.Start()
+
+	path := filepath.Join(t.TempDir(), "member.wal")
+	kv, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := NewNode(NodeConfig{Name: "member", Chain: testChainConfig(t, alice), Network: net,
+		Peers: peers, Store: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member.Start()
+
+	// Some real transactions so the restored state digest is non-trivial.
+	sender := NewSender(miner, alice)
+	for i := 0; i < 5; i++ {
+		if _, err := sender.Send(putCall(fmt.Sprintf("k%d", i), "v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 15*time.Second, func() bool { return member.chain.Height() >= 8 }, "member at height 8")
+
+	// Crash: stop without any explicit save — incremental persistence must
+	// already have everything up to the member's head on disk.
+	crashHeight := member.chain.Height()
+	member.Stop()
+	net.Unregister("member")
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := member.Stats(); st.BlocksPersisted < int64(crashHeight) {
+		t.Fatalf("persisted %d blocks, head was %d", st.BlocksPersisted, crashHeight)
+	}
+
+	// The fleet moves on while the member is down.
+	waitFor(t, 15*time.Second, func() bool { return miner.chain.Height() >= crashHeight+6 }, "fleet advanced")
+
+	// Reopen: the persisted chain is re-validated and the node rejoins.
+	kv2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	restarted, err := NewNode(NodeConfig{Name: "member", Chain: testChainConfig(t, alice), Network: net,
+		Peers: peers, Store: kv2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Stop()
+	if st := restarted.Stats(); st.BlocksReloaded < int64(crashHeight) {
+		t.Fatalf("reloaded %d blocks, crashed at height %d", st.BlocksReloaded, crashHeight)
+	}
+	if restarted.chain.Height() < crashHeight {
+		t.Fatalf("restored height %d < crash height %d", restarted.chain.Height(), crashHeight)
+	}
+	restarted.Start()
+	if err := restarted.SyncFrom("miner"); err != nil {
+		t.Fatal(err)
+	}
+	if h := restarted.chain.Height(); h < crashHeight+6 {
+		t.Fatalf("caught up only to height %d", h)
+	}
+	waitFor(t, 10*time.Second, func() bool {
+		return restarted.chain.StateDigest() == miner.chain.StateDigest()
+	}, "state digests converge after restart")
+	st := restarted.Stats()
+	if st.SyncBlocks == 0 {
+		t.Fatal("no blocks fetched through catch-up")
+	}
+	if st.SyncCalls >= st.SyncBlocks+2 {
+		t.Fatalf("per-block economics: %d calls for %d blocks", st.SyncCalls, st.SyncBlocks)
+	}
+}
+
+// TestNodeReopenTruncatedWAL simulates the classic crash artifact — a torn
+// final WAL record — and expects the validated prefix to load.
+func TestNodeReopenTruncatedWAL(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	path := filepath.Join(t.TempDir(), "chain.wal")
+	kv, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := buildTestChain(t, 5)
+	if err := src.SaveToStore(kv); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"put","key":"block/tor`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	kv2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	net := netsim.New(netsim.Config{Seed: 8})
+	defer net.Close()
+	node, err := NewNode(NodeConfig{Name: "n", Chain: testChainConfig(t, alice), Network: net, Store: kv2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	if node.chain.Height() != 5 {
+		t.Fatalf("height %d after torn-record reopen, want 5", node.chain.Height())
+	}
+	if node.chain.StateDigest() != src.StateDigest() {
+		t.Fatal("state digest lost through torn record")
+	}
+}
+
+// TestNodeReopenCorruptBlockTruncatesTail: a persisted block that fails
+// validation must not brick the node — the validated prefix survives, the
+// damaged tail is dropped from the store, and a peer refills it.
+func TestNodeReopenCorruptBlockTruncatesTail(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	path := filepath.Join(t.TempDir(), "chain.wal")
+	kv, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := buildTestChain(t, 6)
+	if err := src.SaveToStore(kv); err != nil {
+		t.Fatal(err)
+	}
+	// Bit-flip block 4 in place (memory view; the node reads this store).
+	raw, err := kv.Get(persistBlockKey(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := append([]byte(nil), raw...)
+	for i := range mutated {
+		if mutated[i] == '1' {
+			mutated[i] = '2'
+			break
+		}
+	}
+	kv.TamperUnderlying(persistBlockKey(4), mutated)
+
+	net := netsim.New(netsim.Config{Seed: 10})
+	defer net.Close()
+	node, err := NewNode(NodeConfig{Name: "n", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"n", "src"}, Store: kv})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	defer kv.Close()
+	if node.chain.Height() != 3 {
+		t.Fatalf("height %d after corrupt tail, want 3", node.chain.Height())
+	}
+	st := node.Stats()
+	if st.BlocksReloaded != 3 || st.ReloadDropped != 3 {
+		t.Fatalf("reloaded=%d dropped=%d, want 3/3", st.BlocksReloaded, st.ReloadDropped)
+	}
+	if got := len(kv.Keys(persistBlockPrefix)); got != 3 {
+		t.Fatalf("store still holds %d blocks after truncation", got)
+	}
+
+	// A peer with the intact chain refills the dropped heights.
+	srcNode, err := NewNode(NodeConfig{Name: "src", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"n", "src"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcNode.Stop()
+	for _, h := range src.BestChainHashes()[1:] {
+		b, _ := src.BlockByHash(h)
+		if err := srcNode.Chain().AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := node.SyncFrom("src"); err != nil {
+		t.Fatal(err)
+	}
+	if node.chain.Height() != 6 || node.chain.StateDigest() != src.StateDigest() {
+		t.Fatalf("refill failed: height %d", node.chain.Height())
+	}
+	// And the refilled suffix is durable again.
+	if got := len(kv.Keys(persistBlockPrefix)); got != 6 {
+		t.Fatalf("store holds %d blocks after refill, want 6", got)
+	}
+}
+
+// TestSyncFromToleratesHeadChurn scripts a peer whose head answer is stale
+// by the time the branch is pulled (reorged away): SyncFrom must chase the
+// fresh head instead of failing with "did not converge".
+func TestSyncFromToleratesHeadChurn(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 11})
+	defer net.Close()
+
+	// Main chain of 8 blocks plus a doomed fork block at height 5.
+	main := buildTestChain(t, 8)
+	hashes := main.BestChainHashes()
+	fork := mineChild(t, main, hashes[4]) // empty sibling of block 5
+	byHash := make(map[string]*Block)
+	for _, h := range hashes[1:] {
+		b, _ := main.BlockByHash(h)
+		byHash[string(h[:])] = b
+	}
+
+	ep, err := net.Register("churn-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var headCalls int
+	var mu sync.Mutex
+	ep.OnCall(kindHead, func(from string, payload []byte) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		headCalls++
+		if headCalls == 1 {
+			// First answer: the fork block, which "reorgs away" before the
+			// joiner can pull its ancestry.
+			return json.Marshal(headInfo{Hash: fork.Hash(), Height: 5})
+		}
+		return json.Marshal(headInfo{Hash: hashes[8], Height: 8})
+	})
+	ep.OnCall(kindGetRange, func(from string, payload []byte) ([]byte, error) {
+		var req rangeReq
+		if err := json.Unmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		var resp rangeResp
+		cursor := req.Cursor
+		for len(resp.Blocks) < req.Count {
+			b, ok := byHash[string(cursor[:])]
+			if !ok {
+				if len(resp.Blocks) == 0 {
+					return nil, errors.New("not found (reorged away)")
+				}
+				break
+			}
+			resp.Blocks = append(resp.Blocks, b.Encode())
+			cursor = b.Header.PrevHash
+		}
+		return json.Marshal(resp)
+	})
+
+	joiner, err := NewNode(NodeConfig{Name: "joiner", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"joiner", "churn-peer"}, SyncBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Stop()
+	if err := joiner.SyncFrom("churn-peer"); err != nil {
+		t.Fatalf("head churn not tolerated: %v", err)
+	}
+	if joiner.chain.Height() != 8 {
+		t.Fatalf("joiner height %d, want 8", joiner.chain.Height())
+	}
+	if joiner.chain.StateDigest() != main.StateDigest() {
+		t.Fatal("state digest diverged")
+	}
+}
+
+// crypto32 builds a fixed digest for negative tests.
+func crypto32(fill byte) (d [32]byte) {
+	for i := range d {
+		d[i] = fill
+	}
+	return
+}
+
+// TestGetRangeByteCapSplitsLargeBlocks: a range response must stay under
+// the transport frame budget however large individual blocks are — the
+// window splits and the requester keeps pulling, so catch-up on a chain of
+// fat blocks still completes (and still beats per-block on round-trips).
+func TestGetRangeByteCapSplitsLargeBlocks(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 12})
+	defer net.Close()
+	src, err := NewNode(NodeConfig{Name: "src", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"src", "joiner"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Stop()
+	big := make([]byte, 1<<20) // ~1.4 MiB per encoded block (JSON inflates)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	parent := src.chain.Genesis()
+	const length = 8
+	for i := 1; i <= length; i++ {
+		tx, err := NewTransaction(alice, uint64(i), putCall(fmt.Sprintf("k%d", i), string(big)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b := mineChild(t, src.chain, parent, tx)
+		if err := src.chain.AddBlock(b); err != nil {
+			t.Fatal(err)
+		}
+		parent = b.Hash()
+	}
+	head, _ := src.chain.Head()
+	if got := len(rangeOf(t, src, rangeReq{Cursor: head, Count: length})); got >= length {
+		t.Fatalf("one response carried all %d fat blocks — byte cap not applied", got)
+	}
+
+	joiner, err := NewNode(NodeConfig{Name: "joiner", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"src", "joiner"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Stop()
+	if err := joiner.SyncFrom("src"); err != nil {
+		t.Fatal(err)
+	}
+	if joiner.chain.Height() != length || joiner.chain.StateDigest() != src.chain.StateDigest() {
+		t.Fatalf("fat-block sync incomplete: height %d", joiner.chain.Height())
+	}
+	st := joiner.Stats()
+	if st.SyncCalls >= int64(length) {
+		t.Fatalf("split windows degenerated to per-block: %d calls for %d blocks", st.SyncCalls, length)
+	}
+}
+
+// TestPullBranchRemembersLegacyPeer: syncing from a peer without the
+// bc.getrange handler must probe it at most once per pull, then pay
+// exactly one bc.getblock per block — parity with the legacy protocol.
+func TestPullBranchRemembersLegacyPeer(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	net := netsim.New(netsim.Config{Seed: 13})
+	defer net.Close()
+	main := buildTestChain(t, 6)
+	byHash := make(map[string]*Block)
+	for _, h := range main.BestChainHashes()[1:] {
+		b, _ := main.BlockByHash(h)
+		byHash[string(h[:])] = b
+	}
+	ep, err := net.Register("legacy-peer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blockCalls int64
+	ep.OnCall(kindGetBlock, func(from string, payload []byte) ([]byte, error) {
+		blockCalls++
+		b, ok := byHash[string(payload)]
+		if !ok {
+			return nil, errors.New("not found")
+		}
+		return b.Encode(), nil
+	})
+	// kindGetRange deliberately has no handler, so the joiner's probe gets
+	// ErrNoHandler; the probe count shows up in the joiner's SyncCalls.
+
+	joiner, err := NewNode(NodeConfig{Name: "joiner", Chain: testChainConfig(t, alice), Network: net,
+		Peers: []string{"joiner", "legacy-peer"}, SyncBatch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer joiner.Stop()
+	hashes := main.BestChainHashes()
+	if err := joiner.pullBranch("legacy-peer", hashes[len(hashes)-1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if joiner.chain.Height() != 6 {
+		t.Fatalf("joiner height %d, want 6", joiner.chain.Height())
+	}
+	if blockCalls != 6 {
+		t.Fatalf("legacy peer served %d block calls, want 6", blockCalls)
+	}
+	// One failed range probe + six block fetches: anything more means the
+	// pull kept re-probing the missing handler.
+	if st := joiner.Stats(); st.SyncCalls != 7 {
+		t.Fatalf("SyncCalls = %d, want 7 (1 probe + 6 blocks)", st.SyncCalls)
+	}
+}

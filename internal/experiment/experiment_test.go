@@ -296,3 +296,32 @@ func TestRunV5Smoke(t *testing.T) {
 		}
 	}
 }
+
+func TestRunV6Smoke(t *testing.T) {
+	// Reduced rejoin run: both protocols over a short chain, with the
+	// batched mode required to beat per-block on transport calls — the
+	// round-trip economics V6 exists to prove (state-digest equality is
+	// cross-checked inside RunV6).
+	tab, err := RunV6(V6Params{ChainLengths: []int{48}, SyncBatch: 16,
+		NetLatency: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	calls := make(map[string]int)
+	for _, row := range tab.Rows {
+		n, err := strconv.Atoi(row[3])
+		if err != nil {
+			t.Fatalf("calls cell %q: %v", row[3], err)
+		}
+		calls[row[1]] = n
+	}
+	if calls["per-block"] < 48 {
+		t.Fatalf("per-block used %d calls for 48 blocks", calls["per-block"])
+	}
+	if batched := calls["batched(16)"]; batched >= calls["per-block"]/4 {
+		t.Fatalf("batched sync used %d calls vs per-block %d", batched, calls["per-block"])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"drams/internal/core"
 	"drams/internal/crypto"
 	"drams/internal/netsim"
+	"drams/internal/store"
 	"drams/internal/xacml"
 )
 
@@ -369,4 +371,158 @@ func waitCond(t *testing.T, timeout time.Duration, cond func() bool, msg string)
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("timeout: %s", msg)
+}
+
+// TestWatcherResyncOnDrops pins the recovery contract for best-effort
+// event delivery: when the subscription reports dropped notifications, the
+// watcher reconciles from chain state and lands on the active version it
+// never saw an event for.
+func TestWatcherResyncOnDrops(t *testing.T) {
+	f := newFleet(t, 2)
+	ctx := papCtx(t)
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.admin.UpdatePolicy(ctx, xacml.RestrictedPolicy("v2"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	f.waitAll(t, "v2")
+
+	// A watcher that missed every event (never started, so no
+	// subscription): observing a drop must trigger the chain-state resync.
+	pdp := xacml.NewCachedPDP(nil, 64)
+	w, err := NewWatcher(WatcherConfig{Node: f.nodes[1], PDP: pdp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Version(); got != "" {
+		t.Fatalf("fresh watcher already at %q", got)
+	}
+	w.observeDrops(3)
+	if got := w.Version(); got != "v2" {
+		t.Fatalf("after drop-triggered resync at %q, want v2", got)
+	}
+	st := w.Stats()
+	if st.Resyncs != 1 || st.EventsDropped != 3 {
+		t.Fatalf("resyncs=%d dropped=%d, want 1/3", st.Resyncs, st.EventsDropped)
+	}
+	// A second observation with no new drops must not resync again.
+	w.observeDrops(3)
+	if st := w.Stats(); st.Resyncs != 1 {
+		t.Fatalf("resyncs=%d after no-op observation", st.Resyncs)
+	}
+}
+
+// TestWatcherRecoversAfterNodeRestart is the pap half of the crash/restart
+// lifecycle: a member whose node reopens from its data dir — with policy
+// flips having happened while it was down — must land on the fleet's
+// current active version without any replayed admin action.
+func TestWatcherRecoversAfterNodeRestart(t *testing.T) {
+	papID := crypto.NewIdentityFromSeed("pap", crypto.DeriveKey("pap-restart", "id"))
+	registry := contract.NewRegistry()
+	registry.MustRegister(&core.PolicyContract{PAP: papID.Name()})
+	chainCfg := blockchain.Config{
+		Difficulty: 6,
+		Identities: []crypto.PublicIdentity{papID.Public()},
+		Registry:   registry,
+	}
+	net := netsim.New(netsim.Config{BaseLatency: time.Millisecond, Seed: 21})
+	defer net.Close()
+	peers := []string{"producer", "member"}
+	producer, err := blockchain.NewNode(blockchain.NodeConfig{
+		Name: "producer", Chain: chainCfg, Network: net, Peers: peers,
+		Mine: true, EmptyBlockInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer producer.Stop()
+	producer.Start()
+
+	path := filepath.Join(t.TempDir(), "member.wal")
+	kv, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member, err := blockchain.NewNode(blockchain.NodeConfig{
+		Name: "member", Chain: chainCfg, Network: net, Peers: peers, Store: kv,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	member.Start()
+	memberPDP := xacml.NewCachedPDP(nil, 64)
+	w, err := NewWatcher(WatcherConfig{Node: member, PDP: memberPDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Start()
+
+	ctx := papCtx(t)
+	admin := NewAdmin(producer, papID)
+	if _, err := admin.UpdatePolicy(ctx, xacml.StandardPolicy("v1"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WaitForVersion(ctx, "v1"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash the member mid-run.
+	crashHeight := member.Chain().Height()
+	w.Stop()
+	member.Stop()
+	net.Unregister("member")
+	if err := kv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The fleet flips to v2 while the member is down.
+	if _, err := admin.UpdatePolicy(ctx, xacml.RestrictedPolicy("v2"), UpdateOptions{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen from the data dir: re-validate, catch up past the crash
+	// height over batched sync, and reconcile the policy state.
+	kv2, err := store.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	restarted, err := blockchain.NewNode(blockchain.NodeConfig{
+		Name: "member", Chain: chainCfg, Network: net, Peers: peers, Store: kv2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restarted.Stop()
+	if restarted.Stats().BlocksReloaded == 0 || restarted.Chain().Height() == 0 {
+		t.Fatal("restart began from a fresh genesis")
+	}
+	restarted.Start()
+	if err := restarted.SyncFrom("producer"); err != nil {
+		t.Fatal(err)
+	}
+	if restarted.Chain().Height() <= crashHeight {
+		t.Fatalf("no catch-up past crash height %d", crashHeight)
+	}
+	restartedPDP := xacml.NewCachedPDP(nil, 64)
+	w2, err := NewWatcher(WatcherConfig{Node: restarted, PDP: restartedPDP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2.Start()
+	defer w2.Stop()
+	if err := w2.WaitForVersion(ctx, "v2"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := restartedPDP.Evaluate(doctorRead("after-restart"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Decision != xacml.Deny || res.PolicyVersion != "v2" {
+		t.Fatalf("restarted member decides %v under %s, want Deny under v2", res.Decision, res.PolicyVersion)
+	}
+	waitCond(t, 10*time.Second, func() bool {
+		return restarted.Chain().StateDigest() == producer.Chain().StateDigest()
+	}, "restarted member converges on the fleet digest")
 }

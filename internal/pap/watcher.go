@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"time"
 
 	"drams/internal/blockchain"
 	"drams/internal/contract"
@@ -55,6 +56,11 @@ type WatcherStats struct {
 	Staged      int64
 	Activations int64
 	Rejections  int64
+	// EventsDropped is how many chain-event notifications this watcher's
+	// subscription missed to a full buffer; Resyncs counts the chain-state
+	// reconciliations triggered to recover from them.
+	EventsDropped int64
+	Resyncs       int64
 }
 
 // WatcherConfig configures a Watcher.
@@ -72,6 +78,11 @@ type WatcherConfig struct {
 	// wiring, daemon logging). Called on the watcher goroutine — keep it
 	// non-blocking.
 	OnEvent func(Event)
+	// EventBuffer sizes the chain-event subscription (<= 0 uses the node
+	// default). Event delivery is best effort — the node drops on a full
+	// buffer — so the watcher resyncs from chain state whenever its
+	// subscription reports drops.
+	EventBuffer int
 }
 
 // Watcher tails a member's chain events and applies the policy lifecycle
@@ -95,6 +106,10 @@ type Watcher struct {
 	stagedCnt   metrics.Counter
 	activations metrics.Counter
 	rejections  metrics.Counter
+	resyncs     metrics.Counter
+	dropped     metrics.Counter
+
+	seenDrops int64 // last subscription drop count acted upon (watcher goroutine only)
 
 	stopOnce  sync.Once
 	stop      chan struct{}
@@ -130,21 +145,32 @@ func NewWatcher(cfg WatcherConfig) (*Watcher, error) {
 // can be re-delivered (reorg window), so a small bound suffices.
 const appliedBound = 64
 
+// dropCheckInterval paces the fallback drop scan: drops are normally
+// noticed on the next delivered event, but if the chain goes quiet right
+// after an overflow the periodic check still recovers the watcher.
+const dropCheckInterval = time.Second
+
 // Start subscribes to chain events and replays the current on-chain policy
-// state (Sync), so a member that boots — or restarts — after activations
-// converges immediately.
+// state (Sync), so a member that boots — or restarts from its data dir —
+// after activations converges immediately. Event delivery is best effort;
+// whenever the subscription reports dropped notifications the watcher
+// reconciles from chain state instead of trusting the gap.
 func (w *Watcher) Start() {
-	events, cancel := w.cfg.Node.SubscribeEvents(0)
-	w.cancelSub = cancel
+	sub := w.cfg.Node.Subscribe(w.cfg.EventBuffer)
+	w.cancelSub = sub.Cancel
 	w.Sync()
 	w.wg.Add(1)
 	go func() {
 		defer w.wg.Done()
+		tick := time.NewTicker(dropCheckInterval)
+		defer tick.Stop()
 		for {
 			select {
 			case <-w.stop:
 				return
-			case note, ok := <-events:
+			case <-tick.C:
+				w.observeDrops(sub.Dropped())
+			case note, ok := <-sub.C:
 				if !ok {
 					return
 				}
@@ -153,9 +179,24 @@ func (w *Watcher) Start() {
 						w.handleEvent(e.Type, e.Payload, note.Height)
 					}
 				}
+				w.observeDrops(sub.Dropped())
 			}
 		}
 	}()
+}
+
+// observeDrops reconciles with chain state when the event subscription
+// reports notifications lost to a full buffer: any advance of the drop
+// counter means an activation may have been missed, so the watcher resyncs
+// (cheap when nothing changed — Sync dedupes against applied flips).
+func (w *Watcher) observeDrops(dropped int64) {
+	if dropped == w.seenDrops {
+		return
+	}
+	w.dropped.Add(dropped - w.seenDrops)
+	w.seenDrops = dropped
+	w.resyncs.Inc()
+	w.Sync()
 }
 
 // Stop halts the watcher.
@@ -180,11 +221,13 @@ func (w *Watcher) Stats() WatcherStats {
 	version, height := w.current, w.curHeight
 	w.mu.Unlock()
 	return WatcherStats{
-		Version:     version,
-		Height:      height,
-		Staged:      w.stagedCnt.Value(),
-		Activations: w.activations.Value(),
-		Rejections:  w.rejections.Value(),
+		Version:       version,
+		Height:        height,
+		Staged:        w.stagedCnt.Value(),
+		Activations:   w.activations.Value(),
+		Rejections:    w.rejections.Value(),
+		EventsDropped: w.dropped.Value(),
+		Resyncs:       w.resyncs.Value(),
 	}
 }
 

@@ -120,6 +120,14 @@ func WithPeers(addrs ...string) Option {
 	return func(c *Config) { c.TransportPeers = append([]string(nil), addrs...) }
 }
 
+// WithDataDir makes every chain node durable: persisted chains under dir
+// are re-validated and resumed on Open (instead of a fresh genesis), every
+// accepted block is written incrementally from then on, and the policy
+// watcher reconciles with the restored on-chain policy state.
+func WithDataDir(dir string) Option {
+	return func(c *Config) { c.DataDir = dir }
+}
+
 // WithPEPTimeout bounds a PEP's wait for the PDP.
 func WithPEPTimeout(d time.Duration) Option {
 	return func(c *Config) { c.PEPTimeout = d }

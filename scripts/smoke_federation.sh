@@ -2,17 +2,25 @@
 # smoke_federation.sh — multi-process federation smoke test.
 #
 # Starts three drams-node daemons on loopback (infrastructure + two edge
-# tenants), waits until every process reports chain height >= TARGET_HEIGHT
-# and each edge has served at least one end-to-end access decision, then
-# exercises a live policy rollout: tenant-1's process pushes a restricting
-# v2 policy on-chain mid-run and the script asserts that
+# tenants; tenant-2 runs with a durable -data-dir), waits until every
+# process reports chain height >= TARGET_HEIGHT and each edge has served at
+# least one end-to-end access decision, then exercises the two lifecycle
+# paths this deployment must survive:
 #
-#   1. all three processes activate v2 at the SAME chain height, and
-#   2. each edge's decision stream flips from Permit-under-v1 to
-#      Deny-under-v2 without any process restarting,
+#   1. Live policy rollout: tenant-1's process pushes a restricting v2
+#      policy on-chain mid-run; all processes that are up activate it at
+#      the SAME chain height and tenant-1's decision stream flips from
+#      Permit-under-v1 to Deny-under-v2 without restarting.
+#   2. Member crash + durable restart: tenant-2 is killed BEFORE the v2
+#      rollout lands and restarted from its -data-dir after it. The
+#      restarted process must resume its persisted chain (height > 0, no
+#      fresh genesis), catch up past its crash height via batched
+#      bc.getrange sync (strictly fewer transport calls than blocks
+#      fetched), activate v2 at the same height as the rest of the fleet,
+#      and serve Deny-under-v2 decisions.
 #
-# then checks state-digest convergence and tears everything down. Exits
-# non-zero on any failure or on the hard timeout.
+# Finally state-digest convergence is checked across all surviving
+# processes. Exits non-zero on any failure or on the hard timeout.
 #
 # Usage: scripts/smoke_federation.sh [bin-dir]
 set -u
@@ -20,6 +28,7 @@ set -u
 TIMEOUT="${SMOKE_TIMEOUT:-120}"
 TARGET_HEIGHT="${SMOKE_HEIGHT:-5}"
 PUSH_HEIGHT="${SMOKE_PUSH_HEIGHT:-8}"
+RESTART_HEIGHT="${SMOKE_RESTART_HEIGHT:-15}"
 PORT_BASE="${SMOKE_PORT_BASE:-19701}"
 WORKDIR="$(mktemp -d)"
 BIN="${1:-$WORKDIR}/drams-node"
@@ -42,6 +51,7 @@ fi
 P1=$((PORT_BASE)) P2=$((PORT_BASE + 1)) P3=$((PORT_BASE + 2))
 A1="127.0.0.1:$P1" A2="127.0.0.1:$P2" A3="127.0.0.1:$P3"
 COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -run-for ${TIMEOUT}s"
+T2_ARGS="-listen $A3 -join $A1,$A2 -tenant tenant-2 -request-every 300ms -data-dir $WORKDIR/t2-data"
 
 "$BIN" -listen "$A1" -join "$A2,$A3" -tenant infrastructure $COMMON \
     >"$WORKDIR/infra.log" 2>&1 &
@@ -50,15 +60,16 @@ PIDS="$!"
     -policy-file "$WORKDIR/v2.json" -policy-at-height "$PUSH_HEIGHT" -policy-delta 4 \
     $COMMON >"$WORKDIR/t1.log" 2>&1 &
 PIDS="$PIDS $!"
-"$BIN" -listen "$A3" -join "$A1,$A2" -tenant tenant-2 -request-every 300ms \
-    $COMMON >"$WORKDIR/t2.log" 2>&1 &
-PIDS="$PIDS $!"
+"$BIN" $T2_ARGS $COMMON >"$WORKDIR/t2.log" 2>&1 &
+PID_T2="$!"
+PIDS="$PIDS $PID_T2"
 
-echo "3 daemons up (logs in $WORKDIR), waiting for height >= $TARGET_HEIGHT, decisions, and the v2 rollout..."
+echo "3 daemons up (logs in $WORKDIR), waiting for height >= $TARGET_HEIGHT and v1 decisions..."
 
 fail() {
     echo "SMOKE FAILED: $1" >&2
-    for log in infra t1 t2; do
+    for log in infra t1 t2 t2b; do
+        [ -f "$WORKDIR/$log.log" ] || continue
         echo "--- $log.log (tail) ---" >&2
         tail -25 "$WORKDIR/$log.log" >&2
     done
@@ -66,6 +77,9 @@ fail() {
 }
 
 deadline=$(( $(date +%s) + TIMEOUT ))
+
+# Phase A: every process mines/validates to the target height and both
+# edges serve a v1 Permit.
 ok=""
 while [ "$(date +%s)" -lt "$deadline" ]; do
     heights_ok=true
@@ -73,64 +87,115 @@ while [ "$(date +%s)" -lt "$deadline" ]; do
         h=$(grep -o 'status height=[0-9]*' "$WORKDIR/$log.log" 2>/dev/null | tail -1 | grep -o '[0-9]*$')
         [ -n "$h" ] && [ "$h" -ge "$TARGET_HEIGHT" ] || heights_ok=false
     done
-    # Phase 1: a v1 Permit on each edge.
     v1_ok=true
     for log in t1 t2; do
         grep -q 'decision req=.*decision=Permit policy=v1' "$WORKDIR/$log.log" 2>/dev/null || v1_ok=false
     done
-    # Phase 2: every process observed the v2 activation.
-    flip_ok=true
-    for log in infra t1 t2; do
-        grep -q 'policy v2 activated at height' "$WORKDIR/$log.log" 2>/dev/null || flip_ok=false
-    done
-    # Phase 3: a v2 Deny on each edge — the fleet-wide hot reload landed.
-    v2_ok=true
-    for log in t1 t2; do
-        grep -q 'decision req=.*decision=Deny policy=v2' "$WORKDIR/$log.log" 2>/dev/null || v2_ok=false
-    done
-    if $heights_ok && $v1_ok && $flip_ok && $v2_ok; then
+    if $heights_ok && $v1_ok; then
         ok=1
         break
     fi
     sleep 1
 done
+[ -n "$ok" ] || fail "phase A (heights + v1 decisions) not met within ${TIMEOUT}s"
 
-[ -n "$ok" ] || fail "criteria not met within ${TIMEOUT}s"
+# Crash tenant-2 before the rollout: it must learn v2 from its restart.
+kill "$PID_T2" 2>/dev/null
+wait "$PID_T2" 2>/dev/null
+PIDS=$(echo "$PIDS" | sed "s/ $PID_T2\$//")
+crash_height=$(grep -o 'status height=[0-9]*' "$WORKDIR/t2.log" | tail -1 | grep -o '[0-9]*$')
+echo "tenant-2 killed at height $crash_height; waiting for the v2 rollout to land without it..."
 
-# Height-gated atomicity: all three processes must report the SAME
-# activation height for v2.
-act_heights=$(for log in infra t1 t2; do
+# Phase B: the surviving fleet activates v2 (t1 flips Permit -> Deny) and
+# advances well past the crash height, so the restart has real catching
+# up to do.
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    flip_ok=true
+    for log in infra t1; do
+        grep -q 'policy v2 activated at height' "$WORKDIR/$log.log" 2>/dev/null || flip_ok=false
+    done
+    grep -q 'decision req=.*decision=Deny policy=v2' "$WORKDIR/t1.log" 2>/dev/null || flip_ok=false
+    h=$(grep -o 'status height=[0-9]*' "$WORKDIR/infra.log" 2>/dev/null | tail -1 | grep -o '[0-9]*$')
+    if $flip_ok && [ -n "$h" ] && [ "$h" -ge "$RESTART_HEIGHT" ]; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "phase B (v2 rollout without tenant-2) not met within ${TIMEOUT}s"
+
+# Phase C: restart tenant-2 from its data dir.
+"$BIN" $T2_ARGS $COMMON >"$WORKDIR/t2b.log" 2>&1 &
+PID_T2="$!"
+PIDS="$PIDS $PID_T2"
+echo "tenant-2 restarted from $WORKDIR/t2-data, waiting for durable rejoin..."
+
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    if grep -q 'restored chain height=' "$WORKDIR/t2b.log" 2>/dev/null \
+        && grep -q 'caught up to height' "$WORKDIR/t2b.log" 2>/dev/null \
+        && grep -q 'policy v2 activated at height' "$WORKDIR/t2b.log" 2>/dev/null \
+        && grep -q 'decision req=.*decision=Deny policy=v2' "$WORKDIR/t2b.log" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "phase C (durable restart + rejoin) not met within ${TIMEOUT}s"
+
+# Durability: the restarted process resumed its persisted chain, not a
+# fresh genesis.
+restored=$(grep -o 'restored chain height=[0-9]*' "$WORKDIR/t2b.log" | head -1 | grep -o '[0-9]*$')
+[ -n "$restored" ] && [ "$restored" -ge 1 ] || fail "restart began from a fresh genesis (restored height ${restored:-none})"
+
+# Batched-sync economics: catching up must cost far fewer transport calls
+# than blocks fetched (the bc.getrange win over per-block sync).
+caught=$(grep -o '[0-9]* blocks in [0-9]* sync calls' "$WORKDIR/t2b.log" | head -1)
+blocks=$(echo "$caught" | grep -o '^[0-9]*')
+calls=$(echo "$caught" | grep -o '[0-9]* sync calls$' | grep -o '^[0-9]*')
+[ -n "$blocks" ] && [ -n "$calls" ] || fail "catch-up stats line missing"
+[ "$blocks" -ge 3 ] || fail "restart had nothing to catch up ($blocks blocks) — restart height gate broken"
+[ "$calls" -lt "$blocks" ] || fail "catch-up used $calls calls for $blocks blocks — batched range sync not in effect"
+
+# Height-gated atomicity across the crash: all three members (the restarted
+# one included) must report the SAME activation height for v2.
+act_heights=$(for log in infra t1 t2b; do
     grep -o 'policy v2 activated at height [0-9]*' "$WORKDIR/$log.log" | head -1 | grep -o '[0-9]*$'
 done | sort -u | wc -l)
 [ "$act_heights" -eq 1 ] || fail "v2 activation heights differ across processes"
 
-# No process was restarted for the rollout.
-for log in infra t1 t2; do
+# Each process instance ran exactly once per log file.
+for log in infra t1 t2 t2b; do
     starts=$(grep -c 'listening on' "$WORKDIR/$log.log")
-    [ "$starts" -eq 1 ] || fail "$log restarted during the rollout"
+    [ "$starts" -eq 1 ] || fail "$log has $starts starts"
 done
 
-# Convergence: the last reported state digests must agree across processes.
-digests=$(for log in infra t1 t2; do
-    grep -o 'digest=[0-9a-f]*' "$WORKDIR/$log.log" | tail -1
-done | sort -u | wc -l)
-if [ "$digests" -ne 1 ]; then
-    # Digests race the sampling instant; give the slowest node a moment and
-    # re-check on fresh status lines.
+# Convergence: the surviving processes (infra, t1 and the restarted t2)
+# must report a COMMON state digest in their recent status lines. Blocks
+# are produced continuously, so the *latest* line of each log races the
+# sampling instant — sharing a digest within the recent window proves the
+# three replicas applied identical state at the same height.
+check_digests() {
+    for log in infra t1 t2b; do
+        grep -o 'digest=[0-9a-f]*' "$WORKDIR/$log.log" | tail -20 | sort -u
+    done | sort | uniq -c | awk '$1 == 3 {n++} END {print n+0}'
+}
+shared=$(check_digests)
+if [ "$shared" -eq 0 ]; then
+    # Give the freshly restarted member a few more status ticks.
     sleep 3
-    digests=$(for log in infra t1 t2; do
-        grep -o 'digest=[0-9a-f]*' "$WORKDIR/$log.log" | tail -1
-    done | sort -u | wc -l)
+    shared=$(check_digests)
 fi
 
 kill $PIDS 2>/dev/null
 wait 2>/dev/null
 PIDS=""
 
-if [ "$digests" -ne 1 ]; then
-    echo "SMOKE FAILED: state digests did not converge" >&2
+if [ "$shared" -eq 0 ]; then
+    echo "SMOKE FAILED: state digests did not converge after restart" >&2
     exit 1
 fi
 
-echo "SMOKE OK: 3-process federation served v1 decisions, hot-reloaded to v2 at one height fleet-wide (permit -> deny on both edges), and converged"
+echo "SMOKE OK: 3-process federation served v1, hot-reloaded to v2 fleet-wide, and tenant-2 survived kill+restart from its data dir (resumed height $restored, caught up $blocks blocks in $calls calls, $shared shared digests)"
 exit 0
