@@ -31,7 +31,7 @@ func run() int {
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5", "V6"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5", "V6", "V7"} {
 			selected[id] = true
 		}
 	} else {
@@ -165,6 +165,13 @@ func run() int {
 					NetLatency: 300 * time.Microsecond}
 			}
 			return experiment.RunV6(p)
+		}},
+		{"V7", func() (experiment.Table, error) {
+			p := experiment.DefaultV7Params()
+			if *quick {
+				p = experiment.V7Params{Trials: 1, Seed: 7}
+			}
+			return experiment.RunV7(p)
 		}},
 	}
 

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"drams"
+	"drams/internal/attack"
 	"drams/internal/blockchain"
 	"drams/internal/clock"
 	"drams/internal/contract"
@@ -78,6 +79,8 @@ func run() error {
 	requests := flag.Int("requests", 0, "daemon: access decisions to drive through this tenant's PEP")
 	requestEvery := flag.Duration("request-every", 0, "daemon: keep driving one access decision at this interval until shutdown")
 	mine := flag.Bool("mine", false, "daemon: mine on this node even if it is not the infrastructure process")
+	byzantine := flag.String("byzantine", "", "daemon: adversarial mode for this member's chain node: 'withhold' mines normally but suppresses all outbound block/tx gossip (attack drills)")
+	byzantineAfter := flag.Duration("byzantine-after", 0, "daemon: delay before the -byzantine behaviour engages")
 	emptyBlock := flag.Duration("empty-block", 50*time.Millisecond, "daemon: empty-block cadence")
 	timeoutBlocks := flag.Uint64("timeout-blocks", 64, "daemon: log-match M3 window in blocks (consensus-critical; must match across processes)")
 	requireVerdict := flag.Bool("require-verdict", true, "daemon: demand an analyser verdict per exchange (consensus-critical; must match across processes)")
@@ -107,6 +110,8 @@ func run() error {
 			requests:       *requests,
 			requestEvery:   *requestEvery,
 			mine:           *mine,
+			byzantine:      *byzantine,
+			byzantineAfter: *byzantineAfter,
 			emptyBlock:     *emptyBlock,
 			timeoutBlocks:  *timeoutBlocks,
 			requireVerdict: *requireVerdict,
@@ -169,6 +174,13 @@ type daemonConfig struct {
 	emptyBlock   time.Duration
 	runFor       time.Duration
 	dataDir      string
+
+	// Adversarial drill: after byzantineAfter, this member's chain node
+	// starts misbehaving per the byzantine mode ("withhold" suppresses
+	// all outbound gossip). The rest of the federation must flag the
+	// victim's half-anchored exchanges via M3.
+	byzantine      string
+	byzantineAfter time.Duration
 
 	// Policy administration: push policyFile as an on-chain PAP update
 	// once the local chain reaches policyAtHeight, activating policyDelta
@@ -255,6 +267,20 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	defer node.Stop()
 	node.Start()
+	switch cfg.byzantine {
+	case "":
+	case "withhold":
+		byz := attack.Byzantine(node)
+		go func() {
+			if cfg.byzantineAfter > 0 {
+				time.Sleep(cfg.byzantineAfter)
+			}
+			byz.WithholdGossip()
+			logf("BYZANTINE mode=withhold engaged: outbound block/tx gossip suppressed")
+		}()
+	default:
+		return fmt.Errorf("unknown -byzantine mode %q (known: withhold)", cfg.byzantine)
+	}
 	if chainStore != nil {
 		st := node.Stats()
 		logf("restored chain height=%d (%d blocks reloaded, %d dropped from damaged tail)",

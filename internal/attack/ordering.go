@@ -1,0 +1,75 @@
+package attack
+
+import (
+	"encoding/json"
+
+	"drams/internal/core"
+)
+
+// Batch-boundary manipulation at the PEP/PDP seam (federation.Tamper.Batch).
+//
+// DecideBatch ships every probed request in one wire frame and the PDP
+// answers positionally, so the batch boundary is an ordering surface: an
+// adversary on the pipeline can permute, duplicate or drop items after the
+// edge probes recorded the honest order. The monitors see through it —
+// a permuted batch misaligns each request with another request's decision
+// (digest/tag mismatch, M2 AlertResponseTampered); a shrunk batch fails the
+// pipeline before any pep.response is logged (M3 AlertMessageSuppressed).
+
+// ReverseBatch returns a Tamper.Batch hook reversing the wire order of the
+// pipeline. With mixed-outcome batches every item receives some other
+// item's decision.
+func ReverseBatch() func(items []json.RawMessage) []json.RawMessage {
+	return func(items []json.RawMessage) []json.RawMessage {
+		out := make([]json.RawMessage, len(items))
+		for i, it := range items {
+			out[len(items)-1-i] = it
+		}
+		return out
+	}
+}
+
+// DuplicateInBatch returns a Tamper.Batch hook overwriting item dst with a
+// copy of item src: the count is preserved (so the pipeline completes) but
+// dst's honest request is never evaluated — the PDP answers position dst
+// with src's decision.
+func DuplicateInBatch(src, dst int) func(items []json.RawMessage) []json.RawMessage {
+	return func(items []json.RawMessage) []json.RawMessage {
+		out := make([]json.RawMessage, len(items))
+		copy(out, items)
+		if src >= 0 && src < len(out) && dst >= 0 && dst < len(out) {
+			out[dst] = out[src]
+		}
+		return out
+	}
+}
+
+// DropFromBatch returns a Tamper.Batch hook removing item i from the wire
+// batch. The PDP then answers with fewer items than the PEP sent, failing
+// the whole pipeline: no pep.response is ever logged and M3 flags every
+// request of the batch as suppressed.
+func DropFromBatch(i int) func(items []json.RawMessage) []json.RawMessage {
+	return func(items []json.RawMessage) []json.RawMessage {
+		if i < 0 || i >= len(items) {
+			return items
+		}
+		out := make([]json.RawMessage, 0, len(items)-1)
+		out = append(out, items[:i]...)
+		out = append(out, items[i+1:]...)
+		return out
+	}
+}
+
+// HoldRecords returns a ByzantineNode.DelayRecords predicate trapping log
+// records of the given kind for the given request IDs — the anchoring-delay
+// building block (e.g. hold a pdp.response past the M3 deadline, or past a
+// policy rollout's M6 grace window, then release it stale).
+func HoldRecords(kind core.LogKind, reqIDs ...string) func(core.LogRecord) bool {
+	ids := make(map[string]bool, len(reqIDs))
+	for _, id := range reqIDs {
+		ids[id] = true
+	}
+	return func(rec core.LogRecord) bool {
+		return rec.Kind == kind && ids[rec.ReqID]
+	}
+}

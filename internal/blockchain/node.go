@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drams/internal/clock"
@@ -25,6 +26,15 @@ const (
 	kindHead     = "bc.head"
 	kindSubmit   = "bc.submit"
 	kindHello    = "bc.hello"
+)
+
+// WireTx and WireBlock name the gossip frame kinds on the wire. They are
+// exported for adversarial harnesses (internal/attack) that speak the
+// gossip protocol directly — e.g. delivering equivocating sibling blocks
+// to chosen peer subsets.
+const (
+	WireTx    = kindTx
+	WireBlock = kindBlock
 )
 
 // ErrStopped is returned by node operations after Stop.
@@ -162,6 +172,54 @@ type Node struct {
 	// loop's mempool collection and its head re-check — the window of the
 	// historical stale-snapshot race.
 	testAfterCollect func()
+
+	// gossipFilter / collectFilter are the Byzantine-behaviour hooks the
+	// adversarial harness (internal/attack) installs to model a compromised
+	// federation member: suppressing outbound gossip (block withholding)
+	// and editing the mined transaction set (selective censorship). Honest
+	// nodes never set them.
+	gossipFilter  atomic.Pointer[gossipFilterBox]
+	collectFilter atomic.Pointer[collectFilterBox]
+}
+
+// gossipFilterBox / collectFilterBox wrap the hook funcs so the atomic
+// pointers always hold a concrete type.
+type (
+	gossipFilterBox struct {
+		fn func(kind string, payload []byte) bool
+	}
+	collectFilterBox struct {
+		fn func(txs []Transaction) []Transaction
+	}
+)
+
+// SetGossipFilter installs an outbound gossip gate: every frame about to be
+// fanned out to the chain peer set is offered to fn first, and suppressed
+// when fn returns false. Inbound traffic is unaffected — a withholding node
+// still learns the honest chain. Passing nil removes the filter. The hook
+// exists for the adversarial test harness; a production node has no
+// legitimate use for it.
+func (n *Node) SetGossipFilter(fn func(kind string, payload []byte) bool) {
+	if fn == nil {
+		n.gossipFilter.Store(nil)
+		return
+	}
+	n.gossipFilter.Store(&gossipFilterBox{fn: fn})
+}
+
+// SetCollectFilter installs a mining-time transaction editor: the mining
+// loop passes each mempool collection through fn before building the block
+// candidate, so a Byzantine producer can censor or delay specific senders'
+// transactions. Dropped transactions stay in the mempool and are picked up
+// again once the filter is removed (nil clears). The filter must preserve
+// per-sender nonce contiguity or the produced block will be rejected by
+// honest validators.
+func (n *Node) SetCollectFilter(fn func(txs []Transaction) []Transaction) {
+	if fn == nil {
+		n.collectFilter.Store(nil)
+		return
+	}
+	n.collectFilter.Store(&collectFilterBox{fn: fn})
 }
 
 // inboundTx is a gossiped transaction queued for batched admission.
@@ -518,6 +576,9 @@ func (n *Node) fanout(height uint64, events []contract.Event) {
 // Either way gossip never sprays non-node endpoints (PEPs, PDP, loggers)
 // that share the transport.
 func (n *Node) gossip(kind string, payload []byte, except string) {
+	if box := n.gossipFilter.Load(); box != nil && !box.fn(kind, payload) {
+		return
+	}
 	peers := n.cfg.Peers
 	if len(peers) == 0 {
 		peers = n.discoveredPeers()
@@ -755,6 +816,9 @@ func (n *Node) mineLoop() {
 		// rejection after the PoW was paid.
 		parentHash, parentHeight := n.chain.Head()
 		txs := n.pool.Collect(n.chain.Config().MaxTxPerBlock, n.chain.AccountNonces())
+		if box := n.collectFilter.Load(); box != nil {
+			txs = box.fn(txs)
+		}
 		if n.testAfterCollect != nil {
 			n.testAfterCollect()
 		}

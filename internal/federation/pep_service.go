@@ -40,6 +40,14 @@ type Tamper struct {
 	// DropResponse suppresses the response before the PEP-side probe
 	// could log it (A7): the exchange never completes at the edge.
 	DropResponse bool
+	// Batch manipulates the encoded item pipeline of DecideBatch after
+	// every request was probed and individually tampered — the
+	// batch-boundary ordering surface: reorder, duplicate or drop wire
+	// items without any edge probe noticing. The PDP answers positionally,
+	// so a reordered batch misaligns decisions with requests (caught by
+	// M2), and a shrunk batch fails the whole pipeline (caught by M3).
+	// Single-request Decide calls are unaffected.
+	Batch func(items []json.RawMessage) []json.RawMessage
 }
 
 // Enforcement is what the PEP hands back to the application.
@@ -226,6 +234,11 @@ func (s *PEPService) DecideBatch(ctx context.Context, reqs []*xacml.Request) ([]
 	// observed every item, so each one fails exactly as Decide would.
 	if tam != nil && tam.DropRequest {
 		return failAll(ErrRequestDropped)
+	}
+	// Batch-boundary manipulation happens on the wire encoding, after the
+	// probes observed every item in its honest order.
+	if tam != nil && tam.Batch != nil {
+		wire.Reqs = tam.Batch(wire.Reqs)
 	}
 
 	payload, err := json.Marshal(wire)

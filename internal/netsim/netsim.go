@@ -17,6 +17,18 @@
 //     after the sampled latency, exercising real concurrency.
 //   - Synchronous: messages are delivered inline on the sender's goroutine
 //     with zero latency, giving deterministic unit tests.
+//
+// # Reproducibility contract
+//
+// All randomness a Network consumes — latency and jitter sampling, drop
+// decisions, link-fault dice — is drawn from a single PRNG seeded by
+// Config.Seed. Two networks built with the same Config therefore make the
+// same per-message decisions when offered the same message sequence. Tests
+// that inject faults or adversarial behaviour (internal/attack, the chaos
+// campaign, partition drills) MUST pin an explicit Seed so that failures
+// replay: goroutine scheduling still varies between runs, but the network
+// itself never adds unseeded nondeterminism. Seed 0 is a valid pin (it is
+// a fixed default stream, not a time-derived one).
 package netsim
 
 import (
@@ -70,7 +82,9 @@ type Config struct {
 	Jitter time.Duration
 	// DropRate is the probability in [0,1] that any one-way delivery is lost.
 	DropRate float64
-	// Seed makes latency and drop sampling reproducible.
+	// Seed makes latency and drop sampling reproducible (see the package
+	// doc's reproducibility contract). Fault-injection and attack tests
+	// must set it explicitly.
 	Seed uint64
 	// Clock is the time source; defaults to the system clock.
 	Clock clock.Clock

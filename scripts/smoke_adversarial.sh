@@ -1,0 +1,129 @@
+#!/usr/bin/env bash
+# smoke_adversarial.sh — adversarial multi-process federation drill.
+#
+# Starts three drams-node daemons on loopback (infrastructure + two edge
+# tenants). tenant-2's process is a Byzantine member: it mines, but after
+# -byzantine-after its chain node suppresses ALL outbound block/tx gossip
+# (withholding attack), trapping its own tenant's probe-log records on the
+# compromised node. The honest side keeps anchoring the PDP-side records of
+# tenant-2's exchanges, so the M3 deadline must flag the half-anchored
+# requests:
+#
+#   1. Healthy phase: both edges serve Permit-under-v1 decisions and the
+#      fleet mines past a minimum height.
+#   2. The withholding attack engages (greppable BYZANTINE line).
+#   3. The infrastructure monitor raises ALERT type=message-suppressed for
+#      a tenant-2 request within the timeout.
+#   4. False-positive guard: the honest tenant-1 stream must produce no
+#      alert at all.
+#
+# Exits non-zero on any failure or on the hard timeout.
+#
+# Usage: scripts/smoke_adversarial.sh [bin-dir]
+set -u
+
+TIMEOUT="${SMOKE_TIMEOUT:-120}"
+TARGET_HEIGHT="${SMOKE_HEIGHT:-3}"
+ENGAGE_AFTER="${SMOKE_ENGAGE_AFTER:-15}"
+PORT_BASE="${SMOKE_PORT_BASE:-19801}"
+WORKDIR="$(mktemp -d)"
+BIN="${1:-$WORKDIR}/drams-node"
+
+cleanup() {
+    [ -n "${PIDS:-}" ] && kill $PIDS 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+if [ ! -x "$BIN" ]; then
+    echo "building drams-node..."
+    go build -o "$BIN" ./cmd/drams-node || exit 1
+fi
+
+P1=$((PORT_BASE)) P2=$((PORT_BASE + 1)) P3=$((PORT_BASE + 2))
+A1="127.0.0.1:$P1" A2="127.0.0.1:$P2" A3="127.0.0.1:$P3"
+# -timeout-blocks 8: a short M3 window so detection lands well inside the
+# smoke budget (consensus-critical, so set on every process).
+COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -timeout-blocks 8 -run-for ${TIMEOUT}s"
+
+"$BIN" -listen "$A1" -join "$A2,$A3" -tenant infrastructure $COMMON \
+    >"$WORKDIR/infra.log" 2>&1 &
+PIDS="$!"
+"$BIN" -listen "$A2" -join "$A1,$A3" -tenant tenant-1 -request-every 300ms \
+    $COMMON >"$WORKDIR/t1.log" 2>&1 &
+PIDS="$PIDS $!"
+"$BIN" -listen "$A3" -join "$A1,$A2" -tenant tenant-2 -request-every 300ms \
+    -mine -byzantine withhold -byzantine-after "${ENGAGE_AFTER}s" \
+    $COMMON >"$WORKDIR/t2.log" 2>&1 &
+PIDS="$PIDS $!"
+
+echo "3 daemons up (logs in $WORKDIR); tenant-2 turns Byzantine after ${ENGAGE_AFTER}s..."
+
+fail() {
+    echo "ADVERSARIAL SMOKE FAILED: $1" >&2
+    for log in infra t1 t2; do
+        [ -f "$WORKDIR/$log.log" ] || continue
+        echo "--- $log.log (tail) ---" >&2
+        tail -25 "$WORKDIR/$log.log" >&2
+    done
+    exit 1
+}
+
+deadline=$(( $(date +%s) + TIMEOUT ))
+
+# Phase A: the federation is healthy before the attack — every process
+# reaches the target height and both edges serve a v1 Permit.
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    heights_ok=true
+    for log in infra t1 t2; do
+        h=$(grep -o 'status height=[0-9]*' "$WORKDIR/$log.log" 2>/dev/null | tail -1 | grep -o '[0-9]*$')
+        [ -n "$h" ] && [ "$h" -ge "$TARGET_HEIGHT" ] || heights_ok=false
+    done
+    v1_ok=true
+    for log in t1 t2; do
+        grep -q 'decision req=.*decision=Permit policy=v1' "$WORKDIR/$log.log" 2>/dev/null || v1_ok=false
+    done
+    if $heights_ok && $v1_ok; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "phase A (healthy federation) not met within ${TIMEOUT}s"
+echo "federation healthy; waiting for the withholding attack to engage..."
+
+# Phase B: the attack engages.
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    if grep -q 'BYZANTINE mode=withhold engaged' "$WORKDIR/t2.log" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "phase B (byzantine engagement) not met within ${TIMEOUT}s"
+echo "withholding engaged; waiting for M3 detection on the honest side..."
+
+# Phase C: the monitor flags a trapped tenant-2 exchange. The victim's
+# pep.* records are stuck on the Byzantine node, the PDP-side records
+# anchor honestly, and the Δ-block deadline sweep raises the alert.
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    if grep -q 'ALERT type=message-suppressed req=.* tenant=tenant-2' "$WORKDIR/infra.log" 2>/dev/null; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "phase C (withholding not detected) within ${TIMEOUT}s"
+
+# False-positive guard: the honest tenant-1 stream must stay alert-free.
+if grep -q 'ALERT .*tenant=tenant-1' "$WORKDIR/infra.log" 2>/dev/null; then
+    fail "false positive: alert raised for honest tenant-1"
+fi
+
+alerts=$(grep -c 'ALERT type=message-suppressed req=.* tenant=tenant-2' "$WORKDIR/infra.log")
+echo "ADVERSARIAL SMOKE OK: withholding attack detected ($alerts message-suppressed alert(s) for tenant-2, none for honest tenant-1)"
+exit 0
