@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	drams-bench [-run E1,E2,...,V1,V2,V3,V4] [-quick] [-csv]
+//	drams-bench [-run E1,E2,...,V1,V2,V3,V4] [-quick] [-csv] [-json [-out DIR]]
 package main
 
 import (
@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"drams/internal/benchfmt"
 	"drams/internal/experiment"
 )
 
@@ -27,6 +28,8 @@ func run() int {
 	runList := flag.String("run", "all", "comma-separated experiment ids (E1..E8) or 'all'")
 	quick := flag.Bool("quick", false, "reduced parameters (fast smoke run)")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	jsonOut := flag.Bool("json", false, "also write one BENCH_<id>.json per experiment (drams-bench/1 schema)")
+	outDir := flag.String("out", ".", "output directory for -json reports")
 	flag.Parse()
 
 	selected := map[string]bool{}
@@ -192,6 +195,21 @@ func run() int {
 			fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 		} else {
 			fmt.Println(tab.Render())
+		}
+		if *jsonOut {
+			rep := benchfmt.New(tab.ID, "experiment")
+			rep.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+			rep.Config = map[string]any{"quick": *quick}
+			rep.Table = &benchfmt.TableData{
+				Title: tab.Title, Header: tab.Header, Rows: tab.Rows, Notes: tab.Notes,
+			}
+			path, err := rep.WriteFile(*outDir)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "%s report: %v\n", r.id, err)
+				failures++
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
 		fmt.Fprintf(os.Stderr, "%s done in %s\n", r.id, time.Since(start).Round(time.Millisecond))
 	}

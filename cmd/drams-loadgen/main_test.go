@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"drams/internal/benchfmt"
+)
+
+// TestExitCodeMapping pins the documented contract: 0 = pass, 1 = run
+// error, 2 = thresholds failed. CI keys off these codes.
+func TestExitCodeMapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up netsim deployments")
+	}
+	out := t.TempDir()
+
+	// Unknown scenario, bad flags, bad target: run errors.
+	if got := run([]string{"-scenario", "no-such-scenario"}); got != 1 {
+		t.Fatalf("unknown scenario: exit %d, want 1", got)
+	}
+	if got := run([]string{"-bogus-flag"}); got != 1 {
+		t.Fatalf("bad flag: exit %d, want 1", got)
+	}
+	if got := run([]string{"-scenario", "smoke", "-target", "carrier-pigeon"}); got != 1 {
+		t.Fatalf("bad target: exit %d, want 1", got)
+	}
+	if got := run([]string{"-scenario", "smoke", "-target", "tcp"}); got != 1 {
+		t.Fatalf("tcp without peers: exit %d, want 1", got)
+	}
+	if got := run([]string{"-list"}); got != 0 {
+		t.Fatalf("-list: exit %d, want 0", got)
+	}
+
+	// A passing run: tiny smoke load, generous thresholds.
+	args := []string{
+		"-scenario", "smoke", "-duration", "500ms", "-rate", "40",
+		"-monitoring=false", "-out", out,
+	}
+	if got := run(args); got != 0 {
+		t.Fatalf("passing run: exit %d, want 0", got)
+	}
+	rep, err := benchfmt.ReadFile(filepath.Join(out, "BENCH_loadgen_smoke.json"))
+	if err != nil {
+		t.Fatalf("report not written: %v", err)
+	}
+	if !rep.Pass || rep.Kind != "loadgen" {
+		t.Fatalf("report mismatch: %+v", rep)
+	}
+	if _, ok := rep.Metrics["dropped"]; !ok {
+		t.Fatal("dropped_iterations missing from report")
+	}
+
+	// Same run with an impossible threshold: exit 2, report says fail.
+	args = []string{
+		"-scenario", "smoke", "-duration", "500ms", "-rate", "40",
+		"-monitoring=false", "-thresholds", "p99<1us", "-out", out,
+	}
+	if got := run(args); got != 2 {
+		t.Fatalf("failing thresholds: exit %d, want 2", got)
+	}
+	rep, err = benchfmt.ReadFile(filepath.Join(out, "BENCH_loadgen_smoke.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass || len(rep.Thresholds) != 1 || rep.Thresholds[0].Pass {
+		t.Fatalf("failing report mismatch: %+v", rep)
+	}
+}
+
+// TestScenarioFileResolution checks -scenario path vs builtin-name handling.
+func TestScenarioFileResolution(t *testing.T) {
+	if _, err := resolveScenario("ci-slo"); err != nil {
+		t.Fatalf("builtin: %v", err)
+	}
+	if _, err := resolveScenario("./does-not-exist.json"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	path := filepath.Join(t.TempDir(), "custom.json")
+	if err := os.WriteFile(path, []byte(`{
+		"name": "custom",
+		"executor": {"type": "constant-arrival-rate", "rate": 10, "duration": "1s"},
+		"thresholds": ["error_rate<5%"]
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	scn, err := resolveScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scn.Name != "custom" || scn.Executor.Rate != 10 {
+		t.Fatalf("file scenario mangled: %+v", scn)
+	}
+}

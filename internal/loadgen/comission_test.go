@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"drams/internal/xacml"
+)
+
+// stallEvaluator injects a periodic PDP stall: every period, the PDP
+// freezes for stall (all evaluations block until the window ends). It is
+// the canonical coordinated-omission fixture — a backend that is fast
+// almost always and terrible on a schedule.
+type stallEvaluator struct {
+	inner  xacml.Evaluator
+	anchor time.Time
+	period time.Duration
+	stall  time.Duration
+}
+
+func (s *stallEvaluator) Evaluate(r *xacml.Request) (xacml.Result, error) {
+	phase := time.Since(s.anchor) % s.period
+	if phase < s.stall {
+		time.Sleep(s.stall - phase)
+	}
+	return s.inner.Evaluate(r)
+}
+
+// TestCoordinatedOmission pins the defining difference between the two
+// executor families. With a PDP that stalls 120ms out of every 500ms:
+//
+//   - the closed-loop executor's VU is itself blocked during the stall, so
+//     it samples each stall at most once per VU — its p99 stays low even
+//     though ~24% of wall-clock time is a freeze;
+//   - the open-loop executor keeps scheduling arrivals through the stall,
+//     so every request that would have arrived during the freeze records
+//     its true (queued) latency — its p99 reflects the stall.
+//
+// If the open-loop scheduler ever regresses into waiting for completions
+// (the coordinated-omission bug), its p99 collapses to the closed-loop
+// value and this test fails.
+func TestCoordinatedOmission(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stall-injection run in -short mode")
+	}
+	const (
+		period  = 500 * time.Millisecond
+		stall   = 120 * time.Millisecond
+		runtime = 2 * time.Second
+	)
+	target, err := NewNetsimTarget(NetsimConfig{Clouds: 3, NetLatency: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+	dep := target.Deployment()
+	dep.CompromisePDP(func(inner xacml.Evaluator) xacml.Evaluator {
+		return &stallEvaluator{inner: inner, anchor: time.Now(), period: period, stall: stall}
+	})
+	defer dep.CompromisePDP(nil)
+
+	closed := Scenario{
+		Name: "co-closed",
+		Executor: ExecutorSpec{
+			Type: ExecLoopingVU, VUs: 1, Duration: Duration(runtime),
+		},
+		SampleEvery: Duration(250 * time.Millisecond),
+		Seed:        7,
+	}
+	closedRes, err := Run(context.Background(), closed, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	open := Scenario{
+		Name: "co-open",
+		Executor: ExecutorSpec{
+			Type: ExecConstantArrivalRate, Rate: 250,
+			Duration: Duration(runtime), MaxWorkers: 1024,
+		},
+		SampleEvery: Duration(250 * time.Millisecond),
+		Seed:        7,
+	}
+	openRes, err := Run(context.Background(), open, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	openP99 := openRes.Metrics["p99"]
+	closedP99 := closedRes.Metrics["p99"]
+	t.Logf("open-loop:   n=%d p50=%.2fms p99=%.2fms max=%.2fms dropped=%d",
+		openRes.Requests, openRes.Metrics["p50"], openP99, openRes.Metrics["max"], openRes.Dropped)
+	t.Logf("closed-loop: n=%d p50=%.2fms p99=%.2fms max=%.2fms",
+		closedRes.Requests, closedRes.Metrics["p50"], closedP99, closedRes.Metrics["max"])
+
+	// The closed loop DID hit the stall (its max proves the backend was
+	// slow)...
+	if closedRes.Metrics["max"] < 80 {
+		t.Fatalf("closed-loop max %.2fms: the stall never fired, fixture broken", closedRes.Metrics["max"])
+	}
+	// ...but under-reports it at the tail: only ~4 of its samples are
+	// stall-priced, far below the 1%% needed to move p99.
+	if closedP99 > 60 {
+		t.Fatalf("closed-loop p99 = %.2fms: expected coordinated omission to hide the stall", closedP99)
+	}
+	// The open loop prices the stall into the tail: ~24%% of scheduled
+	// arrivals land in a freeze window and wait out the remainder.
+	if openP99 < 60 {
+		t.Fatalf("open-loop p99 = %.2fms: arrival-rate executor failed to surface the stall", openP99)
+	}
+	if openP99 < 3*closedP99 {
+		t.Fatalf("open p99 %.2fms not >> closed p99 %.2fms: executors lost their defining difference",
+			openP99, closedP99)
+	}
+}

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// fireFunc runs one iteration synchronously; i is the global iteration
+// index (used for deterministic template/tenant picks).
+type fireFunc func(i uint64)
+
+// runExecutor dispatches on the executor type and blocks until the
+// schedule is exhausted and every in-flight iteration returned (or ctx is
+// cancelled). It owns all iteration accounting on the engine.
+func runExecutor(ctx context.Context, spec ExecutorSpec, seed uint64, eng *engine, fire fireFunc) {
+	if spec.Type == ExecLoopingVU {
+		runClosedLoop(ctx, spec, eng, fire)
+		return
+	}
+	runOpenLoop(ctx, spec, seed, eng, fire)
+}
+
+// rateAtOffset evaluates the arrival-rate profile at an offset from run
+// start: constant for ExecConstantArrivalRate, piecewise-linear through
+// the stages (starting at spec.Rate) for ExecRampingArrivalRate.
+func rateAtOffset(spec ExecutorSpec, offset time.Duration) float64 {
+	if spec.Type != ExecRampingArrivalRate {
+		return spec.Rate
+	}
+	prev := spec.Rate
+	var base time.Duration
+	for _, st := range spec.Stages {
+		d := st.Duration.D()
+		if offset < base+d {
+			frac := float64(offset-base) / float64(d)
+			return prev + (st.Target-prev)*frac
+		}
+		prev = st.Target
+		base += d
+	}
+	return prev
+}
+
+// runOpenLoop fires iterations on the arrival schedule regardless of
+// in-flight completions. Arrivals that find every worker busy are counted
+// as dropped — never queued (queueing would re-couple the schedule to
+// service time, which is the coordinated-omission bug this executor
+// exists to avoid) and never silently skipped.
+func runOpenLoop(ctx context.Context, spec ExecutorSpec, seed uint64, eng *engine, fire fireFunc) {
+	total := spec.totalDuration()
+	sem := make(chan struct{}, spec.MaxWorkers)
+	rng := rand.New(rand.NewSource(int64(seed)))
+	start := time.Now()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	if !timer.Stop() {
+		<-timer.C
+	}
+
+	var wg sync.WaitGroup
+	var offset time.Duration
+	var i uint64
+	for {
+		r := rateAtOffset(spec, offset)
+		if r <= 0 {
+			// Dead zone of the profile: step forward until the rate
+			// comes back.
+			offset += 10 * time.Millisecond
+			if offset >= total {
+				break
+			}
+			continue
+		}
+		gapSec := 1 / r
+		if spec.Poisson {
+			gapSec = rng.ExpFloat64() / r
+		}
+		offset += time.Duration(gapSec * float64(time.Second))
+		if offset >= total {
+			break
+		}
+		// Sleep to the scheduled arrival. A late scheduler fires
+		// immediately — arrivals are anchored to the run clock, not to
+		// the previous iteration's completion.
+		if wait := time.Until(start.Add(offset)); wait > 0 {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				wg.Wait()
+				return
+			}
+		} else if ctx.Err() != nil {
+			wg.Wait()
+			return
+		}
+		eng.recordStarted()
+		idx := i
+		i++
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				fire(idx)
+			}()
+		default:
+			eng.recordDropped()
+		}
+	}
+	wg.Wait()
+}
+
+// runClosedLoop runs VUs workers, each firing its next iteration only
+// after the previous one returned — the coordinated-omission-prone
+// baseline: a stalled backend stalls the schedule itself, so the stall is
+// sampled at most once per VU.
+func runClosedLoop(ctx context.Context, spec ExecutorSpec, eng *engine, fire fireFunc) {
+	var deadline time.Time
+	if d := spec.Duration.D(); d > 0 {
+		deadline = time.Now().Add(d)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for vu := 0; vu < spec.VUs; vu++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				if !deadline.IsZero() && !time.Now().Before(deadline) {
+					return
+				}
+				n := next.Add(1)
+				if spec.Iterations > 0 && n > spec.Iterations {
+					return
+				}
+				eng.recordStarted()
+				fire(uint64(n - 1))
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,362 @@
+// Package loadgen is the DRAMS load-generation harness: open-loop
+// (arrival-rate) and closed-loop (looping-VU) executors drive weighted
+// access-request mixes against a deployment target — the in-process netsim
+// federation or a live multi-process TCP federation — while an HDR
+// latency engine samples decision latency, error rate, dropped-iteration
+// rate and alert-detection latency into time-series windows. Declarative
+// thresholds (`p99<5ms`, `error_rate<0.1%`) gate the run, and every run
+// can be serialized as a benchfmt report (BENCH_loadgen_<scenario>.json).
+//
+// The open-loop executors exist because every closed-loop bench
+// under-reports tail latency via coordinated omission: a stalled PDP
+// stalls the load generator itself, so the stall is sampled once instead
+// of once per would-have-been request. Arrival-rate executors keep firing
+// on schedule and surface saturation as an explicit dropped_iterations
+// counter instead.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/bits"
+	"time"
+
+	"drams/internal/benchfmt"
+	"drams/internal/metrics"
+	"drams/internal/xacml"
+)
+
+// Event is one scheduled run event (policy flip, kill, rejoin) with its
+// observed outcome.
+type Event struct {
+	Offset Duration `json:"offset"`
+	Kind   string   `json:"kind"` // policy-flip | kill | rejoin
+	Detail string   `json:"detail"`
+	Err    string   `json:"err,omitempty"`
+}
+
+// Result is one finished load-test run.
+type Result struct {
+	Scenario Scenario  `json:"scenario"`
+	Started  time.Time `json:"started"`
+	Elapsed  Duration  `json:"elapsed"`
+
+	// Iterations scheduled; Requests completed; Errors failed; Dropped
+	// shed at arrival with the worker pool saturated. Always:
+	// Iterations = Requests + Errors + Dropped (+ any still cancelling
+	// at shutdown, which are counted as Errors).
+	Iterations int64 `json:"iterations"`
+	Requests   int64 `json:"requests"`
+	Errors     int64 `json:"errors"`
+	Dropped    int64 `json:"dropped"`
+
+	// Latency is the end-to-end decision latency distribution (ms);
+	// AlertLatency the submission→on-chain-match detection latency (ms),
+	// present when the target has monitoring and alert_sample > 0.
+	Latency      metrics.Summary `json:"-"`
+	AlertLatency metrics.Summary `json:"-"`
+
+	Windows []Window `json:"windows"`
+	Events  []Event  `json:"events,omitempty"`
+
+	// Metrics is the threshold-evaluation map (see MetricNames).
+	Metrics  map[string]float64          `json:"metrics"`
+	Verdicts []benchfmt.ThresholdVerdict `json:"verdicts"`
+	// Pass is true when every threshold passed.
+	Pass bool `json:"pass"`
+}
+
+// Report converts the result to the shared benchfmt schema; the report
+// name is loadgen_<scenario>, so the file is BENCH_loadgen_<scenario>.json.
+func (r *Result) Report(targetKind string) *benchfmt.Report {
+	rep := benchfmt.New("loadgen_"+r.Scenario.Name, "loadgen")
+	rep.StartedAt = r.Started.UTC()
+	rep.ElapsedMS = float64(r.Elapsed.D()) / float64(time.Millisecond)
+	rep.Pass = r.Pass
+	rep.Config = map[string]any{
+		"scenario": r.Scenario,
+		"target":   targetKind,
+	}
+	rep.Metrics = map[string]benchfmt.Metric{
+		"latency_ms": benchfmt.FromSummary(r.Latency, "ms"),
+		"iterations": {Count: r.Iterations},
+		"requests":   {Count: r.Requests},
+		"errors":     {Count: r.Errors},
+		"dropped":    {Count: r.Dropped},
+	}
+	if r.AlertLatency.Count > 0 {
+		rep.Metrics["alert_latency_ms"] = benchfmt.FromSummary(r.AlertLatency, "ms")
+	}
+	rep.Thresholds = r.Verdicts
+	return rep
+}
+
+// run carries one execution's wiring.
+type run struct {
+	scn     Scenario
+	target  Target
+	eng     *engine
+	tenants []string
+	cum     []float64 // cumulative template weights
+	logf    func(format string, args ...any)
+}
+
+// Logf optionally receives progress lines during Run (nil = silent).
+type Logf func(format string, args ...any)
+
+// Run executes the scenario against the target and evaluates its
+// thresholds. The context cancels the whole run early (the result still
+// reports what was measured).
+func Run(ctx context.Context, scn Scenario, target Target, logf Logf) (*Result, error) {
+	scn = scn.withDefaults()
+	if err := scn.Validate(); err != nil {
+		return nil, err
+	}
+	thresholds, err := ParseThresholds(scn.Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	tenants := target.Tenants()
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("loadgen: target has no edge tenants")
+	}
+	if scn.Churn != nil {
+		found := false
+		for _, ten := range tenants {
+			if ten == scn.Churn.Victim {
+				found = true
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("loadgen: churn victim %q is not an edge tenant of the target", scn.Churn.Victim)
+		}
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	start := time.Now()
+	r := &run{
+		scn:     scn,
+		target:  target,
+		eng:     newEngine(start),
+		tenants: tenants,
+		logf:    logf,
+	}
+	var total float64
+	for _, m := range scn.Mix {
+		total += m.Weight
+		r.cum = append(r.cum, total)
+	}
+
+	runCtx, cancelRun := context.WithCancel(ctx)
+	defer cancelRun()
+
+	// Sampler: closes a time-series window every SampleEvery.
+	samplerDone := make(chan struct{})
+	go func() {
+		defer close(samplerDone)
+		ticker := time.NewTicker(scn.SampleEvery.D())
+		defer ticker.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case now := <-ticker.C:
+				r.eng.sample(now)
+			}
+		}
+	}()
+
+	// Alert-detection consumer (netsim with monitoring only).
+	alertsDone := make(chan struct{})
+	if matched := target.Matched(); matched != nil && scn.AlertSample > 0 {
+		go func() {
+			defer close(alertsDone)
+			for {
+				select {
+				case <-runCtx.Done():
+					return
+				case a, ok := <-matched:
+					if !ok {
+						return
+					}
+					r.eng.alertSeen(a.ReqID, time.Now())
+				}
+			}
+		}()
+	} else {
+		close(alertsDone)
+	}
+
+	// Scheduled events: policy flip and kill/rejoin churn run on their
+	// own timelines, concurrent with the traffic.
+	var events []Event
+	var eventsMu chan struct{} = make(chan struct{}, 1)
+	record := func(kind, detail string, err error) {
+		ev := Event{Offset: Duration(time.Since(start)), Kind: kind, Detail: detail}
+		if err != nil {
+			ev.Err = err.Error()
+			r.logf("%s FAILED: %v", kind, err)
+		} else {
+			r.logf("%s: %s (t=%s)", kind, detail, time.Since(start).Round(time.Millisecond))
+		}
+		eventsMu <- struct{}{}
+		events = append(events, ev)
+		<-eventsMu
+	}
+	eventsDone := make(chan struct{})
+	pending := 0
+	if scn.PolicyFlip != nil {
+		pending++
+		go func() {
+			defer func() { eventsDone <- struct{}{} }()
+			select {
+			case <-runCtx.Done():
+				return
+			case <-time.After(scn.PolicyFlip.After.D()):
+			}
+			ps, err := BuiltinPolicy(scn.PolicyFlip.Policy)
+			if err == nil {
+				flipCtx, cancel := context.WithTimeout(runCtx, 60*time.Second)
+				err = r.target.FlipPolicy(flipCtx, ps)
+				cancel()
+			}
+			record("policy-flip", scn.PolicyFlip.Policy, err)
+		}()
+	}
+	if scn.Churn != nil {
+		pending++
+		go func() {
+			defer func() { eventsDone <- struct{}{} }()
+			select {
+			case <-runCtx.Done():
+				return
+			case <-time.After(scn.Churn.KillAfter.D()):
+			}
+			if err := r.target.Kill(scn.Churn.Victim); err != nil {
+				record("kill", scn.Churn.Victim, err)
+				return
+			}
+			record("kill", scn.Churn.Victim, nil)
+			select {
+			case <-runCtx.Done():
+				// Never leave the target partitioned: rejoin even when
+				// the traffic already stopped.
+			case <-time.After(scn.Churn.RejoinAfter.D()):
+			}
+			rejoinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			err := r.target.Rejoin(rejoinCtx, scn.Churn.Victim)
+			cancel()
+			record("rejoin", scn.Churn.Victim, err)
+		}()
+	}
+
+	// The traffic itself.
+	runExecutor(runCtx, scn.Executor, scn.Seed, r.eng, r.fire)
+
+	// Drain the event goroutines (a churn rejoin may outlive the
+	// schedule), then stop sampler and alert consumer.
+	for i := 0; i < pending; i++ {
+		<-eventsDone
+	}
+	cancelRun()
+	<-samplerDone
+	<-alertsDone
+	elapsed := time.Since(start)
+	r.eng.sample(time.Now()) // final partial window
+
+	res := &Result{
+		Scenario:     scn,
+		Started:      start,
+		Elapsed:      Duration(elapsed),
+		Iterations:   r.eng.started.Value(),
+		Requests:     r.eng.requests.Value(),
+		Errors:       r.eng.errors.Value(),
+		Dropped:      r.eng.dropped.Value(),
+		Latency:      r.eng.latency.Snapshot(),
+		AlertLatency: r.eng.alertLat.Snapshot(),
+		Windows:      r.eng.series(),
+		Events:       events,
+		Metrics:      r.eng.metricValues(elapsed),
+	}
+	res.Verdicts, res.Pass = EvaluateThresholds(thresholds, res.Metrics)
+	return res, ctx.Err()
+}
+
+// fire runs one iteration: deterministic template/tenant pick, one
+// decision, engine accounting.
+func (r *run) fire(i uint64) {
+	tmpl := r.pickTemplate(i)
+	tenant := r.tenants[int(i)%len(r.tenants)]
+	req := r.buildRequest(tmpl, tenant, i)
+
+	sampleAlerts := r.scn.AlertSample > 0 && r.target.Matched() != nil &&
+		hashUnit(i^0xa1e7) < r.scn.AlertSample
+	if sampleAlerts {
+		r.eng.trackAlert(req.ID, time.Now())
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), r.scn.RequestTimeout.D())
+	defer cancel()
+	t0 := time.Now()
+	_, err := r.target.Decide(ctx, tenant, req)
+	if err != nil {
+		r.eng.recordError()
+		if sampleAlerts {
+			r.eng.inflight.Delete(req.ID)
+		}
+		return
+	}
+	r.eng.recordSuccess(time.Since(t0))
+}
+
+// hashUnit maps an iteration index to a uniform [0,1) value (deterministic
+// sampling without shared RNG state).
+func hashUnit(i uint64) float64 {
+	i += 0x9e3779b97f4a7c15
+	i = (i ^ (i >> 30)) * 0xbf58476d1ce4e5b9
+	i = (i ^ (i >> 27)) * 0x94d049bb133111eb
+	i ^= i >> 31
+	return float64(i>>11) / (1 << 53)
+}
+
+// pickTemplate draws from the weighted mix, keyed by iteration index.
+func (r *run) pickTemplate(i uint64) string {
+	if len(r.scn.Mix) == 1 {
+		return r.scn.Mix[0].Template
+	}
+	u := hashUnit(bits.RotateLeft64(i, 17)) * r.cum[len(r.cum)-1]
+	for k, c := range r.cum {
+		if u < c {
+			return r.scn.Mix[k].Template
+		}
+	}
+	return r.scn.Mix[len(r.scn.Mix)-1].Template
+}
+
+// buildRequest instantiates a template (the attribute shapes mirror the
+// bench suite's StandardRequest so decisions hit the same policy rules).
+func (r *run) buildRequest(tmpl, tenant string, i uint64) *xacml.Request {
+	req := r.target.NewRequest()
+	switch tmpl {
+	case TemplateWrite:
+		roles := []string{"doctor", "nurse", "intern"}
+		req.Add(xacml.CatSubject, "role", xacml.String(roles[int(i)%len(roles)])).
+			Add(xacml.CatAction, "op", xacml.String("write")).
+			Add(xacml.CatResource, "type", xacml.String("record"))
+	case TemplateCrossTenant:
+		// A read issued through this tenant's PEP for a subject homed in
+		// another tenant — the federation's cross-cloud access shape.
+		home := r.tenants[(int(i)+1)%len(r.tenants)]
+		req.Add(xacml.CatSubject, "role", xacml.String("doctor")).
+			Add(xacml.CatSubject, "home-tenant", xacml.String(home)).
+			Add(xacml.CatAction, "op", xacml.String("read")).
+			Add(xacml.CatResource, "type", xacml.String("record"))
+	default: // TemplateRead
+		req.Add(xacml.CatSubject, "role", xacml.String("doctor")).
+			Add(xacml.CatAction, "op", xacml.String("read")).
+			Add(xacml.CatResource, "type", xacml.String("record"))
+	}
+	return req
+}

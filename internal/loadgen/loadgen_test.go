@@ -1,0 +1,391 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drams"
+	"drams/internal/xacml"
+)
+
+// stubTarget is an in-memory Target with a configurable service time, for
+// exercising executor accounting without a deployment.
+type stubTarget struct {
+	serviceTime time.Duration
+	failTenant  string
+	ids         atomic.Uint64
+	flips       atomic.Int64
+	kills       atomic.Int64
+	rejoins     atomic.Int64
+}
+
+func (s *stubTarget) Tenants() []string { return []string{"tenant-1", "tenant-2", "tenant-3"} }
+func (s *stubTarget) NewRequest() *xacml.Request {
+	return xacml.NewRequest(fmt.Sprintf("stub-%d", s.ids.Add(1)))
+}
+func (s *stubTarget) Decide(ctx context.Context, tenant string, req *xacml.Request) (drams.Enforcement, error) {
+	if s.serviceTime > 0 {
+		select {
+		case <-time.After(s.serviceTime):
+		case <-ctx.Done():
+			return drams.Enforcement{}, ctx.Err()
+		}
+	}
+	if tenant == s.failTenant {
+		return drams.Enforcement{}, errors.New("stub: tenant down")
+	}
+	return drams.Enforcement{Decision: xacml.Permit}, nil
+}
+func (s *stubTarget) FlipPolicy(context.Context, *xacml.PolicySet) error {
+	s.flips.Add(1)
+	return nil
+}
+func (s *stubTarget) Kill(string) error {
+	s.kills.Add(1)
+	return nil
+}
+func (s *stubTarget) Rejoin(context.Context, string) error {
+	s.rejoins.Add(1)
+	return nil
+}
+func (s *stubTarget) Matched() <-chan drams.Alert { return nil }
+func (s *stubTarget) Close()                      {}
+
+func TestOpenLoopHitsArrivalRate(t *testing.T) {
+	scn := Scenario{
+		Name: "rate-check",
+		Executor: ExecutorSpec{
+			Type: ExecConstantArrivalRate, Rate: 200,
+			Duration: Duration(time.Second), MaxWorkers: 64,
+		},
+		SampleEvery: Duration(250 * time.Millisecond),
+	}
+	res, err := Run(context.Background(), scn, &stubTarget{serviceTime: time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open loop: iteration count tracks the schedule, not service time.
+	if res.Iterations < 120 || res.Iterations > 280 {
+		t.Fatalf("iterations = %d, want ~200 for 200/s x 1s", res.Iterations)
+	}
+	if res.Dropped != 0 {
+		t.Fatalf("dropped = %d with an idle worker pool", res.Dropped)
+	}
+	if res.Requests+res.Errors+res.Dropped != res.Iterations {
+		t.Fatalf("accounting leak: %d+%d+%d != %d", res.Requests, res.Errors, res.Dropped, res.Iterations)
+	}
+	if len(res.Windows) < 3 {
+		t.Fatalf("expected >=3 sample windows, got %d", len(res.Windows))
+	}
+	if res.Metrics["rate"] < 100 {
+		t.Fatalf("completed rate %.1f/s, want ~200", res.Metrics["rate"])
+	}
+}
+
+func TestOpenLoopDropsWhenSaturated(t *testing.T) {
+	// One worker, 60ms service, 200/s arrivals: almost every arrival finds
+	// the pool busy and must be counted dropped — never queued, never lost.
+	scn := Scenario{
+		Name: "saturated",
+		Executor: ExecutorSpec{
+			Type: ExecConstantArrivalRate, Rate: 200,
+			Duration: Duration(600 * time.Millisecond), MaxWorkers: 1,
+		},
+		Thresholds: []string{"dropped<1%"},
+	}
+	res, err := Run(context.Background(), scn, &stubTarget{serviceTime: 60 * time.Millisecond}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("expected dropped iterations with MaxWorkers=1 and slow service")
+	}
+	if res.Requests+res.Errors+res.Dropped != res.Iterations {
+		t.Fatalf("accounting leak: %d+%d+%d != %d", res.Requests, res.Errors, res.Dropped, res.Iterations)
+	}
+	// The dropped SLO must fail the run.
+	if res.Pass {
+		t.Fatalf("run passed despite dropped=%d/%d and threshold dropped<1%%", res.Dropped, res.Iterations)
+	}
+}
+
+func TestClosedLoopIterationCap(t *testing.T) {
+	scn := Scenario{
+		Name: "capped",
+		Executor: ExecutorSpec{
+			Type: ExecLoopingVU, VUs: 4, Iterations: 100,
+			Duration: Duration(10 * time.Second),
+		},
+	}
+	res, err := Run(context.Background(), scn, &stubTarget{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 100 {
+		t.Fatalf("iterations = %d, want exactly 100", res.Iterations)
+	}
+	if res.Requests != 100 || res.Errors != 0 || res.Dropped != 0 {
+		t.Fatalf("requests=%d errors=%d dropped=%d", res.Requests, res.Errors, res.Dropped)
+	}
+}
+
+func TestRunRecordsErrors(t *testing.T) {
+	scn := Scenario{
+		Name: "errors",
+		Executor: ExecutorSpec{
+			Type: ExecConstantArrivalRate, Rate: 150, Duration: Duration(500 * time.Millisecond),
+		},
+		Thresholds: []string{"error_rate<1%"},
+	}
+	// tenant-2 always fails: one third of traffic errors.
+	res, err := Run(context.Background(), scn, &stubTarget{failTenant: "tenant-2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Errors == 0 {
+		t.Fatal("expected errors from the failing tenant")
+	}
+	er := res.Metrics["error_rate"]
+	if er < 0.2 || er > 0.45 {
+		t.Fatalf("error_rate = %.3f, want ~1/3", er)
+	}
+	if res.Pass {
+		t.Fatal("run passed despite error_rate threshold")
+	}
+}
+
+func TestRunSchedulesEvents(t *testing.T) {
+	st := &stubTarget{}
+	scn := Scenario{
+		Name: "events",
+		Executor: ExecutorSpec{
+			Type: ExecConstantArrivalRate, Rate: 50, Duration: Duration(700 * time.Millisecond),
+		},
+		PolicyFlip: &PolicyFlipSpec{After: Duration(100 * time.Millisecond), Policy: "standard:v2"},
+		Churn: &ChurnSpec{
+			Victim:      "tenant-2",
+			KillAfter:   Duration(200 * time.Millisecond),
+			RejoinAfter: Duration(200 * time.Millisecond),
+		},
+	}
+	res, err := Run(context.Background(), scn, st, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.flips.Load() != 1 || st.kills.Load() != 1 || st.rejoins.Load() != 1 {
+		t.Fatalf("flips=%d kills=%d rejoins=%d, want 1 each",
+			st.flips.Load(), st.kills.Load(), st.rejoins.Load())
+	}
+	kinds := map[string]bool{}
+	for _, ev := range res.Events {
+		if ev.Err != "" {
+			t.Fatalf("event %s failed: %s", ev.Kind, ev.Err)
+		}
+		kinds[ev.Kind] = true
+	}
+	for _, want := range []string{"policy-flip", "kill", "rejoin"} {
+		if !kinds[want] {
+			t.Fatalf("missing event %q in %+v", want, res.Events)
+		}
+	}
+}
+
+func TestRunRejectsUnknownChurnVictim(t *testing.T) {
+	scn := Scenario{
+		Name:     "bad-victim",
+		Executor: ExecutorSpec{Type: ExecConstantArrivalRate, Rate: 10, Duration: Duration(100 * time.Millisecond)},
+		Churn:    &ChurnSpec{Victim: "tenant-99", KillAfter: 1, RejoinAfter: 1},
+	}
+	if _, err := Run(context.Background(), scn, &stubTarget{}, nil); err == nil {
+		t.Fatal("expected error for unknown churn victim")
+	}
+}
+
+func TestRateAtOffsetRamping(t *testing.T) {
+	spec := ExecutorSpec{
+		Type: ExecRampingArrivalRate, Rate: 100,
+		Stages: []Stage{
+			{Target: 300, Duration: Duration(2 * time.Second)},
+			{Target: 300, Duration: Duration(time.Second)},
+			{Target: 0, Duration: Duration(time.Second)},
+		},
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100},
+		{time.Second, 200},
+		{2 * time.Second, 300},
+		{2500 * time.Millisecond, 300},
+		{3500 * time.Millisecond, 150},
+		{5 * time.Second, 0}, // past the profile
+	}
+	for _, tc := range cases {
+		if got := rateAtOffset(spec, tc.at); !almostEq(got, tc.want) {
+			t.Errorf("rateAtOffset(%v) = %g, want %g", tc.at, got, tc.want)
+		}
+	}
+	if got := spec.totalDuration(); got != 4*time.Second {
+		t.Errorf("totalDuration = %v, want 4s", got)
+	}
+}
+
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	orig, err := BuiltinScenario("ramp-flip-churn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.MarshalIndent(orig, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "scn.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadScenario(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != orig.Name || got.Executor.Type != orig.Executor.Type ||
+		len(got.Executor.Stages) != len(orig.Executor.Stages) ||
+		got.Executor.Stages[1].Duration != orig.Executor.Stages[1].Duration ||
+		got.PolicyFlip == nil || got.PolicyFlip.Policy != orig.PolicyFlip.Policy ||
+		got.Churn == nil || got.Churn.Victim != orig.Churn.Victim ||
+		len(got.Thresholds) != len(orig.Thresholds) {
+		t.Fatalf("round-trip mismatch:\norig %+v\ngot  %+v", orig, got)
+	}
+	// Durations must serialize human-readable, not as nanosecond blobs.
+	if !strings.Contains(string(raw), `"2s"`) {
+		t.Fatalf("expected duration strings in JSON:\n%s", raw)
+	}
+}
+
+func TestBuiltinScenariosValidate(t *testing.T) {
+	for _, name := range BuiltinScenarioNames() {
+		scn, err := BuiltinScenario(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := scn.withDefaults().Validate(); err != nil {
+			t.Errorf("builtin %q invalid: %v", name, err)
+		}
+	}
+	if _, err := BuiltinScenario("nope"); err == nil {
+		t.Error("expected error for unknown builtin")
+	}
+}
+
+// TestNetsimRampFlipChurn is the end-to-end drill ISSUE 7 requires: ramping
+// open-loop arrivals against a monitored in-process federation with a
+// mid-run on-chain policy flip and a member kill/rejoin, alert-detection
+// latency sampled throughout.
+func TestNetsimRampFlipChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("netsim e2e in -short mode")
+	}
+	target, err := NewNetsimTarget(NetsimConfig{
+		Clouds:     3,
+		Monitoring: true,
+		NetLatency: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer target.Close()
+
+	scn := Scenario{
+		Name: "e2e",
+		Executor: ExecutorSpec{
+			Type: ExecRampingArrivalRate, Rate: 40, Poisson: true, MaxWorkers: 512,
+			Stages: []Stage{
+				{Target: 120, Duration: Duration(1500 * time.Millisecond)},
+				{Target: 120, Duration: Duration(1500 * time.Millisecond)},
+			},
+		},
+		Mix: []MixEntry{
+			{Template: TemplateRead, Weight: 0.6},
+			{Template: TemplateWrite, Weight: 0.3},
+			{Template: TemplateCrossTenant, Weight: 0.1},
+		},
+		RequestTimeout: Duration(2 * time.Second),
+		SampleEvery:    Duration(500 * time.Millisecond),
+		AlertSample:    0.5,
+		PolicyFlip:     &PolicyFlipSpec{After: Duration(700 * time.Millisecond), Policy: "standard:v2"},
+		Churn: &ChurnSpec{
+			Victim:      "tenant-2",
+			KillAfter:   Duration(1200 * time.Millisecond),
+			RejoinAfter: Duration(800 * time.Millisecond),
+		},
+		// Generous: the churn window fails tenant-2 traffic by design.
+		Thresholds: []string{"p99<2000ms", "error_rate<60%", "dropped<50%", "count>50"},
+		Seed:       7,
+	}
+	res, err := Run(context.Background(), scn, target, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass {
+		t.Fatalf("e2e thresholds failed:\n%s", FormatVerdicts(res.Verdicts))
+	}
+	if res.Requests == 0 || len(res.Windows) < 3 {
+		t.Fatalf("requests=%d windows=%d", res.Requests, len(res.Windows))
+	}
+	var sawFlip, sawKill, sawRejoin bool
+	for _, ev := range res.Events {
+		if ev.Err != "" {
+			t.Fatalf("event %s failed: %s", ev.Kind, ev.Err)
+		}
+		switch ev.Kind {
+		case "policy-flip":
+			sawFlip = true
+		case "kill":
+			sawKill = true
+		case "rejoin":
+			sawRejoin = true
+		}
+	}
+	if !sawFlip || !sawKill || !sawRejoin {
+		t.Fatalf("missing events: %+v", res.Events)
+	}
+	// The flip must be observable: decisions after activation carry v2.
+	req := target.NewRequest().
+		Add(xacml.CatSubject, "role", xacml.String("doctor")).
+		Add(xacml.CatAction, "op", xacml.String("read")).
+		Add(xacml.CatResource, "type", xacml.String("record"))
+	enf, err := target.Decide(context.Background(), "tenant-1", req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enf.PolicyVersion != "v2" {
+		t.Fatalf("post-flip decision ran policy %q, want v2", enf.PolicyVersion)
+	}
+	// Alert-detection latency must have been measured (monitoring on,
+	// AlertSample 0.5 over hundreds of requests).
+	if res.AlertLatency.Count == 0 {
+		t.Fatal("no alert-detection latency samples recorded")
+	}
+	if _, ok := res.Metrics["alert_p99"]; !ok {
+		t.Fatalf("alert_p99 missing from metric map: %v", sortedMetricKeys(res.Metrics))
+	}
+	// Churn must leave a visible scar: some errors during the kill window.
+	if res.Errors == 0 {
+		t.Log("warning: no errors during churn window (timing-dependent)")
+	}
+	rep := res.Report("netsim")
+	if rep.Name != "loadgen_e2e" || !rep.Pass || len(rep.Thresholds) != 4 {
+		t.Fatalf("report mismatch: %+v", rep)
+	}
+	if _, ok := rep.Metrics["alert_latency_ms"]; !ok {
+		t.Fatal("report missing alert_latency_ms")
+	}
+}

@@ -1,0 +1,399 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Duration is a time.Duration that marshals as a Go duration string
+// ("250ms"), so scenario files stay human-editable.
+type Duration time.Duration
+
+// D converts to time.Duration.
+func (d Duration) D() time.Duration { return time.Duration(d) }
+
+// MarshalJSON renders the duration string form.
+func (d Duration) MarshalJSON() ([]byte, error) {
+	return json.Marshal(time.Duration(d).String())
+}
+
+// UnmarshalJSON accepts both "250ms" strings and raw nanosecond numbers.
+func (d *Duration) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		parsed, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("loadgen: bad duration %q: %w", s, err)
+		}
+		*d = Duration(parsed)
+		return nil
+	}
+	var n int64
+	if err := json.Unmarshal(data, &n); err != nil {
+		return fmt.Errorf("loadgen: bad duration %s", data)
+	}
+	*d = Duration(n)
+	return nil
+}
+
+// Executor types.
+const (
+	// ExecConstantArrivalRate fires iterations on a fixed (or Poisson)
+	// schedule at Rate/s regardless of in-flight completions — the
+	// open-loop executor that cannot coordinate-omit.
+	ExecConstantArrivalRate = "constant-arrival-rate"
+	// ExecRampingArrivalRate varies the arrival rate piecewise-linearly
+	// through Stages, starting from Rate.
+	ExecRampingArrivalRate = "ramping-arrival-rate"
+	// ExecLoopingVU runs VUs closed-loop workers, each firing its next
+	// iteration only after the previous one returned — the
+	// coordinated-omission-prone baseline the open-loop executors are
+	// compared against.
+	ExecLoopingVU = "looping-vu"
+)
+
+// Stage is one ramp segment: the arrival rate moves linearly from the
+// previous stage's target (or ExecutorSpec.Rate for the first stage) to
+// Target over Duration.
+type Stage struct {
+	Target   float64  `json:"target"`
+	Duration Duration `json:"duration"`
+}
+
+// ExecutorSpec selects and parameterises the iteration scheduler.
+type ExecutorSpec struct {
+	Type string `json:"type"`
+	// Rate is the arrival rate in iterations/s (constant-arrival-rate),
+	// or the starting rate of the first ramp stage.
+	Rate float64 `json:"rate,omitempty"`
+	// Duration bounds the run (constant-arrival-rate and looping-vu; a
+	// ramping run lasts the sum of its stages).
+	Duration Duration `json:"duration,omitempty"`
+	// Stages is the ramp profile (ramping-arrival-rate only).
+	Stages []Stage `json:"stages,omitempty"`
+	// Poisson draws exponentially distributed inter-arrival gaps instead
+	// of a fixed 1/rate spacing.
+	Poisson bool `json:"poisson,omitempty"`
+	// MaxWorkers bounds the in-flight iteration pool of the open-loop
+	// executors (default 256). When every worker is busy at an arrival
+	// tick, the iteration is counted in dropped_iterations — never
+	// silently skipped, never queued (queueing would re-introduce
+	// coordination).
+	MaxWorkers int `json:"max_workers,omitempty"`
+	// VUs is the closed-loop worker count (looping-vu only, default 1).
+	VUs int `json:"vus,omitempty"`
+	// Iterations optionally caps total looping-vu iterations (0 = bound
+	// by Duration only).
+	Iterations int64 `json:"iterations,omitempty"`
+}
+
+// totalDuration is the scheduled run length.
+func (e ExecutorSpec) totalDuration() time.Duration {
+	if e.Type == ExecRampingArrivalRate {
+		var total time.Duration
+		for _, st := range e.Stages {
+			total += st.Duration.D()
+		}
+		return total
+	}
+	return e.Duration.D()
+}
+
+func (e ExecutorSpec) validate() error {
+	switch e.Type {
+	case ExecConstantArrivalRate:
+		if e.Rate <= 0 {
+			return fmt.Errorf("loadgen: %s needs rate > 0", e.Type)
+		}
+		if e.Duration <= 0 {
+			return fmt.Errorf("loadgen: %s needs duration > 0", e.Type)
+		}
+	case ExecRampingArrivalRate:
+		if len(e.Stages) == 0 {
+			return fmt.Errorf("loadgen: %s needs at least one stage", e.Type)
+		}
+		for i, st := range e.Stages {
+			if st.Target < 0 || st.Duration <= 0 {
+				return fmt.Errorf("loadgen: %s stage %d needs target >= 0 and duration > 0", e.Type, i)
+			}
+		}
+	case ExecLoopingVU:
+		if e.Duration <= 0 && e.Iterations <= 0 {
+			return fmt.Errorf("loadgen: %s needs duration or iterations", e.Type)
+		}
+	default:
+		return fmt.Errorf("loadgen: unknown executor type %q (known: %s, %s, %s)",
+			e.Type, ExecConstantArrivalRate, ExecRampingArrivalRate, ExecLoopingVU)
+	}
+	if e.MaxWorkers < 0 || e.VUs < 0 {
+		return fmt.Errorf("loadgen: negative worker counts")
+	}
+	return nil
+}
+
+// Request templates.
+const (
+	// TemplateRead is the permit-path read probe (doctor reads a record).
+	TemplateRead = "read"
+	// TemplateWrite cycles roles over writes, mixing permits and denies.
+	TemplateWrite = "write"
+	// TemplateCrossTenant issues a read through one tenant's PEP on behalf
+	// of a subject homed in another tenant.
+	TemplateCrossTenant = "cross-tenant"
+)
+
+// MixEntry weights one request template within a scenario.
+type MixEntry struct {
+	Template string  `json:"template"`
+	Weight   float64 `json:"weight"`
+}
+
+// PolicyFlipSpec schedules a mid-run on-chain policy update through the
+// target's PAP admin path.
+type PolicyFlipSpec struct {
+	// After is the offset from run start.
+	After Duration `json:"after"`
+	// Policy names a built-in policy set as name:version, e.g.
+	// "standard:v2" or "restricted:v2".
+	Policy string `json:"policy"`
+}
+
+// ChurnSpec schedules a member kill and rejoin against the target.
+type ChurnSpec struct {
+	// Victim is the edge tenant whose federation member is killed.
+	Victim string `json:"victim"`
+	// KillAfter is the kill offset from run start.
+	KillAfter Duration `json:"kill_after"`
+	// RejoinAfter is the rejoin offset from the kill.
+	RejoinAfter Duration `json:"rejoin_after"`
+}
+
+// Scenario is a declarative load-test: an executor, a weighted request
+// mix, optional mid-run policy-flip and churn events, a sampling cadence,
+// and the SLO thresholds gating the run's exit code.
+type Scenario struct {
+	Name     string       `json:"name"`
+	Executor ExecutorSpec `json:"executor"`
+	Mix      []MixEntry   `json:"mix,omitempty"`
+	// RequestTimeout bounds one decision round-trip (default 5s).
+	RequestTimeout Duration `json:"request_timeout,omitempty"`
+	// SampleEvery is the time-series window width (default 1s).
+	SampleEvery Duration `json:"sample_every,omitempty"`
+	// AlertSample is the fraction of requests whose alert-detection
+	// latency is tracked, 0..1 (default 0 = off; needs a target with
+	// monitoring, i.e. netsim with monitoring on).
+	AlertSample float64 `json:"alert_sample,omitempty"`
+	// PolicyFlip optionally schedules a mid-run policy update.
+	PolicyFlip *PolicyFlipSpec `json:"policy_flip,omitempty"`
+	// Churn optionally schedules a member kill/rejoin.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Thresholds are SLO expressions (see ParseThreshold) evaluated at
+	// run end.
+	Thresholds []string `json:"thresholds,omitempty"`
+	// Seed drives every random choice of the run (arrival jitter,
+	// template picks); equal seeds give equal schedules.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// withDefaults fills unset knobs.
+func (s Scenario) withDefaults() Scenario {
+	if len(s.Mix) == 0 {
+		s.Mix = []MixEntry{{Template: TemplateRead, Weight: 1}}
+	}
+	if s.RequestTimeout <= 0 {
+		s.RequestTimeout = Duration(5 * time.Second)
+	}
+	if s.SampleEvery <= 0 {
+		s.SampleEvery = Duration(time.Second)
+	}
+	if s.Executor.MaxWorkers == 0 {
+		s.Executor.MaxWorkers = 256
+	}
+	if s.Executor.Type == ExecLoopingVU && s.Executor.VUs == 0 {
+		s.Executor.VUs = 1
+	}
+	return s
+}
+
+// Validate checks the scenario is runnable (thresholds included).
+func (s Scenario) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("loadgen: scenario needs a name")
+	}
+	if err := s.Executor.validate(); err != nil {
+		return err
+	}
+	var total float64
+	for _, m := range s.Mix {
+		switch m.Template {
+		case TemplateRead, TemplateWrite, TemplateCrossTenant:
+		default:
+			return fmt.Errorf("loadgen: unknown template %q (known: %s, %s, %s)",
+				m.Template, TemplateRead, TemplateWrite, TemplateCrossTenant)
+		}
+		if m.Weight < 0 {
+			return fmt.Errorf("loadgen: template %q has negative weight", m.Template)
+		}
+		total += m.Weight
+	}
+	if len(s.Mix) > 0 && total <= 0 {
+		return fmt.Errorf("loadgen: request mix has zero total weight")
+	}
+	if s.AlertSample < 0 || s.AlertSample > 1 {
+		return fmt.Errorf("loadgen: alert_sample must be in [0,1]")
+	}
+	if s.PolicyFlip != nil {
+		if _, err := BuiltinPolicy(s.PolicyFlip.Policy); err != nil {
+			return err
+		}
+	}
+	if s.Churn != nil && s.Churn.Victim == "" {
+		return fmt.Errorf("loadgen: churn needs a victim tenant")
+	}
+	if _, err := ParseThresholds(s.Thresholds); err != nil {
+		return err
+	}
+	return nil
+}
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (Scenario, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var s Scenario
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: parse scenario %s: %w", path, err)
+	}
+	if err := s.Validate(); err != nil {
+		return Scenario{}, fmt.Errorf("loadgen: scenario %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// Builtin scenarios, by name.
+func builtins() map[string]Scenario {
+	return map[string]Scenario{
+		// ci-slo is the CI gate: seed-pinned constant open-loop traffic on
+		// netsim with monitoring on and generous-but-real thresholds.
+		"ci-slo": {
+			Name: "ci-slo",
+			Executor: ExecutorSpec{
+				Type: ExecConstantArrivalRate, Rate: 150,
+				Duration: Duration(4 * time.Second), Poisson: true, MaxWorkers: 512,
+			},
+			Mix: []MixEntry{
+				{Template: TemplateRead, Weight: 0.7},
+				{Template: TemplateWrite, Weight: 0.2},
+				{Template: TemplateCrossTenant, Weight: 0.1},
+			},
+			RequestTimeout: Duration(3 * time.Second),
+			SampleEvery:    Duration(time.Second),
+			AlertSample:    0.05,
+			// Generous for small CI runners (the gate catches collapse
+			// and regressions measured in multiples, not milliseconds).
+			Thresholds: []string{"p99<1s", "error_rate<1%", "dropped<1%"},
+			Seed:       7,
+		},
+		// smoke is a fast sanity run for local iteration.
+		"smoke": {
+			Name: "smoke",
+			Executor: ExecutorSpec{
+				Type: ExecConstantArrivalRate, Rate: 50,
+				Duration: Duration(2 * time.Second), Poisson: true,
+			},
+			Thresholds: []string{"error_rate<5%", "dropped<5%"},
+			Seed:       7,
+		},
+		// ramp-flip-churn is the full netsim drill: ramping open-loop
+		// arrivals with a mid-run policy flip and a member kill/rejoin.
+		// Thresholds tolerate the churn window (victim-tenant requests
+		// fail while its member is cut off).
+		"ramp-flip-churn": {
+			Name: "ramp-flip-churn",
+			Executor: ExecutorSpec{
+				Type: ExecRampingArrivalRate, Rate: 50, Poisson: true, MaxWorkers: 512,
+				Stages: []Stage{
+					{Target: 150, Duration: Duration(2 * time.Second)},
+					{Target: 300, Duration: Duration(3 * time.Second)},
+					{Target: 100, Duration: Duration(2 * time.Second)},
+				},
+			},
+			Mix: []MixEntry{
+				{Template: TemplateRead, Weight: 0.6},
+				{Template: TemplateWrite, Weight: 0.3},
+				{Template: TemplateCrossTenant, Weight: 0.1},
+			},
+			RequestTimeout: Duration(1500 * time.Millisecond),
+			SampleEvery:    Duration(500 * time.Millisecond),
+			PolicyFlip:     &PolicyFlipSpec{After: Duration(2 * time.Second), Policy: "standard:v2"},
+			Churn: &ChurnSpec{
+				Victim:      "tenant-2",
+				KillAfter:   Duration(3 * time.Second),
+				RejoinAfter: Duration(2 * time.Second),
+			},
+			Thresholds: []string{"p99<1500ms", "error_rate<40%", "dropped<20%"},
+			Seed:       7,
+		},
+		// tcp-ramp drives a live TCP federation (see scripts/
+		// smoke_loadgen.sh): ramping arrivals with a mid-run policy flip
+		// published through the harness's own federation member; process
+		// kill/rejoin churn is injected externally by the operator.
+		"tcp-ramp": {
+			Name: "tcp-ramp",
+			Executor: ExecutorSpec{
+				Type: ExecRampingArrivalRate, Rate: 15, Poisson: true, MaxWorkers: 512,
+				Stages: []Stage{
+					{Target: 50, Duration: Duration(4 * time.Second)},
+					{Target: 80, Duration: Duration(4 * time.Second)},
+					{Target: 30, Duration: Duration(4 * time.Second)},
+				},
+			},
+			Mix: []MixEntry{
+				{Template: TemplateRead, Weight: 0.8},
+				{Template: TemplateWrite, Weight: 0.2},
+			},
+			RequestTimeout: Duration(5 * time.Second),
+			SampleEvery:    Duration(time.Second),
+			PolicyFlip:     &PolicyFlipSpec{After: Duration(4 * time.Second), Policy: "standard:v2"},
+			// Sized for CI runners (possibly single-core): the gate is
+			// "no collapse", not a latency benchmark.
+			Thresholds: []string{"p99<4000ms", "error_rate<10%", "dropped<10%"},
+			Seed:       7,
+		},
+		// closed-loop is the coordinated-omission comparison baseline.
+		"closed-loop": {
+			Name: "closed-loop",
+			Executor: ExecutorSpec{
+				Type: ExecLoopingVU, VUs: 4, Duration: Duration(4 * time.Second),
+			},
+			Thresholds: []string{"error_rate<1%"},
+			Seed:       7,
+		},
+	}
+}
+
+// BuiltinScenario returns a named builtin.
+func BuiltinScenario(name string) (Scenario, error) {
+	s, ok := builtins()[name]
+	if !ok {
+		return Scenario{}, fmt.Errorf("loadgen: unknown scenario %q (known: %s)",
+			name, strings.Join(BuiltinScenarioNames(), ", "))
+	}
+	return s, nil
+}
+
+// BuiltinScenarioNames lists the builtin scenarios, sorted.
+func BuiltinScenarioNames() []string {
+	var names []string
+	for name := range builtins() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -44,31 +44,79 @@ func (g *Gauge) Add(delta int64) { g.n.Add(delta) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.n.Load() }
 
-// Histogram records observations and reports percentile summaries. It stores
-// raw samples (bounded by maxSamples with reservoir-style replacement) so
-// percentiles are exact for experiments of moderate size.
+// Histogram records observations and reports percentile summaries. It keeps
+// HDR-style log-bucketed counts — each power of two is split into 2^subBits
+// linear sub-buckets — so quantiles carry a bounded relative error
+// (<= 2^-subBits ≈ 0.1%) no matter how many samples are observed or how
+// skewed they are. Memory is proportional to the number of distinct buckets
+// touched (the span of the data), never to the sample count.
 type Histogram struct {
 	mu         sync.Mutex
-	samples    []float64
+	buckets    map[int32]int64
 	count      int64
-	sum        float64
+	sum, sumSq float64
 	min, max   float64
-	maxSamples int
-	rngState   uint64
 }
 
-// NewHistogram returns a Histogram retaining at most maxSamples raw samples
-// (64k if maxSamples <= 0).
-func NewHistogram(maxSamples int) *Histogram {
-	if maxSamples <= 0 {
-		maxSamples = 1 << 16
-	}
+// subBits fixes the per-octave resolution: 1024 linear sub-buckets per
+// power of two bound the relative quantile error at 1/1024.
+const subBits = 10
+
+// NewHistogram returns an empty Histogram. The parameter is retained for
+// API compatibility with the old reservoir-sampling implementation and is
+// ignored: log-bucketed counts are exact in count and bounded in memory
+// without a sample cap.
+func NewHistogram(int) *Histogram {
 	return &Histogram{
-		maxSamples: maxSamples,
-		min:        math.Inf(1),
-		max:        math.Inf(-1),
-		rngState:   0x853c49e6748fea9b,
+		buckets: make(map[int32]int64),
+		min:     math.Inf(1),
+		max:     math.Inf(-1),
 	}
+}
+
+// bucketKey maps a value to its log-bucket. Zero (and non-finite values,
+// which are clamped) get the reserved key 0; negative values mirror the
+// positive layout with a negative key.
+func bucketKey(v float64) int32 {
+	if v == 0 || math.IsNaN(v) {
+		return 0
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	frac, exp := math.Frexp(v) // v = frac × 2^exp, frac ∈ [0.5, 1)
+	if math.IsInf(v, 0) {
+		frac, exp = 0.5, 1025
+	}
+	sub := int32((frac*2 - 1) * (1 << subBits)) // ∈ [0, 2^subBits)
+	if sub >= 1<<subBits {
+		sub = 1<<subBits - 1
+	}
+	key := (int32(exp+1100) << subBits) | sub
+	if neg {
+		return -key
+	}
+	return key
+}
+
+// bucketBounds returns the [lo, hi) value range represented by a key.
+func bucketBounds(key int32) (lo, hi float64) {
+	if key == 0 {
+		return 0, 0
+	}
+	neg := key < 0
+	if neg {
+		key = -key
+	}
+	exp := int(key>>subBits) - 1100
+	sub := float64(key & (1<<subBits - 1))
+	lo = math.Ldexp(1+sub/(1<<subBits), exp-1)
+	hi = math.Ldexp(1+(sub+1)/(1<<subBits), exp-1)
+	if neg {
+		return -hi, -lo
+	}
+	return lo, hi
 }
 
 // Observe records one sample.
@@ -77,22 +125,14 @@ func (h *Histogram) Observe(v float64) {
 	defer h.mu.Unlock()
 	h.count++
 	h.sum += v
+	h.sumSq += v * v
 	if v < h.min {
 		h.min = v
 	}
 	if v > h.max {
 		h.max = v
 	}
-	if len(h.samples) < h.maxSamples {
-		h.samples = append(h.samples, v)
-		return
-	}
-	// Reservoir sampling keeps percentiles unbiased once full.
-	h.rngState = h.rngState*6364136223846793005 + 1442695040888963407
-	idx := h.rngState % uint64(h.count)
-	if idx < uint64(h.maxSamples) {
-		h.samples[idx] = v
-	}
+	h.buckets[bucketKey(v)]++
 }
 
 // ObserveDuration records a duration sample in milliseconds.
@@ -137,50 +177,83 @@ func (h *Histogram) Max() float64 {
 	return h.max
 }
 
-// Quantile returns the q-quantile (0 <= q <= 1) over retained samples, using
-// linear interpolation. Returns 0 when empty.
+// bucketRow is one populated bucket, ordered by represented value.
+type bucketRow struct {
+	lo, hi float64
+	count  int64
+}
+
+// sortedBuckets snapshots the populated buckets in ascending value order.
+// Callers must hold h.mu.
+func (h *Histogram) sortedBuckets() []bucketRow {
+	rows := make([]bucketRow, 0, len(h.buckets))
+	for key, c := range h.buckets {
+		lo, hi := bucketBounds(key)
+		rows = append(rows, bucketRow{lo: lo, hi: hi, count: c})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].lo < rows[j].lo })
+	return rows
+}
+
+// quantileFrom walks the cumulative bucket counts to the q-quantile rank
+// and interpolates linearly inside the landing bucket. Results are clamped
+// to the exact observed [min, max].
+func quantileFrom(rows []bucketRow, count int64, mn, mx float64, q float64) float64 {
+	if count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return mn
+	}
+	if q >= 1 {
+		return mx
+	}
+	rank := q * float64(count-1)
+	cum := int64(0)
+	for _, r := range rows {
+		if rank < float64(cum+r.count) {
+			within := (rank - float64(cum) + 0.5) / float64(r.count)
+			v := r.lo + (r.hi-r.lo)*within
+			return math.Max(mn, math.Min(mx, v))
+		}
+		cum += r.count
+	}
+	return mx
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) with relative error bounded
+// by the bucket resolution (~0.1%). Returns 0 when empty; q=0 and q=1
+// return the exact min and max.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
-		return 0
-	}
-	sorted := make([]float64, len(h.samples))
-	copy(sorted, h.samples)
-	sort.Float64s(sorted)
-	if q <= 0 {
-		return sorted[0]
-	}
-	if q >= 1 {
-		return sorted[len(sorted)-1]
-	}
-	pos := q * float64(len(sorted)-1)
-	lo := int(math.Floor(pos))
-	hi := int(math.Ceil(pos))
-	if lo == hi {
-		return sorted[lo]
-	}
-	frac := pos - float64(lo)
-	return sorted[lo]*(1-frac) + sorted[hi]*frac
+	return quantileFrom(h.sortedBuckets(), h.count, h.min, h.max, q)
+}
+
+// Buckets returns the number of populated log-buckets — the memory bound of
+// the histogram, proportional to the data's span, not its volume.
+func (h *Histogram) Buckets() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.buckets)
 }
 
 // Summary is a point-in-time percentile snapshot of a Histogram.
 type Summary struct {
-	Count            int64
-	Mean             float64
-	Min, Max         float64
-	P50, P90, P99    float64
-	StdDev           float64
-	TotalObservation float64
+	Count               int64
+	Mean                float64
+	Min, Max            float64
+	P50, P90, P99, P999 float64
+	StdDev              float64
+	TotalObservation    float64
 }
 
 // Snapshot computes a Summary.
 func (h *Histogram) Snapshot() Summary {
 	h.mu.Lock()
 	count := h.count
-	sum := h.sum
-	samples := make([]float64, len(h.samples))
-	copy(samples, h.samples)
+	sum, sumSq := h.sum, h.sumSq
+	rows := h.sortedBuckets()
 	mn, mx := h.min, h.max
 	h.mu.Unlock()
 
@@ -190,28 +263,14 @@ func (h *Histogram) Snapshot() Summary {
 	}
 	s.Mean = sum / float64(count)
 	s.Min, s.Max = mn, mx
-	sort.Float64s(samples)
-	q := func(p float64) float64 {
-		if len(samples) == 0 {
-			return 0
+	q := func(p float64) float64 { return quantileFrom(rows, count, mn, mx, p) }
+	s.P50, s.P90, s.P99, s.P999 = q(0.50), q(0.90), q(0.99), q(0.999)
+	if count > 1 {
+		// Sample variance from the exact running moments.
+		variance := (sumSq - float64(count)*s.Mean*s.Mean) / float64(count-1)
+		if variance > 0 {
+			s.StdDev = math.Sqrt(variance)
 		}
-		pos := p * float64(len(samples)-1)
-		lo := int(math.Floor(pos))
-		hi := int(math.Ceil(pos))
-		if lo == hi {
-			return samples[lo]
-		}
-		frac := pos - float64(lo)
-		return samples[lo]*(1-frac) + samples[hi]*frac
-	}
-	s.P50, s.P90, s.P99 = q(0.50), q(0.90), q(0.99)
-	var ss float64
-	for _, v := range samples {
-		d := v - s.Mean
-		ss += d * d
-	}
-	if len(samples) > 1 {
-		s.StdDev = math.Sqrt(ss / float64(len(samples)-1))
 	}
 	return s
 }

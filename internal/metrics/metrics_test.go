@@ -91,20 +91,37 @@ func TestHistogramEmpty(t *testing.T) {
 	}
 }
 
-func TestHistogramReservoirBounded(t *testing.T) {
+func TestHistogramBoundedMemory(t *testing.T) {
 	h := NewHistogram(128)
-	for i := 0; i < 10000; i++ {
+	for i := 0; i < 100000; i++ {
 		h.Observe(float64(i))
 	}
-	if len(h.samples) > 128 {
-		t.Fatalf("reservoir grew to %d", len(h.samples))
+	// Log-bucketed storage: memory tracks the data's span (octaves ×
+	// sub-buckets), never the sample count.
+	if got := h.Buckets(); got > 16*1024 {
+		t.Fatalf("bucket count grew to %d", got)
 	}
-	if h.Count() != 10000 {
+	if h.Count() != 100000 {
 		t.Fatalf("count = %d", h.Count())
 	}
-	// Percentiles over the reservoir should still be roughly right.
-	if p50 := h.Quantile(0.5); p50 < 2000 || p50 > 8000 {
-		t.Fatalf("reservoir p50 = %v grossly off", p50)
+	if p50 := h.Quantile(0.5); math.Abs(p50-49999.5) > 100 {
+		t.Fatalf("p50 = %v, want ~49999.5", p50)
+	}
+}
+
+func TestHistogramNegativeAndZero(t *testing.T) {
+	h := NewHistogram(0)
+	for _, v := range []float64{-10, -1, 0, 0, 1, 10} {
+		h.Observe(v)
+	}
+	if h.Min() != -10 || h.Max() != 10 {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if p0 := h.Quantile(0); p0 != -10 {
+		t.Fatalf("q0 = %v, want -10", p0)
+	}
+	if p50 := h.Quantile(0.5); math.Abs(p50) > 0.5 {
+		t.Fatalf("p50 = %v, want ~0", p50)
 	}
 }
 

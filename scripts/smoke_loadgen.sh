@@ -1,0 +1,154 @@
+#!/usr/bin/env bash
+# smoke_loadgen.sh — load harness against a real multi-process federation.
+#
+# Starts three drams-node daemons on loopback (infrastructure + two edge
+# tenants; tenant-2 with a durable -data-dir), then runs drams-loadgen
+# -target tcp with the tcp-ramp scenario: the harness joins the federation
+# as a fourth (non-mining) chain member, ramps open-loop arrivals through
+# its own PEPs against the remote PDP, and publishes a standard:v2 policy
+# update through the on-chain PAP mid-run. While the ramp is running,
+# tenant-2's PROCESS is killed and later restarted from its data dir —
+# the external-churn counterpart of the netsim target's in-process
+# kill/rejoin.
+#
+# Asserts:
+#   - drams-loadgen exits 0 (run completed AND all SLO thresholds passed)
+#   - BENCH_loadgen_tcp-ramp.json is written, says "pass": true, and
+#     reports dropped_iterations
+#   - every daemon instance that saw the rollout (infra, tenant-1, and the
+#     RESTARTED tenant-2) activated policy v2 at the same height
+#   - the restarted tenant-2 resumed its persisted chain (no fresh genesis)
+#
+# Usage: scripts/smoke_loadgen.sh [bin-dir]
+set -u
+
+TIMEOUT="${SMOKE_TIMEOUT:-150}"
+PORT_BASE="${SMOKE_PORT_BASE:-19731}"
+KILL_AFTER="${SMOKE_KILL_AFTER:-6}"
+RESTART_AFTER="${SMOKE_RESTART_AFTER:-3}"
+WORKDIR="$(mktemp -d)"
+BINDIR="${1:-$WORKDIR}"
+NODE="$BINDIR/drams-node"
+LOADGEN="$BINDIR/drams-loadgen"
+
+cleanup() {
+    [ -n "${PIDS:-}" ] && kill $PIDS 2>/dev/null
+    wait 2>/dev/null
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+for bin in "$NODE:./cmd/drams-node" "$LOADGEN:./cmd/drams-loadgen"; do
+    path="${bin%%:*}" pkg="${bin#*:}"
+    if [ ! -x "$path" ]; then
+        echo "building $pkg..."
+        go build -o "$path" "$pkg" || exit 1
+    fi
+done
+
+P1=$((PORT_BASE)) P2=$((PORT_BASE + 1)) P3=$((PORT_BASE + 2))
+A1="127.0.0.1:$P1" A2="127.0.0.1:$P2" A3="127.0.0.1:$P3"
+# -timeout-blocks is huge so the harness's PEP exchanges (which have no
+# obligation-probe follow-up) never cross the M3 window mid-run; it is
+# consensus-critical, so daemons and loadgen must agree on it. -empty-block
+# is slowed way down: at the 50ms default three miners produce ~20
+# blocks/s of PoW+validation churn, which starves the PDP of CPU on small
+# runners and turns decision latency into seconds.
+COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -timeout-blocks 4096 -empty-block 500ms -run-for ${TIMEOUT}s"
+T2_ARGS="-listen $A3 -join $A1,$A2 -tenant tenant-2 -data-dir $WORKDIR/t2-data"
+
+"$NODE" -listen "$A1" -join "$A2,$A3" -tenant infrastructure $COMMON \
+    >"$WORKDIR/infra.log" 2>&1 &
+PIDS="$!"
+"$NODE" -listen "$A2" -join "$A1,$A3" -tenant tenant-1 -request-every 500ms $COMMON \
+    >"$WORKDIR/t1.log" 2>&1 &
+PIDS="$PIDS $!"
+"$NODE" $T2_ARGS $COMMON >"$WORKDIR/t2.log" 2>&1 &
+PID_T2="$!"
+PIDS="$PIDS $PID_T2"
+
+fail() {
+    echo "LOADGEN SMOKE FAILED: $1" >&2
+    for log in infra t1 t2 t2b loadgen; do
+        [ -f "$WORKDIR/$log.log" ] || continue
+        echo "--- $log.log (tail) ---" >&2
+        tail -25 "$WORKDIR/$log.log" >&2
+    done
+    exit 1
+}
+
+deadline=$(( $(date +%s) + TIMEOUT ))
+echo "3 daemons up (logs in $WORKDIR), waiting for the chain to move..."
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    heights_ok=true
+    for log in infra t1 t2; do
+        h=$(grep -o 'status height=[0-9]*' "$WORKDIR/$log.log" 2>/dev/null | tail -1 | grep -o '[0-9]*$')
+        [ -n "$h" ] && [ "$h" -ge 3 ] || heights_ok=false
+    done
+    if $heights_ok; then ok=1; break; fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "daemons never reached height 3"
+
+echo "starting drams-loadgen (tcp-ramp: open-loop ramp + mid-run standard:v2 flip)..."
+"$LOADGEN" -target tcp -scenario tcp-ramp \
+    -peers "$A1,$A2,$A3" -federation tenant-1,tenant-2 \
+    -difficulty 8 -timeout-blocks 4096 -out "$WORKDIR" \
+    >"$WORKDIR/loadgen.log" 2>&1 &
+PID_LG="$!"
+PIDS="$PIDS $PID_LG"
+
+# External churn while the ramp runs: kill tenant-2's process, then
+# restart it from its durable data dir.
+sleep "$KILL_AFTER"
+kill "$PID_T2" 2>/dev/null
+wait "$PID_T2" 2>/dev/null
+PIDS=$(echo "$PIDS" | sed "s/ $PID_T2 / /")
+echo "tenant-2 killed mid-ramp; restarting from its data dir in ${RESTART_AFTER}s..."
+sleep "$RESTART_AFTER"
+"$NODE" $T2_ARGS $COMMON >"$WORKDIR/t2b.log" 2>&1 &
+PIDS="$PIDS $!"
+
+wait "$PID_LG"
+LG_EXIT=$?
+PIDS=$(echo "$PIDS" | sed "s/ $PID_LG / /")
+echo "--- loadgen output ---"
+cat "$WORKDIR/loadgen.log"
+[ "$LG_EXIT" -eq 0 ] || fail "drams-loadgen exited $LG_EXIT (0 = pass, 1 = run error, 2 = SLO breach)"
+
+REPORT="$WORKDIR/BENCH_loadgen_tcp-ramp.json"
+[ -f "$REPORT" ] || fail "missing $REPORT"
+grep -q '"schema": "drams-bench/1"' "$REPORT" || fail "report has wrong schema"
+grep -q '"pass": true' "$REPORT" || fail "report does not say pass"
+grep -q '"dropped"' "$REPORT" || fail "report missing dropped_iterations metric"
+grep -q '"expr": "p99' "$REPORT" || fail "report missing p99 threshold verdict"
+
+# The flip the harness published must have activated fleet-wide — on the
+# survivors and on the RESTARTED tenant-2 (which learns it from its
+# catch-up sync).
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    act=true
+    for log in infra t1 t2b; do
+        grep -q 'policy v2 activated at height' "$WORKDIR/$log.log" 2>/dev/null || act=false
+    done
+    if $act; then ok=1; break; fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "policy v2 (published by the harness) did not activate on all members"
+
+act_heights=$(for log in infra t1 t2b; do
+    grep -o 'policy v2 activated at height [0-9]*' "$WORKDIR/$log.log" | head -1 | grep -o '[0-9]*$'
+done | sort -u | wc -l)
+[ "$act_heights" -eq 1 ] || fail "v2 activation heights differ across processes"
+
+restored=$(grep -o 'restored chain height=[0-9]*' "$WORKDIR/t2b.log" | head -1 | grep -o '[0-9]*$')
+[ -n "$restored" ] && [ "$restored" -ge 1 ] || fail "tenant-2 restart began from a fresh genesis"
+
+kill $PIDS 2>/dev/null
+wait 2>/dev/null
+PIDS=""
+
+echo "LOADGEN SMOKE OK: tcp-ramp passed its SLOs against a live 3-process federation, survived tenant-2 kill+restart (resumed height $restored), and the harness-published v2 activated fleet-wide at one height"
+exit 0
