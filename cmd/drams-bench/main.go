@@ -1,18 +1,23 @@
 // drams-bench regenerates the full experiment suite: E1–E8 of DESIGN.md §2,
-// the AB1–AB3 ablations, and the V1–V4 throughput comparisons (batch
+// the AB1–AB3 ablations, and the V1–V8 throughput comparisons (batch
 // signature verification, PDP decision cache, client decision pipelining,
-// netsim vs TCP transport backends). It prints each result table (text or
-// CSV). EXPERIMENTS.md is produced from this tool's output.
+// netsim vs TCP transport backends, membership churn, fast resync,
+// adversarial detection, and the V8 zero-allocation hot path). It prints
+// each result table (text or CSV). EXPERIMENTS.md is produced from this
+// tool's output.
 //
 // Usage:
 //
-//	drams-bench [-run E1,E2,...,V1,V2,V3,V4] [-quick] [-csv] [-json [-out DIR]]
+//	drams-bench [-run E1,E2,...,V1,...,V8] [-quick] [-csv] [-json [-out DIR]]
+//	            [-cpuprofile FILE] [-memprofile FILE]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -30,11 +35,41 @@ func run() int {
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	jsonOut := flag.Bool("json", false, "also write one BENCH_<id>.json per experiment (drams-bench/1 schema)")
 	outDir := flag.String("out", ".", "output directory for -json reports")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the selected experiments to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // up-to-date heap statistics
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	selected := map[string]bool{}
 	if *runList == "all" {
-		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5", "V6", "V7"} {
+		for _, id := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "AB1", "AB2", "AB3", "V1", "V2", "V3", "V4", "V5", "V6", "V7", "V8"} {
 			selected[id] = true
 		}
 	} else {
@@ -175,6 +210,14 @@ func run() int {
 				p = experiment.V7Params{Trials: 1, Seed: 7}
 			}
 			return experiment.RunV7(p)
+		}},
+		{"V8", func() (experiment.Table, error) {
+			p := experiment.DefaultV8Params()
+			if *quick {
+				p = experiment.V8Params{Requests: 128, Batch: 64, Records: 32, Window: 16,
+					ApplyBlocks: 2, ApplyTxs: 64, V7Trials: 1}
+			}
+			return experiment.RunV8(p)
 		}},
 	}
 

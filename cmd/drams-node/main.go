@@ -33,6 +33,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only behind -pprof-addr
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -90,6 +92,8 @@ func run() error {
 	policyAtHeight := flag.Uint64("policy-at-height", 0, "daemon: wait for this local chain height before pushing -policy-file (0 = push immediately)")
 	policyDelta := flag.Uint64("policy-delta", 5, "daemon: activation delay of the -policy-file update, in blocks after submission")
 	printPolicy := flag.String("print-policy", "", "print a built-in policy set as JSON and exit: standard:<version> or restricted:<version>")
+	flushWindow := flag.Int("log-flush-window", 16, "daemon: max probe records per Merkle-anchored LI batch transaction (1 disables batching)")
+	pprofAddr := flag.String("pprof-addr", "", "daemon: serve net/http/pprof on this host:port (empty disables)")
 	flag.Parse()
 
 	if *printPolicy != "" {
@@ -120,6 +124,8 @@ func run() error {
 			policyFile:     *policyFile,
 			policyAtHeight: *policyAtHeight,
 			policyDelta:    *policyDelta,
+			flushWindow:    *flushWindow,
+			pprofAddr:      *pprofAddr,
 		})
 	}
 	return runClusterSim(*nodes, *difficulty, *height, *latency)
@@ -193,11 +199,27 @@ type daemonConfig struct {
 	// drams.ChainParams).
 	timeoutBlocks  uint64
 	requireVerdict bool
+
+	// flushWindow caps records per Merkle-anchored LI batch transaction
+	// (1 disables batching). Local policy, not consensus: honest replicas
+	// accept both plain and batched log transactions.
+	flushWindow int
+
+	// pprofAddr, when set, serves net/http/pprof on that address.
+	pprofAddr string
 }
 
 func runDaemon(cfg daemonConfig) error {
 	logf := func(format string, args ...any) {
 		fmt.Printf("[%s] %s\n", cfg.tenant, fmt.Sprintf(format, args...))
+	}
+	if cfg.pprofAddr != "" {
+		go func() {
+			logf("pprof listening on http://%s/debug/pprof/", cfg.pprofAddr)
+			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
+				logf("pprof server: %v", err)
+			}
+		}()
 	}
 	isInfra := cfg.tenant == infraTenant
 
@@ -288,12 +310,13 @@ func runDaemon(cfg daemonConfig) error {
 	}
 
 	li, err := logger.NewLI(logger.LIConfig{
-		Name:     "li@" + cfg.tenant,
-		Tenant:   cfg.tenant,
-		Node:     node,
-		Identity: liIDs[cfg.tenant],
-		Key:      key,
-		Mode:     logger.SubmitAsync,
+		Name:        "li@" + cfg.tenant,
+		Tenant:      cfg.tenant,
+		Node:        node,
+		Identity:    liIDs[cfg.tenant],
+		Key:         key,
+		Mode:        logger.SubmitAsync,
+		FlushWindow: cfg.flushWindow,
 	})
 	if err != nil {
 		return err

@@ -95,6 +95,9 @@ type Config struct {
 	EmptyBlockInterval time.Duration
 	// SubmitMode is the LI submission mode (default async).
 	SubmitMode logger.SubmitMode
+	// LogFlushWindow caps how many probe records each LI anchors under one
+	// Merkle-rooted batch transaction (default 16; 1 disables batching).
+	LogFlushWindow int
 	// MonitorOff disables probes, analyser and monitor entirely — the
 	// baseline for overhead experiments.
 	MonitorOff bool
@@ -395,12 +398,13 @@ func New(cfg Config) (*Deployment, error) {
 				d.TPMs[ten.Name] = tpm
 			}
 			li, err := logger.NewLI(logger.LIConfig{
-				Name:     "li@" + ten.Name,
-				Tenant:   ten.Name,
-				Node:     d.Nodes[ten.Cloud],
-				Identity: liIdentities[ten.Name],
-				Key:      key,
-				Mode:     cfg.SubmitMode,
+				Name:        "li@" + ten.Name,
+				Tenant:      ten.Name,
+				Node:        d.Nodes[ten.Cloud],
+				Identity:    liIdentities[ten.Name],
+				Key:         key,
+				Mode:        cfg.SubmitMode,
+				FlushWindow: cfg.LogFlushWindow,
 			})
 			if err != nil {
 				d.Close()

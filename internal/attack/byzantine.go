@@ -95,8 +95,12 @@ func (b *ByzantineNode) CensorSenders(senders ...string) {
 // grace window" attack, as opposed to CensorSenders' permanent drop.
 func (b *ByzantineNode) DelayRecords(pred func(core.LogRecord) bool) {
 	b.node.SetCollectFilter(dropMatching(func(tx blockchain.Transaction) bool {
-		rec, ok := decodeLogRecord(tx)
-		return ok && pred(rec)
+		for _, rec := range decodeLogRecords(tx) {
+			if pred(rec) {
+				return true
+			}
+		}
+		return false
 	}))
 }
 
@@ -124,16 +128,30 @@ func dropMatching(pred func(blockchain.Transaction) bool) func([]blockchain.Tran
 	}
 }
 
-// decodeLogRecord extracts the log record a transaction carries, if any.
-func decodeLogRecord(tx blockchain.Transaction) (core.LogRecord, bool) {
-	if tx.Call.Contract != core.ContractName || tx.Call.Method != core.MethodLog {
-		return core.LogRecord{}, false
+// decodeLogRecords extracts the log records a transaction carries, if any:
+// one for a plain log call, the whole window for a Merkle-anchored batch. A
+// censor must judge the full batch — it cannot drop individual records from
+// an anchored window without invalidating the root, so matching any record
+// taints the transaction.
+func decodeLogRecords(tx blockchain.Transaction) []core.LogRecord {
+	if tx.Call.Contract != core.ContractName {
+		return nil
 	}
-	rec, err := core.DecodeLogRecord(tx.Call.Args)
-	if err != nil {
-		return core.LogRecord{}, false
+	switch tx.Call.Method {
+	case core.MethodLog:
+		rec, err := core.DecodeLogRecord(tx.Call.Args)
+		if err != nil {
+			return nil
+		}
+		return []core.LogRecord{rec}
+	case core.MethodLogBatch:
+		lb, err := core.DecodeLogBatch(tx.Call.Args)
+		if err != nil {
+			return nil
+		}
+		return lb.Records
 	}
-	return rec, true
+	return nil
 }
 
 // ForgeConflictingRecord signs a pep.request record that conflicts with the

@@ -46,6 +46,16 @@ type Config struct {
 	// cache: every signature is checked inline, one at a time — the
 	// pre-pipeline baseline for overhead experiments.
 	SequentialVerify bool
+	// SequentialApply disables parallel (OCC) transaction application
+	// during block validation — the baseline for apply-throughput
+	// experiments. Application strategy does not affect consensus: the
+	// parallel path commits in transaction order and re-executes on
+	// conflict, so both strategies produce identical state and receipts.
+	SequentialApply bool
+	// ApplyWorkers sizes the speculative-execution pool of the parallel
+	// apply path (default GOMAXPROCS; the parallel path engages only when
+	// the effective value exceeds 1).
+	ApplyWorkers int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,6 +118,8 @@ type Chain struct {
 	storeKV     *store.KV // incremental persistence target (nil = volatile)
 	persisted   metrics.Counter
 	persistErrs metrics.Counter
+
+	applyMet applyMetrics
 }
 
 // NewChain constructs a chain containing only the genesis block.
@@ -555,8 +567,15 @@ func (c *Chain) reorgToLocked(newHead crypto.Digest) ([]blockEvents, error) {
 }
 
 // applyBlockLocked executes a block's transactions and block hooks against
-// state, recording receipts. Nonce validity was checked beforehand.
+// state, recording receipts. Nonce validity was checked beforehand. Large
+// blocks go through the OCC parallel path (parallel.go); both paths produce
+// identical state, receipts and event order.
 func (c *Chain) applyBlockLocked(b *Block, state *contract.State, nonces map[string]uint64) []contract.Event {
+	if !c.cfg.SequentialApply && len(b.Txs) >= parallelApplyMinTxs && c.applyWorkers() > 1 {
+		c.applyMet.parallelBlocks.Inc()
+		return c.applyParallelLocked(b, state, nonces)
+	}
+	c.applyMet.sequentialBlocks.Inc()
 	var events []contract.Event
 	for i := range b.Txs {
 		tx := &b.Txs[i]

@@ -1,0 +1,350 @@
+package blockchain
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"unsafe"
+
+	"drams/internal/crypto"
+)
+
+// Wire codec for blocks and transactions.
+//
+// The hot path (gossip, bc.getrange sync, store.KV persistence) uses a
+// length-prefixed binary encoding in the style of the TCP frame codec:
+// append-to-caller-buffer writers, exact-size pre-computation (one
+// allocation per encode) and zero-copy []byte reads on decode. The first
+// byte of every encoding is a format tag:
+//
+//	0x01        binary codec v1 (this file)
+//	'{' (0x7b)  legacy JSON (encoding/json of the Go structs)
+//
+// so decoders accept both formats transparently — chains persisted by
+// pre-binary builds reopen, and mixed-version federations interoperate
+// (JSON peers' gossip decodes here; LegacyJSONWire makes a node *emit*
+// JSON for the reverse direction).
+//
+// Binary transaction body (big-endian; str = u16 len + bytes,
+// blob = u32 len + bytes):
+//
+//	str from | u64 nonce | str contract | str method | blob args |
+//	blob pubKey | blob signature
+//
+// Binary block:
+//
+//	0x01 | u64 height | 32B prevHash | 32B merkleRoot | u64 time |
+//	u8 difficulty | u64 nonce | str miner | u32 txCount | tx bodies...
+//
+// A standalone transaction encoding is 0x01 followed by one tx body.
+//
+// Decoded []byte fields (Args, PubKey, Signature) alias the input buffer:
+// transport and persistence layers hand each decode a freshly read buffer
+// that is never reused, and decoded values are treated as immutable
+// everywhere downstream. Callers that mutate the input after decoding must
+// copy first.
+
+// codecVersion tags the binary format; bump on incompatible layout change.
+const codecVersion byte = 0x01
+
+// maxWireTxs bounds the declared tx count of a decoded block before any
+// allocation, so a hostile length field cannot balloon memory.
+const maxWireTxs = 1 << 20
+
+var errTruncated = errors.New("blockchain: truncated encoding")
+
+// encodePool recycles scratch buffers for encode paths whose result is
+// consumed immediately (header hashing, persistence values).
+var encodePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+func txEncodedLen(tx *Transaction) int {
+	return 2 + len(tx.From) + 8 +
+		2 + len(tx.Call.Contract) + 2 + len(tx.Call.Method) + 4 + len(tx.Call.Args) +
+		4 + len(tx.PubKey) + 4 + len(tx.Signature)
+}
+
+func blockEncodedLen(b *Block) int {
+	n := 1 + 8 + crypto.DigestSize + crypto.DigestSize + 8 + 1 + 8 + 2 + len(b.Header.Miner) + 4
+	for i := range b.Txs {
+		n += txEncodedLen(&b.Txs[i])
+	}
+	return n
+}
+
+func appendStr16(buf []byte, s string) []byte {
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(s)))
+	return append(buf, s...)
+}
+
+func appendBlob32(buf []byte, b []byte) []byte {
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b)))
+	return append(buf, b...)
+}
+
+func checkTxFields(tx *Transaction) error {
+	for _, s := range []string{tx.From, tx.Call.Contract, tx.Call.Method} {
+		if len(s) > math.MaxUint16 {
+			return fmt.Errorf("blockchain: encode: string field too long (%d bytes)", len(s))
+		}
+	}
+	return nil
+}
+
+// appendTxBody serializes one transaction body (no version byte) onto buf.
+func appendTxBody(buf []byte, tx *Transaction) []byte {
+	buf = appendStr16(buf, tx.From)
+	buf = binary.BigEndian.AppendUint64(buf, tx.Nonce)
+	buf = appendStr16(buf, tx.Call.Contract)
+	buf = appendStr16(buf, tx.Call.Method)
+	buf = appendBlob32(buf, tx.Call.Args)
+	buf = appendBlob32(buf, tx.PubKey)
+	return appendBlob32(buf, tx.Signature)
+}
+
+// AppendTx serializes tx in the binary wire format onto buf and returns the
+// extended slice. Callers that encode in a loop should reuse buf.
+func AppendTx(buf []byte, tx *Transaction) ([]byte, error) {
+	if err := checkTxFields(tx); err != nil {
+		return buf, err
+	}
+	buf = append(buf, codecVersion)
+	return appendTxBody(buf, tx), nil
+}
+
+// AppendBlock serializes b in the binary wire format onto buf and returns
+// the extended slice.
+func AppendBlock(buf []byte, b *Block) ([]byte, error) {
+	if len(b.Txs) > maxWireTxs {
+		return buf, fmt.Errorf("blockchain: encode block: %d txs exceeds limit", len(b.Txs))
+	}
+	if len(b.Header.Miner) > math.MaxUint16 {
+		return buf, fmt.Errorf("blockchain: encode block: miner name too long")
+	}
+	for i := range b.Txs {
+		if err := checkTxFields(&b.Txs[i]); err != nil {
+			return buf, err
+		}
+	}
+	h := &b.Header
+	buf = append(buf, codecVersion)
+	buf = binary.BigEndian.AppendUint64(buf, h.Height)
+	buf = append(buf, h.PrevHash[:]...)
+	buf = append(buf, h.MerkleRoot[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.TimeUnixNano))
+	buf = append(buf, h.Difficulty)
+	buf = binary.BigEndian.AppendUint64(buf, h.Nonce)
+	buf = appendStr16(buf, h.Miner)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(b.Txs)))
+	for i := range b.Txs {
+		buf = appendTxBody(buf, &b.Txs[i])
+	}
+	return buf, nil
+}
+
+// txReader walks a binary tx body with bounds checks.
+type txReader struct {
+	buf []byte
+	off int
+}
+
+func (r *txReader) u16() (uint16, error) {
+	if r.off+2 > len(r.buf) {
+		return 0, errTruncated
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *txReader) u32() (uint32, error) {
+	if r.off+4 > len(r.buf) {
+		return 0, errTruncated
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *txReader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, errTruncated
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// str returns a zero-copy string aliasing the input buffer, under the same
+// immutability contract as blob: decoded values alias data, which callers
+// hand over and never mutate. This keeps binary decode at zero allocations
+// per transaction.
+func (r *txReader) str() (string, error) {
+	n, err := r.u16()
+	if err != nil {
+		return "", err
+	}
+	if r.off+int(n) > len(r.buf) {
+		return "", errTruncated
+	}
+	if n == 0 {
+		return "", nil
+	}
+	s := unsafe.String(&r.buf[r.off], int(n))
+	r.off += int(n)
+	return s, nil
+}
+
+// blob returns a zero-copy view into the input buffer (nil for length 0, so
+// round-trips preserve nil-ness of optional fields).
+func (r *txReader) blob() ([]byte, error) {
+	n, err := r.u32()
+	if err != nil {
+		return nil, err
+	}
+	if int(n) > len(r.buf)-r.off {
+		return nil, errTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	b := r.buf[r.off : r.off+int(n) : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}
+
+func (r *txReader) digest() (crypto.Digest, error) {
+	var d crypto.Digest
+	if r.off+crypto.DigestSize > len(r.buf) {
+		return d, errTruncated
+	}
+	copy(d[:], r.buf[r.off:])
+	r.off += crypto.DigestSize
+	return d, nil
+}
+
+func (r *txReader) readTxBody(tx *Transaction) error {
+	var err error
+	if tx.From, err = r.str(); err != nil {
+		return err
+	}
+	if tx.Nonce, err = r.u64(); err != nil {
+		return err
+	}
+	if tx.Call.Contract, err = r.str(); err != nil {
+		return err
+	}
+	if tx.Call.Method, err = r.str(); err != nil {
+		return err
+	}
+	var args []byte
+	if args, err = r.blob(); err != nil {
+		return err
+	}
+	// The JSON decode path can only yield a valid RawMessage; enforce the
+	// same invariant here, or a hostile peer's garbage args would panic
+	// Call.Encode when the tx ID is computed.
+	if len(args) > 0 && !json.Valid(args) {
+		return errors.New("call args are not valid JSON")
+	}
+	tx.Call.Args = json.RawMessage(args)
+	if tx.PubKey, err = r.blob(); err != nil {
+		return err
+	}
+	if tx.Signature, err = r.blob(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func decodeTxBinary(data []byte) (Transaction, error) {
+	r := txReader{buf: data, off: 1}
+	var tx Transaction
+	if err := r.readTxBody(&tx); err != nil {
+		return Transaction{}, fmt.Errorf("blockchain: decode tx: %w", err)
+	}
+	if r.off != len(data) {
+		return Transaction{}, fmt.Errorf("blockchain: decode tx: %d trailing bytes", len(data)-r.off)
+	}
+	return tx, nil
+}
+
+func decodeBlockBinary(data []byte) (*Block, error) {
+	r := txReader{buf: data, off: 1}
+	var b Block
+	var err error
+	fail := func(err error) (*Block, error) {
+		return nil, fmt.Errorf("blockchain: decode block: %w", err)
+	}
+	if b.Header.Height, err = r.u64(); err != nil {
+		return fail(err)
+	}
+	if b.Header.PrevHash, err = r.digest(); err != nil {
+		return fail(err)
+	}
+	if b.Header.MerkleRoot, err = r.digest(); err != nil {
+		return fail(err)
+	}
+	t, err := r.u64()
+	if err != nil {
+		return fail(err)
+	}
+	b.Header.TimeUnixNano = int64(t)
+	if r.off >= len(data) {
+		return fail(errTruncated)
+	}
+	b.Header.Difficulty = data[r.off]
+	r.off++
+	if b.Header.Nonce, err = r.u64(); err != nil {
+		return fail(err)
+	}
+	if b.Header.Miner, err = r.str(); err != nil {
+		return fail(err)
+	}
+	count, err := r.u32()
+	if err != nil {
+		return fail(err)
+	}
+	if count > maxWireTxs {
+		return fail(fmt.Errorf("declared tx count %d exceeds limit", count))
+	}
+	// A tx body is at least 24 bytes (7 length prefixes + nonce); reject
+	// counts the remaining bytes cannot possibly hold before allocating.
+	if int(count) > (len(data)-r.off)/24+1 {
+		return fail(fmt.Errorf("declared tx count %d exceeds remaining data", count))
+	}
+	if count > 0 {
+		b.Txs = make([]Transaction, count)
+		for i := range b.Txs {
+			if err := r.readTxBody(&b.Txs[i]); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if r.off != len(data) {
+		return fail(fmt.Errorf("%d trailing bytes", len(data)-r.off))
+	}
+	return &b, nil
+}
+
+// EncodeTxJSON serialises a transaction in the legacy JSON wire format.
+// Kept for mixed-version federations (NodeConfig.LegacyJSONWire) and
+// format-interop tests.
+func EncodeTxJSON(tx Transaction) []byte {
+	out, err := json.Marshal(tx)
+	if err != nil {
+		panic(fmt.Sprintf("blockchain: encode tx: %v", err))
+	}
+	return out
+}
+
+// EncodeBlockJSON serialises a block in the legacy JSON wire format.
+func EncodeBlockJSON(b *Block) []byte {
+	out, err := json.Marshal(b)
+	if err != nil {
+		panic(fmt.Sprintf("blockchain: encode block: %v", err))
+	}
+	return out
+}

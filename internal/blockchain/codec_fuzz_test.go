@@ -1,0 +1,98 @@
+package blockchain
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Fuzzing the wire decoders: arbitrary bytes must never panic, and every
+// accepted input must re-encode/re-decode to the same value (the decoder and
+// encoder agree on one canonical binary form).
+
+func FuzzDecodeTx(f *testing.F) {
+	tx := testTx(f, "alice", 3)
+	f.Add(EncodeTx(tx))
+	f.Add(EncodeTxJSON(tx))
+	f.Add([]byte{codecVersion})
+	f.Add([]byte("{"))
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeTx(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendTx(nil, &got)
+		if err != nil {
+			// JSON-decoded values may exceed binary field limits; they
+			// must still have decoded without panicking.
+			return
+		}
+		back, err := DecodeTx(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted tx failed: %v", err)
+		}
+		// Compare canonical encodings, not structs: the JSON fallback may
+		// produce empty-but-non-nil byte fields that binary canonicalises
+		// to nil without changing meaning.
+		re2, err := AppendTx(nil, &back)
+		if err != nil {
+			t.Fatalf("re-encode of canonical tx failed: %v", err)
+		}
+		if !bytes.Equal(re, re2) {
+			t.Fatalf("tx encoding not stable:\n got %x\nwant %x", re2, re)
+		}
+		if back.ID() != got.ID() {
+			t.Fatal("tx ID changed through canonical re-encode")
+		}
+	})
+}
+
+func FuzzDecodeBlock(f *testing.F) {
+	for _, n := range []int{0, 2} {
+		b := testBlockForCodec(f, n)
+		f.Add(b.Encode())
+		f.Add(EncodeBlockJSON(b))
+	}
+	f.Add([]byte{codecVersion, 1, 2, 3})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		re, err := AppendBlock(nil, got)
+		if err != nil {
+			return
+		}
+		back, err := DecodeBlock(re)
+		if err != nil {
+			t.Fatalf("re-decode of accepted block failed: %v", err)
+		}
+		if back.Hash() != got.Hash() {
+			t.Fatal("block hash changed through canonical re-encode")
+		}
+		if !bytes.Equal(re, func() []byte { b, _ := AppendBlock(nil, back); return b }()) {
+			t.Fatal("binary encoding not stable")
+		}
+	})
+}
+
+func FuzzDecodeRangeResp(f *testing.F) {
+	resp := rangeResp{Blocks: [][]byte{testBlockForCodec(f, 1).Encode()}}
+	f.Add(encodeRangeResp(&resp))
+	f.Add([]byte(`{"blocks":[]}`))
+	f.Add([]byte{codecVersion, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := decodeRangeResp(data)
+		if err != nil {
+			return
+		}
+		back, err := decodeRangeResp(encodeRangeResp(&got))
+		if err != nil {
+			t.Fatalf("re-decode of accepted range response failed: %v", err)
+		}
+		if len(back.Blocks) != len(got.Blocks) {
+			t.Fatal("range response not canonical")
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package blockchain
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"drams/internal/netsim"
+	"drams/internal/store"
+)
+
+// Mixed-format interop: stores written by pre-binary (JSON) builds must
+// reopen, and JSON-wire nodes must interoperate with binary-codec peers in
+// both directions — tx/block gossip and bc.getrange catch-up.
+
+// TestJSONPersistedChainReopens reloads a store whose block values are the
+// legacy JSON encodings (what a pre-binary build persisted), then keeps
+// using it with binary incremental persistence — the store ends up holding
+// both formats and still reloads.
+func TestJSONPersistedChainReopens(t *testing.T) {
+	src := buildTestChain(t, 5)
+	alice := testIdentity(t, "alice", 1)
+	kv := store.NewMemory()
+	puts := map[string][]byte{persistHeadKey: persistHeadRecord(5)}
+	for h := uint64(1); h <= 5; h++ {
+		b, ok := src.BlockByHeight(h)
+		if !ok {
+			t.Fatalf("source chain lost height %d", h)
+		}
+		puts[persistBlockKey(h)] = EncodeBlockJSON(b)
+	}
+	if err := kv.Batch(puts); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := NewChain(testChainConfig(t, alice))
+	n, err := dst.LoadFromStore(kv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("applied %d blocks from JSON store, want 5", n)
+	}
+	if dst.StateDigest() != src.StateDigest() {
+		t.Fatal("state reloaded from JSON-persisted blocks differs")
+	}
+
+	// Extend the reopened chain with the store attached: the new block is
+	// persisted in the binary format alongside the JSON heights.
+	dst.AttachStore(kv)
+	tx, err := NewTransaction(alice, 6, putCall("k6", "v"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	head, _ := dst.Head()
+	if err := dst.AddBlock(mineChild(t, dst, head, tx)); err != nil {
+		t.Fatal(err)
+	}
+	enc, err := kv.Get(persistBlockKey(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) == 0 || enc[0] != codecVersion {
+		t.Fatal("extension block not persisted in the binary format")
+	}
+
+	mixed := NewChain(testChainConfig(t, alice))
+	if n, err := mixed.LoadFromStore(kv); err != nil || n != 6 {
+		t.Fatalf("mixed-format store reload: %d blocks, %v", n, err)
+	}
+	if mixed.StateDigest() != dst.StateDigest() {
+		t.Fatal("mixed-format store reload diverged")
+	}
+}
+
+// TestMixedWireGossipConverges runs a JSON-wire node and a binary-codec node
+// in one federation: transactions submitted on each side must reach the
+// other via gossip (each emits its own format; both decode either) and both
+// chains must converge to one state.
+func TestMixedWireGossipConverges(t *testing.T) {
+	alice := testIdentity(t, "alice", 1)
+	bob := testIdentity(t, "bob", 2)
+	net := netsim.New(netsim.Config{BaseLatency: time.Millisecond, Seed: 42})
+	defer net.Close()
+
+	newPeer := func(name string, legacy bool) *Node {
+		node, err := NewNode(NodeConfig{
+			Name:               name,
+			Chain:              testChainConfig(t, alice, bob),
+			Network:            net,
+			Mine:               true,
+			EmptyBlockInterval: 15 * time.Millisecond,
+			LegacyJSONWire:     legacy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(node.Stop)
+		node.Start()
+		return node
+	}
+	jsonNode := newPeer("json-peer", true)
+	binNode := newPeer("bin-peer", false)
+	// Submit only once the bc.hello handshakes have linked the peers, so
+	// the tx gossip actually crosses the format boundary.
+	waitFor(t, 10*time.Second, func() bool {
+		return len(jsonNode.discoveredPeers()) > 0 && len(binNode.discoveredPeers()) > 0
+	}, "peers never discovered each other")
+
+	txA, err := NewTransaction(alice, 1, putCall("from-json-peer", "a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	txB, err := NewTransaction(bob, 1, putCall("from-bin-peer", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonNode.SubmitTx(txA); err != nil {
+		t.Fatal(err)
+	}
+	if err := binNode.SubmitTx(txB); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both txs must execute on both replicas, whichever side mined them.
+	for _, node := range []*Node{jsonNode, binNode} {
+		for _, tx := range []Transaction{txA, txB} {
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+			if _, err := node.WaitForReceipt(ctx, tx.ID(), 1); err != nil {
+				cancel()
+				t.Fatalf("%s never saw tx %s: %v", node.Name(), tx.ID().Short(), err)
+			}
+			cancel()
+		}
+	}
+	waitFor(t, 20*time.Second, func() bool {
+		ja, jh := jsonNode.Chain().Head()
+		ba, bh := binNode.Chain().Head()
+		return jh == bh && ja == ba
+	}, "mixed-format peers never converged on one head")
+	if jsonNode.Chain().StateDigest() != binNode.Chain().StateDigest() {
+		t.Fatal("mixed-format peers diverged in state")
+	}
+}
+
+// TestGetRangeInteropAcrossFormats catches a late joiner up from a peer of
+// the other wire format, in both directions: a binary client asks a JSON
+// server (which ignores the codec hint and answers JSON) and a JSON-wire
+// client asks a binary server (which honours the hint per request).
+func TestGetRangeInteropAcrossFormats(t *testing.T) {
+	for _, tc := range []struct {
+		name                       string
+		serverLegacy, clientLegacy bool
+	}{
+		{"json-server_binary-client", true, false},
+		{"binary-server_json-client", false, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			alice := testIdentity(t, "alice", 1)
+			net := netsim.New(netsim.Config{BaseLatency: time.Millisecond, Seed: 7})
+			defer net.Close()
+			server, err := NewNode(NodeConfig{
+				Name:           "server",
+				Chain:          testChainConfig(t, alice),
+				Network:        net,
+				Mine:           true,
+				LegacyJSONWire: tc.serverLegacy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer server.Stop()
+			server.Start()
+			for i := 1; i <= 3; i++ {
+				tx, err := NewTransaction(alice, uint64(i), putCall(fmt.Sprintf("k%d", i), "v"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := server.SubmitTx(tx); err != nil {
+					t.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+				if _, err := server.WaitForReceipt(ctx, tx.ID(), 1); err != nil {
+					cancel()
+					t.Fatal(err)
+				}
+				cancel()
+			}
+
+			late, err := NewNode(NodeConfig{
+				Name:           "late",
+				Chain:          testChainConfig(t, alice),
+				Network:        net,
+				LegacyJSONWire: tc.clientLegacy,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer late.Stop()
+			late.Start()
+			if err := late.SyncFrom("server"); err != nil {
+				t.Fatal(err)
+			}
+			if late.Chain().StateDigest() != server.Chain().StateDigest() {
+				t.Fatal("cross-format catch-up diverged")
+			}
+			if late.Chain().Height() != server.Chain().Height() {
+				t.Fatalf("heights differ: late %d, server %d",
+					late.Chain().Height(), server.Chain().Height())
+			}
+		})
+	}
+}

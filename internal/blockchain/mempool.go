@@ -2,21 +2,46 @@ package blockchain
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"drams/internal/crypto"
 )
 
+// mempoolShards is the lock-stripe width. Senders hash onto stripes, so
+// concurrent submitters (many LIs flushing at once, gossip ingest batches,
+// the miner's Collect) contend only when they touch the same stripe instead
+// of serializing on one pool-wide mutex.
+const mempoolShards = 16
+
+// senderShard holds the pending transactions of the senders hashing onto
+// one stripe, ordered by (sender, nonce) within the shard.
+type senderShard struct {
+	mu       sync.Mutex
+	bySender map[string]map[uint64]Transaction
+}
+
+// idShard holds the known-transaction-ID set of one stripe (striped by
+// digest, independently of the sender stripes, so Has stays one short
+// mutex).
+type idShard struct {
+	mu  sync.Mutex
+	ids map[crypto.Digest]struct{}
+}
+
 // Mempool holds pending transactions ordered by (sender, nonce) so block
 // assembly can pick executable sequences — a transaction is only included
 // once all lower nonces of its sender are confirmed or included first.
+// Internally it is lock-striped: a sender's transactions live on one of
+// mempoolShards stripes, and the duplicate-ID set is striped separately by
+// digest.
 type Mempool struct {
-	mu       sync.Mutex
-	bySender map[string]map[uint64]Transaction
-	byID     map[crypto.Digest]struct{}
-	size     int
-	maxSize  int
+	senders [mempoolShards]senderShard
+	ids     [mempoolShards]idShard
+	size    atomic.Int64
+	maxSize int64
 }
 
 // NewMempool returns a mempool bounded to maxSize transactions (10 000 when
@@ -25,95 +50,135 @@ func NewMempool(maxSize int) *Mempool {
 	if maxSize <= 0 {
 		maxSize = 10000
 	}
-	return &Mempool{
-		bySender: make(map[string]map[uint64]Transaction),
-		byID:     make(map[crypto.Digest]struct{}),
-		maxSize:  maxSize,
+	m := &Mempool{maxSize: int64(maxSize)}
+	for i := range m.senders {
+		m.senders[i].bySender = make(map[string]map[uint64]Transaction)
 	}
+	for i := range m.ids {
+		m.ids[i].ids = make(map[crypto.Digest]struct{})
+	}
+	return m
+}
+
+func (m *Mempool) senderShard(sender string) *senderShard {
+	h := fnv.New32a()
+	h.Write([]byte(sender))
+	return &m.senders[h.Sum32()%mempoolShards]
+}
+
+func (m *Mempool) idShard(id crypto.Digest) *idShard {
+	return &m.ids[id[0]%mempoolShards]
+}
+
+// reserveID claims id in the duplicate set, reporting false when known.
+func (m *Mempool) reserveID(id crypto.Digest) bool {
+	s := m.idShard(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.ids[id]; ok {
+		return false
+	}
+	s.ids[id] = struct{}{}
+	return true
+}
+
+func (m *Mempool) releaseID(id crypto.Digest) {
+	s := m.idShard(id)
+	s.mu.Lock()
+	delete(s.ids, id)
+	s.mu.Unlock()
 }
 
 // Add inserts a transaction. Duplicates (by ID, or same sender+nonce) return
-// ErrKnownTx; a full pool returns an error.
+// ErrKnownTx; a full pool returns an error. The ID set, size bound and
+// sender stripe are claimed in that order, each under its own short lock,
+// with rollback on the failure paths — no global lock is ever taken.
 func (m *Mempool) Add(tx Transaction) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.addLocked(tx)
+	id := tx.ID()
+	if !m.reserveID(id) {
+		return ErrKnownTx
+	}
+	if m.size.Add(1) > m.maxSize {
+		m.size.Add(-1)
+		m.releaseID(id)
+		return fmt.Errorf("blockchain: mempool full (%d)", m.maxSize)
+	}
+	s := m.senderShard(tx.From)
+	s.mu.Lock()
+	slot, ok := s.bySender[tx.From]
+	if !ok {
+		slot = make(map[uint64]Transaction)
+		s.bySender[tx.From] = slot
+	}
+	if _, dup := slot[tx.Nonce]; dup {
+		s.mu.Unlock()
+		m.size.Add(-1)
+		m.releaseID(id)
+		return fmt.Errorf("%w: sender %q nonce %d", ErrKnownTx, tx.From, tx.Nonce)
+	}
+	slot[tx.Nonce] = tx
+	s.mu.Unlock()
+	return nil
 }
 
-// AddBatch inserts a batch of transactions under one lock acquisition and
-// returns one error per transaction, index-aligned (nil = admitted). Used by
-// the node's batched gossip-admission loop.
+// AddBatch inserts a batch of transactions and returns one error per
+// transaction, index-aligned (nil = admitted). Used by the node's batched
+// gossip-admission loop.
 func (m *Mempool) AddBatch(txs []Transaction) []error {
 	errs := make([]error, len(txs))
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	for i := range txs {
-		errs[i] = m.addLocked(txs[i])
+		errs[i] = m.Add(txs[i])
 	}
 	return errs
 }
 
-func (m *Mempool) addLocked(tx Transaction) error {
-	id := tx.ID()
-	if _, ok := m.byID[id]; ok {
-		return ErrKnownTx
-	}
-	if m.size >= m.maxSize {
-		return fmt.Errorf("blockchain: mempool full (%d)", m.maxSize)
-	}
-	slot, ok := m.bySender[tx.From]
-	if !ok {
-		slot = make(map[uint64]Transaction)
-		m.bySender[tx.From] = slot
-	}
-	if _, ok := slot[tx.Nonce]; ok {
-		return fmt.Errorf("%w: sender %q nonce %d", ErrKnownTx, tx.From, tx.Nonce)
-	}
-	slot[tx.Nonce] = tx
-	m.byID[id] = struct{}{}
-	m.size++
-	return nil
-}
-
 // Has reports whether the transaction ID is pending.
 func (m *Mempool) Has(id crypto.Digest) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	_, ok := m.byID[id]
+	s := m.idShard(id)
+	s.mu.Lock()
+	_, ok := s.ids[id]
+	s.mu.Unlock()
 	return ok
 }
 
 // Len returns the number of pending transactions.
-func (m *Mempool) Len() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.size
-}
+func (m *Mempool) Len() int { return int(m.size.Load()) }
 
 // Collect returns up to max transactions executable on top of the given
 // confirmed per-sender nonces, in a deterministic (sender, nonce) order. The
 // transactions stay in the pool until PruneConfirmed removes them.
 func (m *Mempool) Collect(max int, confirmed map[string]uint64) []Transaction {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	senders := make([]string, 0, len(m.bySender))
-	for s := range m.bySender {
-		senders = append(senders, s)
+	runs := make(map[string][]Transaction)
+	var senders []string
+	for i := range m.senders {
+		s := &m.senders[i]
+		s.mu.Lock()
+		for sender, txs := range s.bySender {
+			next := confirmed[sender] + 1
+			var run []Transaction
+			for len(run) < max {
+				tx, ok := txs[next]
+				if !ok {
+					break
+				}
+				run = append(run, tx)
+				next++
+			}
+			if len(run) > 0 {
+				runs[sender] = run
+				senders = append(senders, sender)
+			}
+		}
+		s.mu.Unlock()
 	}
 	sort.Strings(senders)
 	var out []Transaction
-	for _, s := range senders {
-		next := confirmed[s] + 1
-		for {
-			tx, ok := m.bySender[s][next]
-			if !ok || len(out) >= max {
-				break
+	for _, sender := range senders {
+		for _, tx := range runs[sender] {
+			if len(out) >= max {
+				return out
 			}
 			out = append(out, tx)
-			next++
-		}
-		if len(out) >= max {
-			break
 		}
 	}
 	return out
@@ -122,25 +187,39 @@ func (m *Mempool) Collect(max int, confirmed map[string]uint64) []Transaction {
 // All returns up to max pending transactions in deterministic (sender,
 // nonce) order; used for periodic rebroadcast after partitions.
 func (m *Mempool) All(max int) []Transaction {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	senders := make([]string, 0, len(m.bySender))
-	for s := range m.bySender {
-		senders = append(senders, s)
+	runs := make(map[string][]Transaction)
+	var senders []string
+	for i := range m.senders {
+		s := &m.senders[i]
+		s.mu.Lock()
+		for sender, txs := range s.bySender {
+			nonces := make([]uint64, 0, len(txs))
+			for n := range txs {
+				nonces = append(nonces, n)
+			}
+			sort.Slice(nonces, func(i, j int) bool { return nonces[i] < nonces[j] })
+			if len(nonces) > max {
+				nonces = nonces[:max]
+			}
+			run := make([]Transaction, len(nonces))
+			for j, n := range nonces {
+				run[j] = txs[n]
+			}
+			if len(run) > 0 {
+				runs[sender] = run
+				senders = append(senders, sender)
+			}
+		}
+		s.mu.Unlock()
 	}
 	sort.Strings(senders)
 	var out []Transaction
-	for _, s := range senders {
-		nonces := make([]uint64, 0, len(m.bySender[s]))
-		for n := range m.bySender[s] {
-			nonces = append(nonces, n)
-		}
-		sort.Slice(nonces, func(i, j int) bool { return nonces[i] < nonces[j] })
-		for _, n := range nonces {
+	for _, sender := range senders {
+		for _, tx := range runs[sender] {
 			if len(out) >= max {
 				return out
 			}
-			out = append(out, m.bySender[s][n])
+			out = append(out, tx)
 		}
 	}
 	return out
@@ -150,19 +229,27 @@ func (m *Mempool) All(max int) []Transaction {
 // covered by the confirmed nonces (i.e. it executed on the best chain, or a
 // competing transaction with the same nonce did).
 func (m *Mempool) PruneConfirmed(confirmed map[string]uint64) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	for sender, txs := range m.bySender {
-		limit := confirmed[sender]
-		for nonce, tx := range txs {
-			if nonce <= limit {
-				delete(txs, nonce)
-				delete(m.byID, tx.ID())
-				m.size--
+	var removed []crypto.Digest
+	for i := range m.senders {
+		s := &m.senders[i]
+		s.mu.Lock()
+		for sender, txs := range s.bySender {
+			limit := confirmed[sender]
+			for nonce, tx := range txs {
+				if nonce <= limit {
+					delete(txs, nonce)
+					removed = append(removed, tx.ID())
+				}
+			}
+			if len(txs) == 0 {
+				delete(s.bySender, sender)
 			}
 		}
-		if len(txs) == 0 {
-			delete(m.bySender, sender)
-		}
+		s.mu.Unlock()
 	}
+	// IDs are released outside the sender locks (no nested stripes).
+	for _, id := range removed {
+		m.releaseID(id)
+	}
+	m.size.Add(int64(-len(removed)))
 }

@@ -90,6 +90,11 @@ type NodeConfig struct {
 	// instead of batched range sync — the baseline for the V6 rejoin
 	// benchmark.
 	PerBlockSync bool
+	// LegacyJSONWire makes the node emit JSON (pre-binary-codec) encodings
+	// for outbound gossip, serves and persistence. Decoding always accepts
+	// both formats, so this models the old half of a mixed-version
+	// federation (format-interop tests, staged rollouts).
+	LegacyJSONWire bool
 }
 
 // EventNotification delivers the events of one applied block to a
@@ -149,6 +154,7 @@ type Node struct {
 	wg       sync.WaitGroup
 	newTx    chan struct{}
 	ingest   chan inboundTx // nil when SequentialVerify
+	seenTx   *seenCache     // recently handled tx-gossip payloads
 
 	subMu  sync.Mutex
 	subs   map[int]*eventSub
@@ -284,6 +290,7 @@ func NewNode(cfg NodeConfig) (*Node, error) {
 		subs:      make(map[int]*eventSub),
 		chainPeer: make(map[string]struct{}),
 	}
+	n.seenTx = newSeenCache(seenCacheSize, n.clk)
 	n.reloaded.Add(int64(reloaded))
 	n.reloadDrop.Add(int64(reloadDropped))
 	n.chain.SetEventSink(n.fanout)
@@ -424,7 +431,7 @@ func (n *Node) rebroadcastLoop(interval time.Duration) {
 		}
 		n.reHello()
 		for _, tx := range n.pool.All(256) {
-			n.gossip(kindTx, EncodeTx(tx), "")
+			n.gossip(kindTx, n.wireEncodeTx(tx), "")
 		}
 	}
 }
@@ -462,7 +469,7 @@ func (n *Node) SubmitTx(tx Transaction) error {
 	case n.newTx <- struct{}{}:
 	default:
 	}
-	n.gossip(kindTx, EncodeTx(tx), "")
+	n.gossip(kindTx, n.wireEncodeTx(tx), "")
 	return nil
 }
 
@@ -571,6 +578,22 @@ func (n *Node) fanout(height uint64, events []contract.Event) {
 	}
 }
 
+// wireEncodeTx picks the node's outbound wire format for a transaction.
+func (n *Node) wireEncodeTx(tx Transaction) []byte {
+	if n.cfg.LegacyJSONWire {
+		return EncodeTxJSON(tx)
+	}
+	return EncodeTx(tx)
+}
+
+// wireEncodeBlock picks the node's outbound wire format for a block.
+func (n *Node) wireEncodeBlock(b *Block) []byte {
+	if n.cfg.LegacyJSONWire {
+		return EncodeBlockJSON(b)
+	}
+	return b.Encode()
+}
+
 // gossip fans a frame out to the chain peer set: the static Peers table when
 // configured, otherwise the peers discovered through the bc.hello handshake.
 // Either way gossip never sprays non-node endpoints (PEPs, PDP, loggers)
@@ -595,24 +618,37 @@ func (n *Node) gossip(kind string, payload []byte, except string) {
 // (the default) it only decodes and enqueues; signature verification and
 // mempool admission happen in ingestLoop, batched across the worker pool.
 func (n *Node) handleTxGossip(from string, payload []byte) {
+	// Duplicate copies arrive constantly — the flood fans in from every
+	// peer and the rebroadcast loops re-send pending transactions a few
+	// times a second — so recently handled payloads are recognised by
+	// digest before paying for a decode and an ID derivation.
+	key := crypto.Sum(payload)
+	if n.seenTx.has(key) {
+		return
+	}
 	tx, err := DecodeTx(payload)
 	if err != nil {
+		n.seenTx.add(key) // malformed stays malformed; skip retries too
 		return
 	}
 	if n.ingest != nil {
 		if n.pool.Has(tx.ID()) {
+			n.seenTx.add(key)
 			return // duplicate flood: stop it before it costs a queue slot
 		}
 		select {
 		case n.ingest <- inboundTx{tx: tx, raw: payload, from: from}:
+			n.seenTx.add(key)
 		default:
 			// Queue full under burst; the sender's periodic rebroadcast
-			// will retry, so dropping here only delays admission.
+			// will retry, so dropping here only delays admission — the
+			// payload stays unmarked so that retry is not muted.
 			n.inDropped.Inc()
 		}
 		return
 	}
 	// Sequential baseline: verify inline on the delivery goroutine.
+	n.seenTx.add(key)
 	if err := n.chain.Verifier().VerifyTx(&tx); err != nil {
 		return
 	}
@@ -737,7 +773,7 @@ func (n *Node) importBlock(b *Block, from string) {
 func (n *Node) afterAccept(b *Block, from string) {
 	n.accepted.Inc()
 	n.pool.PruneConfirmed(n.chain.AccountNonces())
-	n.gossip(kindBlock, b.Encode(), from)
+	n.gossip(kindBlock, n.wireEncodeBlock(b), from)
 }
 
 // handleGetBlock serves a block by hash.
@@ -751,7 +787,7 @@ func (n *Node) handleGetBlock(from string, payload []byte) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("blockchain: getblock %s: not found", h.Short())
 	}
-	return b.Encode(), nil
+	return n.wireEncodeBlock(b), nil
 }
 
 type headInfo struct {

@@ -1,0 +1,147 @@
+package blockchain
+
+import (
+	"fmt"
+	"testing"
+
+	"drams/internal/crypto"
+)
+
+// applyTestChains builds a parallel-apply chain and a sequential baseline
+// with identical config, applies the same blocks to both, and returns them.
+func applyTestChains(t *testing.T, ids ...*crypto.Identity) (*Chain, *Chain) {
+	t.Helper()
+	parCfg := testChainConfig(t, ids...)
+	// Force a real pool even on a single-core test host.
+	parCfg.ApplyWorkers = 4
+	seqCfg := testChainConfig(t, ids...)
+	seqCfg.SequentialApply = true
+	return NewChain(parCfg), NewChain(seqCfg)
+}
+
+func applyToBoth(t *testing.T, par, seq *Chain, txs []Transaction) {
+	t.Helper()
+	parHead, _ := par.Head()
+	b := mineChild(t, par, parHead, txs...)
+	if err := par.AddBlock(b); err != nil {
+		t.Fatalf("parallel chain: %v", err)
+	}
+	if err := seq.AddBlock(b); err != nil {
+		t.Fatalf("sequential chain: %v", err)
+	}
+}
+
+// Disjoint-key transactions from many senders must commit from the
+// speculative pass and produce the state a sequential replica computes.
+func TestParallelApplyDisjointMatchesSequential(t *testing.T) {
+	var ids []*crypto.Identity
+	for i := 0; i < 8; i++ {
+		ids = append(ids, testIdentity(t, fmt.Sprintf("sender-%d", i), byte(i+1)))
+	}
+	par, seq := applyTestChains(t, ids...)
+
+	for round := 0; round < 3; round++ {
+		var txs []Transaction
+		for i, id := range ids {
+			for n := 0; n < 4; n++ {
+				nonce := uint64(round*4 + n + 1)
+				tx, err := NewTransaction(id, nonce,
+					putCall(fmt.Sprintf("k/%d/%d/%d", i, round, n), fmt.Sprintf("v%d", n)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				txs = append(txs, tx)
+			}
+		}
+		applyToBoth(t, par, seq, txs)
+	}
+
+	if par.StateDigest() != seq.StateDigest() {
+		t.Fatal("parallel apply diverged from sequential on disjoint keys")
+	}
+	st := par.ApplyStats()
+	if st.ParallelBlocks == 0 {
+		t.Fatalf("parallel path never taken: %+v", st)
+	}
+	if st.ConflictTxs != 0 {
+		t.Fatalf("disjoint workload reported %d conflicts", st.ConflictTxs)
+	}
+}
+
+// Transactions fighting over the same keys (KVContract ownership: first
+// writer owns the key, later writers from other senders must fail) force
+// the conflict path; the outcome must still match sequential execution
+// exactly — including which transactions failed.
+func TestParallelApplyConflictsMatchSequential(t *testing.T) {
+	var ids []*crypto.Identity
+	for i := 0; i < 8; i++ {
+		ids = append(ids, testIdentity(t, fmt.Sprintf("sender-%d", i), byte(i+1)))
+	}
+	par, seq := applyTestChains(t, ids...)
+
+	// Every sender writes the SAME key: sender-0 (first in block order)
+	// wins ownership; all later writes must fail deterministically.
+	var txs []Transaction
+	for _, id := range ids {
+		tx, err := NewTransaction(id, 1, putCall("contested", "mine-"+id.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	applyToBoth(t, par, seq, txs)
+
+	if par.StateDigest() != seq.StateDigest() {
+		t.Fatal("parallel apply diverged from sequential under conflicts")
+	}
+	st := par.ApplyStats()
+	if st.ConflictTxs == 0 {
+		t.Fatalf("contested workload reported no conflicts: %+v", st)
+	}
+	// Receipts must agree tx by tx (the first writer succeeded, the rest
+	// failed with the ownership error on both replicas).
+	okCount := 0
+	for i := range txs {
+		pr, _, err := par.Receipt(txs[i].ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sr, _, err := seq.Receipt(txs[i].ID())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pr.OK != sr.OK || pr.Err != sr.Err {
+			t.Fatalf("tx %d receipts diverge: parallel %+v, sequential %+v", i, pr, sr)
+		}
+		if pr.OK {
+			okCount++
+		}
+	}
+	if okCount != 1 {
+		t.Fatalf("%d owners of a contested key, want exactly 1", okCount)
+	}
+}
+
+// A prefix scan (Keys) must conflict with an earlier write under the
+// scanned prefix: the anchor contract's ListAnchors-style state is read
+// through Keys, so this guards the prefix half of the conflict rule.
+func TestTrackingStatePrefixConflict(t *testing.T) {
+	parent := NewChain(testChainConfig(t)).state
+	ts := newTrackingState(parent)
+	ts.Keys("kv/data/")
+	if !ts.conflictsWith(map[string]struct{}{"kv/data/x": {}}) {
+		t.Fatal("prefix scan did not conflict with write under prefix")
+	}
+	if ts.conflictsWith(map[string]struct{}{"anchor/data/x": {}}) {
+		t.Fatal("prefix scan conflicted with unrelated write")
+	}
+
+	ts2 := newTrackingState(parent)
+	ts2.Get("kv/owner/a")
+	if !ts2.conflictsWith(map[string]struct{}{"kv/owner/a": {}}) {
+		t.Fatal("exact read did not conflict with same-key write")
+	}
+	if ts2.conflictsWith(map[string]struct{}{"kv/owner/b": {}}) {
+		t.Fatal("exact read conflicted with different key")
+	}
+}

@@ -99,15 +99,11 @@ func TestLoadRejectsTamperedSnapshot(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt a tx signature inside the JSON payload.
+	// Corrupt the payload tail (lands in the last signature or the
+	// structural framing, depending on format).
 	mutated := make([]byte, len(raw))
 	copy(mutated, raw)
-	for i := range mutated {
-		if mutated[i] == '1' {
-			mutated[i] = '2'
-			break
-		}
-	}
+	mutated[len(mutated)-1] ^= 0xff
 	kv.TamperUnderlying(key, mutated)
 
 	alice := testIdentity(t, "alice", 1)

@@ -386,12 +386,7 @@ func TestNodeReopenCorruptBlockTruncatesTail(t *testing.T) {
 		t.Fatal(err)
 	}
 	mutated := append([]byte(nil), raw...)
-	for i := range mutated {
-		if mutated[i] == '1' {
-			mutated[i] = '2'
-			break
-		}
-	}
+	mutated[len(mutated)-1] ^= 0xff
 	kv.TamperUnderlying(persistBlockKey(4), mutated)
 
 	net := netsim.New(netsim.Config{Seed: 10})

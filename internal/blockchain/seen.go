@@ -1,0 +1,75 @@
+package blockchain
+
+import (
+	"sync"
+	"time"
+
+	"drams/internal/clock"
+	"drams/internal/crypto"
+)
+
+// seenCache remembers digests of recently handled gossip payloads so the
+// periodic rebroadcast flood (every peer re-sends its pending transactions a
+// few times a second) costs a duplicate one hash instead of a full wire
+// decode plus transaction-ID derivation — under heavy backlog that decode
+// work compounds into the very latency that created the backlog.
+//
+// Entries age out via two generations: inserts go to the current generation,
+// lookups consult both, and the generations rotate when the current one
+// fills or seenTTL elapses. A digest therefore suppresses duplicates for at
+// least one and at most two rotation periods — bounded memory, and a payload
+// that becomes relevant again (e.g. a transaction dropped in a reorg and
+// re-gossiped) is only muted briefly.
+type seenCache struct {
+	mu        sync.Mutex
+	cur, prev map[crypto.Digest]struct{}
+	max       int
+	clk       clock.Clock
+	rotated   time.Time
+}
+
+const (
+	seenCacheSize = 4096
+	seenTTL       = 2 * time.Second
+)
+
+func newSeenCache(max int, clk clock.Clock) *seenCache {
+	return &seenCache{
+		cur:     make(map[crypto.Digest]struct{}, max),
+		prev:    map[crypto.Digest]struct{}{},
+		max:     max,
+		clk:     clk,
+		rotated: clk.Now(),
+	}
+}
+
+// rotateLocked starts a fresh generation when the current one is full or
+// stale.
+func (c *seenCache) rotateLocked() {
+	if len(c.cur) < c.max && c.clk.Since(c.rotated) < seenTTL {
+		return
+	}
+	c.prev = c.cur
+	c.cur = make(map[crypto.Digest]struct{}, c.max)
+	c.rotated = c.clk.Now()
+}
+
+// has reports whether d was marked within the retention window.
+func (c *seenCache) has(d crypto.Digest) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rotateLocked()
+	if _, ok := c.cur[d]; ok {
+		return true
+	}
+	_, ok := c.prev[d]
+	return ok
+}
+
+// add marks d as handled.
+func (c *seenCache) add(d crypto.Digest) {
+	c.mu.Lock()
+	c.rotateLocked()
+	c.cur[d] = struct{}{}
+	c.mu.Unlock()
+}

@@ -2,6 +2,7 @@ package blockchain
 
 import (
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -41,10 +42,15 @@ const maxRangeBytes = 4 << 20
 const syncCallTimeout = 10 * time.Second
 
 // rangeReq asks for up to Count blocks starting at Cursor (inclusive) and
-// walking PrevHash links backwards.
+// walking PrevHash links backwards. Codec advertises the highest response
+// container format the requester understands: 0 (or absent — a pre-binary
+// requester) keeps the JSON container, 1 requests the binary container,
+// which ships binary block encodings without base64 inflation. The request
+// itself stays JSON — it is one tiny frame per sync window, not hot.
 type rangeReq struct {
 	Cursor crypto.Digest `json:"cursor"`
 	Count  int           `json:"count"`
+	Codec  int           `json:"codec,omitempty"`
 }
 
 // rangeResp carries the encoded blocks, descending from the cursor. Fewer
@@ -52,6 +58,56 @@ type rangeReq struct {
 // shipped — every member derives it from Config) or the serving cap.
 type rangeResp struct {
 	Blocks [][]byte `json:"blocks"`
+}
+
+// encodeRangeResp serialises resp in the binary container: the codec
+// version byte, then u32 count, then u32-length-prefixed block encodings.
+func encodeRangeResp(resp *rangeResp) []byte {
+	n := 1 + 4
+	for _, enc := range resp.Blocks {
+		n += 4 + len(enc)
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, codecVersion)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(resp.Blocks)))
+	for _, enc := range resp.Blocks {
+		buf = appendBlob32(buf, enc)
+	}
+	return buf
+}
+
+// decodeRangeResp parses either response container (binary or JSON).
+func decodeRangeResp(data []byte) (rangeResp, error) {
+	if len(data) == 0 {
+		return rangeResp{}, errors.New("blockchain: empty range response")
+	}
+	if data[0] != codecVersion {
+		var resp rangeResp
+		if err := json.Unmarshal(data, &resp); err != nil {
+			return rangeResp{}, err
+		}
+		return resp, nil
+	}
+	r := txReader{buf: data, off: 1}
+	count, err := r.u32()
+	if err != nil {
+		return rangeResp{}, err
+	}
+	if count > maxRangeServe {
+		return rangeResp{}, fmt.Errorf("blockchain: range response declares %d blocks", count)
+	}
+	resp := rangeResp{Blocks: make([][]byte, 0, count)}
+	for i := uint32(0); i < count; i++ {
+		enc, err := r.blob()
+		if err != nil {
+			return rangeResp{}, err
+		}
+		resp.Blocks = append(resp.Blocks, enc)
+	}
+	if r.off != len(data) {
+		return rangeResp{}, fmt.Errorf("blockchain: range response has %d trailing bytes", len(data)-r.off)
+	}
+	return resp, nil
 }
 
 // handleGetRange serves a descending window of blocks for batched catch-up.
@@ -78,13 +134,16 @@ func (n *Node) handleGetRange(from string, payload []byte) ([]byte, error) {
 		if b.Header.Height == 0 {
 			break
 		}
-		enc := b.Encode()
+		enc := n.wireEncodeBlock(b)
 		if len(resp.Blocks) > 0 && total+len(enc) > maxRangeBytes {
 			break
 		}
 		resp.Blocks = append(resp.Blocks, enc)
 		total += len(enc)
 		cursor = b.Header.PrevHash
+	}
+	if req.Codec >= 1 && !n.cfg.LegacyJSONWire {
+		return encodeRangeResp(&resp), nil
 	}
 	return json.Marshal(resp)
 }
@@ -104,15 +163,15 @@ func (n *Node) syncCall(peer, kind string, payload []byte) ([]byte, error) {
 // most once — it degrades to one bc.getblock per block.
 func (n *Node) fetchAncestors(peer string, cursor crypto.Digest, legacy *bool) ([]*Block, error) {
 	if !*legacy {
-		payload, err := json.Marshal(rangeReq{Cursor: cursor, Count: n.cfg.SyncBatch})
+		payload, err := json.Marshal(rangeReq{Cursor: cursor, Count: n.cfg.SyncBatch, Codec: 1})
 		if err != nil {
 			return nil, err
 		}
 		raw, err := n.syncCall(peer, kindGetRange, payload)
 		switch {
 		case err == nil:
-			var resp rangeResp
-			if err := json.Unmarshal(raw, &resp); err != nil {
+			resp, err := decodeRangeResp(raw)
+			if err != nil {
 				return nil, fmt.Errorf("blockchain: range from %q: %w", peer, err)
 			}
 			blocks := make([]*Block, 0, len(resp.Blocks))

@@ -177,24 +177,23 @@ type BlockHeader struct {
 // Time returns the header timestamp as a time.Time.
 func (h *BlockHeader) Time() time.Time { return time.Unix(0, h.TimeUnixNano) }
 
-// Hash computes the header digest using a fixed-width binary encoding.
+// Hash computes the header digest using a fixed-width binary encoding. The
+// scratch buffer is pooled: mining recomputes this hash per nonce attempt,
+// so a fresh allocation each call would dominate the mining profile.
 func (h *BlockHeader) Hash() crypto.Digest {
-	buf := make([]byte, 8+crypto.DigestSize+crypto.DigestSize+8+1+8+len(h.Miner))
-	off := 0
-	binary.BigEndian.PutUint64(buf[off:], h.Height)
-	off += 8
-	copy(buf[off:], h.PrevHash[:])
-	off += crypto.DigestSize
-	copy(buf[off:], h.MerkleRoot[:])
-	off += crypto.DigestSize
-	binary.BigEndian.PutUint64(buf[off:], uint64(h.TimeUnixNano))
-	off += 8
-	buf[off] = h.Difficulty
-	off++
-	binary.BigEndian.PutUint64(buf[off:], h.Nonce)
-	off += 8
-	copy(buf[off:], h.Miner)
-	return crypto.Sum(buf)
+	bp := encodePool.Get().(*[]byte)
+	buf := (*bp)[:0]
+	buf = binary.BigEndian.AppendUint64(buf, h.Height)
+	buf = append(buf, h.PrevHash[:]...)
+	buf = append(buf, h.MerkleRoot[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(h.TimeUnixNano))
+	buf = append(buf, h.Difficulty)
+	buf = binary.BigEndian.AppendUint64(buf, h.Nonce)
+	buf = append(buf, h.Miner...)
+	d := crypto.Sum(buf)
+	*bp = buf
+	encodePool.Put(bp)
+	return d
 }
 
 // MeetsDifficulty reports whether the header hash has at least Difficulty
@@ -226,40 +225,62 @@ func ComputeMerkleRoot(txs []Transaction) crypto.Digest {
 	return merkle.RootOfHashes(hashes)
 }
 
-// Encode serialises the block as JSON for gossip and persistence.
+// Encode serialises the block in the binary wire format (see codec.go) for
+// gossip and persistence. The output is exactly sized: one allocation.
 func (b *Block) Encode() []byte {
-	out, err := json.Marshal(b)
+	out, err := AppendBlock(make([]byte, 0, blockEncodedLen(b)), b)
 	if err != nil {
 		panic(fmt.Sprintf("blockchain: encode block: %v", err))
 	}
 	return out
 }
 
-// DecodeBlock parses a gossiped block.
+// DecodeBlock parses a gossiped or persisted block in either wire format:
+// binary (leading version byte) or legacy JSON (leading '{').
 func DecodeBlock(data []byte) (*Block, error) {
-	var b Block
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("blockchain: decode block: %w", err)
+	if len(data) == 0 {
+		return nil, errors.New("blockchain: decode block: empty input")
 	}
-	return &b, nil
+	switch data[0] {
+	case codecVersion:
+		return decodeBlockBinary(data)
+	case '{':
+		var b Block
+		if err := json.Unmarshal(data, &b); err != nil {
+			return nil, fmt.Errorf("blockchain: decode block: %w", err)
+		}
+		return &b, nil
+	default:
+		return nil, fmt.Errorf("blockchain: decode block: unknown format byte 0x%02x", data[0])
+	}
 }
 
-// EncodeTx serialises a transaction for gossip.
+// EncodeTx serialises a transaction in the binary wire format for gossip.
 func EncodeTx(tx Transaction) []byte {
-	out, err := json.Marshal(tx)
+	out, err := AppendTx(make([]byte, 0, 1+txEncodedLen(&tx)), &tx)
 	if err != nil {
 		panic(fmt.Sprintf("blockchain: encode tx: %v", err))
 	}
 	return out
 }
 
-// DecodeTx parses a gossiped transaction.
+// DecodeTx parses a gossiped transaction in either wire format.
 func DecodeTx(data []byte) (Transaction, error) {
-	var tx Transaction
-	if err := json.Unmarshal(data, &tx); err != nil {
-		return Transaction{}, fmt.Errorf("blockchain: decode tx: %w", err)
+	if len(data) == 0 {
+		return Transaction{}, errors.New("blockchain: decode tx: empty input")
 	}
-	return tx, nil
+	switch data[0] {
+	case codecVersion:
+		return decodeTxBinary(data)
+	case '{':
+		var tx Transaction
+		if err := json.Unmarshal(data, &tx); err != nil {
+			return Transaction{}, fmt.Errorf("blockchain: decode tx: %w", err)
+		}
+		return tx, nil
+	default:
+		return Transaction{}, fmt.Errorf("blockchain: decode tx: unknown format byte 0x%02x", data[0])
+	}
 }
 
 // Receipt records the outcome of executing a transaction on the best chain.

@@ -196,9 +196,37 @@ func (an *Analyser) Stats() AnalyserStats {
 	}
 }
 
-func (an *Analyser) handleLog(payload []byte) {
+// extractRecord recovers the log record carried by a LogStored event
+// payload. Batch-anchored records arrive as BatchedRecord envelopes; the
+// analyser insists on a valid Merkle membership proof AND an on-chain
+// anchor for the claimed root before trusting one — an event stream cannot
+// feed it observations the chain never committed to.
+func (an *Analyser) extractRecord(payload []byte) (LogRecord, bool) {
+	if br, err := DecodeBatchedRecord(payload); err == nil {
+		if !br.VerifyInclusion() {
+			an.failures.Inc()
+			return LogRecord{}, false
+		}
+		anchored := false
+		an.node.Chain().ReadState(ContractName, func(st contract.StateDB) {
+			_, anchored = ReadBatchAnchor(st, br.Root)
+		})
+		if !anchored {
+			an.failures.Inc()
+			return LogRecord{}, false
+		}
+		return br.Record, true
+	}
 	rec, err := DecodeLogRecord(payload)
-	if err != nil || rec.Kind != KindPDPResponse {
+	if err != nil {
+		return LogRecord{}, false
+	}
+	return rec, true
+}
+
+func (an *Analyser) handleLog(payload []byte) {
+	rec, ok := an.extractRecord(payload)
+	if !ok || rec.Kind != KindPDPResponse {
 		return
 	}
 	ap := an.policyFor(rec.PolicyDigest)

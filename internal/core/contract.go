@@ -3,11 +3,13 @@ package core
 import (
 	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
 	"drams/internal/contract"
 	"drams/internal/crypto"
+	"drams/internal/merkle"
 )
 
 // ContractName is the on-chain address of the DRAMS log-match contract.
@@ -24,9 +26,12 @@ const (
 
 // Contract method names.
 const (
-	MethodLog     = "log"
-	MethodVerdict = "verdict"
-	MethodPolicy  = "policy"
+	MethodLog = "log"
+	// MethodLogBatch anchors a whole flush window of records under one
+	// Merkle root in a single transaction (see LogBatch).
+	MethodLogBatch = "logbatch"
+	MethodVerdict  = "verdict"
+	MethodPolicy   = "policy"
 )
 
 // MatchConfig parameterises the log-match contract. All federation nodes
@@ -93,6 +98,8 @@ func (lm *LogMatchContract) Execute(ctx contract.CallCtx, st contract.StateDB, c
 	switch call.Method {
 	case MethodLog:
 		return lm.execLog(ctx, st, call.Args)
+	case MethodLogBatch:
+		return lm.execLogBatch(ctx, st, call.Args)
 	case MethodVerdict:
 		return lm.execVerdict(ctx, st, call.Args)
 	case MethodPolicy:
@@ -110,31 +117,100 @@ func (lm *LogMatchContract) execLog(ctx contract.CallCtx, st contract.StateDB, a
 	if err := rec.Validate(); err != nil {
 		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
 	}
-	var events []contract.Event
+	events, stored := lm.storeRecord(ctx, st, rec, rec.Encode())
+	if stored {
+		events = append(events, lm.runChecks(ctx, st, rec.ReqID, ctx.Height)...)
+	}
+	return events, nil
+}
 
+// storeRecord applies one validated record: duplicate and equivocation
+// handling, storage, M3 deadline arming and the LogStored event.
+// eventPayload is what the event carries — the plain record for
+// single-record transactions, the proof-bearing envelope for batched ones.
+// stored=false means the record was an idempotent duplicate or an
+// equivocation attempt (the original is kept) and no checks should run.
+func (lm *LogMatchContract) storeRecord(ctx contract.CallCtx, st contract.StateDB, rec LogRecord, eventPayload []byte) (events []contract.Event, stored bool) {
 	key := recKey(rec.ReqID, rec.Kind)
 	enc := rec.Encode()
 	if existing, ok := st.Get(key); ok {
 		if string(existing) == string(enc) {
-			return nil, nil // idempotent duplicate (client retry)
+			return nil, false // idempotent duplicate (client retry)
 		}
 		// Conflicting second record for the same interception point.
-		events = append(events, lm.alert(st, Alert{
+		return lm.alert(st, Alert{
 			Type: AlertEquivocation, ReqID: rec.ReqID, Tenant: rec.Tenant, Height: ctx.Height,
 			Detail: fmt.Sprintf("conflicting %s records from %s", rec.Kind, ctx.Caller),
-		})...)
-		return events, nil // keep the original record
+		}), false // keep the original record
 	}
 	st.Set(key, enc)
-	events = append(events, contract.Event{Type: EventLogStored, Payload: enc})
+	events = append(events, contract.Event{Type: EventLogStored, Payload: eventPayload})
 
 	// Arm the M3 deadline on the first record of the request.
 	if _, ok := st.Get(deadlineSetKey(rec.ReqID)); !ok {
 		st.Set(deadlineSetKey(rec.ReqID), []byte("1"))
 		st.Set(deadlineKey(ctx.Height+lm.cfg.TimeoutBlocks, rec.ReqID), []byte("1"))
 	}
+	return events, true
+}
 
-	events = append(events, lm.runChecks(ctx, st, rec.ReqID, ctx.Height)...)
+// execLogBatch applies one Merkle-anchored window of records. The root is
+// recomputed from the submitted records — a batch whose root does not bind
+// exactly its records is rejected, so anchoring is as tamper-evident as
+// individual submissions while costing one signature verification and one
+// transaction per window. Each stored record's LogStored event carries a
+// membership proof for off-chain verification; the matching checks run once
+// per distinct request the batch advanced (they are functions of stored
+// state, so one pass after all of a request's records landed is equivalent
+// to a pass after each).
+func (lm *LogMatchContract) execLogBatch(ctx contract.CallCtx, st contract.StateDB, args []byte) ([]contract.Event, error) {
+	lb, err := DecodeLogBatch(args)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
+	}
+	if len(lb.Records) == 0 {
+		return nil, fmt.Errorf("%w: empty log batch", contract.ErrBadArgs)
+	}
+	if len(lb.Records) > MaxLogBatch {
+		return nil, fmt.Errorf("%w: batch of %d records exceeds limit %d",
+			contract.ErrBadArgs, len(lb.Records), MaxLogBatch)
+	}
+	leaves := make([][]byte, len(lb.Records))
+	for i := range lb.Records {
+		if err := lb.Records[i].Validate(); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", contract.ErrBadArgs, i, err)
+		}
+		leaves[i] = lb.Records[i].Encode()
+	}
+	tree, err := merkle.Build(leaves)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, err)
+	}
+	if tree.Root() != lb.Root {
+		return nil, fmt.Errorf("%w: claimed batch root %s does not match records (computed %s)",
+			contract.ErrBadArgs, lb.Root.Short(), tree.Root().Short())
+	}
+	st.Set(batchKey(lb.Root), []byte(strconv.Itoa(len(lb.Records))))
+
+	var events []contract.Event
+	var order []string
+	touched := make(map[string]bool)
+	for i := range lb.Records {
+		proof, perr := tree.Prove(i)
+		if perr != nil {
+			return nil, fmt.Errorf("%w: %v", contract.ErrBadArgs, perr)
+		}
+		payload := BatchedRecord{Record: lb.Records[i], Root: lb.Root, Index: i, Proof: proof}.Encode()
+		evs, stored := lm.storeRecord(ctx, st, lb.Records[i], payload)
+		events = append(events, evs...)
+		if stored && !touched[lb.Records[i].ReqID] {
+			touched[lb.Records[i].ReqID] = true
+			order = append(order, lb.Records[i].ReqID)
+		}
+	}
+	for _, reqID := range order {
+		events = append(events, lm.runChecks(ctx, st, reqID, ctx.Height)...)
+	}
 	return events, nil
 }
 

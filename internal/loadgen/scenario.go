@@ -297,7 +297,9 @@ func builtins() map[string]Scenario {
 			AlertSample:    0.05,
 			// Generous for small CI runners (the gate catches collapse
 			// and regressions measured in multiples, not milliseconds).
-			Thresholds: []string{"p99<1s", "error_rate<1%", "dropped<1%"},
+			// rate guards the hot path: of the 150 req/s scheduled, at
+			// least 100 req/s must actually complete.
+			Thresholds: []string{"p99<1s", "error_rate<1%", "dropped<1%", "rate>=100"},
 			Seed:       7,
 		},
 		// smoke is a fast sanity run for local iteration.

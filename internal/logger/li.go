@@ -66,16 +66,32 @@ type LIConfig struct {
 	Workers int
 	// Confirmations for SubmitConfirmed mode (default 1).
 	Confirmations uint64
+	// FlushWindow caps how many probe records an async worker anchors
+	// under one Merkle-rooted batch transaction (default 16). A window of
+	// N observations then costs one signed transaction instead of N; the
+	// contract re-derives the root and per-record events carry membership
+	// proofs, so anchoring stays as binding as individual submissions.
+	// Set to 1 to submit each record as its own transaction. Only
+	// SubmitAsync batches; the synchronous modes trade latency for
+	// per-record guarantees already.
+	FlushWindow int
+	// FlushLinger is how long a worker holding a partial window waits for
+	// more records before flushing (default 2ms, negative disables the
+	// wait). Bounded so batching never delays detection noticeably.
+	FlushLinger time.Duration
 	// Clock is the time source.
 	Clock clock.Clock
 }
 
 // LIStats snapshot.
 type LIStats struct {
+	// Submitted counts records (a batch of N counts N).
 	Submitted int64
 	Failed    int64
 	Dropped   int64
-	QueueLen  int
+	// BatchesSubmitted counts Merkle-anchored batch transactions.
+	BatchesSubmitted int64
+	QueueLen         int
 }
 
 // LI is the Logging Interface: the bridge between probing agents and the
@@ -91,6 +107,7 @@ type LI struct {
 	submitted metrics.Counter
 	failed    metrics.Counter
 	dropped   metrics.Counter
+	batches   metrics.Counter
 
 	alertMu       sync.Mutex
 	alertHandlers []func(core.Alert)
@@ -103,6 +120,9 @@ type LI struct {
 
 type queued struct {
 	call contract.Call
+	// rec is set for probe log records, which are batchable; other calls
+	// (verdicts, policy announcements) pass through unbatched.
+	rec *core.LogRecord
 }
 
 // NewLI constructs a Logging Interface.
@@ -121,6 +141,15 @@ func NewLI(cfg LIConfig) (*LI, error) {
 	}
 	if cfg.Confirmations == 0 {
 		cfg.Confirmations = 1
+	}
+	if cfg.FlushWindow == 0 {
+		cfg.FlushWindow = 16
+	}
+	if cfg.FlushWindow > core.MaxLogBatch {
+		cfg.FlushWindow = core.MaxLogBatch
+	}
+	if cfg.FlushLinger == 0 {
+		cfg.FlushLinger = 2 * time.Millisecond
 	}
 	if cfg.Clock == nil {
 		cfg.Clock = clock.System{}
@@ -190,10 +219,11 @@ func (li *LI) Tenant() string { return li.cfg.Tenant }
 // Stats snapshots the counters.
 func (li *LI) Stats() LIStats {
 	return LIStats{
-		Submitted: li.submitted.Value(),
-		Failed:    li.failed.Value(),
-		Dropped:   li.dropped.Value(),
-		QueueLen:  len(li.queue),
+		Submitted:        li.submitted.Value(),
+		Failed:           li.failed.Value(),
+		Dropped:          li.dropped.Value(),
+		BatchesSubmitted: li.batches.Value(),
+		QueueLen:         len(li.queue),
 	}
 }
 
@@ -214,8 +244,24 @@ func (li *LI) Open(reqID string, payload []byte) (core.EncryptedContext, error) 
 }
 
 // Log submits a record (with its already-sealed payload) according to the
-// configured mode.
+// configured mode. In async mode with a flush window above 1 the record is
+// queued for Merkle-batched anchoring; otherwise it becomes its own
+// transaction.
 func (li *LI) Log(ctx context.Context, rec core.LogRecord) error {
+	if li.cfg.Mode == SubmitAsync && li.cfg.FlushWindow > 1 {
+		select {
+		case <-li.stop:
+			return ErrStopped
+		default:
+		}
+		select {
+		case li.queue <- queued{rec: &rec}:
+			return nil
+		default:
+			li.dropped.Inc()
+			return ErrQueueFull
+		}
+	}
 	call := contract.Call{Contract: core.ContractName, Method: core.MethodLog, Args: rec.Encode()}
 	return li.submit(ctx, call)
 }
@@ -277,17 +323,78 @@ func (li *LI) worker() {
 		case <-li.stop:
 			return
 		case q := <-li.queue:
-			if _, err := li.sender.Send(q.call); err != nil {
-				// Retry once after a short pause (transient mempool or
-				// network hiccups); then count as failed.
-				li.clk.Sleep(10 * time.Millisecond)
-				if _, err2 := li.sender.Send(q.call); err2 != nil {
-					li.failed.Inc()
-					continue
-				}
+			if q.rec != nil {
+				li.flushWindow(*q.rec)
+			} else {
+				li.send(q.call, 1)
 			}
-			li.submitted.Inc()
 		}
+	}
+}
+
+// send submits one call with a single retry (transient mempool or network
+// hiccups), counting n records on the outcome. Reports success.
+func (li *LI) send(call contract.Call, n int64) bool {
+	if _, err := li.sender.Send(call); err != nil {
+		li.clk.Sleep(10 * time.Millisecond)
+		if _, err2 := li.sender.Send(call); err2 != nil {
+			li.failed.Add(n)
+			return false
+		}
+	}
+	li.submitted.Add(n)
+	return true
+}
+
+// flushWindow gathers up to FlushWindow records starting from first —
+// draining whatever is already queued, then lingering briefly for
+// stragglers — and anchors the window as one batch transaction. A lone
+// record falls back to a plain log transaction, so light traffic keeps the
+// unbatched wire shape. Non-record calls pulled while draining pass
+// straight through.
+func (li *LI) flushWindow(first core.LogRecord) {
+	recs := append(make([]core.LogRecord, 0, li.cfg.FlushWindow), first)
+	lingered := false
+gather:
+	for len(recs) < li.cfg.FlushWindow {
+		select {
+		case q := <-li.queue:
+			if q.rec != nil {
+				recs = append(recs, *q.rec)
+			} else {
+				li.send(q.call, 1)
+			}
+			continue
+		default:
+		}
+		if lingered || li.cfg.FlushLinger <= 0 {
+			break
+		}
+		lingered = true
+		select {
+		case <-li.stop:
+			break gather // flush what we hold; in-flight work finishes
+		case q := <-li.queue:
+			if q.rec != nil {
+				recs = append(recs, *q.rec)
+			} else {
+				li.send(q.call, 1)
+			}
+		case <-li.clk.After(li.cfg.FlushLinger):
+		}
+	}
+	if len(recs) == 1 {
+		li.send(contract.Call{Contract: core.ContractName, Method: core.MethodLog, Args: recs[0].Encode()}, 1)
+		return
+	}
+	lb, err := core.NewLogBatch(recs)
+	if err != nil {
+		li.failed.Add(int64(len(recs)))
+		return
+	}
+	call := contract.Call{Contract: core.ContractName, Method: core.MethodLogBatch, Args: lb.Encode()}
+	if li.send(call, int64(len(recs))) {
+		li.batches.Inc()
 	}
 }
 

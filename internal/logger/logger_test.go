@@ -106,6 +106,29 @@ func TestLIAsyncSubmission(t *testing.T) {
 	}
 }
 
+func TestLIBatchedAnchoring(t *testing.T) {
+	env := newLIEnv(t, SubmitAsync)
+	// A burst larger than one flush window: the LI must anchor (most of)
+	// it in Merkle-batched transactions while every record still reaches
+	// contract state.
+	const n = 24
+	for i := 0; i < n; i++ {
+		if err := env.li.Log(context.Background(), pepRequestRecord(fmt.Sprintf("batch-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		waitForRecord(t, env.node, fmt.Sprintf("batch-%d", i), core.KindPEPRequest)
+	}
+	st := env.li.Stats()
+	if st.Submitted != n {
+		t.Fatalf("submitted = %d records, want %d", st.Submitted, n)
+	}
+	if st.BatchesSubmitted == 0 {
+		t.Fatal("burst produced no batch transactions")
+	}
+}
+
 func TestLISyncSubmission(t *testing.T) {
 	env := newLIEnv(t, SubmitSync)
 	if err := env.li.Log(context.Background(), pepRequestRecord("sync-1")); err != nil {

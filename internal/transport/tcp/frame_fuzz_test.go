@@ -1,0 +1,85 @@
+package tcp
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzReadFrame feeds arbitrary byte streams to the frame reader: it must
+// reject or accept without panicking, and anything it accepts must survive a
+// re-encode/re-read round trip unchanged.
+func FuzzReadFrame(f *testing.F) {
+	seed, err := appendFrame(nil, &frame{
+		typ: fCall, corr: 7, from: "node-a", to: "node-b", kind: "bc.block",
+		payload: []byte{0x01, 0xff, 0x00},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte(nil))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := readFrame(bufio.NewReader(bytes.NewReader(data)))
+		if err != nil {
+			return
+		}
+		re, err := appendFrame(nil, &got)
+		if err != nil {
+			t.Fatalf("re-encode of accepted frame failed: %v", err)
+		}
+		back, err := readFrame(bufio.NewReader(bytes.NewReader(re)))
+		if err != nil {
+			t.Fatalf("re-read of canonical frame failed: %v", err)
+		}
+		if back.typ != got.typ || back.corr != got.corr || back.from != got.from ||
+			back.to != got.to || back.kind != got.kind || back.errStr != got.errStr ||
+			!bytes.Equal(back.payload, got.payload) {
+			t.Fatalf("frame not canonical:\n got %+v\nwant %+v", back, got)
+		}
+	})
+}
+
+// FuzzFrameRoundTrip drives the encoder with arbitrary field values; every
+// encodable frame must read back identical.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(byte(1), uint64(0), "a", "b", "kind", "", []byte("payload"))
+	f.Add(byte(3), uint64(1<<40), "", "", "", "boom", []byte(nil))
+	f.Fuzz(func(t *testing.T, typ byte, corr uint64, from, to, kind, errStr string, payload []byte) {
+		in := frame{typ: typ, corr: corr, from: from, to: to, kind: kind, errStr: errStr, payload: payload}
+		enc, err := appendFrame(nil, &in)
+		if err != nil {
+			return // oversize fields are rejected, not encoded
+		}
+		got, err := readFrame(bufio.NewReader(bytes.NewReader(enc)))
+		if err != nil {
+			t.Fatalf("decode of own encoding failed: %v", err)
+		}
+		samePayload := bytes.Equal(got.payload, in.payload)
+		if got.typ != in.typ || got.corr != in.corr || got.from != in.from ||
+			got.to != in.to || got.kind != in.kind || got.errStr != in.errStr || !samePayload {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, in)
+		}
+	})
+}
+
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	in := frame{typ: fMsg, corr: 42, from: "node@tenant-1", to: "node@infrastructure",
+		kind: "bc.block", payload: make([]byte, 512)}
+	enc, err := appendFrame(nil, &in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	buf := make([]byte, 0, len(enc))
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		if buf, err = appendFrame(buf, &in); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := readFrame(bufio.NewReader(bytes.NewReader(buf))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
