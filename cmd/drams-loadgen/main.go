@@ -62,6 +62,7 @@ func run(args []string) int {
 
 		// TCP target knobs (must match the daemons' flags).
 		peers         = fs.String("peers", "", "tcp: comma-separated daemon addresses (host:port)")
+		metricsPeers  = fs.String("metrics-peers", "", "tcp: comma-separated daemon -metrics-addr endpoints to scrape into the report")
 		federationArg = fs.String("federation", "", "tcp: comma-separated edge tenant names")
 		timeoutBlocks = fs.Uint64("timeout-blocks", 64, "tcp: M3 timeout window in blocks")
 		requireVer    = fs.Bool("require-verdict", true, "tcp: chain rule requiring M2 before M3 expiry")
@@ -133,6 +134,7 @@ func run(args []string) int {
 			TimeoutBlocks:  *timeoutBlocks,
 			RequireVerdict: *requireVer,
 			DialTimeout:    *dialTimeout,
+			MetricsAddrs:   splitList(*metricsPeers),
 		})
 	default:
 		fmt.Fprintf(os.Stderr, "drams-loadgen: unknown target %q (want netsim or tcp)\n", *target)
@@ -155,7 +157,15 @@ func run(args []string) int {
 	}
 	printResult(res)
 	if *outDir != "" {
-		path, err := res.Report(*target).WriteFile(*outDir)
+		rep := res.Report(*target)
+		if sc, ok := tgt.(loadgen.MetricsScraper); ok {
+			// Scrape on a fresh context: the run context may already be
+			// cancelled by the signal that ended the run.
+			scrapeCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			rep.FleetMetrics = sc.ScrapeMetrics(scrapeCtx)
+			cancel()
+		}
+		path, err := rep.WriteFile(*outDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "drams-loadgen: %v\n", err)
 			return 1

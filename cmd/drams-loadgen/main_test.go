@@ -51,6 +51,14 @@ func TestExitCodeMapping(t *testing.T) {
 	if _, ok := rep.Metrics["dropped"]; !ok {
 		t.Fatal("dropped_iterations missing from report")
 	}
+	// The run-end fleet /metrics snapshot rides along in the report.
+	fleet, ok := rep.FleetMetrics["netsim"]
+	if !ok {
+		t.Fatalf("fleet_metrics missing netsim snapshot: %+v", rep.FleetMetrics)
+	}
+	if v := fleet[`drams_pep_requests_total{tenant="tenant-1"}`]; v <= 0 {
+		t.Fatalf("fleet snapshot has no PEP traffic: %v", fleet)
+	}
 
 	// Same run with an impossible threshold: exit 2, report says fail.
 	args = []string{

@@ -52,7 +52,9 @@ import (
 	"drams/internal/federation"
 	"drams/internal/idgen"
 	"drams/internal/logger"
+	"drams/internal/metrics"
 	"drams/internal/netsim"
+	"drams/internal/obs"
 	"drams/internal/pap"
 	"drams/internal/store"
 	"drams/internal/transport/tcp"
@@ -94,6 +96,8 @@ func run() error {
 	printPolicy := flag.String("print-policy", "", "print a built-in policy set as JSON and exit: standard:<version> or restricted:<version>")
 	flushWindow := flag.Int("log-flush-window", 16, "daemon: max probe records per Merkle-anchored LI batch transaction (1 disables batching)")
 	pprofAddr := flag.String("pprof-addr", "", "daemon: serve net/http/pprof on this host:port (empty disables)")
+	metricsAddr := flag.String("metrics-addr", "", "daemon: serve /metrics, /healthz, /readyz (and /debug/pprof/) on this host:port (empty disables)")
+	catchupDelay := flag.Duration("catchup-delay", 0, "daemon: hold the initial chain catch-up for this long after startup (keeps /readyz at 503 long enough for black-box readiness checks)")
 	flag.Parse()
 
 	if *printPolicy != "" {
@@ -126,6 +130,8 @@ func run() error {
 			policyDelta:    *policyDelta,
 			flushWindow:    *flushWindow,
 			pprofAddr:      *pprofAddr,
+			metricsAddr:    *metricsAddr,
+			catchupDelay:   *catchupDelay,
 		})
 	}
 	return runClusterSim(*nodes, *difficulty, *height, *latency)
@@ -207,13 +213,44 @@ type daemonConfig struct {
 
 	// pprofAddr, when set, serves net/http/pprof on that address.
 	pprofAddr string
+
+	// metricsAddr, when set, serves the operations surface — /metrics
+	// (Prometheus text exposition), /healthz, /readyz and /debug/pprof/ —
+	// on that address. Readiness gates on chain catch-up and policy
+	// watcher freshness, so an orchestrator holds traffic from a
+	// rejoining process until it has resynced.
+	metricsAddr string
+
+	// catchupDelay holds the initial catch-up sync after startup, keeping
+	// a non-producing process not-ready for at least that long (black-box
+	// readiness checks need an observable 503 window).
+	catchupDelay time.Duration
 }
 
 func runDaemon(cfg daemonConfig) error {
 	logf := func(format string, args ...any) {
 		fmt.Printf("[%s] %s\n", cfg.tenant, fmt.Sprintf(format, args...))
 	}
-	if cfg.pprofAddr != "" {
+	// Operations surface: one registry/tracer/health per process; the
+	// collectors are registered as each component comes up.
+	reg := metrics.NewRegistry()
+	gatherer := obs.NewGatherer(reg)
+	tracer := obs.NewTracer(reg, obs.DefaultTraceCapacity)
+	health := obs.NewHealth()
+	if cfg.metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/", obs.Handler(gatherer, health))
+		// pprof shares the ops port: net/http/pprof registers on the
+		// default mux, which we mount under its canonical prefix.
+		mux.Handle("/debug/pprof/", http.DefaultServeMux)
+		go func() {
+			logf("metrics listening on http://%s/metrics (health on /healthz, /readyz)", cfg.metricsAddr)
+			if err := http.ListenAndServe(cfg.metricsAddr, mux); err != nil {
+				logf("metrics server: %v", err)
+			}
+		}()
+	}
+	if cfg.pprofAddr != "" && cfg.pprofAddr != cfg.metricsAddr {
 		go func() {
 			logf("pprof listening on http://%s/debug/pprof/", cfg.pprofAddr)
 			if err := http.ListenAndServe(cfg.pprofAddr, nil); err != nil {
@@ -256,6 +293,7 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	defer tr.Close()
 	logf("listening on %s, peers %v", tr.Advertise(), cfg.join)
+	gatherer.Register(drams.TransportCollector(tr))
 
 	var nodePeers []string
 	for _, t := range tenants {
@@ -289,6 +327,9 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	defer node.Stop()
 	node.Start()
+	gatherer.Register(drams.NodeCollector(node.Name(), node))
+	health.AddReady("chain", drams.ChainReady(node))
+	muteLogs := false
 	switch cfg.byzantine {
 	case "":
 	case "withhold":
@@ -300,8 +341,10 @@ func runDaemon(cfg daemonConfig) error {
 			byz.WithholdGossip()
 			logf("BYZANTINE mode=withhold engaged: outbound block/tx gossip suppressed")
 		}()
+	case "mute-logs":
+		muteLogs = true // engaged below, once the probing agent exists
 	default:
-		return fmt.Errorf("unknown -byzantine mode %q (known: withhold)", cfg.byzantine)
+		return fmt.Errorf("unknown -byzantine mode %q (known: withhold, mute-logs)", cfg.byzantine)
 	}
 	if chainStore != nil {
 		st := node.Stats()
@@ -323,7 +366,19 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	li.Start()
 	defer li.Stop()
+	li.SetTracer(tracer)
+	gatherer.Register(drams.LICollector(cfg.tenant, li))
 	agent := logger.NewAgent("agent@"+cfg.tenant, cfg.tenant, li, clock.System{})
+	gatherer.Register(drams.AgentCollector(cfg.tenant, agent))
+	if muteLogs {
+		go func() {
+			if cfg.byzantineAfter > 0 {
+				time.Sleep(cfg.byzantineAfter)
+			}
+			agent.Mute(core.KindPEPResponse)
+			logf("BYZANTINE mode=mute-logs engaged: pep.response records suppressed")
+		}()
+	}
 
 	// Every process watches the chain-replicated policy lifecycle; the
 	// infrastructure process additionally hot-reloads its PDP/PRP and
@@ -334,6 +389,12 @@ func runDaemon(cfg daemonConfig) error {
 		if err != nil {
 			return err
 		}
+		infra.pdpService.SetTracer(tracer)
+		infra.analyser.SetTracer(tracer)
+		infra.monitor.SetTracer(tracer)
+		gatherer.Register(drams.PDPCollector(infra.pdpService, infra.pdp))
+		gatherer.Register(drams.AnalyserCollector(infra.analyser))
+		gatherer.Register(drams.MonitorCollector(infra.monitor))
 	}
 	watcherCfg := pap.WatcherConfig{Node: node}
 	if infra != nil {
@@ -359,6 +420,8 @@ func runDaemon(cfg daemonConfig) error {
 	}
 	watcher.Start()
 	defer watcher.Stop()
+	gatherer.Register(drams.WatcherCollector(watcher))
+	health.AddReady("policy-watcher", drams.WatcherReady(node, watcher))
 
 	// The infrastructure process publishes the initial policy on-chain and
 	// waits for its own watcher to activate it — unless the chain restored
@@ -394,6 +457,8 @@ func runDaemon(cfg daemonConfig) error {
 			return err
 		}
 		pep.SetProbe(agent)
+		pep.SetTracer(tracer)
+		gatherer.Register(drams.PEPCollector(cfg.tenant, pep))
 	}
 
 	stopCh := make(chan os.Signal, 2)
@@ -408,7 +473,20 @@ func runDaemon(cfg daemonConfig) error {
 	// Actively pull the chain suffix this process is missing (restart from
 	// -data-dir, late join) over batched bc.getrange calls instead of
 	// waiting for the next gossiped block to trigger orphan resolution.
-	go catchUp(node, nodePeers, logf, done)
+	// Non-producing processes report not-ready until that first sync
+	// round completes, so a restarted member is drained while it rejoins.
+	synced := make(chan struct{})
+	if !(isInfra || cfg.mine) {
+		health.AddReady("sync", func() error {
+			select {
+			case <-synced:
+				return nil
+			default:
+				return fmt.Errorf("initial chain catch-up in progress (height %d)", node.Chain().Height())
+			}
+		})
+	}
+	go catchUp(node, nodePeers, cfg.catchupDelay, logf, done, synced)
 
 	// Any member can administer policies: push the -policy-file update
 	// once the local chain reaches the trigger height.
@@ -445,12 +523,13 @@ func runDaemon(cfg daemonConfig) error {
 // infraPlane bundles the infrastructure tenant's extras: the PDP service,
 // PRP, analyser and monitor, plus the initial policy to anchor.
 type infraPlane struct {
-	pdp      *xacml.PDP
-	prp      *xacml.PRP
-	analyser *core.Analyser
-	monitor  *core.Monitor
-	initial  *xacml.PolicySet
-	logf     func(string, ...any)
+	pdp        *xacml.PDP
+	pdpService *federation.PDPService
+	prp        *xacml.PRP
+	analyser   *core.Analyser
+	monitor    *core.Monitor
+	initial    *xacml.PolicySet
+	logf       func(string, ...any)
 }
 
 // newInfraPlane brings up the PDP service and the monitoring plane; the
@@ -481,7 +560,8 @@ func newInfraPlane(tr *tcp.Transport, node *blockchain.Node, agent *logger.Agent
 	})
 	monitor.Start()
 	return &infraPlane{
-		pdp: pdp, prp: xacml.NewPRP(), analyser: analyser, monitor: monitor,
+		pdp: pdp, pdpService: pdpService, prp: xacml.NewPRP(),
+		analyser: analyser, monitor: monitor,
 		initial: xacml.StandardPolicy("v1"), logf: logf,
 	}, nil
 }
@@ -506,7 +586,15 @@ func (ip *infraPlane) onPolicyEvent(ev pap.Event) {
 // counters are the node's lifetime totals, not a delta — a gossiped block
 // can trigger the same batched pull through orphan resolution before (or
 // while) this goroutine runs, and that work is part of the rejoin too.
-func catchUp(node *blockchain.Node, peers []string, logf func(string, ...any), done <-chan struct{}) {
+func catchUp(node *blockchain.Node, peers []string, delay time.Duration, logf func(string, ...any), done <-chan struct{}, synced chan<- struct{}) {
+	defer close(synced)
+	if delay > 0 {
+		select {
+		case <-done:
+			return
+		case <-time.After(delay):
+		}
+	}
 	for attempt := 0; attempt < 240; attempt++ {
 		for _, p := range peers {
 			if p == node.Name() {

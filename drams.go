@@ -50,7 +50,9 @@ import (
 	"drams/internal/federation"
 	"drams/internal/idgen"
 	"drams/internal/logger"
+	"drams/internal/metrics"
 	"drams/internal/netsim"
+	"drams/internal/obs"
 	"drams/internal/pap"
 	"drams/internal/store"
 	"drams/internal/transport"
@@ -196,6 +198,11 @@ type Deployment struct {
 
 	Key crypto.Key
 
+	registry *metrics.Registry
+	gatherer *obs.Gatherer
+	tracer   *obs.Tracer
+	health   *obs.Health
+
 	papID      *crypto.Identity
 	papAdmin   *pap.Admin
 	watcher    *pap.Watcher
@@ -257,6 +264,7 @@ func New(cfg Config) (*Deployment, error) {
 		TPMs:         make(map[string]*crypto.SoftTPM),
 		ids:          idgen.NewSeeded(cfg.Seed + 1),
 	}
+	d.initObservability()
 	switch {
 	case cfg.Transport != nil:
 		d.Transport = cfg.Transport
@@ -487,6 +495,7 @@ func New(cfg Config) (*Deployment, error) {
 			return nil, err
 		}
 	}
+	d.wireObservability()
 	return d, nil
 }
 

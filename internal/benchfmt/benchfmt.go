@@ -99,6 +99,11 @@ type Report struct {
 	Metrics    map[string]Metric  `json:"metrics,omitempty"`
 	Thresholds []ThresholdVerdict `json:"thresholds,omitempty"`
 	Table      *TableData         `json:"table,omitempty"`
+	// FleetMetrics is a flat snapshot of each member's /metrics taken at
+	// run end, keyed by source ("netsim" or the daemon's metrics address),
+	// then full series name → value (histograms appear through their
+	// _bucket/_sum/_count series).
+	FleetMetrics map[string]map[string]float64 `json:"fleet_metrics,omitempty"`
 }
 
 // New returns a Report stamped with the environment fingerprint. Name must

@@ -131,6 +131,10 @@ type NodeStats struct {
 	// SyncBlocks; the legacy per-block protocol pays one Call per block.
 	SyncCalls  int64
 	SyncBlocks int64
+	// MempoolLen / SeenCacheLen are point-in-time occupancy gauges of the
+	// pending-transaction pool and the gossip-duplicate suppression cache.
+	MempoolLen   int
+	SeenCacheLen int
 	// Verifier reports the shared signature-verification pipeline counters
 	// (mempool admission + block validation).
 	Verifier VerifierStats
@@ -159,6 +163,13 @@ type Node struct {
 	subMu  sync.Mutex
 	subs   map[int]*eventSub
 	subSeq int
+
+	// bestSeen is the highest chain height this node has heard claimed by
+	// the network — peer head responses and gossiped block headers — used
+	// by readiness probes to tell "caught up" from "still syncing". It is a
+	// claim, not a validated height: a lying peer can inflate it, which
+	// makes a node report not-ready, never unsafe.
+	bestSeen atomic.Uint64
 
 	mined      metrics.Counter
 	accepted   metrics.Counter
@@ -379,6 +390,41 @@ func (n *Node) Name() string { return n.cfg.Name }
 // Mempool exposes the pending-transaction pool.
 func (n *Node) Mempool() *Mempool { return n.pool }
 
+// noteSeenHeight folds a height claim from the network into the
+// best-seen-height watermark.
+func (n *Node) noteSeenHeight(h uint64) {
+	for {
+		cur := n.bestSeen.Load()
+		if h <= cur || n.bestSeen.CompareAndSwap(cur, h) {
+			return
+		}
+	}
+}
+
+// BestSeenHeight returns the highest chain height any peer has claimed to
+// this node (via head responses or gossiped block headers). Zero until the
+// first peer contact.
+func (n *Node) BestSeenHeight() uint64 { return n.bestSeen.Load() }
+
+// CaughtUp reports whether the node's own chain is within lag blocks of
+// the best height the network has claimed — the readiness predicate: a
+// node that has not yet heard from any peer counts as caught up (nothing
+// to compare against), a node mid catch-up does not.
+func (n *Node) CaughtUp(lag uint64) bool {
+	return n.chain.Height()+lag >= n.bestSeen.Load()
+}
+
+// ProbeHead asks peer for its best-chain tip, folding the answer into the
+// best-seen-height watermark, and returns the claimed height. Readiness
+// probes use it to learn the fleet head without pulling any blocks.
+func (n *Node) ProbeHead(peer string) (uint64, error) {
+	hi, err := n.fetchHead(peer)
+	if err != nil {
+		return 0, err
+	}
+	return hi.Height, nil
+}
+
 // Stats snapshots the node counters.
 func (n *Node) Stats() NodeStats {
 	persist := n.chain.PersistStats()
@@ -398,6 +444,8 @@ func (n *Node) Stats() NodeStats {
 		ReloadDropped:   n.reloadDrop.Value(),
 		SyncCalls:       n.syncCalls.Value(),
 		SyncBlocks:      n.syncBlocks.Value(),
+		MempoolLen:      n.pool.Len(),
+		SeenCacheLen:    n.seenTx.len(),
 		Verifier:        n.chain.Verifier().Stats(),
 	}
 }
@@ -755,6 +803,7 @@ func (n *Node) handleBlockGossip(from string, payload []byte) {
 // importBlock adds a block, pulling missing ancestors from `from` when
 // needed, and re-gossips on success.
 func (n *Node) importBlock(b *Block, from string) {
+	n.noteSeenHeight(b.Header.Height)
 	err := n.chain.AddBlock(b)
 	switch {
 	case err == nil:

@@ -66,6 +66,13 @@ func (c *seenCache) has(d crypto.Digest) bool {
 	return ok
 }
 
+// len reports how many digests are currently retained (both generations).
+func (c *seenCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.cur) + len(c.prev)
+}
+
 // add marks d as handled.
 func (c *seenCache) add(d crypto.Digest) {
 	c.mu.Lock()

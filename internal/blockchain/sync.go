@@ -272,6 +272,7 @@ func (n *Node) fetchHead(peer string) (headInfo, error) {
 	if err := json.Unmarshal(raw, &hi); err != nil {
 		return headInfo{}, err
 	}
+	n.noteSeenHeight(hi.Height)
 	return hi, nil
 }
 

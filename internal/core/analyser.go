@@ -4,12 +4,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"drams/internal/analysis"
 	"drams/internal/blockchain"
 	"drams/internal/contract"
 	"drams/internal/crypto"
 	"drams/internal/metrics"
+	"drams/internal/obs"
 	"drams/internal/xacml"
 )
 
@@ -40,6 +42,8 @@ type Analyser struct {
 	histMu    sync.Mutex
 	history   map[crypto.Digest]*analysedPolicy
 	histOrder []crypto.Digest
+
+	tracer atomic.Pointer[obs.Tracer]
 
 	verdicts   metrics.Counter
 	mismatches metrics.Counter
@@ -153,6 +157,9 @@ func (an *Analyser) VerifyPolicyAnchor() error {
 	return nil
 }
 
+// SetTracer attaches (or clears, with nil) the end-to-end span recorder.
+func (an *Analyser) SetTracer(t *obs.Tracer) { an.tracer.Store(t) }
+
 // Start begins consuming pdp.response logs and publishing verdicts.
 func (an *Analyser) Start() {
 	events, cancel := an.node.SubscribeEvents(0)
@@ -229,6 +236,7 @@ func (an *Analyser) handleLog(payload []byte) {
 	if !ok || rec.Kind != KindPDPResponse {
 		return
 	}
+	start := time.Now()
 	ap := an.policyFor(rec.PolicyDigest)
 	if ap == nil {
 		an.failures.Inc()
@@ -258,6 +266,11 @@ func (an *Analyser) handleLog(payload []byte) {
 		return
 	}
 	an.verdicts.Inc()
+	traceID := rec.TraceID
+	if traceID == "" {
+		traceID = rec.ReqID
+	}
+	an.tracer.Load().Span(traceID, obs.StageAnalyserVerify, start, time.Since(start))
 }
 
 // ExpectedDecision exposes the analyser's re-derivation for direct use

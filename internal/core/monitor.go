@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drams/internal/blockchain"
 	"drams/internal/clock"
 	"drams/internal/metrics"
+	"drams/internal/obs"
 )
 
 // maxTracked caps the submission-tracking map: entries are removed as soon
@@ -116,6 +118,8 @@ type Monitor struct {
 	nextSub   uint64
 	handlers  []func(Alert)
 
+	tracer atomic.Pointer[obs.Tracer]
+
 	logsSeen   metrics.Counter
 	alertsSeen metrics.Counter
 	matchedCnt metrics.Counter
@@ -146,6 +150,31 @@ func NewMonitor(node *blockchain.Node, clk clock.Clock) *Monitor {
 		latency:   metrics.NewHistogram(0),
 		stop:      make(chan struct{}),
 	}
+}
+
+// SetTracer attaches (or clears, with nil) the end-to-end span recorder:
+// anchored logs, matches and alerts then produce chain.anchor,
+// monitor.match and monitor.alert spans keyed by the record's trace ID
+// (which defaults to the request ID, so Deployment.Trace(reqID) finds
+// them).
+func (m *Monitor) SetTracer(t *obs.Tracer) { m.tracer.Store(t) }
+
+// traceEventRecord recovers enough of a LogStored payload to attribute a
+// trace span: the trace ID (request ID when the record predates tracing)
+// and the request ID. Batch-anchored records arrive wrapped.
+func traceEventRecord(payload []byte) (traceID, reqID string) {
+	rec, err := DecodeLogRecord(payload)
+	if err != nil || rec.ReqID == "" {
+		if br, berr := DecodeBatchedRecord(payload); berr == nil {
+			rec = br.Record
+		} else {
+			return "", ""
+		}
+	}
+	if rec.TraceID != "" {
+		return rec.TraceID, rec.ReqID
+	}
+	return rec.ReqID, rec.ReqID
 }
 
 // Start begins consuming events.
@@ -396,6 +425,18 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 	switch eventType {
 	case EventLogStored:
 		m.logsSeen.Inc()
+		if tr := m.tracer.Load(); tr != nil {
+			if traceID, reqID := traceEventRecord(payload); traceID != "" {
+				m.mu.Lock()
+				t0, ok := m.tracked[reqID]
+				m.mu.Unlock()
+				if ok {
+					// Submission-to-block-inclusion: how long the record
+					// waited to be anchored by the chain.
+					tr.Span(traceID, obs.StageChainAnchor, t0, m.clk.Since(t0))
+				}
+			}
+		}
 	case EventMatched:
 		var body struct {
 			ReqID  string `json:"reqId"`
@@ -412,10 +453,14 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 			return
 		}
 		m.matched[body.ReqID] = height
+		t0, hadT0 := m.tracked[body.ReqID]
 		m.untrackLocked(body.ReqID)
 		m.publishLocked(Alert{Type: AlertMatched, ReqID: body.ReqID, Height: height})
 		m.mu.Unlock()
 		m.matchedCnt.Inc()
+		if hadT0 {
+			m.tracer.Load().Span(body.ReqID, obs.StageMonitorMatch, t0, m.clk.Since(t0))
+		}
 	case EventAlert:
 		a, err := DecodeAlert(payload)
 		if err != nil {
@@ -433,6 +478,9 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 		if t0, ok := m.tracked[a.ReqID]; ok {
 			m.latency.ObserveDuration(m.clk.Since(t0))
 			m.untrackLocked(a.ReqID)
+			// Detection latency doubles as the monitor.alert span: first
+			// probe submission to the alert surfacing off-chain.
+			m.tracer.Load().Span(a.ReqID, obs.StageMonitorAlert, t0, m.clk.Since(t0))
 		}
 		handlers := make([]func(Alert), len(m.handlers))
 		copy(handlers, m.handlers)
@@ -513,6 +561,10 @@ func (m *Monitor) Matched(reqID string) (uint64, bool) {
 	h, ok := m.matched[reqID]
 	return h, ok
 }
+
+// DetectionLatency exports the detection-latency distribution in a form a
+// Prometheus histogram can be rendered from (milliseconds).
+func (m *Monitor) DetectionLatency() metrics.HistExport { return m.latency.Export() }
 
 // Stats snapshots the monitor counters.
 func (m *Monitor) Stats() MonitorStats {

@@ -67,6 +67,10 @@ type LogRecord struct {
 	Kind   LogKind `json:"kind"`
 	ReqID  string  `json:"reqId"`
 	Tenant string  `json:"tenant"`
+	// TraceID carries the end-to-end tracing identifier minted at the PEP
+	// (observability metadata only — no contract check reads it; older
+	// records decode with it empty).
+	TraceID string `json:"trace,omitempty"`
 	// Agent is the probing agent that produced the observation.
 	Agent string `json:"agent"`
 	// ReqDigest fingerprints the request content (M1).

@@ -5,8 +5,10 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"drams/internal/metrics"
+	"drams/internal/obs"
 	"drams/internal/transport"
 	"drams/internal/xacml"
 )
@@ -51,6 +53,7 @@ type PDPService struct {
 	ep        transport.Endpoint
 	evaluator atomic.Pointer[evalBox]
 	probe     atomic.Pointer[probeBoxPDP]
+	tracer    atomic.Pointer[obs.Tracer]
 
 	evaluations metrics.Counter
 	failures    metrics.Counter
@@ -83,6 +86,19 @@ func (s *PDPService) SetProbe(p PDPProbe) {
 	s.probe.Store(&probeBoxPDP{p: p})
 }
 
+// SetTracer attaches (or clears, with nil) the end-to-end span recorder.
+func (s *PDPService) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
+
+// PDPStats is a snapshot of the service counters.
+type PDPStats struct {
+	Evaluations, Failures int64
+}
+
+// Stats snapshots the counters.
+func (s *PDPService) Stats() PDPStats {
+	return PDPStats{Evaluations: s.evaluations.Value(), Failures: s.failures.Value()}
+}
+
 // Evaluations returns how many requests the service has processed.
 func (s *PDPService) Evaluations() int64 { return s.evaluations.Value() }
 
@@ -95,6 +111,7 @@ func (s *PDPService) evaluateOne(payload []byte) ([]byte, error) {
 		s.failures.Inc()
 		return nil, fmt.Errorf("federation: PDP decode request: %w", err)
 	}
+	start := time.Now()
 	if pb := s.probe.Load(); pb != nil && pb.p != nil {
 		pb.p.PDPRequestReceived(req)
 	}
@@ -112,6 +129,7 @@ func (s *PDPService) evaluateOne(payload []byte) ([]byte, error) {
 	if pb := s.probe.Load(); pb != nil && pb.p != nil {
 		pb.p.PDPResponseSent(req, res)
 	}
+	s.tracer.Load().Span(req.TraceID, obs.StagePDPEval, start, time.Since(start))
 	return res.Encode(), nil
 }
 

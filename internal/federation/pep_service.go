@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"drams/internal/idgen"
 	"drams/internal/metrics"
+	"drams/internal/obs"
 	"drams/internal/transport"
 	"drams/internal/xacml"
 )
@@ -73,11 +76,32 @@ type PEPService struct {
 
 	probe  atomic.Pointer[probeBoxPEP]
 	tamper atomic.Pointer[Tamper]
+	tracer atomic.Pointer[obs.Tracer]
 
 	requests metrics.Counter
 	permits  metrics.Counter
 	denies   metrics.Counter
 	failures metrics.Counter
+}
+
+// traceIDs mints fallback trace identifiers for requests that arrive at a
+// PEP without a correlation ID (shared across PEPs; trace IDs only need
+// uniqueness, not reproducibility).
+var traceIDs = sync.OnceValue(idgen.New)
+
+// ensureTraceID stamps the request with its end-to-end trace identifier:
+// the correlation ID when present (so Deployment.Trace(reqID) works with
+// the IDs callers already hold), a fresh one otherwise. Requests arriving
+// with a TraceID (e.g. relayed from another edge) keep it.
+func ensureTraceID(req *xacml.Request) string {
+	if req.TraceID == "" {
+		if req.ID != "" {
+			req.TraceID = req.ID
+		} else {
+			req.TraceID = "t-" + traceIDs().Next().String()
+		}
+	}
+	return req.TraceID
 }
 
 type probeBoxPEP struct{ p PEPProbe }
@@ -99,6 +123,9 @@ func (s *PEPService) Tenant() string { return s.tenant }
 
 // SetProbe attaches the DRAMS agent hook.
 func (s *PEPService) SetProbe(p PEPProbe) { s.probe.Store(&probeBoxPEP{p: p}) }
+
+// SetTracer attaches (or clears, with nil) the end-to-end span recorder.
+func (s *PEPService) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
 
 // SetTamper installs (or clears, with nil) attack injection.
 func (s *PEPService) SetTamper(t *Tamper) {
@@ -128,6 +155,8 @@ func (s *PEPService) Stats() PEPStats {
 func (s *PEPService) Decide(ctx context.Context, req *xacml.Request) (Enforcement, error) {
 	s.requests.Inc()
 	tam := s.tamper.Load()
+	traceID := ensureTraceID(req)
+	start := time.Now()
 
 	// Probe sees the request as the application/PEP formed it.
 	if pb := s.probe.Load(); pb != nil && pb.p != nil {
@@ -179,6 +208,7 @@ func (s *PEPService) Decide(ctx context.Context, req *xacml.Request) (Enforcemen
 	if pb := s.probe.Load(); pb != nil && pb.p != nil {
 		pb.p.PEPResponseReceived(req, res, enforced)
 	}
+	s.tracer.Load().Span(traceID, obs.StagePEPDecide, start, time.Since(start))
 
 	if enforced == xacml.Permit {
 		s.permits.Inc()
@@ -216,10 +246,12 @@ func (s *PEPService) DecideBatch(ctx context.Context, reqs []*xacml.Request) ([]
 		return out, errors.Join(errs...)
 	}
 	tam := s.tamper.Load()
+	start := time.Now()
 
 	wire := batchEvalRequest{Reqs: make([]json.RawMessage, len(reqs))}
 	for i, req := range reqs {
 		s.requests.Inc()
+		ensureTraceID(req)
 		// Probe sees each request as the application/PEP formed it.
 		if pb := s.probe.Load(); pb != nil && pb.p != nil {
 			pb.p.PEPRequestSent(req)
@@ -286,6 +318,9 @@ func (s *PEPService) DecideBatch(ctx context.Context, reqs []*xacml.Request) ([]
 		if pb := s.probe.Load(); pb != nil && pb.p != nil {
 			pb.p.PEPResponseReceived(req, res, enforced)
 		}
+		// Each item shares the batch's single round-trip, so every trace
+		// in the pipeline records the same PEP-observed span duration.
+		s.tracer.Load().Span(req.TraceID, obs.StagePEPDecide, start, time.Since(start))
 		if enforced == xacml.Permit {
 			s.permits.Inc()
 		} else {

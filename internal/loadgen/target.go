@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net/http"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"drams/internal/contract"
 	"drams/internal/core"
 	"drams/internal/federation"
+	"drams/internal/obs"
 	"drams/internal/pap"
 	"drams/internal/transport"
 	"drams/internal/transport/tcp"
@@ -45,6 +47,14 @@ type Target interface {
 	// measurement; nil when the target has no monitor subscription.
 	Matched() <-chan drams.Alert
 	Close()
+}
+
+// MetricsScraper is an optional Target extension: a snapshot of the
+// fleet's /metrics taken at run end, keyed by source, then full series
+// name → value. cmd/drams-loadgen embeds it in the BENCH report so every
+// archived run carries the fleet's counters next to its latency summary.
+type MetricsScraper interface {
+	ScrapeMetrics(ctx context.Context) map[string]map[string]float64
 }
 
 // BuiltinPolicy resolves a "name:version" spec (standard:v2,
@@ -164,6 +174,16 @@ func NewNetsimTarget(cfg NetsimConfig) (*NetsimTarget, error) {
 // Deployment exposes the underlying deployment (tests).
 func (t *NetsimTarget) Deployment() *drams.Deployment { return t.dep }
 
+// ScrapeMetrics snapshots the deployment's gatherer — the same sample
+// set /metrics would serve — under the single source key "netsim".
+func (t *NetsimTarget) ScrapeMetrics(context.Context) map[string]map[string]float64 {
+	vals := obs.FlattenValues(t.dep.Gatherer().Gather())
+	if vals == nil {
+		return nil
+	}
+	return map[string]map[string]float64{"netsim": vals}
+}
+
 func (t *NetsimTarget) Tenants() []string          { return t.tenants }
 func (t *NetsimTarget) NewRequest() *xacml.Request { return t.dep.NewRequest() }
 func (t *NetsimTarget) Matched() <-chan drams.Alert {
@@ -280,6 +300,9 @@ type TCPConfig struct {
 	// DialTimeout bounds the wait for the remote PDP to become routable
 	// (default 15s).
 	DialTimeout time.Duration
+	// MetricsAddrs are the daemons' -metrics-addr endpoints (host:port);
+	// when set, ScrapeMetrics pulls each one's /metrics at run end.
+	MetricsAddrs []string
 }
 
 // TCPTarget joins a live federation as a non-mining member: it runs its
@@ -288,11 +311,12 @@ type TCPConfig struct {
 // one local PEP per edge tenant (named lg-<tenant> to avoid colliding
 // with the daemons' own PEPs) talking to the remote PDP over TCP.
 type TCPTarget struct {
-	tr      *tcp.Transport
-	node    *blockchain.Node
-	peps    map[string]*federation.PEPService
-	tenants []string
-	admin   *pap.Admin
+	tr           *tcp.Transport
+	node         *blockchain.Node
+	peps         map[string]*federation.PEPService
+	tenants      []string
+	admin        *pap.Admin
+	metricsAddrs []string
 
 	reqCounter atomic.Uint64
 	stop       chan struct{}
@@ -342,12 +366,13 @@ func NewTCPTarget(cfg TCPConfig) (*TCPTarget, error) {
 	node.Start()
 
 	t := &TCPTarget{
-		tr:      tr,
-		node:    node,
-		peps:    make(map[string]*federation.PEPService),
-		tenants: append([]string{}, cfg.Edges...),
-		admin:   pap.NewAdmin(node, material.PAPID),
-		stop:    make(chan struct{}),
+		tr:           tr,
+		node:         node,
+		peps:         make(map[string]*federation.PEPService),
+		tenants:      append([]string{}, cfg.Edges...),
+		admin:        pap.NewAdmin(node, material.PAPID),
+		metricsAddrs: append([]string{}, cfg.MetricsAddrs...),
+		stop:         make(chan struct{}),
 	}
 	fail := func(err error) (*TCPTarget, error) {
 		t.Close()
@@ -442,6 +467,35 @@ func (t *TCPTarget) FlipPolicy(ctx context.Context, ps *xacml.PolicySet) error {
 
 // Height reports the local chain height (smoke-script diagnostics).
 func (t *TCPTarget) Height() uint64 { return t.node.Chain().Height() }
+
+// ScrapeMetrics pulls /metrics from each configured daemon endpoint,
+// keyed by address. A member that fails to answer (crashed, no
+// -metrics-addr) is skipped rather than failing the run — the report
+// records what the surviving fleet exposed.
+func (t *TCPTarget) ScrapeMetrics(ctx context.Context) map[string]map[string]float64 {
+	out := make(map[string]map[string]float64)
+	client := &http.Client{Timeout: 5 * time.Second}
+	for _, addr := range t.metricsAddrs {
+		req, err := http.NewRequestWithContext(ctx, "GET", "http://"+addr+"/metrics", nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		vals, err := obs.ParseValues(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			continue
+		}
+		out[addr] = vals
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
 
 func (t *TCPTarget) Kill(string) error                    { return ErrChurnUnsupported }
 func (t *TCPTarget) Rejoin(context.Context, string) error { return ErrChurnUnsupported }

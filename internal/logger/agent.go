@@ -2,6 +2,7 @@ package logger
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"drams/internal/clock"
@@ -27,6 +28,12 @@ type Agent struct {
 	observed metrics.Counter
 	errors   metrics.Counter
 
+	// muted kinds are observed but never forwarded — an attack drill
+	// that leaves one leg of every exchange off-chain so the fleet's M3
+	// timeout check must flag this member.
+	mu    sync.RWMutex
+	muted map[core.LogKind]bool
+
 	// timeout bounds confirmed-mode submissions so a stalled chain cannot
 	// block the access path indefinitely.
 	timeout time.Duration
@@ -49,6 +56,26 @@ func NewAgent(name, tenant string, li *LI, clk clock.Clock) *Agent {
 // Name returns the agent name.
 func (a *Agent) Name() string { return a.name }
 
+// Mute suppresses forwarding for one interception point (attack drill:
+// the member keeps serving traffic, but the muted leg never reaches the
+// chain, so every exchange trips the M3 message-suppressed check once its
+// timeout window expires).
+func (a *Agent) Mute(kind core.LogKind) {
+	a.mu.Lock()
+	if a.muted == nil {
+		a.muted = make(map[core.LogKind]bool)
+	}
+	a.muted[kind] = true
+	a.mu.Unlock()
+}
+
+// isMuted reports whether kind is drilled out.
+func (a *Agent) isMuted(kind core.LogKind) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.muted[kind]
+}
+
 // Stats snapshots the agent counters.
 func (a *Agent) Stats() AgentStats {
 	return AgentStats{Observed: a.observed.Value(), Errors: a.errors.Value()}
@@ -56,6 +83,9 @@ func (a *Agent) Stats() AgentStats {
 
 func (a *Agent) submit(rec core.LogRecord, ec core.EncryptedContext) {
 	a.observed.Inc()
+	if a.isMuted(rec.Kind) {
+		return
+	}
 	payload, err := a.li.Seal(ec, rec.ReqID)
 	if err != nil {
 		a.errors.Inc()
@@ -77,6 +107,7 @@ func (a *Agent) PEPRequestSent(req *xacml.Request) {
 	a.submit(core.LogRecord{
 		Kind:      core.KindPEPRequest,
 		ReqID:     req.ID,
+		TraceID:   req.TraceID,
 		ReqDigest: req.Digest(),
 	}, core.EncryptedContext{Request: req})
 }
@@ -86,6 +117,7 @@ func (a *Agent) PDPRequestReceived(req *xacml.Request) {
 	a.submit(core.LogRecord{
 		Kind:      core.KindPDPRequest,
 		ReqID:     req.ID,
+		TraceID:   req.TraceID,
 		ReqDigest: req.Digest(),
 	}, core.EncryptedContext{Request: req})
 }
@@ -97,6 +129,7 @@ func (a *Agent) PDPResponseSent(req *xacml.Request, res xacml.Result) {
 	a.submit(core.LogRecord{
 		Kind:          core.KindPDPResponse,
 		ReqID:         req.ID,
+		TraceID:       req.TraceID,
 		ReqDigest:     req.Digest(),
 		RespDigest:    res.Digest(),
 		DecisionTag:   a.li.DecisionTag(req.ID, res.Decision),
@@ -111,6 +144,7 @@ func (a *Agent) PEPResponseReceived(req *xacml.Request, res xacml.Result, enforc
 	a.submit(core.LogRecord{
 		Kind:        core.KindPEPResponse,
 		ReqID:       req.ID,
+		TraceID:     req.TraceID,
 		ReqDigest:   req.Digest(),
 		RespDigest:  res.Digest(),
 		DecisionTag: a.li.DecisionTag(req.ID, res.Decision),

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"drams/internal/blockchain"
@@ -19,6 +20,7 @@ import (
 	"drams/internal/core"
 	"drams/internal/crypto"
 	"drams/internal/metrics"
+	"drams/internal/obs"
 	"drams/internal/xacml"
 )
 
@@ -108,6 +110,10 @@ type LI struct {
 	failed    metrics.Counter
 	dropped   metrics.Counter
 	batches   metrics.Counter
+	// flushDepth records how many probe records each async flush anchored
+	// under one batch transaction (1 = unbatched fallback).
+	flushDepth *metrics.Histogram
+	tracer     atomic.Pointer[obs.Tracer]
 
 	alertMu       sync.Mutex
 	alertHandlers []func(core.Alert)
@@ -123,6 +129,9 @@ type queued struct {
 	// rec is set for probe log records, which are batchable; other calls
 	// (verdicts, policy announcements) pass through unbatched.
 	rec *core.LogRecord
+	// enq is when the record joined the queue, so the flush-wait trace
+	// span can report time spent waiting for the batch window.
+	enq time.Time
 }
 
 // NewLI constructs a Logging Interface.
@@ -159,12 +168,13 @@ func NewLI(cfg LIConfig) (*LI, error) {
 		return nil, fmt.Errorf("logger: LI cipher: %w", err)
 	}
 	li := &LI{
-		cfg:    cfg,
-		sender: blockchain.NewSender(cfg.Node, cfg.Identity),
-		cipher: cipher,
-		clk:    cfg.Clock,
-		queue:  make(chan queued, cfg.QueueSize),
-		stop:   make(chan struct{}),
+		cfg:        cfg,
+		sender:     blockchain.NewSender(cfg.Node, cfg.Identity),
+		cipher:     cipher,
+		clk:        cfg.Clock,
+		queue:      make(chan queued, cfg.QueueSize),
+		flushDepth: metrics.NewHistogram(0),
+		stop:       make(chan struct{}),
 	}
 	return li, nil
 }
@@ -227,6 +237,14 @@ func (li *LI) Stats() LIStats {
 	}
 }
 
+// SetTracer attaches (or clears, with nil) the end-to-end span recorder:
+// every batched record gets a li.flush_wait span from enqueue to batch
+// submission.
+func (li *LI) SetTracer(t *obs.Tracer) { li.tracer.Store(t) }
+
+// FlushDepth exports the distribution of records per anchored flush.
+func (li *LI) FlushDepth() metrics.HistExport { return li.flushDepth.Export() }
+
 // DecisionTag computes the keyed decision commitment on behalf of agents
 // (the LI exposes the symmetric-key functions, paper §II).
 func (li *LI) DecisionTag(reqID string, d xacml.Decision) crypto.Digest {
@@ -255,7 +273,7 @@ func (li *LI) Log(ctx context.Context, rec core.LogRecord) error {
 		default:
 		}
 		select {
-		case li.queue <- queued{rec: &rec}:
+		case li.queue <- queued{rec: &rec, enq: time.Now()}:
 			return nil
 		default:
 			li.dropped.Inc()
@@ -324,7 +342,7 @@ func (li *LI) worker() {
 			return
 		case q := <-li.queue:
 			if q.rec != nil {
-				li.flushWindow(*q.rec)
+				li.flushWindow(q)
 			} else {
 				li.send(q.call, 1)
 			}
@@ -352,8 +370,9 @@ func (li *LI) send(call contract.Call, n int64) bool {
 // record falls back to a plain log transaction, so light traffic keeps the
 // unbatched wire shape. Non-record calls pulled while draining pass
 // straight through.
-func (li *LI) flushWindow(first core.LogRecord) {
-	recs := append(make([]core.LogRecord, 0, li.cfg.FlushWindow), first)
+func (li *LI) flushWindow(first queued) {
+	recs := append(make([]core.LogRecord, 0, li.cfg.FlushWindow), *first.rec)
+	enqs := append(make([]time.Time, 0, li.cfg.FlushWindow), first.enq)
 	lingered := false
 gather:
 	for len(recs) < li.cfg.FlushWindow {
@@ -361,6 +380,7 @@ gather:
 		case q := <-li.queue:
 			if q.rec != nil {
 				recs = append(recs, *q.rec)
+				enqs = append(enqs, q.enq)
 			} else {
 				li.send(q.call, 1)
 			}
@@ -377,14 +397,28 @@ gather:
 		case q := <-li.queue:
 			if q.rec != nil {
 				recs = append(recs, *q.rec)
+				enqs = append(enqs, q.enq)
 			} else {
 				li.send(q.call, 1)
 			}
 		case <-li.clk.After(li.cfg.FlushLinger):
 		}
 	}
+	spanFlush := func() {
+		li.flushDepth.Observe(float64(len(recs)))
+		tr := li.tracer.Load()
+		if tr == nil {
+			return
+		}
+		now := time.Now()
+		for i, rec := range recs {
+			tr.Span(rec.TraceID, obs.StageLIFlushWait, enqs[i], now.Sub(enqs[i]))
+		}
+	}
 	if len(recs) == 1 {
-		li.send(contract.Call{Contract: core.ContractName, Method: core.MethodLog, Args: recs[0].Encode()}, 1)
+		if li.send(contract.Call{Contract: core.ContractName, Method: core.MethodLog, Args: recs[0].Encode()}, 1) {
+			spanFlush()
+		}
 		return
 	}
 	lb, err := core.NewLogBatch(recs)
@@ -395,6 +429,7 @@ gather:
 	call := contract.Call{Contract: core.ContractName, Method: core.MethodLogBatch, Args: lb.Encode()}
 	if li.send(call, int64(len(recs))) {
 		li.batches.Inc()
+		spanFlush()
 	}
 }
 

@@ -238,6 +238,69 @@ func (h *Histogram) Buckets() int {
 	return len(h.buckets)
 }
 
+// octaveUpper returns the smallest power-of-two upper bound that covers
+// every value in the bucket identified by key. Coarsening the 1024
+// sub-buckets per octave down to one exposition bucket per octave keeps
+// cumulative exports bounded (one bucket per power of two spanned by the
+// data) while staying a valid upper bound for Prometheus `le` semantics.
+func octaveUpper(key int32) float64 {
+	if key == 0 {
+		return 0
+	}
+	neg := key < 0
+	if neg {
+		key = -key
+	}
+	exp := int(key>>subBits) - 1100
+	if neg {
+		// Negative bucket holds values in (-2^exp, -2^(exp-1)].
+		return -math.Ldexp(1, exp-1)
+	}
+	// Positive bucket holds values in [2^(exp-1), 2^exp).
+	return math.Ldexp(1, exp)
+}
+
+// HistBucket is one cumulative exposition bucket: the count of
+// observations with value <= LE.
+type HistBucket struct {
+	LE    float64
+	Count int64
+}
+
+// HistExport is a Prometheus-shaped snapshot of a Histogram: cumulative
+// buckets at power-of-two upper bounds derived from the log-bucketed
+// storage, plus the exact running count and sum.
+type HistExport struct {
+	Count   int64
+	Sum     float64
+	Buckets []HistBucket // ascending LE, cumulative counts; excludes +Inf
+}
+
+// Export snapshots the histogram in cumulative-bucket form. The number of
+// buckets is bounded by the octave span of the data (one per power of two
+// touched), never by the sample count.
+func (h *Histogram) Export() HistExport {
+	h.mu.Lock()
+	perBound := make(map[float64]int64, len(h.buckets))
+	for key, c := range h.buckets {
+		perBound[octaveUpper(key)] += c
+	}
+	out := HistExport{Count: h.count, Sum: h.sum}
+	h.mu.Unlock()
+
+	bounds := make([]float64, 0, len(perBound))
+	for b := range perBound {
+		bounds = append(bounds, b)
+	}
+	sort.Float64s(bounds)
+	cum := int64(0)
+	for _, b := range bounds {
+		cum += perBound[b]
+		out.Buckets = append(out.Buckets, HistBucket{LE: b, Count: cum})
+	}
+	return out
+}
+
 // Summary is a point-in-time percentile snapshot of a Histogram.
 type Summary struct {
 	Count               int64
@@ -282,11 +345,17 @@ func (s Summary) String() string {
 }
 
 // Registry groups named metrics for an experiment run.
+//
+// A metric name may carry a Prometheus-style label suffix,
+// e.g. `drams_monitor_alerts_total{type="M1"}`: series sharing the part
+// before the brace form one metric family for exposition. Help text is
+// registered per family with Help.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	help       map[string]string // keyed by family name
 }
 
 // NewRegistry returns an empty Registry.
@@ -295,7 +364,34 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		help:       make(map[string]string),
 	}
+}
+
+// SplitSeries splits a series name into its family (the metric name
+// proper) and the optional `{label="value",...}` suffix.
+func SplitSeries(name string) (family, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i], name[i:]
+	}
+	return name, ""
+}
+
+// Help registers help text for a metric family (the series name without
+// any label suffix). Registering twice keeps the first non-empty text.
+func (r *Registry) Help(family, help string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.help[family]; !ok && help != "" {
+		r.help[family] = help
+	}
+}
+
+// HelpFor returns the registered help text for a family ("" if none).
+func (r *Registry) HelpFor(family string) string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.help[family]
 }
 
 // Counter returns (creating if needed) the named counter.
@@ -334,20 +430,114 @@ func (r *Registry) Histogram(name string) *Histogram {
 	return h
 }
 
-// Dump renders all metrics sorted by name, one per line.
+// Kind identifies a metric's type for exposition.
+type Kind uint8
+
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String returns the Prometheus TYPE keyword for the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Sample is one series snapshotted from a Registry (or synthesized by a
+// collector): a full series name, its kind, help text for the family, and
+// either a scalar value or a histogram export.
+type Sample struct {
+	Name  string // full series name, may include a {label="v"} suffix
+	Kind  Kind
+	Help  string
+	Value int64       // counter/gauge value
+	Hist  *HistExport // set for KindHistogram
+}
+
+// Samples snapshots every registered metric, sorted by family then full
+// series name, so exposition output is deterministic. Histograms are
+// exported in cumulative-bucket form.
+func (r *Registry) Samples() []Sample {
+	r.mu.Lock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
+	for name, c := range r.counters {
+		family, _ := SplitSeries(name)
+		out = append(out, Sample{Name: name, Kind: KindCounter, Help: r.help[family], Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		family, _ := SplitSeries(name)
+		out = append(out, Sample{Name: name, Kind: KindGauge, Help: r.help[family], Value: g.Value()})
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for name, h := range r.histograms {
+		hists[name] = h
+	}
+	help := make(map[string]string, len(hists))
+	for name := range hists {
+		family, _ := SplitSeries(name)
+		help[family] = r.help[family]
+	}
+	r.mu.Unlock()
+
+	// Histogram export takes each histogram's own lock; do it outside the
+	// registry lock so a scrape never serializes against metric creation.
+	for name, h := range hists {
+		family, _ := SplitSeries(name)
+		ex := h.Export()
+		out = append(out, Sample{Name: name, Kind: KindHistogram, Help: help[family], Hist: &ex})
+	}
+	SortSamples(out)
+	return out
+}
+
+// SortSamples orders samples by family name, then by full series name —
+// the exposition order (series of one family must be contiguous).
+func SortSamples(s []Sample) {
+	sort.Slice(s, func(i, j int) bool {
+		fi, _ := SplitSeries(s[i].Name)
+		fj, _ := SplitSeries(s[j].Name)
+		if fi != fj {
+			return fi < fj
+		}
+		return s[i].Name < s[j].Name
+	})
+}
+
+// Dump renders all metrics one per line, sorted by metric name (ties
+// broken by the type keyword) — deterministic regardless of map order or
+// registration order.
 func (r *Registry) Dump() string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	var lines []string
+	type row struct{ name, line string }
+	rows := make([]row, 0, len(r.counters)+len(r.gauges)+len(r.histograms))
 	for name, c := range r.counters {
-		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+		rows = append(rows, row{name, fmt.Sprintf("counter %s = %d", name, c.Value())})
 	}
 	for name, g := range r.gauges {
-		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+		rows = append(rows, row{name, fmt.Sprintf("gauge %s = %d", name, g.Value())})
 	}
 	for name, h := range r.histograms {
-		lines = append(lines, fmt.Sprintf("hist %s: %s", name, h.Snapshot()))
+		rows = append(rows, row{name, fmt.Sprintf("hist %s: %s", name, h.Snapshot())})
 	}
-	sort.Strings(lines)
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].name != rows[j].name {
+			return rows[i].name < rows[j].name
+		}
+		return rows[i].line < rows[j].line
+	})
+	lines := make([]string, len(rows))
+	for i, r := range rows {
+		lines[i] = r.line
+	}
 	return strings.Join(lines, "\n")
 }

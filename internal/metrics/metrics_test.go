@@ -182,3 +182,138 @@ func TestHistogramConcurrent(t *testing.T) {
 		t.Fatalf("count = %d, want 8000", h.Count())
 	}
 }
+
+// TestDumpGolden locks Dump's exact output: sorted by metric name across
+// all three metric types, independent of registration order and map
+// iteration order.
+func TestDumpGolden(t *testing.T) {
+	r := NewRegistry()
+	// Register deliberately out of name order and across types.
+	r.Histogram("zeta").Observe(4)
+	r.Counter("mid").Add(7)
+	r.Gauge("alpha").Set(-2)
+	r.Counter("alpha2").Add(1)
+	r.Gauge("mid2").Set(9)
+
+	want := strings.Join([]string{
+		"gauge alpha = -2",
+		"counter alpha2 = 1",
+		"counter mid = 7",
+		"gauge mid2 = 9",
+		"hist zeta: n=1 mean=4.000 p50=4.000 p90=4.000 p99=4.000 min=4.000 max=4.000",
+	}, "\n")
+	if got := r.Dump(); got != want {
+		t.Fatalf("Dump() mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	// Same registry, fresh call: must be byte-identical.
+	if again := r.Dump(); again != r.Dump() {
+		t.Fatal("Dump() is not deterministic across calls")
+	}
+}
+
+// TestHistogramExport checks the cumulative per-octave export: bounds are
+// valid Prometheus `le` upper bounds, counts are cumulative and total to
+// Count, and Sum is exact.
+func TestHistogramExport(t *testing.T) {
+	h := NewHistogram(0)
+	for _, v := range []float64{0.5, 0.7, 1.5, 3, 3.9, 100} {
+		h.Observe(v)
+	}
+	ex := h.Export()
+	if ex.Count != 6 {
+		t.Fatalf("Count = %d, want 6", ex.Count)
+	}
+	if math.Abs(ex.Sum-109.6) > 1e-9 {
+		t.Fatalf("Sum = %v, want 109.6", ex.Sum)
+	}
+	if len(ex.Buckets) == 0 {
+		t.Fatal("no buckets exported")
+	}
+	prevLE := math.Inf(-1)
+	prevCount := int64(0)
+	for _, b := range ex.Buckets {
+		if b.LE <= prevLE {
+			t.Fatalf("bucket bounds not strictly ascending: %v after %v", b.LE, prevLE)
+		}
+		if b.Count < prevCount {
+			t.Fatalf("bucket counts not cumulative: %d after %d", b.Count, prevCount)
+		}
+		prevLE, prevCount = b.LE, b.Count
+	}
+	if last := ex.Buckets[len(ex.Buckets)-1]; last.Count != ex.Count {
+		t.Fatalf("last cumulative count = %d, want %d", last.Count, ex.Count)
+	}
+	// Every observation must be counted by the first bucket whose LE covers it.
+	covered := func(v float64) int64 {
+		for _, b := range ex.Buckets {
+			if v <= b.LE {
+				return b.Count
+			}
+		}
+		return -1
+	}
+	if c := covered(0.5); c < 2 { // 0.5 and 0.7 both fall under le=1
+		t.Fatalf("le covering 0.5 counts %d, want >= 2", c)
+	}
+	// One exposition bucket per octave: 6 values spanning [0.5, 128) touch
+	// at most 9 octaves.
+	if len(ex.Buckets) > 9 {
+		t.Fatalf("expected per-octave coarsening, got %d buckets", len(ex.Buckets))
+	}
+}
+
+// TestRegistrySamples checks sorted family grouping, help plumbing, and
+// label-suffix splitting.
+func TestRegistrySamples(t *testing.T) {
+	r := NewRegistry()
+	r.Help("drams_monitor_alerts_total", "Alerts observed by type.")
+	r.Counter(`drams_monitor_alerts_total{type="M3"}`).Add(2)
+	r.Counter(`drams_monitor_alerts_total{type="M1"}`).Add(1)
+	r.Gauge("drams_chain_height").Set(10)
+	r.Histogram("drams_trace_stage_ms").Observe(1.5)
+
+	s := r.Samples()
+	if len(s) != 4 {
+		t.Fatalf("got %d samples, want 4", len(s))
+	}
+	var names []string
+	for _, smp := range s {
+		names = append(names, smp.Name)
+	}
+	want := []string{
+		"drams_chain_height",
+		`drams_monitor_alerts_total{type="M1"}`,
+		`drams_monitor_alerts_total{type="M3"}`,
+		"drams_trace_stage_ms",
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sample order: got %v, want %v", names, want)
+		}
+	}
+	for _, smp := range s {
+		fam, _ := SplitSeries(smp.Name)
+		if fam == "drams_monitor_alerts_total" {
+			if smp.Help != "Alerts observed by type." {
+				t.Fatalf("help not propagated to %s", smp.Name)
+			}
+			if smp.Kind != KindCounter {
+				t.Fatalf("kind = %v, want counter", smp.Kind)
+			}
+		}
+	}
+	if s[3].Kind != KindHistogram || s[3].Hist == nil || s[3].Hist.Count != 1 {
+		t.Fatalf("histogram sample malformed: %+v", s[3])
+	}
+}
+
+func TestSplitSeries(t *testing.T) {
+	fam, lab := SplitSeries(`a_total{x="1",y="2"}`)
+	if fam != "a_total" || lab != `{x="1",y="2"}` {
+		t.Fatalf("got %q %q", fam, lab)
+	}
+	fam, lab = SplitSeries("plain")
+	if fam != "plain" || lab != "" {
+		t.Fatalf("got %q %q", fam, lab)
+	}
+}

@@ -1,0 +1,57 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Health aggregates named readiness checks. Liveness ("is the process
+// up") is implicit — a served /healthz answers 200 by existing; readiness
+// ("should this member receive traffic / count as joined") is the AND of
+// every registered check. Checks run at probe time and must be fast and
+// lock-light: the daemon registers closures over chain catch-up state and
+// policy-watcher staleness.
+type Health struct {
+	mu     sync.Mutex
+	checks map[string]func() error
+}
+
+// NewHealth returns an empty Health (always ready).
+func NewHealth() *Health {
+	return &Health{checks: make(map[string]func() error)}
+}
+
+// AddReady registers (or replaces) a named readiness check. fn returns
+// nil when the aspect is ready, an error describing why not otherwise.
+func (h *Health) AddReady(name string, fn func() error) {
+	if h == nil || fn == nil {
+		return
+	}
+	h.mu.Lock()
+	h.checks[name] = fn
+	h.mu.Unlock()
+}
+
+// Ready runs every check. It returns true when all pass; otherwise false
+// plus one "name: reason" line per failing check, sorted by name.
+func (h *Health) Ready() (bool, []string) {
+	if h == nil {
+		return true, nil
+	}
+	h.mu.Lock()
+	checks := make(map[string]func() error, len(h.checks))
+	for name, fn := range h.checks {
+		checks[name] = fn
+	}
+	h.mu.Unlock()
+
+	var failures []string
+	for name, fn := range checks {
+		if err := fn(); err != nil {
+			failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+		}
+	}
+	sort.Strings(failures)
+	return len(failures) == 0, failures
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler serves the operations endpoints:
+//
+//	GET /metrics — Prometheus text exposition of Gather()
+//	GET /healthz — liveness: always 200 while the process serves
+//	GET /readyz  — readiness: 200 when every Health check passes,
+//	               503 with one "name: reason" line per failing check
+//
+// /metrics is snapshot-then-serve: Gather materialises every sample
+// before the first byte is written, so a slow or stalled scraper holds
+// only its own connection — never a registry, component or histogram
+// lock — and costs the decide hot path nothing.
+func Handler(g *Gatherer, h *Health) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		samples := g.Gather() // snapshot completes before any write
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteExposition(w, samples)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		ready, failures := h.Ready()
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte(strings.Join(failures, "\n") + "\n"))
+			return
+		}
+		_, _ = w.Write([]byte("ok\n"))
+	})
+	return mux
+}

@@ -98,10 +98,11 @@ type Transport struct {
 	stop chan struct{}
 	wg   sync.WaitGroup
 
-	sent      metrics.Counter
-	delivered metrics.Counter
-	dropped   metrics.Counter
-	bytes     metrics.Counter
+	sent       metrics.Counter
+	delivered  metrics.Counter
+	dropped    metrics.Counter
+	bytes      metrics.Counter
+	reconnects metrics.Counter
 }
 
 var _ transport.Transport = (*Transport)(nil)
@@ -159,10 +160,11 @@ func (t *Transport) Advertise() string { return t.advertise }
 // Stats returns a snapshot of this process's traffic counters.
 func (t *Transport) Stats() transport.Stats {
 	return transport.Stats{
-		Sent:      t.sent.Value(),
-		Delivered: t.delivered.Value(),
-		Dropped:   t.dropped.Value(),
-		Bytes:     t.bytes.Value(),
+		Sent:       t.sent.Value(),
+		Delivered:  t.delivered.Value(),
+		Dropped:    t.dropped.Value(),
+		Bytes:      t.bytes.Value(),
+		Reconnects: t.reconnects.Value(),
 	}
 }
 
@@ -785,8 +787,15 @@ func (p *peer) run() {
 	defer p.t.wg.Done()
 	var conn net.Conn
 	var encBuf []byte
-	var held *frame // frame whose write failed, retried after reconnect
+	var held *frame  // frame whose write failed, retried after reconnect
+	var hadConn bool // a link existed before, so the next attach is a reconnect
 	backoff := 50 * time.Millisecond
+	gotConn := func() {
+		if hadConn {
+			p.t.reconnects.Inc()
+		}
+		hadConn = true
+	}
 	defer func() {
 		if conn != nil {
 			conn.Close()
@@ -817,6 +826,7 @@ func (p *peer) run() {
 			case c := <-p.attach:
 				conn = c
 				backoff = 50 * time.Millisecond
+				gotConn()
 				continue
 			default:
 			}
@@ -828,6 +838,7 @@ func (p *peer) run() {
 				case c := <-p.attach:
 					conn = c
 					backoff = 50 * time.Millisecond
+					gotConn()
 				case <-time.After(backoff):
 					backoff *= 2
 					if backoff > p.t.cfg.MaxBackoff {
@@ -855,6 +866,7 @@ func (p *peer) run() {
 			}
 			conn = c
 			backoff = 50 * time.Millisecond
+			gotConn()
 			p.t.mu.Lock()
 			closed := p.t.closed
 			if !closed {

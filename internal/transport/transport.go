@@ -58,6 +58,9 @@ type Stats struct {
 	Delivered int64
 	Dropped   int64
 	Bytes     int64
+	// Reconnects counts re-established peer links after a connection was
+	// lost (always 0 on the in-process simulator, which has no links).
+	Reconnects int64
 }
 
 // Endpoint is one addressable participant on a transport. Implementations

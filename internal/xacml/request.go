@@ -31,6 +31,12 @@ type AttributeID string
 type Request struct {
 	// ID correlates the request across PEP, PDP, logs and monitor checks.
 	ID string `json:"id"`
+	// TraceID is the end-to-end tracing identifier minted at the PEP and
+	// propagated through wire calls, probe records and analyser events. It
+	// is observability metadata: excluded (like ID) from CanonicalBytes,
+	// so it never perturbs content digests, M1 matching or the decision
+	// cache. Empty when tracing is off or the request predates it.
+	TraceID string `json:"trace,omitempty"`
 	// Attrs holds the attribute bags.
 	Attrs map[Category]map[AttributeID]Bag `json:"attrs"`
 }
@@ -63,6 +69,7 @@ func (r *Request) Get(cat Category, id AttributeID) Bag {
 // Clone deep-copies the request.
 func (r *Request) Clone() *Request {
 	out := NewRequest(r.ID)
+	out.TraceID = r.TraceID
 	for cat, m := range r.Attrs {
 		for id, bag := range m {
 			for _, v := range bag {

@@ -18,6 +18,13 @@
 #      bc.getrange sync (strictly fewer transport calls than blocks
 #      fetched), activate v2 at the same height as the rest of the fleet,
 #      and serve Deny-under-v2 decisions.
+#   3. Operations surface: every daemon serves /metrics and /healthz on
+#      its -metrics-addr; readiness gates the restarted tenant-2 (503
+#      while it catches up, 200 once synced); the durable member's
+#      drams_node_blocks_persisted_total keeps advancing; and the
+#      restarted tenant-2 runs a mute-logs drill so the infrastructure
+#      monitor's drams_monitor_alerts_total must advance with M3
+#      message-suppressed alerts.
 #
 # Finally state-digest convergence is checked across all surviving
 # processes. Exits non-zero on any failure or on the hard timeout.
@@ -50,19 +57,27 @@ fi
 
 P1=$((PORT_BASE)) P2=$((PORT_BASE + 1)) P3=$((PORT_BASE + 2))
 A1="127.0.0.1:$P1" A2="127.0.0.1:$P2" A3="127.0.0.1:$P3"
-COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -run-for ${TIMEOUT}s"
-T2_ARGS="-listen $A3 -join $A1,$A2 -tenant tenant-2 -request-every 300ms -data-dir $WORKDIR/t2-data"
+M1="127.0.0.1:$((PORT_BASE + 3))" M2="127.0.0.1:$((PORT_BASE + 4))" M3="127.0.0.1:$((PORT_BASE + 5))"
+# -timeout-blocks is tightened fleet-wide so the mute-logs drill's M3
+# alerts land within the run (consensus-critical: identical everywhere).
+COMMON="-federation tenant-1,tenant-2 -seed 7 -difficulty 8 -timeout-blocks 20 -run-for ${TIMEOUT}s"
+T2_ARGS="-listen $A3 -join $A1,$A2 -tenant tenant-2 -request-every 300ms -data-dir $WORKDIR/t2-data -metrics-addr $M3"
 
-"$BIN" -listen "$A1" -join "$A2,$A3" -tenant infrastructure $COMMON \
+"$BIN" -listen "$A1" -join "$A2,$A3" -tenant infrastructure -metrics-addr "$M1" $COMMON \
     >"$WORKDIR/infra.log" 2>&1 &
 PIDS="$!"
-"$BIN" -listen "$A2" -join "$A1,$A3" -tenant tenant-1 -request-every 300ms \
+"$BIN" -listen "$A2" -join "$A1,$A3" -tenant tenant-1 -request-every 300ms -metrics-addr "$M2" \
     -policy-file "$WORKDIR/v2.json" -policy-at-height "$PUSH_HEIGHT" -policy-delta 4 \
     $COMMON >"$WORKDIR/t1.log" 2>&1 &
 PIDS="$PIDS $!"
 "$BIN" $T2_ARGS $COMMON >"$WORKDIR/t2.log" 2>&1 &
 PID_T2="$!"
 PIDS="$PIDS $PID_T2"
+
+# metric <addr> <series-grep-pattern>: prints the series' integer value.
+metric() {
+    curl -fsS --max-time 5 "http://$1/metrics" 2>/dev/null | grep "^$2" | head -1 | grep -o '[0-9]*$'
+}
 
 echo "3 daemons up (logs in $WORKDIR), waiting for height >= $TARGET_HEIGHT and v1 decisions..."
 
@@ -99,6 +114,18 @@ while [ "$(date +%s)" -lt "$deadline" ]; do
 done
 [ -n "$ok" ] || fail "phase A (heights + v1 decisions) not met within ${TIMEOUT}s"
 
+# Ops surface: every daemon answers /healthz and serves its node counters
+# on /metrics.
+for m in "$M1" "$M2" "$M3"; do
+    hz=$(curl -fsS --max-time 5 -o /dev/null -w '%{http_code}' "http://$m/healthz" 2>/dev/null)
+    [ "$hz" = "200" ] || fail "healthz on $m answered '${hz:-nothing}', want 200"
+    v=$(metric "$m" 'drams_node_blocks_persisted_total')
+    [ -n "$v" ] || fail "metrics on $m missing drams_node_blocks_persisted_total"
+done
+alerts_before=$(metric "$M1" 'drams_monitor_alerts_total{type="message-suppressed"}')
+[ -n "$alerts_before" ] || fail "infra metrics missing drams_monitor_alerts_total series"
+echo "ops surface up on $M1 $M2 $M3 (message-suppressed alerts so far: $alerts_before)"
+
 # Crash tenant-2 before the rollout: it must learn v2 from its restart.
 kill "$PID_T2" 2>/dev/null
 wait "$PID_T2" 2>/dev/null
@@ -125,11 +152,30 @@ while [ "$(date +%s)" -lt "$deadline" ]; do
 done
 [ -n "$ok" ] || fail "phase B (v2 rollout without tenant-2) not met within ${TIMEOUT}s"
 
-# Phase C: restart tenant-2 from its data dir.
-"$BIN" $T2_ARGS $COMMON >"$WORKDIR/t2b.log" 2>&1 &
+# Phase C: restart tenant-2 from its data dir. The restart also runs the
+# mute-logs drill (engaged after it has rejoined): its pep.response
+# records stop reaching the chain, so the monitor MUST raise M3
+# message-suppressed alerts once the timeout window expires.
+"$BIN" $T2_ARGS -byzantine mute-logs -byzantine-after 3s -catchup-delay 1500ms $COMMON >"$WORKDIR/t2b.log" 2>&1 &
 PID_T2="$!"
 PIDS="$PIDS $PID_T2"
 echo "tenant-2 restarted from $WORKDIR/t2-data, waiting for durable rejoin..."
+
+# Readiness gates the rejoin: the non-producing restart must answer 503
+# (catch-up in progress) before its first successful sync round, then
+# flip to 200. Poll tightly from the moment the process launches.
+saw_503="" saw_200=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    rz=$(curl -fsS --max-time 2 -o /dev/null -w '%{http_code}' "http://$M3/readyz" 2>/dev/null)
+    case "$rz" in
+        503) [ -z "$saw_200" ] && saw_503=1 ;;
+        200) saw_200=1; break ;;
+    esac
+    sleep 0.05
+done
+[ -n "$saw_503" ] || fail "restarted tenant-2 never reported 503 on /readyz during catch-up"
+[ -n "$saw_200" ] || fail "restarted tenant-2 /readyz never reached 200 within ${TIMEOUT}s"
+echo "readiness gated the rejoin: /readyz 503 during catch-up, then 200"
 
 ok=""
 while [ "$(date +%s)" -lt "$deadline" ]; do
@@ -167,9 +213,38 @@ done | sort -u | wc -l)
 
 # Each process instance ran exactly once per log file.
 for log in infra t1 t2 t2b; do
-    starts=$(grep -c 'listening on' "$WORKDIR/$log.log")
+    starts=$(grep -c '] listening on' "$WORKDIR/$log.log")
     [ "$starts" -eq 1 ] || fail "$log has $starts starts"
 done
+
+# Ops-surface progression: the durable member keeps persisting blocks
+# (drams_node_blocks_persisted_total advances across a sampling gap) and
+# the mute-logs drill forces drams_monitor_alerts_total to advance with
+# M3 message-suppressed alerts on the infrastructure monitor.
+persisted_a=$(metric "$M3" 'drams_node_blocks_persisted_total')
+[ -n "$persisted_a" ] || fail "restarted tenant-2 metrics missing drams_node_blocks_persisted_total"
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    persisted_b=$(metric "$M3" 'drams_node_blocks_persisted_total')
+    if [ -n "$persisted_b" ] && [ "$persisted_b" -gt "$persisted_a" ]; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "drams_node_blocks_persisted_total did not advance ($persisted_a -> ${persisted_b:-none})"
+
+ok=""
+while [ "$(date +%s)" -lt "$deadline" ]; do
+    alerts_now=$(metric "$M1" 'drams_monitor_alerts_total{type="message-suppressed"}')
+    if [ -n "$alerts_now" ] && [ "$alerts_now" -gt "${alerts_before:-0}" ]; then
+        ok=1
+        break
+    fi
+    sleep 1
+done
+[ -n "$ok" ] || fail "drams_monitor_alerts_total{type=message-suppressed} did not advance (drill not detected)"
+echo "ops progression: persisted $persisted_a -> $persisted_b, message-suppressed alerts ${alerts_before:-0} -> $alerts_now"
 
 # Convergence: the surviving processes (infra, t1 and the restarted t2)
 # must report a COMMON state digest in their recent status lines. Blocks
@@ -197,5 +272,5 @@ if [ "$shared" -eq 0 ]; then
     exit 1
 fi
 
-echo "SMOKE OK: 3-process federation served v1, hot-reloaded to v2 fleet-wide, and tenant-2 survived kill+restart from its data dir (resumed height $restored, caught up $blocks blocks in $calls calls, $shared shared digests)"
+echo "SMOKE OK: 3-process federation served v1, hot-reloaded to v2 fleet-wide, tenant-2 survived kill+restart from its data dir (resumed height $restored, caught up $blocks blocks in $calls calls, $shared shared digests), readiness gated the rejoin 503->200, and the ops surface tracked persistence and M3 alerts"
 exit 0
