@@ -1,0 +1,88 @@
+// Command drams-lint runs the repo's architectural-invariant analyzer
+// suite (internal/lint) over the requested packages and exits nonzero on
+// findings, making the invariants a CI gate rather than prose.
+//
+// Usage:
+//
+//	drams-lint [-json] [-out findings.json] [-list] [packages...]
+//
+// Packages default to ./... relative to the working directory, which must
+// sit inside a Go module. Findings print as `file:line: [analyzer]
+// message`; -json switches stdout to the machine-readable array and -out
+// additionally writes that array to a file regardless of the stdout mode
+// (CI uploads it as an artifact on failure).
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 the run itself failed.
+//
+// Suppression: a finding is silenced by `//lint:ignore <analyzer> <reason>`
+// on the offending line or the line above. The reason is mandatory and
+// unused or malformed directives are findings themselves, so suppressions
+// cannot rot.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"drams/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	jsonOut := flag.Bool("json", false, "print findings as a JSON array instead of text")
+	outFile := flag.String("out", "", "also write JSON findings to this file")
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	flag.Parse()
+
+	analyzers := lint.DefaultAnalyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name(), a.Doc())
+		}
+		return 0
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	prog, err := lint.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "drams-lint: %v\n", err)
+		return 2
+	}
+	findings := prog.Run(analyzers)
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err == nil {
+			err = lint.WriteJSON(f, findings)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "drams-lint: write %s: %v\n", *outFile, err)
+			return 2
+		}
+	}
+	if *jsonOut {
+		if err := lint.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "drams-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "drams-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}

@@ -11,7 +11,7 @@ import (
 	"drams/internal/contract"
 	"drams/internal/crypto"
 	"drams/internal/metrics"
-	"drams/internal/obs"
+	"drams/internal/trace"
 	"drams/internal/xacml"
 )
 
@@ -43,7 +43,7 @@ type Analyser struct {
 	history   map[crypto.Digest]*analysedPolicy
 	histOrder []crypto.Digest
 
-	tracer atomic.Pointer[obs.Tracer]
+	tracer atomic.Pointer[trace.Tracer]
 
 	verdicts   metrics.Counter
 	mismatches metrics.Counter
@@ -158,7 +158,7 @@ func (an *Analyser) VerifyPolicyAnchor() error {
 }
 
 // SetTracer attaches (or clears, with nil) the end-to-end span recorder.
-func (an *Analyser) SetTracer(t *obs.Tracer) { an.tracer.Store(t) }
+func (an *Analyser) SetTracer(t *trace.Tracer) { an.tracer.Store(t) }
 
 // Start begins consuming pdp.response logs and publishing verdicts.
 func (an *Analyser) Start() {
@@ -270,7 +270,7 @@ func (an *Analyser) handleLog(payload []byte) {
 	if traceID == "" {
 		traceID = rec.ReqID
 	}
-	an.tracer.Load().Span(traceID, obs.StageAnalyserVerify, start, time.Since(start))
+	an.tracer.Load().Span(traceID, trace.StageAnalyserVerify, start, time.Since(start))
 }
 
 // ExpectedDecision exposes the analyser's re-derivation for direct use

@@ -11,7 +11,7 @@ import (
 	"drams/internal/blockchain"
 	"drams/internal/clock"
 	"drams/internal/metrics"
-	"drams/internal/obs"
+	"drams/internal/trace"
 )
 
 // maxTracked caps the submission-tracking map: entries are removed as soon
@@ -118,7 +118,7 @@ type Monitor struct {
 	nextSub   uint64
 	handlers  []func(Alert)
 
-	tracer atomic.Pointer[obs.Tracer]
+	tracer atomic.Pointer[trace.Tracer]
 
 	logsSeen   metrics.Counter
 	alertsSeen metrics.Counter
@@ -157,7 +157,7 @@ func NewMonitor(node *blockchain.Node, clk clock.Clock) *Monitor {
 // monitor.match and monitor.alert spans keyed by the record's trace ID
 // (which defaults to the request ID, so Deployment.Trace(reqID) finds
 // them).
-func (m *Monitor) SetTracer(t *obs.Tracer) { m.tracer.Store(t) }
+func (m *Monitor) SetTracer(t *trace.Tracer) { m.tracer.Store(t) }
 
 // traceEventRecord recovers enough of a LogStored payload to attribute a
 // trace span: the trace ID (request ID when the record predates tracing)
@@ -433,7 +433,7 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 				if ok {
 					// Submission-to-block-inclusion: how long the record
 					// waited to be anchored by the chain.
-					tr.Span(traceID, obs.StageChainAnchor, t0, m.clk.Since(t0))
+					tr.Span(traceID, trace.StageChainAnchor, t0, m.clk.Since(t0))
 				}
 			}
 		}
@@ -459,7 +459,7 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 		m.mu.Unlock()
 		m.matchedCnt.Inc()
 		if hadT0 {
-			m.tracer.Load().Span(body.ReqID, obs.StageMonitorMatch, t0, m.clk.Since(t0))
+			m.tracer.Load().Span(body.ReqID, trace.StageMonitorMatch, t0, m.clk.Since(t0))
 		}
 	case EventAlert:
 		a, err := DecodeAlert(payload)
@@ -480,7 +480,7 @@ func (m *Monitor) handleEvent(contractName, eventType string, payload []byte, he
 			m.untrackLocked(a.ReqID)
 			// Detection latency doubles as the monitor.alert span: first
 			// probe submission to the alert surfacing off-chain.
-			m.tracer.Load().Span(a.ReqID, obs.StageMonitorAlert, t0, m.clk.Since(t0))
+			m.tracer.Load().Span(a.ReqID, trace.StageMonitorAlert, t0, m.clk.Since(t0))
 		}
 		handlers := make([]func(Alert), len(m.handlers))
 		copy(handlers, m.handlers)

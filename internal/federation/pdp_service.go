@@ -8,7 +8,7 @@ import (
 	"time"
 
 	"drams/internal/metrics"
-	"drams/internal/obs"
+	"drams/internal/trace"
 	"drams/internal/transport"
 	"drams/internal/xacml"
 )
@@ -53,7 +53,7 @@ type PDPService struct {
 	ep        transport.Endpoint
 	evaluator atomic.Pointer[evalBox]
 	probe     atomic.Pointer[probeBoxPDP]
-	tracer    atomic.Pointer[obs.Tracer]
+	tracer    atomic.Pointer[trace.Tracer]
 
 	evaluations metrics.Counter
 	failures    metrics.Counter
@@ -87,7 +87,7 @@ func (s *PDPService) SetProbe(p PDPProbe) {
 }
 
 // SetTracer attaches (or clears, with nil) the end-to-end span recorder.
-func (s *PDPService) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
+func (s *PDPService) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
 
 // PDPStats is a snapshot of the service counters.
 type PDPStats struct {
@@ -129,7 +129,7 @@ func (s *PDPService) evaluateOne(payload []byte) ([]byte, error) {
 	if pb := s.probe.Load(); pb != nil && pb.p != nil {
 		pb.p.PDPResponseSent(req, res)
 	}
-	s.tracer.Load().Span(req.TraceID, obs.StagePDPEval, start, time.Since(start))
+	s.tracer.Load().Span(req.TraceID, trace.StagePDPEval, start, time.Since(start))
 	return res.Encode(), nil
 }
 

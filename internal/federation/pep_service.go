@@ -11,7 +11,7 @@ import (
 
 	"drams/internal/idgen"
 	"drams/internal/metrics"
-	"drams/internal/obs"
+	"drams/internal/trace"
 	"drams/internal/transport"
 	"drams/internal/xacml"
 )
@@ -76,7 +76,7 @@ type PEPService struct {
 
 	probe  atomic.Pointer[probeBoxPEP]
 	tamper atomic.Pointer[Tamper]
-	tracer atomic.Pointer[obs.Tracer]
+	tracer atomic.Pointer[trace.Tracer]
 
 	requests metrics.Counter
 	permits  metrics.Counter
@@ -125,7 +125,7 @@ func (s *PEPService) Tenant() string { return s.tenant }
 func (s *PEPService) SetProbe(p PEPProbe) { s.probe.Store(&probeBoxPEP{p: p}) }
 
 // SetTracer attaches (or clears, with nil) the end-to-end span recorder.
-func (s *PEPService) SetTracer(t *obs.Tracer) { s.tracer.Store(t) }
+func (s *PEPService) SetTracer(t *trace.Tracer) { s.tracer.Store(t) }
 
 // SetTamper installs (or clears, with nil) attack injection.
 func (s *PEPService) SetTamper(t *Tamper) {
@@ -208,7 +208,7 @@ func (s *PEPService) Decide(ctx context.Context, req *xacml.Request) (Enforcemen
 	if pb := s.probe.Load(); pb != nil && pb.p != nil {
 		pb.p.PEPResponseReceived(req, res, enforced)
 	}
-	s.tracer.Load().Span(traceID, obs.StagePEPDecide, start, time.Since(start))
+	s.tracer.Load().Span(traceID, trace.StagePEPDecide, start, time.Since(start))
 
 	if enforced == xacml.Permit {
 		s.permits.Inc()
@@ -320,7 +320,7 @@ func (s *PEPService) DecideBatch(ctx context.Context, reqs []*xacml.Request) ([]
 		}
 		// Each item shares the batch's single round-trip, so every trace
 		// in the pipeline records the same PEP-observed span duration.
-		s.tracer.Load().Span(req.TraceID, obs.StagePEPDecide, start, time.Since(start))
+		s.tracer.Load().Span(req.TraceID, trace.StagePEPDecide, start, time.Since(start))
 		if enforced == xacml.Permit {
 			s.permits.Inc()
 		} else {

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// CtxFlow enforces the PR 2 context contract: once a function receives a
+// context.Context, every derived operation must flow from it — minting a
+// fresh context.Background()/TODO() inside such a function (including in
+// closures that lexically capture the parameter) silently severs the
+// caller's deadline and cancellation, which is exactly the bug the client
+// API rework removed from the PEP round-trip. Deliberate detachment (a
+// goroutine that must outlive the request) takes a //lint:ignore with the
+// reason.
+type CtxFlow struct{}
+
+// NewCtxFlow returns the analyzer.
+func NewCtxFlow() *CtxFlow { return &CtxFlow{} }
+
+func (a *CtxFlow) Name() string { return "ctxflow" }
+
+func (a *CtxFlow) Doc() string {
+	return "a function with a context.Context parameter must not mint context.Background()/TODO() (PR 2)"
+}
+
+func (a *CtxFlow) Run(p *Pass) {
+	for _, f := range p.Files {
+		walkWithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(p.Info, call, "context", "Background", "TODO") {
+				return true
+			}
+			// Flag when any lexically enclosing function takes a ctx: a
+			// nested closure can (and should) use the captured parameter.
+			for _, anc := range stack {
+				var ft *ast.FuncType
+				switch fn := anc.(type) {
+				case *ast.FuncDecl:
+					ft = fn.Type
+				case *ast.FuncLit:
+					ft = fn.Type
+				default:
+					continue
+				}
+				if funcTypeTakesContext(p.Info, ft) {
+					name := calleeFunc(p.Info, call).Name()
+					p.Reportf(call.Pos(), "context.%s() inside a function that receives a context.Context: derive from the caller's ctx so deadlines and cancellation propagate", name)
+					break
+				}
+			}
+			return true
+		})
+	}
+}

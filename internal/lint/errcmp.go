@@ -1,0 +1,104 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCmp enforces the PR 3 wire-error contract: transport and blockchain
+// sentinel errors survive crossing the wire only through RemoteError
+// wrapping, so identity comparison (== / != / switch case) silently stops
+// matching the moment an error arrives from a peer instead of a local
+// call. errors.Is is the only comparison that holds on both sides of the
+// wire.
+type ErrCmp struct {
+	// SentinelPkgs are the module-relative packages whose exported Err*
+	// variables cross the wire wrapped.
+	SentinelPkgs []string
+}
+
+// NewErrCmp returns the analyzer covering the wire-crossing sentinels.
+func NewErrCmp() *ErrCmp {
+	return &ErrCmp{SentinelPkgs: []string{
+		"internal/transport",
+		"internal/blockchain",
+		"internal/netsim", // aliases the transport sentinels
+	}}
+}
+
+func (a *ErrCmp) Name() string { return "errcmp" }
+
+func (a *ErrCmp) Doc() string {
+	return "transport/blockchain sentinel errors are matched with errors.Is, never == or != (PR 3)"
+}
+
+func (a *ErrCmp) Run(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if name, ok := a.sentinel(p, side); ok {
+						p.Reportf(x.OpPos, "%s compared with %s: sentinels cross the wire wrapped in RemoteError, use errors.Is", name, x.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if x.Tag == nil {
+					return true
+				}
+				if tv, ok := p.Info.Types[x.Tag]; !ok || !isErrorType(tv.Type) {
+					return true
+				}
+				for _, c := range x.Body.List {
+					cc, ok := c.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := a.sentinel(p, e); ok {
+							p.Reportf(e.Pos(), "switch case matches %s by identity: sentinels cross the wire wrapped in RemoteError, use errors.Is", name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// sentinel reports whether e resolves to an exported Err* package-level
+// error variable declared in one of the sentinel packages.
+func (a *ErrCmp) sentinel(p *Pass, e ast.Expr) (string, bool) {
+	var obj types.Object
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj = p.Info.Uses[x]
+	case *ast.SelectorExpr:
+		obj = p.Info.Uses[x.Sel]
+	default:
+		return "", false
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || !v.Exported() || !isErrorType(v.Type()) {
+		return "", false
+	}
+	if len(v.Name()) < 4 || v.Name()[:3] != "Err" {
+		return "", false
+	}
+	rel, inMod := p.Rel(v.Pkg().Path())
+	if !inMod || !matchAnyPath(rel, a.SentinelPkgs) {
+		return "", false
+	}
+	return v.Pkg().Name() + "." + v.Name(), true
+}
+
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Implements(t, errorIface)
+}

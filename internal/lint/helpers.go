@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// matchPath reports whether a module-relative package path matches a
+// pattern: exact, or prefix with a trailing "/..." wildcard ("cmd/..."
+// matches cmd and everything under it).
+func matchPath(rel, pattern string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return rel == prefix || strings.HasPrefix(rel, prefix+"/")
+	}
+	return rel == pattern
+}
+
+func matchAnyPath(rel string, patterns []string) bool {
+	for _, p := range patterns {
+		if matchPath(rel, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes
+// (through parens), or nil for builtins, conversions, and indirect calls.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fn].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fn.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isPkgFunc reports whether the call invokes pkgPath.name (a package-level
+// function, e.g. context.Background).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcTypeTakesContext reports whether any parameter of ft is a
+// context.Context.
+func funcTypeTakesContext(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// walkWithStack traverses root keeping the ancestor chain; fn returning
+// false prunes the subtree. The stack passed to fn excludes n itself.
+func walkWithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// receiverIdentObj resolves the receiver parameter object of a method
+// declaration, or nil for functions and anonymous receivers.
+func receiverIdentObj(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[decl.Recv.List[0].Names[0]]
+}
+
+// selectorRoot unwraps a chain of selectors/parens (a.b.c → a) and returns
+// the root identifier, or nil.
+func selectorRoot(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isMapOrSlice reports whether t's underlying type is a map or slice.
+func isMapOrSlice(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Map, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// importPathOf extracts the unquoted import path of a spec.
+func importPathOf(spec *ast.ImportSpec) string {
+	return strings.Trim(spec.Path.Value, `"`)
+}

@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedPin enforces the PR 6 reproducibility contract: adversarial and
+// chaos runs must replay bit-for-bit, so every netsim/attack
+// configuration literal built in a test (and anywhere in the attack
+// harness itself) pins its Seed field explicitly — and never derives it
+// from time.Now(), which is the one way to make a failing chaos trial
+// unreproducible exactly when its trace matters most.
+type SeedPin struct {
+	// SeededPkgs are the module-relative packages whose struct types carry
+	// a Seed field under this contract.
+	SeededPkgs []string
+	// AlwaysPkgs are packages where the rule applies to non-test files too.
+	AlwaysPkgs []string
+}
+
+// NewSeedPin returns the analyzer covering netsim and attack config types.
+func NewSeedPin() *SeedPin {
+	return &SeedPin{
+		SeededPkgs: []string{"internal/netsim", "internal/attack"},
+		AlwaysPkgs: []string{"internal/attack"},
+	}
+}
+
+func (a *SeedPin) Name() string { return "seedpin" }
+
+func (a *SeedPin) Doc() string {
+	return "netsim/attack config literals in tests pin an explicit Seed not derived from time.Now() (PR 6)"
+}
+
+func (a *SeedPin) Run(p *Pass) {
+	alwaysOn := matchAnyPath(p.PkgRel(), a.AlwaysPkgs)
+	for _, f := range p.Files {
+		if !alwaysOn && !p.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := p.Info.Types[lit]
+			if !ok {
+				return true
+			}
+			named, ok := tv.Type.(*types.Named)
+			if !ok || named.Obj().Pkg() == nil {
+				return true
+			}
+			rel, inMod := p.Rel(named.Obj().Pkg().Path())
+			if !inMod || !matchAnyPath(rel, a.SeededPkgs) {
+				return true
+			}
+			st, ok := named.Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			seedIdx := -1
+			for i := 0; i < st.NumFields(); i++ {
+				if st.Field(i).Name() == "Seed" {
+					seedIdx = i
+					break
+				}
+			}
+			if seedIdx < 0 {
+				return true
+			}
+			a.checkLit(p, lit, named, seedIdx)
+			return true
+		})
+	}
+}
+
+func (a *SeedPin) checkLit(p *Pass, lit *ast.CompositeLit, named *types.Named, seedIdx int) {
+	var seedVal ast.Expr
+	keyed := false
+	for i, elt := range lit.Elts {
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			keyed = true
+			if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Seed" {
+				seedVal = kv.Value
+			}
+		} else if i == seedIdx {
+			seedVal = elt // positional literal
+		}
+	}
+	if seedVal == nil && (keyed || len(lit.Elts) == 0) {
+		p.Reportf(lit.Pos(), "%s literal without an explicit Seed: chaos and attack runs must replay bit-for-bit, pin one", named.Obj().Name())
+		return
+	}
+	if seedVal == nil {
+		return
+	}
+	ast.Inspect(seedVal, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && isPkgFunc(p.Info, call, "time", "Now") {
+			p.Reportf(call.Pos(), "Seed derived from time.Now(): a failing trial becomes unreproducible, pin a constant seed")
+			return false
+		}
+		return true
+	})
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// StatsSnap enforces the snapshot contract on exported Stats() methods:
+// the returned value is a point-in-time copy, never a live reference to a
+// mutex-guarded map or slice. Handing out the live container races with
+// the hot path the moment the caller iterates it (PR 9's stalled-scraper
+// fix depends on Stats snapshots being safe to serialize with no lock
+// held). Copy idioms — ranging into a fresh container, len()/cap(),
+// indexed reads, copy/append sources — are recognized; anything else that
+// lets a receiver-rooted map or slice escape is flagged.
+type StatsSnap struct{}
+
+// NewStatsSnap returns the analyzer.
+func NewStatsSnap() *StatsSnap { return &StatsSnap{} }
+
+func (a *StatsSnap) Name() string { return "statssnap" }
+
+func (a *StatsSnap) Doc() string {
+	return "exported Stats() methods return copies, never live references to guarded maps/slices (PR 9)"
+}
+
+func (a *StatsSnap) Run(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Stats" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Type.Results == nil || len(fd.Type.Results.List) == 0 {
+				continue
+			}
+			recv := receiverIdentObj(p.Info, fd)
+			if recv == nil {
+				continue
+			}
+			a.checkBody(p, fd, recv)
+		}
+	}
+}
+
+func (a *StatsSnap) checkBody(p *Pass, fd *ast.FuncDecl, recv types.Object) {
+	walkWithStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		root := selectorRoot(sel.X)
+		if root == nil || p.Info.Uses[root] != recv {
+			return true
+		}
+		tv, ok := p.Info.Types[sel]
+		if !ok || !isMapOrSlice(tv.Type) {
+			return true
+		}
+		if escapeSafe(sel, stack) {
+			return false // the selector's own children need no second look
+		}
+		p.Reportf(sel.Pos(), "Stats() retains a reference to guarded %s: return a copy so callers can iterate without racing the hot path", types.ExprString(sel))
+		return false
+	})
+}
+
+// escapeSafe reports whether the immediate syntactic context of sel only
+// reads the container without retaining it.
+func escapeSafe(sel *ast.SelectorExpr, stack []ast.Node) bool {
+	if len(stack) == 0 {
+		return false
+	}
+	// Walk out through parens.
+	i := len(stack) - 1
+	for i > 0 {
+		if _, ok := stack[i].(*ast.ParenExpr); ok {
+			i--
+			continue
+		}
+		break
+	}
+	switch parent := stack[i].(type) {
+	case *ast.RangeStmt:
+		return ast.Unparen(parent.X) == sel // `for k, v := range s.m` copies
+	case *ast.IndexExpr:
+		return ast.Unparen(parent.X) == sel // `s.m[k]` reads one element
+	case *ast.CallExpr:
+		switch fun := ast.Unparen(parent.Fun).(type) {
+		case *ast.Ident:
+			switch fun.Name {
+			case "len", "cap":
+				return true
+			case "copy":
+				// copy(dst, s.m) reads; copy(s.m, src) would mutate but
+				// retains nothing either way.
+				return true
+			case "append":
+				// append(dst, s.m...) reads the source; append(s.m, x)
+				// retains the backing array in the result.
+				return len(parent.Args) > 0 && ast.Unparen(parent.Args[0]) != sel
+			}
+		}
+	case *ast.SelectorExpr:
+		// s.m.Something() — method call on the container (e.g. a typed
+		// map with a Snapshot method); the method decides, not us.
+		return parent.X == sel && i+1 <= len(stack)
+	}
+	return false
+}

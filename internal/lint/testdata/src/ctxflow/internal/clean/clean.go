@@ -1,0 +1,17 @@
+// Package clean is the zero-finding twin for ctxflow.
+package clean
+
+import (
+	"context"
+	"time"
+)
+
+// Derive flows the caller's context into the deadline.
+func Derive(ctx context.Context) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, time.Second)
+}
+
+// Root has no context parameter, so minting one is the only option.
+func Root() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,22 @@
+// Package svc exercises the ctxflow analyzer.
+package svc
+
+import (
+	"context"
+	"time"
+)
+
+// Lookup severs the caller's deadline by minting a fresh context.
+func Lookup(ctx context.Context, key string) string {
+	fresh, cancel := context.WithTimeout(context.Background(), time.Second) // want "inside a function that receives a context.Context"
+	defer cancel()
+	_ = fresh
+	return key
+}
+
+// Watch does it inside a closure that lexically captures ctx.
+func Watch(ctx context.Context) func() {
+	return func() {
+		_ = context.TODO() // want "inside a function that receives a context.Context"
+	}
+}

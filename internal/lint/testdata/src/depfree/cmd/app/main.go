@@ -1,0 +1,6 @@
+// Command app is a wiring layer: importing obs here is the design.
+package main
+
+import "fix/internal/obs"
+
+func main() { _ = obs.NewRegistry() }

@@ -1,0 +1,11 @@
+// Package clean is the zero-finding twin: a component importing a
+// non-restricted stratum member, which is fine.
+package clean
+
+import "fix/internal/metrics"
+
+// Component counts things.
+type Component struct{ reg metrics.Registry }
+
+// Touch bumps the counter.
+func (c *Component) Touch() { c.reg.Inc() }

@@ -1,0 +1,12 @@
+// Package federation is a component: it must not import obs back.
+package federation
+
+import (
+	"fix/internal/obs" // want "components never import obs"
+)
+
+// Service owns its registry via the wiring layer, not like this.
+type Service struct{ reg any }
+
+// New builds the service the wrong way around.
+func New() *Service { return &Service{reg: obs.NewRegistry()} }

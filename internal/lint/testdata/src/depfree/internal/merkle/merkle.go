@@ -1,0 +1,16 @@
+// Package merkle is a stratum member gone wrong: it reaches outside the
+// stratum.
+package merkle
+
+import (
+	"fix/internal/util" // want "the stratum may import only the stdlib"
+)
+
+// Sum hashes the input.
+func Sum(data []byte) uint64 {
+	var h uint64 = 1469598103934665603
+	for _, b := range data {
+		h = util.Mix(h, b)
+	}
+	return h
+}

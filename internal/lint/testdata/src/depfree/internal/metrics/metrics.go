@@ -1,0 +1,8 @@
+// Package metrics is a fixture stratum member.
+package metrics
+
+// Registry collects counters.
+type Registry struct{ n int }
+
+// Inc bumps the counter.
+func (r *Registry) Inc() { r.n++ }

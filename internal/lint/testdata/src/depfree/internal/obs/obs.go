@@ -1,0 +1,8 @@
+// Package obs is a stratum member importing another stratum member, which
+// is allowed.
+package obs
+
+import "fix/internal/metrics"
+
+// NewRegistry wires the default registry.
+func NewRegistry() *metrics.Registry { return &metrics.Registry{} }

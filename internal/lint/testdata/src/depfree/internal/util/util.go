@@ -1,0 +1,5 @@
+// Package util is a non-stratum helper the stratum must not reach.
+package util
+
+// Mix folds b into h.
+func Mix(h uint64, b byte) uint64 { return h*131 + uint64(b) }

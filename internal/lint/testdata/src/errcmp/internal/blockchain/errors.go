@@ -1,0 +1,7 @@
+// Package blockchain declares fixture ledger sentinels.
+package blockchain
+
+import "errors"
+
+// ErrNotFound is a sentinel that crosses the wire wrapped.
+var ErrNotFound = errors.New("blockchain: not found")

@@ -1,0 +1,25 @@
+// Package clean is the zero-finding twin for errcmp.
+package clean
+
+import (
+	"errors"
+
+	"fix/internal/transport"
+)
+
+// ErrLocal is a package-local sentinel: identity comparison is fine here.
+var ErrLocal = errors.New("local")
+
+// Classify matches wire sentinels with errors.Is.
+func Classify(err error) string {
+	if errors.Is(err, transport.ErrTimeout) {
+		return "timeout"
+	}
+	if err == ErrLocal {
+		return "local"
+	}
+	if err == nil {
+		return "ok"
+	}
+	return "other"
+}

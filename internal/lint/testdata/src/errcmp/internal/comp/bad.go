@@ -1,0 +1,22 @@
+// Package comp exercises the errcmp analyzer.
+package comp
+
+import (
+	"fix/internal/blockchain"
+	"fix/internal/transport"
+)
+
+// Classify compares sentinels by identity, which breaks across the wire.
+func Classify(err error) string {
+	if err == transport.ErrTimeout { // want "compared with =="
+		return "timeout"
+	}
+	if err != blockchain.ErrNotFound { // want "compared with !="
+		return "other"
+	}
+	switch err {
+	case blockchain.ErrNotFound: // want "by identity"
+		return "missing"
+	}
+	return ""
+}

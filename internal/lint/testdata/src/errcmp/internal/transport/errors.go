@@ -1,0 +1,7 @@
+// Package transport declares fixture wire sentinels.
+package transport
+
+import "errors"
+
+// ErrTimeout is a sentinel that crosses the wire wrapped.
+var ErrTimeout = errors.New("transport: timeout")

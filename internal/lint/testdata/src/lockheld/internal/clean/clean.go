@@ -1,0 +1,49 @@
+// Package clean is the zero-finding twin for lockheld: snapshot under the
+// lock, block after release.
+package clean
+
+import (
+	"io"
+	"sync"
+
+	"fix/internal/transport"
+)
+
+// Broker snapshots state before any blocking operation.
+type Broker struct {
+	mu    sync.Mutex
+	peer  transport.Endpoint
+	sink  io.Writer
+	queue chan []byte
+	last  []byte
+}
+
+// Publish snapshots under the lock and performs blocking work after release.
+func (b *Broker) Publish(payload []byte) error {
+	b.mu.Lock()
+	b.last = payload
+	snapshot := b.last
+	b.mu.Unlock()
+	b.queue <- snapshot
+	_, err := b.peer.Call("publish", snapshot)
+	return err
+}
+
+// TryNotify uses the drop-not-block fanout idiom: a select with a default
+// clause never blocks, so the send is safe even under the lock.
+func (b *Broker) TryNotify(payload []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.queue <- payload:
+	default:
+	}
+}
+
+// Dump copies the buffer out, unlocks, then serves the copy.
+func (b *Broker) Dump() {
+	b.mu.Lock()
+	snapshot := append([]byte(nil), b.last...)
+	b.mu.Unlock()
+	b.sink.Write(snapshot)
+}

@@ -1,0 +1,35 @@
+// Package comp exercises the lockheld analyzer.
+package comp
+
+import (
+	"io"
+	"sync"
+
+	"fix/internal/transport"
+)
+
+// Broker holds blocking operations under its mutex.
+type Broker struct {
+	mu    sync.Mutex
+	peer  transport.Endpoint
+	sink  io.Writer
+	queue chan []byte
+	last  []byte
+}
+
+// Publish blocks on a channel and the wire while holding the lock.
+func (b *Broker) Publish(payload []byte) error {
+	b.mu.Lock()
+	b.last = payload
+	b.queue <- payload                        // want "channel send while b.mu is held"
+	_, err := b.peer.Call("publish", payload) // want "transport Call while b.mu is held"
+	b.mu.Unlock()
+	return err
+}
+
+// Dump writes to an interface writer under a deferred unlock.
+func (b *Broker) Dump() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sink.Write(b.last) // want "io.Writer Write while b.mu is held"
+}

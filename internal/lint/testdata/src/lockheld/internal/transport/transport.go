@@ -1,0 +1,8 @@
+// Package transport is the fixture wire abstraction.
+package transport
+
+// Endpoint is the blocking peer interface.
+type Endpoint interface {
+	Call(method string, payload []byte) ([]byte, error)
+	Send(payload []byte) error
+}

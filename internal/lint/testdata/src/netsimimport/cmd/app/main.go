@@ -1,0 +1,8 @@
+// Command app is designated wiring: binaries choose their transport.
+package main
+
+import "fix/internal/netsim"
+
+func main() {
+	_ = netsim.New(netsim.Config{Synchronous: true, Seed: 1})
+}

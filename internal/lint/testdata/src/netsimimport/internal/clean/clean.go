@@ -1,0 +1,6 @@
+// Package clean is the zero-finding twin: a component with no simulator
+// dependency.
+package clean
+
+// Component is a placeholder.
+type Component struct{}

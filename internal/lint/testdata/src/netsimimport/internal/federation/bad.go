@@ -1,0 +1,10 @@
+// Package federation is a component: it must compile against transport
+// interfaces only.
+package federation
+
+import (
+	_ "fix/internal/netsim" // want "components must compile against internal/transport interfaces"
+)
+
+// Service is a placeholder component.
+type Service struct{}

@@ -1,0 +1,11 @@
+package federation
+
+import (
+	"testing"
+
+	"fix/internal/netsim" // test files may drive the simulator freely
+)
+
+func TestUsesSim(t *testing.T) {
+	_ = netsim.New(netsim.Config{Synchronous: true, Seed: 1})
+}

@@ -1,0 +1,14 @@
+// Package netsim is the fixture stand-in for the in-process simulator.
+package netsim
+
+// Config mirrors the simulator's seeded configuration.
+type Config struct {
+	Synchronous bool
+	Seed        int64
+}
+
+// New builds a fixture network handle.
+func New(cfg Config) *Network { return &Network{cfg: cfg} }
+
+// Network is the fixture simulator handle.
+type Network struct{ cfg Config }

@@ -1,0 +1,17 @@
+// Package attack is the fixture chaos harness: seedpin applies to its
+// non-test files too.
+package attack
+
+// Campaign is a seeded chaos scenario.
+type Campaign struct {
+	Name string
+	Seed int64
+}
+
+// Presets returns built-in campaigns.
+func Presets() []Campaign {
+	return []Campaign{
+		{Name: "partition"}, // want "literal without an explicit Seed"
+		{Name: "flaky", Seed: 7},
+	}
+}

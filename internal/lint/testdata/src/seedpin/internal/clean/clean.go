@@ -1,0 +1,2 @@
+// Package clean is the zero-finding twin for seedpin.
+package clean

@@ -1,0 +1,12 @@
+package clean
+
+import (
+	"testing"
+
+	"fix/internal/netsim"
+)
+
+func TestPinned(t *testing.T) {
+	cfg := netsim.Config{Synchronous: true, Seed: 1}
+	_ = cfg
+}

@@ -1,0 +1,8 @@
+// Package netsim is the fixture simulator config source.
+package netsim
+
+// Config carries the seeded simulator configuration.
+type Config struct {
+	Synchronous bool
+	Seed        int64
+}

@@ -1,0 +1,8 @@
+// Package sim hosts the seedpin test fixtures. The rule covers test files
+// and the attack harness only, so this non-test literal is not flagged.
+package sim
+
+import "fix/internal/netsim"
+
+// Default is production wiring: runtime seeds are chosen by the caller.
+var Default = netsim.Config{Synchronous: true}

@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"fix/internal/netsim"
+)
+
+func TestUnpinned(t *testing.T) {
+	cfg := netsim.Config{Synchronous: true} // want "literal without an explicit Seed"
+	_ = cfg
+}
+
+func TestClockSeed(t *testing.T) {
+	cfg := netsim.Config{Seed: time.Now().UnixNano()} // want "Seed derived from time.Now"
+	_ = cfg
+}

@@ -1,0 +1,33 @@
+// Package clean is the zero-finding twin for statssnap.
+package clean
+
+import "sync"
+
+// Server guards its counters with a mutex.
+type Server struct {
+	mu     sync.Mutex
+	counts map[string]int
+	events []string
+}
+
+// Snapshot is the exported stats view.
+type Snapshot struct {
+	Counts map[string]int
+	Events []string
+	Depth  int
+}
+
+// Stats copies the guarded containers before returning.
+func (s *Server) Stats() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := Snapshot{
+		Counts: make(map[string]int, len(s.counts)),
+		Events: append([]string(nil), s.events...),
+		Depth:  len(s.events),
+	}
+	for k, v := range s.counts {
+		out.Counts[k] = v
+	}
+	return out
+}

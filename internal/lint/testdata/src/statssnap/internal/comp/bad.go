@@ -1,0 +1,27 @@
+// Package comp exercises the statssnap analyzer.
+package comp
+
+import "sync"
+
+// Server guards its counters with a mutex.
+type Server struct {
+	mu     sync.Mutex
+	counts map[string]int
+	events []string
+}
+
+// Snapshot is the exported stats view.
+type Snapshot struct {
+	Counts map[string]int
+	Events []string
+}
+
+// Stats leaks the live guarded containers.
+func (s *Server) Stats() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Snapshot{
+		Counts: s.counts, // want "retains a reference to guarded s.counts"
+		Events: s.events, // want "retains a reference to guarded s.events"
+	}
+}

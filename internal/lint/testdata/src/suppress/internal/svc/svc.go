@@ -1,0 +1,29 @@
+// Package svc exercises //lint:ignore suppression mechanics.
+package svc
+
+import "context"
+
+// Detach deliberately severs the context for a background task that must
+// outlive the request; the standalone directive on the line above covers it.
+func Detach(ctx context.Context) context.Context {
+	//lint:ignore ctxflow the janitor goroutine must outlive the request
+	return context.Background()
+}
+
+// DetachTrailing uses the same-line directive form.
+func DetachTrailing(ctx context.Context) context.Context {
+	return context.TODO() //lint:ignore ctxflow placeholder wiring replaced at startup
+}
+
+// Leak is the control: an unsuppressed violation still fires.
+func Leak(ctx context.Context) context.Context {
+	return context.Background() // want "inside a function that receives a context.Context"
+}
+
+// stale demonstrates that a directive covering nothing is itself a finding.
+func stale(n int) int {
+	/* want "unused" */ //lint:ignore ctxflow nothing here violates anything
+	return n + 1
+}
+
+/* want "malformed" */ //lint:ignore ctxflow

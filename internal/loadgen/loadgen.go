@@ -245,6 +245,7 @@ func Run(ctx context.Context, scn Scenario, target Target, logf Logf) (*Result, 
 				// the traffic already stopped.
 			case <-time.After(scn.Churn.RejoinAfter.D()):
 			}
+			//lint:ignore ctxflow the run ctx may already be cancelled here and the target must still be rejoined (never leave it partitioned)
 			rejoinCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 			err := r.target.Rejoin(rejoinCtx, scn.Churn.Victim)
 			cancel()

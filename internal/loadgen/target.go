@@ -15,6 +15,7 @@ import (
 	"drams/internal/contract"
 	"drams/internal/core"
 	"drams/internal/federation"
+	//lint:ignore depfree loadgen is harness wiring, not a component: it scrapes fleet /metrics endpoints via obs.ParseValues into BENCH reports
 	"drams/internal/obs"
 	"drams/internal/pap"
 	"drams/internal/transport"

@@ -20,7 +20,7 @@ import (
 	"drams/internal/core"
 	"drams/internal/crypto"
 	"drams/internal/metrics"
-	"drams/internal/obs"
+	"drams/internal/trace"
 	"drams/internal/xacml"
 )
 
@@ -113,7 +113,7 @@ type LI struct {
 	// flushDepth records how many probe records each async flush anchored
 	// under one batch transaction (1 = unbatched fallback).
 	flushDepth *metrics.Histogram
-	tracer     atomic.Pointer[obs.Tracer]
+	tracer     atomic.Pointer[trace.Tracer]
 
 	alertMu       sync.Mutex
 	alertHandlers []func(core.Alert)
@@ -240,7 +240,7 @@ func (li *LI) Stats() LIStats {
 // SetTracer attaches (or clears, with nil) the end-to-end span recorder:
 // every batched record gets a li.flush_wait span from enqueue to batch
 // submission.
-func (li *LI) SetTracer(t *obs.Tracer) { li.tracer.Store(t) }
+func (li *LI) SetTracer(t *trace.Tracer) { li.tracer.Store(t) }
 
 // FlushDepth exports the distribution of records per anchored flush.
 func (li *LI) FlushDepth() metrics.HistExport { return li.flushDepth.Export() }
@@ -412,7 +412,7 @@ gather:
 		}
 		now := time.Now()
 		for i, rec := range recs {
-			tr.Span(rec.TraceID, obs.StageLIFlushWait, enqs[i], now.Sub(enqs[i]))
+			tr.Span(rec.TraceID, trace.StageLIFlushWait, enqs[i], now.Sub(enqs[i]))
 		}
 	}
 	if len(recs) == 1 {

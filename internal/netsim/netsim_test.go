@@ -259,7 +259,7 @@ func TestUnregisterStopsDelivery(t *testing.T) {
 }
 
 func TestNetworkCloseRejectsTraffic(t *testing.T) {
-	n := New(Config{Synchronous: true})
+	n := New(Config{Synchronous: true, Seed: 1})
 	a, _ := n.Register("a")
 	_, _ = n.Register("b")
 	n.Close()

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// FuzzParseValues hardens the scrape side of the exposition codec: loadgen
+// feeds ParseValues bytes read off fleet /metrics endpoints, so arbitrary
+// input must never panic, and any input it accepts must survive a
+// render→reparse round trip unchanged.
+func FuzzParseValues(f *testing.F) {
+	f.Add("# HELP drams_up whether the node is serving\ndrams_up 1\n")
+	f.Add("drams_probe_rtt_ms_bucket{le=\"+Inf\",peer=\"cloud b\"} 42 1700000000000\n")
+	f.Add("drams_decisions_total{outcome=\"permit\"} 17\nbad line here\n")
+	f.Add("} 0.5\nname NaN\nneg -Inf\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		parsed, err := ParseValues(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		// Re-render every accepted series as `name value` and re-parse:
+		// the map must come back identical (NaN compares equal to itself
+		// for this purpose).
+		var sb strings.Builder
+		for name, v := range parsed {
+			sb.WriteString(name)
+			sb.WriteByte(' ')
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+			sb.WriteByte('\n')
+		}
+		again, err := ParseValues(strings.NewReader(sb.String()))
+		if err != nil {
+			t.Fatalf("re-parse of rendered output failed: %v\nrendered:\n%s", err, sb.String())
+		}
+		if len(again) != len(parsed) {
+			t.Fatalf("round trip changed series count: %d -> %d", len(parsed), len(again))
+		}
+		for name, v := range parsed {
+			got, ok := again[name]
+			if !ok {
+				t.Fatalf("round trip lost series %q", name)
+			}
+			if got != v && !(got != got && v != v) {
+				t.Fatalf("round trip changed %q: %v -> %v", name, v, got)
+			}
+		}
+	})
+}

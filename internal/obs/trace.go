@@ -1,116 +1,42 @@
 package obs
 
 import (
-	"fmt"
-	"sort"
-	"sync"
-	"time"
-
 	"drams/internal/metrics"
+	"drams/internal/trace"
 )
+
+// The span recorder lives in the dependency-free internal/trace package so
+// components can record spans without importing obs (the depfree analyzer
+// enforces that layering). obs aliases the types and constants here: the
+// wiring layers and operators keep one import for the whole observability
+// surface, and type identity is preserved — an obs.Tracer IS a
+// trace.Tracer, so SetTracer call sites accept either spelling.
 
 // Canonical stage names for the end-to-end decision pipeline, in causal
-// order. Components record spans under these; ad-hoc stages are allowed
-// but these are what dashboards and Deployment.Trace document.
+// order. See internal/trace.
 const (
-	StagePEPDecide      = "pep.decide"      // PEP-observed round trip to the PDP
-	StagePDPEval        = "pdp.eval"        // PDP-side policy evaluation
-	StageLIFlushWait    = "li.flush_wait"   // probe record queued at the LI → batch tx submitted
-	StageChainAnchor    = "chain.anchor"    // request tracked → its log record anchored in a block
-	StageAnalyserVerify = "analyser.verify" // analyser re-derivation of one log record
-	StageMonitorMatch   = "monitor.match"   // request tracked → M-check match observed off-chain
-	StageMonitorAlert   = "monitor.alert"   // request tracked → alert observed off-chain
+	StagePEPDecide      = trace.StagePEPDecide
+	StagePDPEval        = trace.StagePDPEval
+	StageLIFlushWait    = trace.StageLIFlushWait
+	StageChainAnchor    = trace.StageChainAnchor
+	StageAnalyserVerify = trace.StageAnalyserVerify
+	StageMonitorMatch   = trace.StageMonitorMatch
+	StageMonitorAlert   = trace.StageMonitorAlert
 )
 
-// traceStageFamily is the histogram family every span duration lands in,
-// one series per stage label.
-const traceStageFamily = "drams_trace_stage_ms"
-
 // Span is one recorded stage of a request's end-to-end timeline.
-type Span struct {
-	TraceID  string
-	Stage    string
-	Start    time.Time
-	Duration time.Duration
-}
+type Span = trace.Span
 
-// String renders the span for timeline dumps.
-func (s Span) String() string {
-	return fmt.Sprintf("%-16s +%8.3fms  %.3fms", s.Stage,
-		float64(s.Start.UnixNano()%1e12)/1e6, float64(s.Duration)/float64(time.Millisecond))
-}
-
-// Tracer records per-request stage spans: each span lands in a bounded
-// per-trace timeline (FIFO-evicted once capacity distinct trace IDs are
-// held) and in a per-stage duration histogram on the registry, so /metrics
-// answers "where does the time go" in aggregate while Trace answers it for
-// one request. All methods are safe on a nil receiver — a nil *Tracer is
-// the disabled tracer, costing one branch per call site.
-type Tracer struct {
-	reg *metrics.Registry
-	cap int
-
-	mu    sync.Mutex
-	spans map[string][]Span
-	order []string // insertion order of trace IDs, for FIFO eviction
-}
+// Tracer records per-request stage spans into bounded timelines and
+// per-stage duration histograms.
+type Tracer = trace.Tracer
 
 // DefaultTraceCapacity bounds how many distinct in-flight/recent trace
 // timelines a Tracer retains.
-const DefaultTraceCapacity = 4096
+const DefaultTraceCapacity = trace.DefaultCapacity
 
 // NewTracer builds a tracer recording stage histograms into reg (which
 // may be nil: timelines only). capacity <= 0 uses DefaultTraceCapacity.
 func NewTracer(reg *metrics.Registry, capacity int) *Tracer {
-	if capacity <= 0 {
-		capacity = DefaultTraceCapacity
-	}
-	if reg != nil {
-		reg.Help(traceStageFamily, "Per-stage span durations of the decision pipeline, labelled by stage.")
-	}
-	return &Tracer{reg: reg, cap: capacity, spans: make(map[string][]Span)}
-}
-
-// Span records one stage of a trace. No-op on a nil tracer or empty
-// traceID, so call sites need no enablement checks.
-func (t *Tracer) Span(traceID, stage string, start time.Time, d time.Duration) {
-	if t == nil || traceID == "" {
-		return
-	}
-	if d < 0 {
-		d = 0
-	}
-	if t.reg != nil {
-		t.reg.Histogram(fmt.Sprintf(`%s{stage=%q}`, traceStageFamily, stage)).ObserveDuration(d)
-	}
-	t.mu.Lock()
-	if _, ok := t.spans[traceID]; !ok {
-		if len(t.order) >= t.cap {
-			evict := t.order[0]
-			t.order = t.order[1:]
-			delete(t.spans, evict)
-		}
-		t.order = append(t.order, traceID)
-	}
-	t.spans[traceID] = append(t.spans[traceID], Span{TraceID: traceID, Stage: stage, Start: start, Duration: d})
-	t.mu.Unlock()
-}
-
-// Trace returns the recorded timeline for one trace ID, sorted by span
-// start time. Nil when unknown (or the tracer is nil / the trace was
-// evicted).
-func (t *Tracer) Trace(traceID string) []Span {
-	if t == nil {
-		return nil
-	}
-	t.mu.Lock()
-	spans := t.spans[traceID]
-	out := make([]Span, len(spans))
-	copy(out, spans)
-	t.mu.Unlock()
-	if len(out) == 0 {
-		return nil
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Start.Before(out[j].Start) })
-	return out
+	return trace.New(reg, capacity)
 }

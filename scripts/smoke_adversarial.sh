@@ -36,6 +36,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Static gate first: a broken invariant fails fast, before any daemons
+# start (skippable for tight inner loops with SKIP_CHECK=1).
+if [ -z "${SKIP_CHECK:-}" ]; then
+    . "$(dirname "$0")/check.sh"
+    drams_check || exit 1
+fi
+
 if [ ! -x "$BIN" ]; then
     echo "building drams-node..."
     go build -o "$BIN" ./cmd/drams-node || exit 1

@@ -38,6 +38,13 @@ cleanup() {
 }
 trap cleanup EXIT
 
+# Static gate first: a broken invariant fails fast, before any daemons
+# start (skippable for tight inner loops with SKIP_CHECK=1).
+if [ -z "${SKIP_CHECK:-}" ]; then
+    . "$(dirname "$0")/check.sh"
+    drams_check || exit 1
+fi
+
 for bin in "$NODE:./cmd/drams-node" "$LOADGEN:./cmd/drams-loadgen"; do
     path="${bin%%:*}" pkg="${bin#*:}"
     if [ ! -x "$path" ]; then
